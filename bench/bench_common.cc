@@ -1,0 +1,195 @@
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace rpas::bench {
+
+std::vector<double> AccuracyLevels() {
+  return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+}
+
+std::vector<double> ScalingLevels() {
+  return {0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99};
+}
+
+BenchOptions ParseArgs(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      options.quick = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      options.csv = true;
+    } else if (StartsWith(argv[i], "--seed=")) {
+      options.seed = static_cast<uint64_t>(
+          std::strtoull(argv[i] + 7, nullptr, 10));
+    }
+  }
+  return options;
+}
+
+Dataset MakeDataset(const trace::TraceProfile& profile, uint64_t seed) {
+  constexpr size_t kTotalDays = 35;
+  constexpr size_t kTestDays = 6;
+  trace::SyntheticTraceGenerator gen(profile, seed);
+  Dataset dataset;
+  dataset.name = profile.name;
+  dataset.full = gen.GenerateCpu(kTotalDays * kStepsPerDay);
+  auto [train, test] = dataset.full.SplitTail(kTestDays * kStepsPerDay);
+  dataset.train = std::move(train);
+  dataset.test = std::move(test);
+  return dataset;
+}
+
+std::vector<Dataset> MakeBothDatasets(uint64_t seed) {
+  std::vector<Dataset> datasets;
+  datasets.push_back(MakeDataset(trace::AlibabaProfile(), seed));
+  datasets.push_back(MakeDataset(trace::GoogleProfile(), seed + 1));
+  return datasets;
+}
+
+std::unique_ptr<forecast::Forecaster> MakeArima(size_t horizon,
+                                                std::vector<double> levels) {
+  forecast::ArimaForecaster::Options options;
+  options.p = 3;
+  options.d = 1;
+  options.q = 2;
+  options.context_length = kContext;
+  options.horizon = horizon;
+  options.levels = std::move(levels);
+  return std::make_unique<forecast::ArimaForecaster>(options);
+}
+
+std::unique_ptr<forecast::Forecaster> MakeMlp(size_t horizon,
+                                              std::vector<double> levels,
+                                              bool quick, int run) {
+  forecast::MlpForecaster::Options options;
+  options.context_length = kContext;
+  options.horizon = horizon;
+  options.hidden_dim = 24;
+  options.num_hidden_layers = 1;      // GluonTS SimpleFeedForward parity
+  options.batch_size = 32;
+  options.train.steps = quick ? 100 : 200;
+  options.train.lr = 1e-3;  // paper §IV-A
+  options.use_time_features = false;  // GluonTS SimpleFeedForward parity
+  options.levels = std::move(levels);
+  options.seed = 7 + static_cast<uint64_t>(run) * 1000;
+  return std::make_unique<forecast::MlpForecaster>(options);
+}
+
+std::unique_ptr<forecast::Forecaster> MakeDeepAr(size_t horizon,
+                                                 std::vector<double> levels,
+                                                 bool quick, int run) {
+  forecast::DeepArForecaster::Options options;
+  options.context_length = kContext;
+  options.horizon = horizon;
+  options.hidden_dim = 32;
+  options.batch_size = 8;
+  options.num_samples = 100;
+  options.student_t_dof = 3.0;
+  options.train.steps = quick ? 60 : 300;
+  options.train.lr = 1e-3;
+  options.levels = std::move(levels);
+  options.seed = 11 + static_cast<uint64_t>(run) * 1000;
+  return std::make_unique<forecast::DeepArForecaster>(options);
+}
+
+std::unique_ptr<forecast::Forecaster> MakeTft(size_t horizon,
+                                              std::vector<double> levels,
+                                              bool quick, int run,
+                                              const std::string& name) {
+  forecast::TftForecaster::Options options;
+  options.context_length = kContext;
+  options.horizon = horizon;
+  options.d_model = 16;
+  options.num_heads = 2;
+  options.batch_size = 3;
+  options.train.steps = quick ? 80 : 900;
+  options.train.lr = 1e-3;
+  options.levels = std::move(levels);
+  options.seed = 23 + static_cast<uint64_t>(run) * 1000;
+  options.name = name;
+  return std::make_unique<forecast::TftForecaster>(options);
+}
+
+std::unique_ptr<forecast::Forecaster> MakeQb5000(size_t horizon, bool quick,
+                                                 int run) {
+  forecast::Qb5000Forecaster::Options options;
+  options.context_length = kContext;
+  options.horizon = horizon;
+  options.lstm_hidden = 24;
+  options.batch_size = 8;
+  options.train.steps = quick ? 60 : 250;
+  options.train.lr = 1e-3;
+  options.seed = 31 + static_cast<uint64_t>(run) * 1000;
+  return std::make_unique<forecast::Qb5000Forecaster>(options);
+}
+
+core::ScalingConfig MakeScalingConfig(const Dataset& dataset) {
+  core::ScalingConfig config;
+  config.theta = dataset.full.Mean() / 4.0;
+  config.min_nodes = 1;
+  return config;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(const std::string& title) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::printf("\n=== %s ===\n", title.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w + 2;
+  }
+  for (size_t i = 0; i < total; ++i) {
+    std::printf("-");
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  std::fflush(stdout);
+}
+
+void TablePrinter::PrintCsv() const {
+  auto print_row = [](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%s%s", c > 0 ? "," : "", row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header_);
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  std::fflush(stdout);
+}
+
+std::string Num(double value, int precision) {
+  return StrFormat("%.*g", precision, value);
+}
+
+}  // namespace rpas::bench

@@ -1,0 +1,99 @@
+#ifndef RPAS_BENCH_BENCH_COMMON_H_
+#define RPAS_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scaling_config.h"
+#include "forecast/arima.h"
+#include "forecast/deepar.h"
+#include "forecast/forecaster.h"
+#include "forecast/mlp.h"
+#include "forecast/qb5000.h"
+#include "forecast/tft.h"
+#include "trace/generator.h"
+#include "ts/time_series.h"
+
+namespace rpas::bench {
+
+/// Paper experimental constants (§IV-A/B): context and prediction length of
+/// 12 hours at 10-minute aggregation = 72 steps.
+inline constexpr size_t kContext = 72;
+inline constexpr size_t kHorizon = 72;
+inline constexpr size_t kStepsPerDay = 144;
+
+/// Quantile grids from the paper: A = {0.1..0.9} for forecasting accuracy
+/// (§IV-B), {0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99} for scaling (§IV-C).
+std::vector<double> AccuracyLevels();
+std::vector<double> ScalingLevels();
+
+/// Run-mode knobs shared by every bench binary. `--quick` shrinks training
+/// budgets for smoke runs; `--csv` emits machine-readable rows after the
+/// human-readable table.
+struct BenchOptions {
+  bool quick = false;
+  bool csv = false;
+  uint64_t seed = 2024;
+};
+BenchOptions ParseArgs(int argc, char** argv);
+
+/// One benchmark dataset: the full trace plus its train/test split
+/// (test = last `test_days` days).
+struct Dataset {
+  std::string name;
+  ts::TimeSeries full;
+  ts::TimeSeries train;
+  ts::TimeSeries test;
+};
+
+/// Builds the Alibaba-like and Google-like CPU traces used throughout the
+/// benches (35 days of 10-minute samples; last 6 days held out).
+Dataset MakeDataset(const trace::TraceProfile& profile, uint64_t seed);
+std::vector<Dataset> MakeBothDatasets(uint64_t seed);
+
+/// Paper model lineup with fixed hyperparameters (the paper fixes
+/// hyperparameters across horizons and sets lr = 1e-3 for all models).
+/// `levels` selects the quantile grid each model is trained/queried for;
+/// `run` perturbs initialization seeds (Table I averages 3 runs).
+std::unique_ptr<forecast::Forecaster> MakeArima(
+    size_t horizon, std::vector<double> levels);
+std::unique_ptr<forecast::Forecaster> MakeMlp(
+    size_t horizon, std::vector<double> levels, bool quick, int run);
+std::unique_ptr<forecast::Forecaster> MakeDeepAr(
+    size_t horizon, std::vector<double> levels, bool quick, int run);
+std::unique_ptr<forecast::Forecaster> MakeTft(
+    size_t horizon, std::vector<double> levels, bool quick, int run,
+    const std::string& name = "TFT");
+std::unique_ptr<forecast::Forecaster> MakeQb5000(size_t horizon, bool quick,
+                                                 int run);
+
+/// Scaling configuration used by the auto-scaling benches: theta chosen so
+/// the average trace demands ~4 compute nodes.
+core::ScalingConfig MakeScalingConfig(const Dataset& dataset);
+
+// ---------------------------------------------------------------------------
+// Minimal aligned-text table printer (every bench prints the same rows the
+// paper's tables/figures report).
+// ---------------------------------------------------------------------------
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  /// Prints the aligned table to stdout.
+  void Print(const std::string& title) const;
+  /// Prints rows as CSV (after the table) when enabled.
+  void PrintCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with %.4g-style compactness.
+std::string Num(double value, int precision = 4);
+
+}  // namespace rpas::bench
+
+#endif  // RPAS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,101 @@
+// Reproduces paper Table I: "Performance Comparison of Different Models
+// with a Context Length of 72 Steps and Prediction Length of 72 Steps" —
+// mean_wQL, wQL and Coverage at {0.7, 0.8, 0.9}, and MSE for ARIMA / MLP /
+// DeepAR / TFT on the Alibaba-like and Google-like traces, averaged over 3
+// training runs (1 with --quick).
+//
+// Expected shape (paper): TFT best on every metric, DeepAR second, ARIMA
+// and MLP an order of magnitude worse, with ARIMA over-covering (coverage
+// well above the nominal level) thanks to very wide Gaussian intervals.
+#include <cstdio>
+#include <functional>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "common/logging.h"
+#include "forecast/forecaster.h"
+#include "ts/metrics.h"
+
+namespace rpas::bench {
+namespace {
+
+struct ModelSpec {
+  std::string name;
+  // run index -> freshly built model
+  std::function<std::unique_ptr<forecast::Forecaster>(int run)> make;
+  bool stochastic = true;  // deterministic models get a single run
+};
+
+void RunTable1(const BenchOptions& options) {
+  const int runs = options.quick ? 1 : 3;
+  const std::vector<double> levels = AccuracyLevels();
+  const std::vector<double> report_levels = {0.7, 0.8, 0.9};
+
+  std::vector<ModelSpec> specs;
+  specs.push_back({"ARIMA",
+                   [&](int) { return MakeArima(kHorizon, levels); },
+                   /*stochastic=*/false});
+  specs.push_back({"MLP", [&](int run) {
+                     return MakeMlp(kHorizon, levels, options.quick, run);
+                   }});
+  specs.push_back({"DeepAR", [&](int run) {
+                     return MakeDeepAr(kHorizon, levels, options.quick, run);
+                   }});
+  specs.push_back({"TFT", [&](int run) {
+                     return MakeTft(kHorizon, levels, options.quick, run);
+                   }});
+
+  TablePrinter table({"Dataset", "Model", "mean_wQL", "wQL[0.7]", "wQL[0.8]",
+                      "wQL[0.9]", "Cov[0.7]", "Cov[0.8]", "Cov[0.9]",
+                      "MSE"});
+
+  for (const Dataset& dataset : MakeBothDatasets(options.seed)) {
+    for (const ModelSpec& spec : specs) {
+      const int model_runs = spec.stochastic ? runs : 1;
+      double mean_wql = 0.0;
+      std::map<double, double> wql{{0.7, 0.0}, {0.8, 0.0}, {0.9, 0.0}};
+      std::map<double, double> cov = wql;
+      double mse = 0.0;
+      for (int run = 0; run < model_runs; ++run) {
+        auto model = spec.make(run);
+        RPAS_CHECK(model->Fit(dataset.train).ok())
+            << spec.name << " fit failed on " << dataset.name;
+        auto rolled = forecast::RollForecasts(*model, dataset.train,
+                                              dataset.test, kHorizon);
+        RPAS_CHECK(rolled.ok()) << rolled.status().ToString();
+        auto report = ts::EvaluateForecasts(rolled->forecasts,
+                                            rolled->actuals, levels);
+        mean_wql += report.mean_wql;
+        for (double tau : report_levels) {
+          wql[tau] += report.wql.at(tau);
+          cov[tau] += report.coverage.at(tau);
+        }
+        mse += report.mse;
+      }
+      const double inv = 1.0 / static_cast<double>(model_runs);
+      table.AddRow({dataset.name, spec.name, Num(mean_wql * inv),
+                    Num(wql[0.7] * inv), Num(wql[0.8] * inv),
+                    Num(wql[0.9] * inv), Num(cov[0.7] * inv, 3),
+                    Num(cov[0.8] * inv, 3), Num(cov[0.9] * inv, 3),
+                    Num(mse * inv)});
+      std::printf("[table1] %s / %s done\n", dataset.name.c_str(),
+                  spec.name.c_str());
+      std::fflush(stdout);
+    }
+  }
+
+  table.Print(
+      "Table I: forecasting accuracy, context 72 / horizon 72"
+      " (averaged over runs)");
+  if (options.csv) {
+    table.PrintCsv();
+  }
+}
+
+}  // namespace
+}  // namespace rpas::bench
+
+int main(int argc, char** argv) {
+  rpas::bench::RunTable1(rpas::bench::ParseArgs(argc, argv));
+  return 0;
+}

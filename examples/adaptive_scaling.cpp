@@ -1,0 +1,107 @@
+// Adaptive uncertainty-aware scaling (paper Algorithm 1), step by step:
+//
+//   1. Train a quantile forecaster on a bursty (Google-like) trace.
+//   2. Calibrate the uncertainty threshold rho from historical forecasts —
+//      the paper's recommended procedure (§III-C2).
+//   3. Compare three strategies over a held-out window: fixed optimistic
+//      (tau1), fixed conservative (tau2), and adaptive switching on U.
+//
+// The adaptive strategy should match the conservative one on
+// under-provisioning while over-provisioning less (paper Fig. 11).
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "core/evaluator.h"
+#include "core/strategies.h"
+#include "core/uncertainty.h"
+#include "forecast/tft.h"
+#include "trace/generator.h"
+
+int main() {
+  using namespace rpas;
+  constexpr size_t kDay = 144;
+  constexpr size_t kContext = 72;
+  constexpr size_t kHorizon = 72;
+  constexpr double kTau1 = 0.8;
+  constexpr double kTau2 = 0.95;
+
+  // 1. Bursty trace + quantile forecaster.
+  trace::SyntheticTraceGenerator generator(trace::GoogleProfile(), 99);
+  ts::TimeSeries series = generator.GenerateCpu(21 * kDay);
+  const size_t eval_steps = 3 * kDay;
+  const size_t eval_start = series.size() - eval_steps;
+  ts::TimeSeries train = series.Slice(0, eval_start);
+
+  forecast::TftForecaster::Options options;
+  options.context_length = kContext;
+  options.horizon = kHorizon;
+  options.d_model = 16;
+  options.batch_size = 2;
+  options.train.steps = 250;
+  options.levels = forecast::ScalingQuantileLevels();
+  forecast::TftForecaster model(options);
+  if (Status s = model.Fit(train); !s.ok()) {
+    std::fprintf(stderr, "Fit failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  core::ScalingConfig config;
+  config.theta = series.Mean() / 4.0;
+
+  // 2. Calibrate rho: median per-step uncertainty U over forecasts rolled
+  //    on the last two training days.
+  std::vector<double> all_u;
+  {
+    const size_t calib = 2 * kDay;
+    ts::TimeSeries head = train.Slice(0, train.size() - calib);
+    ts::TimeSeries tail = train.Slice(train.size() - calib, train.size());
+    auto rolled = forecast::RollForecasts(model, head, tail, kHorizon);
+    if (!rolled.ok()) {
+      std::fprintf(stderr, "calibration failed: %s\n",
+                   rolled.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& fc : rolled->forecasts) {
+      auto u = core::QuantileUncertaintyPerStep(fc);
+      all_u.insert(all_u.end(), u.begin(), u.end());
+    }
+  }
+  std::sort(all_u.begin(), all_u.end());
+  const double rho = all_u[all_u.size() / 2];
+  std::printf("calibrated rho = %.3f (U range [%.3f, %.3f])\n", rho,
+              all_u.front(), all_u.back());
+
+  // 3. Fixed vs adaptive comparison on the held-out window.
+  std::vector<double> realized(
+      series.values.begin() + static_cast<long>(eval_start),
+      series.values.end());
+  auto evaluate = [&](const char* name,
+                      const core::QuantileAllocator& allocator) {
+    auto alloc = core::RunPredictiveStrategy(model, allocator, series,
+                                             eval_start, eval_steps, config);
+    if (!alloc.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", name,
+                   alloc.status().ToString().c_str());
+      std::exit(1);
+    }
+    const auto report = core::EvaluateAllocation(realized, *alloc, config);
+    std::printf("%-22s under=%.3f over=%.3f mean_nodes=%.2f\n", name,
+                report.under_provision_rate, report.over_provision_rate,
+                report.mean_allocated_nodes);
+  };
+
+  std::printf("\nstrategy               under  over  nodes\n");
+  core::RobustQuantileAllocator fixed_lo(kTau1);
+  core::RobustQuantileAllocator fixed_hi(kTau2);
+  core::AdaptiveQuantileAllocator adaptive(kTau1, kTau2, rho);
+  evaluate("fixed tau=0.80", fixed_lo);
+  evaluate("fixed tau=0.95", fixed_hi);
+  evaluate("adaptive 0.80/0.95", adaptive);
+
+  std::printf(
+      "\nThe adaptive strategy allocates conservatively only when the\n"
+      "forecast itself signals high uncertainty (U >= rho), recovering\n"
+      "most of the conservative strategy's robustness at lower cost.\n");
+  return 0;
+}

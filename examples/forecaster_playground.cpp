@@ -1,0 +1,141 @@
+// Forecaster playground: trains every forecaster in the library on the
+// same trace and prints a side-by-side accuracy comparison plus one sampled
+// horizon — a compact tour of the forecasting API (paper §III-B / Table I
+// in miniature).
+//
+// Usage: forecaster_playground [--trace=alibaba|google]
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "forecast/arima.h"
+#include "forecast/deepar.h"
+#include "forecast/holt_winters.h"
+#include "forecast/mlp.h"
+#include "forecast/qb5000.h"
+#include "forecast/seasonal_naive.h"
+#include "forecast/tft.h"
+#include "trace/generator.h"
+#include "ts/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace rpas;
+  constexpr size_t kDay = 144;
+  constexpr size_t kContext = 72;
+  constexpr size_t kHorizon = 36;
+
+  std::string trace_name = "alibaba";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_name = argv[i] + 8;
+    }
+  }
+  trace::TraceProfile profile = trace_name == "google"
+                                    ? trace::GoogleProfile()
+                                    : trace::AlibabaProfile();
+  trace::SyntheticTraceGenerator generator(profile, 31337);
+  ts::TimeSeries series = generator.GenerateCpu(21 * kDay);
+  auto [train, test] = series.SplitTail(3 * kDay);
+  std::printf("trace=%s train=%zu test=%zu\n", trace_name.c_str(),
+              train.size(), test.size());
+
+  const std::vector<double> levels = forecast::DefaultQuantileLevels();
+  std::vector<std::unique_ptr<forecast::Forecaster>> models;
+  {
+    forecast::ArimaForecaster::Options o;
+    o.context_length = kContext;
+    o.horizon = kHorizon;
+    o.levels = levels;
+    models.push_back(std::make_unique<forecast::ArimaForecaster>(o));
+  }
+  {
+    forecast::SeasonalNaiveForecaster::Options o;
+    o.context_length = kContext;
+    o.horizon = kHorizon;
+    o.season = kDay;
+    o.levels = levels;
+    models.push_back(std::make_unique<forecast::SeasonalNaiveForecaster>(o));
+  }
+  {
+    forecast::HoltWintersForecaster::Options o;
+    o.context_length = 2 * kDay;
+    o.horizon = kHorizon;
+    o.season = kDay;
+    o.levels = levels;
+    models.push_back(std::make_unique<forecast::HoltWintersForecaster>(o));
+  }
+  {
+    forecast::MlpForecaster::Options o;
+    o.context_length = kContext;
+    o.horizon = kHorizon;
+    o.hidden_dim = 32;
+    o.train.steps = 200;
+    o.levels = levels;
+    models.push_back(std::make_unique<forecast::MlpForecaster>(o));
+  }
+  {
+    forecast::DeepArForecaster::Options o;
+    o.context_length = kContext;
+    o.horizon = kHorizon;
+    o.hidden_dim = 24;
+    o.batch_size = 8;
+    o.num_samples = 80;
+    o.train.steps = 150;
+    o.levels = levels;
+    models.push_back(std::make_unique<forecast::DeepArForecaster>(o));
+  }
+  {
+    forecast::TftForecaster::Options o;
+    o.context_length = kContext;
+    o.horizon = kHorizon;
+    o.d_model = 12;
+    o.batch_size = 2;
+    o.train.steps = 200;
+    o.levels = levels;
+    models.push_back(std::make_unique<forecast::TftForecaster>(o));
+  }
+  {
+    forecast::Qb5000Forecaster::Options o;
+    o.context_length = kContext;
+    o.horizon = kHorizon;
+    o.train.steps = 100;
+    models.push_back(std::make_unique<forecast::Qb5000Forecaster>(o));
+  }
+
+  std::printf("\n%-14s %10s %10s %10s %10s\n", "model", "mean_wQL",
+              "wQL[0.9]", "Cov[0.9]", "MSE");
+  for (auto& model : models) {
+    if (Status s = model->Fit(train); !s.ok()) {
+      std::fprintf(stderr, "%s fit failed: %s\n", model->Name().c_str(),
+                   s.ToString().c_str());
+      continue;
+    }
+    auto rolled = forecast::RollForecasts(*model, train, test, kHorizon);
+    if (!rolled.ok()) {
+      std::fprintf(stderr, "%s roll failed: %s\n", model->Name().c_str(),
+                   rolled.status().ToString().c_str());
+      continue;
+    }
+    // Score at the levels the model actually produces (QB5000 is a point
+    // forecaster exposing only the median).
+    const std::vector<double> score_levels =
+        model->Levels().size() > 1 ? std::vector<double>{0.5, 0.9}
+                                   : std::vector<double>{0.5};
+    auto report = ts::EvaluateForecasts(rolled->forecasts, rolled->actuals,
+                                        score_levels);
+    if (score_levels.size() > 1) {
+      std::printf("%-14s %10.4f %10.4f %10.3f %10.1f\n",
+                  model->Name().c_str(), report.mean_wql,
+                  report.wql.at(0.9), report.coverage.at(0.9), report.mse);
+    } else {
+      std::printf("%-14s %10.4f %10s %10s %10.1f\n", model->Name().c_str(),
+                  report.mean_wql, "-", "-", report.mse);
+    }
+  }
+
+  std::printf(
+      "\nNote: scores use each model's own quantile grid; QB5000 is a\n"
+      "point forecaster and reports only median-based metrics.\n");
+  return 0;
+}

@@ -1,0 +1,514 @@
+#include "autodiff/tape.h"
+
+#include <cmath>
+#include <utility>
+
+#include "tensor/ops.h"
+
+namespace rpas::autodiff {
+
+namespace ops = ::rpas::tensor;
+
+const Matrix& Var::value() const {
+  RPAS_CHECK(tape_ != nullptr) << "value() on default-constructed Var";
+  return tape_->ValueOf(id_);
+}
+
+const Matrix& Var::grad() const {
+  RPAS_CHECK(tape_ != nullptr) << "grad() on default-constructed Var";
+  return tape_->GradOf(id_);
+}
+
+const Matrix& Tape::ValueOf(size_t id) const {
+  RPAS_DCHECK(id < nodes_.size());
+  return nodes_[id].value;
+}
+
+const Matrix& Tape::GradOf(size_t id) const {
+  RPAS_DCHECK(id < nodes_.size());
+  return nodes_[id].grad;
+}
+
+size_t Tape::AddNode(Matrix value, bool requires_grad,
+                     std::function<void(const Matrix&, Tape*)> backward) {
+  Node node;
+  node.grad = Matrix(value.rows(), value.cols());
+  node.value = std::move(value);
+  node.requires_grad = requires_grad;
+  node.backward = std::move(backward);
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+bool Tape::RequiresGrad(Var v) const {
+  RPAS_DCHECK(v.tape() == this);
+  return nodes_[v.id()].requires_grad;
+}
+
+void Tape::AccumulateGrad(size_t id, const Matrix& g) {
+  RPAS_DCHECK(id < nodes_.size());
+  if (!nodes_[id].requires_grad) {
+    return;
+  }
+  ops::Axpy(1.0, g, &nodes_[id].grad);
+}
+
+Var Tape::Constant(Matrix value) {
+  return Var(this, AddNode(std::move(value), /*requires_grad=*/false, nullptr));
+}
+
+Var Tape::Bind(Parameter* param) {
+  RPAS_CHECK(param != nullptr);
+  auto it = param_nodes_.find(param);
+  if (it != param_nodes_.end()) {
+    return Var(this, it->second);
+  }
+  size_t id = AddNode(param->value, /*requires_grad=*/true, nullptr);
+  nodes_[id].bound_param = param;
+  param_nodes_[param] = id;
+  return Var(this, id);
+}
+
+Var Tape::MatMul(Var a, Var b) {
+  Matrix value = ops::MatMul(a.value(), b.value());
+  const size_t ai = a.id();
+  const size_t bi = b.id();
+  const bool rg = RequiresGrad(a) || RequiresGrad(b);
+  return Var(this, AddNode(std::move(value), rg,
+                           [ai, bi](const Matrix& g, Tape* t) {
+                             // dA = g * B^T ; dB = A^T * g
+                             if (t->nodes_[ai].requires_grad) {
+                               t->AccumulateGrad(
+                                   ai, ops::MatMul(g, ops::Transpose(
+                                                          t->ValueOf(bi))));
+                             }
+                             if (t->nodes_[bi].requires_grad) {
+                               t->AccumulateGrad(
+                                   bi, ops::MatMul(
+                                           ops::Transpose(t->ValueOf(ai)), g));
+                             }
+                           }));
+}
+
+Var Tape::Transpose(Var a) {
+  const size_t ai = a.id();
+  return Var(this, AddNode(ops::Transpose(a.value()), RequiresGrad(a),
+                           [ai](const Matrix& g, Tape* t) {
+                             t->AccumulateGrad(ai, ops::Transpose(g));
+                           }));
+}
+
+Var Tape::Add(Var a, Var b) {
+  const size_t ai = a.id();
+  const size_t bi = b.id();
+  return Var(this, AddNode(ops::Add(a.value(), b.value()),
+                           RequiresGrad(a) || RequiresGrad(b),
+                           [ai, bi](const Matrix& g, Tape* t) {
+                             t->AccumulateGrad(ai, g);
+                             t->AccumulateGrad(bi, g);
+                           }));
+}
+
+Var Tape::Sub(Var a, Var b) {
+  const size_t ai = a.id();
+  const size_t bi = b.id();
+  return Var(this, AddNode(ops::Sub(a.value(), b.value()),
+                           RequiresGrad(a) || RequiresGrad(b),
+                           [ai, bi](const Matrix& g, Tape* t) {
+                             t->AccumulateGrad(ai, g);
+                             t->AccumulateGrad(bi, ops::Scale(g, -1.0));
+                           }));
+}
+
+Var Tape::Mul(Var a, Var b) {
+  const size_t ai = a.id();
+  const size_t bi = b.id();
+  return Var(this, AddNode(ops::Mul(a.value(), b.value()),
+                           RequiresGrad(a) || RequiresGrad(b),
+                           [ai, bi](const Matrix& g, Tape* t) {
+                             t->AccumulateGrad(ai,
+                                               ops::Mul(g, t->ValueOf(bi)));
+                             t->AccumulateGrad(bi,
+                                               ops::Mul(g, t->ValueOf(ai)));
+                           }));
+}
+
+Var Tape::Div(Var a, Var b) {
+  const size_t ai = a.id();
+  const size_t bi = b.id();
+  return Var(
+      this,
+      AddNode(ops::Div(a.value(), b.value()),
+              RequiresGrad(a) || RequiresGrad(b),
+              [ai, bi](const Matrix& g, Tape* t) {
+                const Matrix& bv = t->ValueOf(bi);
+                t->AccumulateGrad(ai, ops::Div(g, bv));
+                // d/db (a/b) = -a / b^2
+                Matrix gb = ops::Mul(g, t->ValueOf(ai));
+                for (size_t i = 0; i < gb.size(); ++i) {
+                  gb[i] = -gb[i] / (bv[i] * bv[i]);
+                }
+                t->AccumulateGrad(bi, gb);
+              }));
+}
+
+Var Tape::Max(Var a, Var b) {
+  const size_t ai = a.id();
+  const size_t bi = b.id();
+  const Matrix& av = a.value();
+  const Matrix& bv = b.value();
+  RPAS_CHECK(av.SameShape(bv)) << "Max shape mismatch";
+  Matrix value(av.rows(), av.cols());
+  for (size_t i = 0; i < value.size(); ++i) {
+    value[i] = av[i] >= bv[i] ? av[i] : bv[i];
+  }
+  return Var(
+      this, AddNode(std::move(value), RequiresGrad(a) || RequiresGrad(b),
+                    [ai, bi](const Matrix& g, Tape* t) {
+                      const Matrix& av2 = t->ValueOf(ai);
+                      const Matrix& bv2 = t->ValueOf(bi);
+                      Matrix ga(g.rows(), g.cols());
+                      Matrix gb(g.rows(), g.cols());
+                      for (size_t i = 0; i < g.size(); ++i) {
+                        if (av2[i] >= bv2[i]) {
+                          ga[i] = g[i];
+                        } else {
+                          gb[i] = g[i];
+                        }
+                      }
+                      t->AccumulateGrad(ai, ga);
+                      t->AccumulateGrad(bi, gb);
+                    }));
+}
+
+Var Tape::AddRowBroadcast(Var a, Var row) {
+  const size_t ai = a.id();
+  const size_t ri = row.id();
+  return Var(this, AddNode(ops::AddRowBroadcast(a.value(), row.value()),
+                           RequiresGrad(a) || RequiresGrad(row),
+                           [ai, ri](const Matrix& g, Tape* t) {
+                             t->AccumulateGrad(ai, g);
+                             t->AccumulateGrad(ri, ops::ColSums(g));
+                           }));
+}
+
+Var Tape::MulRowBroadcast(Var a, Var row) {
+  const size_t ai = a.id();
+  const size_t ri = row.id();
+  const Matrix& av = a.value();
+  const Matrix& rv = row.value();
+  RPAS_CHECK(rv.rows() == 1 && rv.cols() == av.cols())
+      << "MulRowBroadcast shape mismatch";
+  Matrix value(av.rows(), av.cols());
+  for (size_t r = 0; r < av.rows(); ++r) {
+    for (size_t c = 0; c < av.cols(); ++c) {
+      value(r, c) = av(r, c) * rv(0, c);
+    }
+  }
+  return Var(
+      this,
+      AddNode(std::move(value), RequiresGrad(a) || RequiresGrad(row),
+              [ai, ri](const Matrix& g, Tape* t) {
+                const Matrix& av2 = t->ValueOf(ai);
+                const Matrix& rv2 = t->ValueOf(ri);
+                Matrix ga(g.rows(), g.cols());
+                Matrix gr(1, rv2.cols());
+                for (size_t r = 0; r < g.rows(); ++r) {
+                  for (size_t c = 0; c < g.cols(); ++c) {
+                    ga(r, c) = g(r, c) * rv2(0, c);
+                    gr(0, c) += g(r, c) * av2(r, c);
+                  }
+                }
+                t->AccumulateGrad(ai, ga);
+                t->AccumulateGrad(ri, gr);
+              }));
+}
+
+Var Tape::Scale(Var a, double s) {
+  const size_t ai = a.id();
+  return Var(this, AddNode(ops::Scale(a.value(), s), RequiresGrad(a),
+                           [ai, s](const Matrix& g, Tape* t) {
+                             t->AccumulateGrad(ai, ops::Scale(g, s));
+                           }));
+}
+
+Var Tape::AddScalar(Var a, double s) {
+  const size_t ai = a.id();
+  return Var(this, AddNode(ops::AddScalar(a.value(), s), RequiresGrad(a),
+                           [ai](const Matrix& g, Tape* t) {
+                             t->AccumulateGrad(ai, g);
+                           }));
+}
+
+Var Tape::Neg(Var a) { return Scale(a, -1.0); }
+
+Var Tape::Tanh(Var a) {
+  const size_t ai = a.id();
+  Matrix value = ops::Map(a.value(), [](double x) { return std::tanh(x); });
+  size_t id = AddNode(std::move(value), RequiresGrad(a), nullptr);
+  nodes_[id].backward = [ai, id](const Matrix& g, Tape* t) {
+    const Matrix& y = t->ValueOf(id);
+    Matrix ga(g.rows(), g.cols());
+    for (size_t i = 0; i < g.size(); ++i) {
+      ga[i] = g[i] * (1.0 - y[i] * y[i]);
+    }
+    t->AccumulateGrad(ai, ga);
+  };
+  return Var(this, id);
+}
+
+Var Tape::Sigmoid(Var a) {
+  const size_t ai = a.id();
+  Matrix value = ops::Map(a.value(), [](double x) {
+    return x >= 0.0 ? 1.0 / (1.0 + std::exp(-x))
+                    : std::exp(x) / (1.0 + std::exp(x));
+  });
+  size_t id = AddNode(std::move(value), RequiresGrad(a), nullptr);
+  nodes_[id].backward = [ai, id](const Matrix& g, Tape* t) {
+    const Matrix& y = t->ValueOf(id);
+    Matrix ga(g.rows(), g.cols());
+    for (size_t i = 0; i < g.size(); ++i) {
+      ga[i] = g[i] * y[i] * (1.0 - y[i]);
+    }
+    t->AccumulateGrad(ai, ga);
+  };
+  return Var(this, id);
+}
+
+Var Tape::Relu(Var a) {
+  const size_t ai = a.id();
+  Matrix value = ops::Map(a.value(), [](double x) { return x > 0.0 ? x : 0.0; });
+  return Var(this, AddNode(std::move(value), RequiresGrad(a),
+                           [ai](const Matrix& g, Tape* t) {
+                             const Matrix& x = t->ValueOf(ai);
+                             Matrix ga(g.rows(), g.cols());
+                             for (size_t i = 0; i < g.size(); ++i) {
+                               ga[i] = x[i] > 0.0 ? g[i] : 0.0;
+                             }
+                             t->AccumulateGrad(ai, ga);
+                           }));
+}
+
+Var Tape::Softplus(Var a) {
+  const size_t ai = a.id();
+  Matrix value = ops::Map(a.value(), [](double x) {
+    // Stable: log(1 + e^x) = max(x, 0) + log1p(e^{-|x|}).
+    return (x > 0.0 ? x : 0.0) + std::log1p(std::exp(-std::fabs(x)));
+  });
+  return Var(this, AddNode(std::move(value), RequiresGrad(a),
+                           [ai](const Matrix& g, Tape* t) {
+                             const Matrix& x = t->ValueOf(ai);
+                             Matrix ga(g.rows(), g.cols());
+                             for (size_t i = 0; i < g.size(); ++i) {
+                               // d softplus / dx = sigmoid(x)
+                               double s = x[i] >= 0.0
+                                              ? 1.0 / (1.0 + std::exp(-x[i]))
+                                              : std::exp(x[i]) /
+                                                    (1.0 + std::exp(x[i]));
+                               ga[i] = g[i] * s;
+                             }
+                             t->AccumulateGrad(ai, ga);
+                           }));
+}
+
+Var Tape::Exp(Var a) {
+  const size_t ai = a.id();
+  Matrix value = ops::Map(a.value(), [](double x) { return std::exp(x); });
+  size_t id = AddNode(std::move(value), RequiresGrad(a), nullptr);
+  nodes_[id].backward = [ai, id](const Matrix& g, Tape* t) {
+    t->AccumulateGrad(ai, ops::Mul(g, t->ValueOf(id)));
+  };
+  return Var(this, id);
+}
+
+Var Tape::Log(Var a) {
+  const size_t ai = a.id();
+  Matrix value = ops::Map(a.value(), [](double x) { return std::log(x); });
+  return Var(this, AddNode(std::move(value), RequiresGrad(a),
+                           [ai](const Matrix& g, Tape* t) {
+                             t->AccumulateGrad(ai,
+                                               ops::Div(g, t->ValueOf(ai)));
+                           }));
+}
+
+Var Tape::Square(Var a) {
+  const size_t ai = a.id();
+  Matrix value = ops::Map(a.value(), [](double x) { return x * x; });
+  return Var(this, AddNode(std::move(value), RequiresGrad(a),
+                           [ai](const Matrix& g, Tape* t) {
+                             Matrix ga = ops::Mul(g, t->ValueOf(ai));
+                             t->AccumulateGrad(ai, ops::Scale(ga, 2.0));
+                           }));
+}
+
+Var Tape::Sqrt(Var a) {
+  const size_t ai = a.id();
+  Matrix value = ops::Map(a.value(), [](double x) { return std::sqrt(x); });
+  size_t id = AddNode(std::move(value), RequiresGrad(a), nullptr);
+  nodes_[id].backward = [ai, id](const Matrix& g, Tape* t) {
+    const Matrix& y = t->ValueOf(id);
+    Matrix ga(g.rows(), g.cols());
+    for (size_t i = 0; i < g.size(); ++i) {
+      ga[i] = g[i] * 0.5 / y[i];
+    }
+    t->AccumulateGrad(ai, ga);
+  };
+  return Var(this, id);
+}
+
+Var Tape::SoftmaxRows(Var a) {
+  const size_t ai = a.id();
+  const Matrix& x = a.value();
+  Matrix value(x.rows(), x.cols());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    double mx = -1e300;
+    for (size_t c = 0; c < x.cols(); ++c) {
+      mx = std::max(mx, x(r, c));
+    }
+    double z = 0.0;
+    for (size_t c = 0; c < x.cols(); ++c) {
+      value(r, c) = std::exp(x(r, c) - mx);
+      z += value(r, c);
+    }
+    for (size_t c = 0; c < x.cols(); ++c) {
+      value(r, c) /= z;
+    }
+  }
+  size_t id = AddNode(std::move(value), RequiresGrad(a), nullptr);
+  nodes_[id].backward = [ai, id](const Matrix& g, Tape* t) {
+    const Matrix& y = t->ValueOf(id);
+    Matrix ga(g.rows(), g.cols());
+    for (size_t r = 0; r < g.rows(); ++r) {
+      double dot = 0.0;
+      for (size_t c = 0; c < g.cols(); ++c) {
+        dot += g(r, c) * y(r, c);
+      }
+      for (size_t c = 0; c < g.cols(); ++c) {
+        ga(r, c) = y(r, c) * (g(r, c) - dot);
+      }
+    }
+    t->AccumulateGrad(ai, ga);
+  };
+  return Var(this, id);
+}
+
+Var Tape::ConcatCols(Var a, Var b) {
+  const size_t ai = a.id();
+  const size_t bi = b.id();
+  const size_t split = a.value().cols();
+  return Var(this,
+             AddNode(ops::ConcatCols(a.value(), b.value()),
+                     RequiresGrad(a) || RequiresGrad(b),
+                     [ai, bi, split](const Matrix& g, Tape* t) {
+                       t->AccumulateGrad(ai, ops::SliceCols(g, 0, split));
+                       t->AccumulateGrad(
+                           bi, ops::SliceCols(g, split, g.cols()));
+                     }));
+}
+
+Var Tape::ConcatRows(Var a, Var b) {
+  const size_t ai = a.id();
+  const size_t bi = b.id();
+  const size_t split = a.value().rows();
+  return Var(this,
+             AddNode(ops::ConcatRows(a.value(), b.value()),
+                     RequiresGrad(a) || RequiresGrad(b),
+                     [ai, bi, split](const Matrix& g, Tape* t) {
+                       t->AccumulateGrad(ai, ops::SliceRows(g, 0, split));
+                       t->AccumulateGrad(
+                           bi, ops::SliceRows(g, split, g.rows()));
+                     }));
+}
+
+Var Tape::SliceCols(Var a, size_t begin, size_t end) {
+  const size_t ai = a.id();
+  const size_t total = a.value().cols();
+  return Var(this, AddNode(ops::SliceCols(a.value(), begin, end),
+                           RequiresGrad(a),
+                           [ai, begin, total](const Matrix& g, Tape* t) {
+                             Matrix ga(g.rows(), total);
+                             for (size_t r = 0; r < g.rows(); ++r) {
+                               for (size_t c = 0; c < g.cols(); ++c) {
+                                 ga(r, begin + c) = g(r, c);
+                               }
+                             }
+                             t->AccumulateGrad(ai, ga);
+                           }));
+}
+
+Var Tape::SliceRows(Var a, size_t begin, size_t end) {
+  const size_t ai = a.id();
+  const size_t total = a.value().rows();
+  return Var(this, AddNode(ops::SliceRows(a.value(), begin, end),
+                           RequiresGrad(a),
+                           [ai, begin, total](const Matrix& g, Tape* t) {
+                             Matrix ga(total, g.cols());
+                             for (size_t r = 0; r < g.rows(); ++r) {
+                               for (size_t c = 0; c < g.cols(); ++c) {
+                                 ga(begin + r, c) = g(r, c);
+                               }
+                             }
+                             t->AccumulateGrad(ai, ga);
+                           }));
+}
+
+Var Tape::Reshape(Var a, size_t rows, size_t cols) {
+  const size_t ai = a.id();
+  const size_t orig_rows = a.value().rows();
+  const size_t orig_cols = a.value().cols();
+  return Var(this,
+             AddNode(a.value().Reshaped(rows, cols), RequiresGrad(a),
+                     [ai, orig_rows, orig_cols](const Matrix& g, Tape* t) {
+                       t->AccumulateGrad(ai, g.Reshaped(orig_rows, orig_cols));
+                     }));
+}
+
+Var Tape::Sum(Var a) {
+  const size_t ai = a.id();
+  const size_t rows = a.value().rows();
+  const size_t cols = a.value().cols();
+  Matrix value(1, 1);
+  value(0, 0) = ops::Sum(a.value());
+  return Var(this, AddNode(std::move(value), RequiresGrad(a),
+                           [ai, rows, cols](const Matrix& g, Tape* t) {
+                             Matrix ga(rows, cols, g(0, 0));
+                             t->AccumulateGrad(ai, ga);
+                           }));
+}
+
+Var Tape::Mean(Var a) {
+  const size_t n = a.value().size();
+  RPAS_CHECK(n > 0) << "Mean of empty matrix";
+  return Scale(Sum(a), 1.0 / static_cast<double>(n));
+}
+
+Var Tape::Custom(
+    const std::vector<Var>& inputs, Matrix value,
+    std::function<void(const Matrix& grad_out, Tape* tape)> backward) {
+  bool rg = false;
+  for (Var v : inputs) {
+    RPAS_CHECK(v.tape() == this) << "Custom op input from another tape";
+    rg = rg || RequiresGrad(v);
+  }
+  return Var(this, AddNode(std::move(value), rg, std::move(backward)));
+}
+
+void Tape::Backward(Var loss) {
+  RPAS_CHECK(loss.tape() == this) << "Backward on foreign Var";
+  RPAS_CHECK(loss.value().rows() == 1 && loss.value().cols() == 1)
+      << "Backward requires a 1x1 (scalar) loss";
+  nodes_[loss.id()].grad(0, 0) = 1.0;
+  for (size_t i = loss.id() + 1; i-- > 0;) {
+    Node& node = nodes_[i];
+    if (!node.requires_grad || !node.backward) {
+      continue;
+    }
+    node.backward(node.grad, this);
+  }
+  // Export accumulated gradients into bound parameters.
+  for (const auto& [param, id] : param_nodes_) {
+    ops::Axpy(1.0, nodes_[id].grad, &param->grad);
+  }
+}
+
+}  // namespace rpas::autodiff

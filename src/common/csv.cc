@@ -1,0 +1,101 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace rpas {
+
+int CsvTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Result<CsvTable> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (StrTrim(line).empty()) {
+      continue;
+    }
+    std::vector<std::string> fields = StrSplit(line, ',');
+    for (auto& f : fields) {
+      f = std::string(StrTrim(f));
+    }
+    if (first) {
+      table.header = std::move(fields);
+      first = false;
+      continue;
+    }
+    if (fields.size() != table.header.size()) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: row has %zu fields, header has %zu", path.c_str(),
+                    line_number, fields.size(), table.header.size()));
+    }
+    table.rows.push_back(std::move(fields));
+  }
+  if (first) {
+    return Status::InvalidArgument("'" + path + "' is empty (no header row)");
+  }
+  return table;
+}
+
+Status WriteCsv(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) {
+        out << ',';
+      }
+      out << row[i];
+    }
+    out << '\n';
+  };
+  write_row(table.header);
+  for (const auto& row : table.rows) {
+    if (row.size() != table.header.size()) {
+      return Status::InvalidArgument("ragged row in CsvTable");
+    }
+    write_row(row);
+  }
+  out.flush();
+  if (!out) {
+    return Status::IoError("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> CsvNumericColumn(const CsvTable& table,
+                                             const std::string& column) {
+  const int idx = table.ColumnIndex(column);
+  if (idx < 0) {
+    return Status::NotFound("no column named '" + column + "'");
+  }
+  std::vector<double> values;
+  values.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    RPAS_ASSIGN_OR_RETURN(double v, ParseDouble(row[idx]));
+    values.push_back(v);
+  }
+  return values;
+}
+
+}  // namespace rpas

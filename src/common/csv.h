@@ -1,0 +1,36 @@
+#ifndef RPAS_COMMON_CSV_H_
+#define RPAS_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace rpas {
+
+/// In-memory CSV table: a header row plus data rows of equal width.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column, or -1 when absent.
+  int ColumnIndex(const std::string& name) const;
+};
+
+/// Reads a comma-separated file with a mandatory header row. Fields are
+/// trimmed; quoting is not supported (RPAS traces are plain numeric CSV).
+/// Returns IoError when the file cannot be opened and InvalidArgument on
+/// ragged rows.
+Result<CsvTable> ReadCsv(const std::string& path);
+
+/// Writes a table; returns IoError on failure.
+Status WriteCsv(const std::string& path, const CsvTable& table);
+
+/// Convenience: extracts one numeric column by name.
+Result<std::vector<double>> CsvNumericColumn(const CsvTable& table,
+                                             const std::string& column);
+
+}  // namespace rpas
+
+#endif  // RPAS_COMMON_CSV_H_

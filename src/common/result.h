@@ -1,0 +1,91 @@
+#ifndef RPAS_COMMON_RESULT_H_
+#define RPAS_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace rpas {
+
+/// Holds either a value of type T or a non-OK Status explaining why the value
+/// is absent (StatusOr-style). Accessing the value of an errored Result is a
+/// programming error and aborts.
+///
+/// Usage:
+///   Result<Matrix> m = LoadMatrix(path);
+///   if (!m.ok()) return m.status();
+///   Use(m.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the success path reads naturally:
+  /// `return my_matrix;`).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status (`return
+  /// Status::InvalidArgument(...)`). Constructing from an OK status is a
+  /// programming error and aborts.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    RPAS_CHECK(!std::get<Status>(data_).ok())
+        << "Result<T> constructed from OK status without a value";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Returns the contained status; OK when a value is present.
+  Status status() const {
+    if (ok()) {
+      return Status::OK();
+    }
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    RPAS_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    RPAS_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    RPAS_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating an error Status to the
+/// caller, otherwise binding the value to `lhs`.
+#define RPAS_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  RPAS_ASSIGN_OR_RETURN_IMPL_(                                  \
+      RPAS_MACRO_CONCAT_(rpas_result_, __LINE__), lhs, rexpr)
+
+#define RPAS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) {                                   \
+    return tmp.status();                             \
+  }                                                  \
+  lhs = std::move(tmp).value()
+
+#define RPAS_MACRO_CONCAT_INNER_(a, b) a##b
+#define RPAS_MACRO_CONCAT_(a, b) RPAS_MACRO_CONCAT_INNER_(a, b)
+
+}  // namespace rpas
+
+#endif  // RPAS_COMMON_RESULT_H_

@@ -1,0 +1,33 @@
+#ifndef RPAS_COMMON_STOPWATCH_H_
+#define RPAS_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace rpas {
+
+/// Monotonic wall-clock stopwatch used by the computation-overhead benches
+/// (paper Tables II–III).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Reset, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const { return ElapsedMillis() / 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rpas
+
+#endif  // RPAS_COMMON_STOPWATCH_H_

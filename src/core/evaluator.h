@@ -1,0 +1,65 @@
+#ifndef RPAS_CORE_EVALUATOR_H_
+#define RPAS_CORE_EVALUATOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/scaling_config.h"
+#include "core/strategies.h"
+#include "forecast/forecaster.h"
+#include "ts/time_series.h"
+
+namespace rpas::core {
+
+/// Provisioning outcome of an allocation plan against realized workload
+/// (paper §IV-C metrics).
+struct ProvisioningReport {
+  /// Fraction of steps with fewer nodes than required: allocated resources
+  /// fall short of actual demand (Under-Provisioning Rate).
+  double under_provision_rate = 0.0;
+  /// Fraction of steps with strictly more nodes than the minimum required
+  /// (Over-Provisioning Rate; reflects under-utilization).
+  double over_provision_rate = 0.0;
+  double mean_allocated_nodes = 0.0;
+  double mean_required_nodes = 0.0;
+  size_t num_steps = 0;
+};
+
+/// Scores an allocation against the realized workload: step t is
+/// under-provisioned when allocation[t] < RequiredNodes(workload[t]) and
+/// over-provisioned when allocation[t] > RequiredNodes(workload[t]).
+ProvisioningReport EvaluateAllocation(const std::vector<double>& realized,
+                                      const std::vector<int>& allocation,
+                                      const ScalingConfig& config);
+
+/// Closed-loop evaluation drivers. All of them walk the evaluation range
+/// [eval_start, eval_start + num_steps) of `series` and return the
+/// allocation chosen for each step using only information available at
+/// decision time.
+
+/// Reactive driver: each step decided from the trailing observed workload.
+Result<std::vector<int>> RunReactiveStrategy(const ReactiveStrategy& strategy,
+                                             const ts::TimeSeries& series,
+                                             size_t eval_start,
+                                             size_t num_steps,
+                                             const ScalingConfig& config);
+
+/// Predictive driver: re-plans every `model.Horizon()` steps — at each
+/// planning point the forecaster conditions on the last ContextLength()
+/// observations and the allocator maps the quantile forecast to a plan.
+Result<std::vector<int>> RunPredictiveStrategy(
+    const forecast::Forecaster& model, const QuantileAllocator& allocator,
+    const ts::TimeSeries& series, size_t eval_start, size_t num_steps,
+    const ScalingConfig& config);
+
+/// Point-forecast driver with the padding enhancement (paper §IV-A):
+/// allocations use prediction + pad, and realized values are fed back into
+/// the pad estimator as they arrive. `padding` carries state across calls.
+Result<std::vector<int>> RunPaddedPointStrategy(
+    const forecast::Forecaster& model, PaddingEnhancement* padding,
+    const ts::TimeSeries& series, size_t eval_start, size_t num_steps,
+    const ScalingConfig& config);
+
+}  // namespace rpas::core
+
+#endif  // RPAS_CORE_EVALUATOR_H_

@@ -1,0 +1,87 @@
+#include "core/manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/uncertainty.h"
+
+namespace rpas::core {
+
+ScalingSmoother::ScalingSmoother(Options options) : options_(options) {
+  RPAS_CHECK(options_.max_step_delta >= 0);
+  RPAS_CHECK(options_.scale_in_cooldown >= 0);
+}
+
+std::vector<int> ScalingSmoother::Smooth(const std::vector<int>& plan,
+                                         int current_nodes) const {
+  std::vector<int> out;
+  out.reserve(plan.size());
+  int prev = current_nodes;
+  int cooldown = 0;
+  for (int target : plan) {
+    int next = target;
+    if (options_.max_step_delta > 0) {
+      next = std::clamp(next, prev - options_.max_step_delta,
+                        prev + options_.max_step_delta);
+    }
+    // Scale-out is applied immediately; scale-in honours the cooldown so
+    // short dips do not trigger flapping.
+    if (next < prev) {
+      if (cooldown > 0) {
+        next = prev;
+        --cooldown;
+      } else {
+        cooldown = options_.scale_in_cooldown;
+      }
+    } else if (next > prev) {
+      cooldown = 0;
+    }
+    out.push_back(next);
+    prev = next;
+  }
+  return out;
+}
+
+RobustAutoScalingManager::RobustAutoScalingManager(
+    const forecast::Forecaster* forecaster,
+    std::unique_ptr<QuantileAllocator> allocator, ScalingConfig config)
+    : forecaster_(forecaster),
+      allocator_(std::move(allocator)),
+      config_(config) {
+  RPAS_CHECK(forecaster_ != nullptr);
+  RPAS_CHECK(allocator_ != nullptr);
+}
+
+void RobustAutoScalingManager::SetSmoother(ScalingSmoother::Options options) {
+  smoother_ = std::make_unique<ScalingSmoother>(options);
+}
+
+Result<RobustAutoScalingManager::Plan> RobustAutoScalingManager::PlanNext(
+    const ts::TimeSeries& history, int current_nodes) const {
+  const size_t context = forecaster_->ContextLength();
+  if (history.size() < context) {
+    return Status::InvalidArgument(
+        "history shorter than the forecaster's context length");
+  }
+  forecast::ForecastInput input;
+  input.start_index = history.size() - context;
+  input.step_minutes = history.step_minutes;
+  input.context.assign(
+      history.values.end() - static_cast<long>(context),
+      history.values.end());
+
+  RPAS_ASSIGN_OR_RETURN(ts::QuantileForecast fc,
+                        forecaster_->Predict(input));
+  RPAS_ASSIGN_OR_RETURN(std::vector<int> nodes,
+                        allocator_->Allocate(fc, config_));
+  if (smoother_) {
+    nodes = smoother_->Smooth(nodes, current_nodes);
+  }
+  Plan plan;
+  plan.uncertainty = QuantileUncertaintyPerStep(fc);
+  plan.forecast = std::move(fc);
+  plan.nodes = std::move(nodes);
+  return plan;
+}
+
+}  // namespace rpas::core

@@ -1,0 +1,74 @@
+#ifndef RPAS_CORE_MANAGER_H_
+#define RPAS_CORE_MANAGER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/scaling_config.h"
+#include "core/strategies.h"
+#include "forecast/forecaster.h"
+#include "ts/time_series.h"
+
+namespace rpas::core {
+
+/// Thrashing control (paper §V-A): bounds the node-count delta per step and
+/// applies a scale-in cooldown so allocations do not flap. Scale-out is
+/// never delayed by the cooldown — robustness against under-provisioning
+/// takes priority; only the rate of change is limited.
+class ScalingSmoother {
+ public:
+  struct Options {
+    int max_step_delta = 0;    ///< max |c_{t+1} - c_t| per step; 0 = off
+    int scale_in_cooldown = 0; ///< steps to hold before shrinking again
+  };
+
+  explicit ScalingSmoother(Options options);
+
+  /// Rewrites `plan` so consecutive steps respect the delta and cooldown,
+  /// starting from `current_nodes`.
+  std::vector<int> Smooth(const std::vector<int>& plan,
+                          int current_nodes) const;
+
+ private:
+  Options options_;
+};
+
+/// Robust Auto-Scaling Manager (paper Fig. 2, right box): the façade that
+/// couples a Probabilistic Workload Forecaster with a robust allocation
+/// strategy and optional thrashing control. This is the class a deployment
+/// embeds: feed it history, get a node plan for the next horizon.
+class RobustAutoScalingManager {
+ public:
+  struct Plan {
+    std::vector<int> nodes;           ///< allocation per horizon step
+    ts::QuantileForecast forecast;    ///< the forecast that produced it
+    std::vector<double> uncertainty;  ///< per-step U (Eq. 8)
+  };
+
+  /// Both pointers must outlive the manager.
+  RobustAutoScalingManager(const forecast::Forecaster* forecaster,
+                           std::unique_ptr<QuantileAllocator> allocator,
+                           ScalingConfig config);
+
+  /// Enables thrashing control.
+  void SetSmoother(ScalingSmoother::Options options);
+
+  /// Plans the next Horizon() steps given the observed history (must hold
+  /// at least the forecaster's context length). `current_nodes` seeds the
+  /// smoother when enabled.
+  Result<Plan> PlanNext(const ts::TimeSeries& history,
+                        int current_nodes = 1) const;
+
+  const ScalingConfig& config() const { return config_; }
+
+ private:
+  const forecast::Forecaster* forecaster_;  // not owned
+  std::unique_ptr<QuantileAllocator> allocator_;
+  ScalingConfig config_;
+  std::unique_ptr<ScalingSmoother> smoother_;
+};
+
+}  // namespace rpas::core
+
+#endif  // RPAS_CORE_MANAGER_H_

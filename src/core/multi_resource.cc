@@ -1,0 +1,101 @@
+#include "core/multi_resource.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace rpas::core {
+
+namespace {
+
+Status ValidateDemands(const std::vector<ResourceDemand>& demands) {
+  if (demands.empty()) {
+    return Status::InvalidArgument("no resource demands given");
+  }
+  const size_t h = demands.front().workload.size();
+  if (h == 0) {
+    return Status::InvalidArgument("empty demand trajectory");
+  }
+  for (const ResourceDemand& d : demands) {
+    if (d.workload.size() != h) {
+      return Status::InvalidArgument(
+          "resource '" + d.name + "' has mismatched trajectory length");
+    }
+    if (d.theta <= 0.0) {
+      return Status::InvalidArgument("resource '" + d.name +
+                                     "' has non-positive threshold");
+    }
+  }
+  return Status::OK();
+}
+
+int NodesFor(double workload, double theta) {
+  return static_cast<int>(std::ceil(std::max(workload, 0.0) / theta - 1e-9));
+}
+
+}  // namespace
+
+Result<std::vector<int>> AllocateMultiResource(
+    const std::vector<ResourceDemand>& demands, const ScalingConfig& config) {
+  RPAS_RETURN_IF_ERROR(ValidateDemands(demands));
+  const size_t h = demands.front().workload.size();
+  std::vector<int> allocation(h, config.min_nodes);
+  for (size_t t = 0; t < h; ++t) {
+    int needed = config.min_nodes;
+    for (const ResourceDemand& d : demands) {
+      needed = std::max(needed, NodesFor(d.workload[t], d.theta));
+    }
+    if (config.max_nodes > 0 && needed > config.max_nodes) {
+      return Status::OutOfRange(StrFormat(
+          "step %zu requires %d nodes, cap is %d", t, needed,
+          config.max_nodes));
+    }
+    allocation[t] = needed;
+  }
+  return allocation;
+}
+
+Result<std::vector<int>> AllocateMultiResourceQuantile(
+    const std::vector<std::pair<ts::QuantileForecast, double>>&
+        forecasts_with_theta,
+    double tau, const ScalingConfig& config) {
+  if (forecasts_with_theta.empty()) {
+    return Status::InvalidArgument("no forecasts given");
+  }
+  if (tau <= 0.0 || tau >= 1.0) {
+    return Status::InvalidArgument("tau must lie in (0, 1)");
+  }
+  std::vector<ResourceDemand> demands;
+  demands.reserve(forecasts_with_theta.size());
+  size_t index = 0;
+  for (const auto& [forecast, theta] : forecasts_with_theta) {
+    ResourceDemand demand;
+    demand.name = StrFormat("resource-%zu", index++);
+    demand.workload = forecast.Trajectory(tau);
+    demand.theta = theta;
+    demands.push_back(std::move(demand));
+  }
+  return AllocateMultiResource(demands, config);
+}
+
+Result<std::vector<int>> BindingResourcePerStep(
+    const std::vector<ResourceDemand>& demands, const ScalingConfig& config) {
+  RPAS_RETURN_IF_ERROR(ValidateDemands(demands));
+  const size_t h = demands.front().workload.size();
+  std::vector<int> binding(h, -1);
+  for (size_t t = 0; t < h; ++t) {
+    int best_nodes = config.min_nodes;
+    for (size_t r = 0; r < demands.size(); ++r) {
+      const int nodes = NodesFor(demands[r].workload[t], demands[r].theta);
+      if (nodes > best_nodes) {
+        best_nodes = nodes;
+        binding[t] = static_cast<int>(r);
+      }
+    }
+  }
+  return binding;
+}
+
+}  // namespace rpas::core

@@ -1,0 +1,46 @@
+#ifndef RPAS_CORE_MULTI_RESOURCE_H_
+#define RPAS_CORE_MULTI_RESOURCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/scaling_config.h"
+#include "ts/quantile_forecast.h"
+
+namespace rpas::core {
+
+/// Demand trajectory for one resource dimension with its per-node
+/// threshold (paper Definition 3 generalized: a compute node must satisfy
+/// w_t^{(r)} / c_t <= theta^{(r)} for every resource r — CPU, memory, ...).
+struct ResourceDemand {
+  std::string name;               ///< "cpu", "memory", ...
+  std::vector<double> workload;   ///< demand per horizon step
+  double theta = 1.0;             ///< per-node capacity for this resource
+};
+
+/// Joint allocation across resource dimensions: per step, the node count is
+/// the maximum of each resource's individual requirement (the binding
+/// constraint wins). All demand trajectories must share one length.
+/// min/max node bounds come from `config` (config.theta is ignored — each
+/// resource carries its own threshold).
+Result<std::vector<int>> AllocateMultiResource(
+    const std::vector<ResourceDemand>& demands, const ScalingConfig& config);
+
+/// Robust multi-resource allocation from per-resource quantile forecasts:
+/// resource r contributes its tau-quantile trajectory. Forecast horizons
+/// must match.
+Result<std::vector<int>> AllocateMultiResourceQuantile(
+    const std::vector<std::pair<ts::QuantileForecast, double>>&
+        forecasts_with_theta,
+    double tau, const ScalingConfig& config);
+
+/// Index of the binding (most demanding) resource at each step, -1 when the
+/// min-nodes floor binds instead. Useful for diagnosing which resource
+/// drives scaling.
+Result<std::vector<int>> BindingResourcePerStep(
+    const std::vector<ResourceDemand>& demands, const ScalingConfig& config);
+
+}  // namespace rpas::core
+
+#endif  // RPAS_CORE_MULTI_RESOURCE_H_

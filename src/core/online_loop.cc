@@ -1,0 +1,90 @@
+#include "core/online_loop.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/evaluator.h"
+
+namespace rpas::core {
+
+Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
+                                       const ts::TimeSeries& series,
+                                       size_t eval_start, size_t num_steps,
+                                       const OnlineLoopOptions& options) {
+  if (num_steps == 0) {
+    return Status::InvalidArgument("online loop needs at least one step");
+  }
+  if (eval_start + num_steps > series.size()) {
+    return Status::InvalidArgument(
+        "evaluation range extends past the series");
+  }
+
+  OnlineLoopResult result;
+  result.allocation.reserve(num_steps);
+  result.steps.reserve(num_steps);
+
+  simdb::Cluster cluster(options.cluster);
+  std::vector<int> current_plan;
+  size_t plan_cursor = 0;
+  double uncertainty_sum = 0.0;
+  size_t uncertainty_n = 0;
+  int current_nodes = options.cluster.initial_nodes;
+
+  for (size_t i = 0; i < num_steps; ++i) {
+    const size_t t = eval_start + i;
+    const size_t replan =
+        options.replan_every > 0 ? options.replan_every : SIZE_MAX;
+    if (current_plan.empty() || plan_cursor >= current_plan.size() ||
+        (options.replan_every > 0 && plan_cursor >= replan)) {
+      // Re-plan from everything observed so far.
+      ts::TimeSeries history = series.Slice(0, t);
+      RPAS_ASSIGN_OR_RETURN(RobustAutoScalingManager::Plan plan,
+                            manager.PlanNext(history, current_nodes));
+      current_plan = std::move(plan.nodes);
+      plan_cursor = 0;
+      ++result.plans_made;
+      for (double u : plan.uncertainty) {
+        uncertainty_sum += u;
+        ++uncertainty_n;
+      }
+    }
+    const int target = current_plan[plan_cursor++];
+    const double realized = series.values[t];
+    simdb::StepStats stats = cluster.Step(target, realized);
+    current_nodes = cluster.NumNodes();
+    result.allocation.push_back(target);
+    result.steps.push_back(stats);
+  }
+
+  // Aggregate outcomes.
+  std::vector<double> realized(
+      series.values.begin() + static_cast<long>(eval_start),
+      series.values.begin() + static_cast<long>(eval_start + num_steps));
+  ScalingConfig config = manager.config();
+  const ProvisioningReport provisioning =
+      EvaluateAllocation(realized, result.allocation, config);
+  result.under_provision_rate = provisioning.under_provision_rate;
+  result.over_provision_rate = provisioning.over_provision_rate;
+
+  double util_sum = 0.0;
+  size_t slo = 0;
+  for (const simdb::StepStats& s : result.steps) {
+    util_sum += s.avg_utilization;
+    if (s.slo_violated) {
+      ++slo;
+    }
+  }
+  result.mean_utilization = util_sum / static_cast<double>(num_steps);
+  result.slo_violation_rate =
+      static_cast<double>(slo) / static_cast<double>(num_steps);
+  result.total_node_steps = cluster.total_node_steps();
+  result.scale_events = cluster.total_scale_events();
+  result.direction_changes = cluster.total_direction_changes();
+  result.mean_uncertainty =
+      uncertainty_n > 0 ? uncertainty_sum / static_cast<double>(uncertainty_n)
+                        : 0.0;
+  return result;
+}
+
+}  // namespace rpas::core

@@ -1,0 +1,58 @@
+#ifndef RPAS_CORE_ONLINE_LOOP_H_
+#define RPAS_CORE_ONLINE_LOOP_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/manager.h"
+#include "simdb/cluster.h"
+#include "ts/time_series.h"
+
+namespace rpas::core {
+
+/// Configuration of the online auto-scaling loop.
+struct OnlineLoopOptions {
+  /// Steps between re-planning events; 0 = the forecaster's full horizon.
+  size_t replan_every = 0;
+  /// Cluster simulator configuration (node capacity should equal the
+  /// scaling config's theta so the simulator's threshold semantics match).
+  simdb::Cluster::Options cluster;
+};
+
+/// Outcome of an online run.
+struct OnlineLoopResult {
+  /// Node allocation actually applied at each step.
+  std::vector<int> allocation;
+  /// Per-step cluster observations.
+  std::vector<simdb::StepStats> steps;
+  /// Analytic provisioning rates against realized workload (paper §IV-C).
+  double under_provision_rate = 0.0;
+  double over_provision_rate = 0.0;
+  /// Realized (simulator) outcomes.
+  double mean_utilization = 0.0;
+  double slo_violation_rate = 0.0;
+  int64_t total_node_steps = 0;
+  int scale_events = 0;
+  int direction_changes = 0;
+  /// Number of forecasting/planning rounds executed.
+  size_t plans_made = 0;
+  /// Mean per-step forecast uncertainty U across all plans.
+  double mean_uncertainty = 0.0;
+};
+
+/// Runs the full deployment loop of paper Fig. 2 *online*: at every
+/// re-planning point the manager forecasts from the history observed so
+/// far and produces a node plan; the plan drives the disaggregated-database
+/// cluster simulator step by step while realized workload arrives. This is
+/// the closed-loop counterpart of the open-loop evaluators in evaluator.h.
+///
+/// `series` must contain at least `eval_start + num_steps` observations and
+/// `eval_start` must leave enough history for the forecaster's context.
+Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
+                                       const ts::TimeSeries& series,
+                                       size_t eval_start, size_t num_steps,
+                                       const OnlineLoopOptions& options);
+
+}  // namespace rpas::core
+
+#endif  // RPAS_CORE_ONLINE_LOOP_H_

@@ -1,0 +1,35 @@
+#ifndef RPAS_CORE_SCALING_CONFIG_H_
+#define RPAS_CORE_SCALING_CONFIG_H_
+
+#include <cmath>
+
+namespace rpas::core {
+
+/// Shared configuration for every auto-scaling strategy.
+struct ScalingConfig {
+  /// theta: maximum average workload per compute node (paper Eq. 3's
+  /// predefined threshold; e.g., the workload units one node absorbs while
+  /// staying at or below the target CPU percentage).
+  double theta = 1.0;
+  /// Lower bound on the node count (a database keeps >= 1 node).
+  int min_nodes = 1;
+  /// Hard cap; 0 = uncapped.
+  int max_nodes = 0;
+};
+
+/// Minimum node count satisfying workload / c <= theta (with min/max
+/// clamping). The integral optimum of the per-step auto-scaling problem.
+inline int RequiredNodes(double workload, const ScalingConfig& config) {
+  int nodes = static_cast<int>(std::ceil(workload / config.theta - 1e-9));
+  if (nodes < config.min_nodes) {
+    nodes = config.min_nodes;
+  }
+  if (config.max_nodes > 0 && nodes > config.max_nodes) {
+    nodes = config.max_nodes;
+  }
+  return nodes;
+}
+
+}  // namespace rpas::core
+
+#endif  // RPAS_CORE_SCALING_CONFIG_H_

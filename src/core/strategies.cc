@@ -1,0 +1,192 @@
+#include "core/strategies.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/uncertainty.h"
+#include "solver/autoscaling.h"
+
+namespace rpas::core {
+
+namespace {
+
+/// Shared path: allocate for an explicit workload trajectory via the
+/// integer auto-scaling solver (Definition 3's optimum).
+Result<std::vector<int>> AllocateForTrajectory(
+    const std::vector<double>& trajectory, const ScalingConfig& config) {
+  solver::AutoScalingProblem problem;
+  problem.workloads = trajectory;
+  // Forecast quantiles can dip below zero on noisy series; clamp — demand
+  // is non-negative.
+  for (double& w : problem.workloads) {
+    w = std::max(w, 0.0);
+  }
+  problem.thresholds = {config.theta};
+  problem.min_nodes = config.min_nodes;
+  problem.max_nodes = config.max_nodes;
+  return solver::SolveAutoScalingInteger(problem);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- Reactive ---
+
+ReactiveMaxStrategy::ReactiveMaxStrategy(size_t window) : window_(window) {
+  RPAS_CHECK(window > 0);
+}
+
+int ReactiveMaxStrategy::Decide(const std::vector<double>& recent,
+                                const ScalingConfig& config) const {
+  RPAS_CHECK(!recent.empty()) << "reactive decision needs history";
+  const size_t n = std::min(window_, recent.size());
+  double peak = 0.0;
+  for (size_t i = recent.size() - n; i < recent.size(); ++i) {
+    peak = std::max(peak, recent[i]);
+  }
+  return RequiredNodes(peak, config);
+}
+
+ReactiveAvgStrategy::ReactiveAvgStrategy(size_t window, double half_life)
+    : window_(window), half_life_(half_life) {
+  RPAS_CHECK(window > 0);
+  RPAS_CHECK(half_life > 0.0);
+}
+
+int ReactiveAvgStrategy::Decide(const std::vector<double>& recent,
+                                const ScalingConfig& config) const {
+  RPAS_CHECK(!recent.empty()) << "reactive decision needs history";
+  const size_t n = std::min(window_, recent.size());
+  const double decay = std::pow(0.5, 1.0 / half_life_);
+  double weighted = 0.0;
+  double total = 0.0;
+  double weight = 1.0;  // newest value gets weight 1
+  for (size_t i = 0; i < n; ++i) {
+    const double value = recent[recent.size() - 1 - i];
+    weighted += weight * value;
+    total += weight;
+    weight *= decay;
+  }
+  return RequiredNodes(weighted / total, config);
+}
+
+// ----------------------------------------------------------- Allocators ---
+
+Result<std::vector<int>> PointForecastAllocator::Allocate(
+    const ts::QuantileForecast& forecast, const ScalingConfig& config) const {
+  return AllocateForTrajectory(forecast.Median(), config);
+}
+
+RobustQuantileAllocator::RobustQuantileAllocator(double tau) : tau_(tau) {
+  RPAS_CHECK(tau > 0.0 && tau < 1.0) << "tau must be in (0,1)";
+}
+
+Result<std::vector<int>> RobustQuantileAllocator::Allocate(
+    const ts::QuantileForecast& forecast, const ScalingConfig& config) const {
+  return AllocateForTrajectory(forecast.Trajectory(tau_), config);
+}
+
+std::string RobustQuantileAllocator::Name() const {
+  return StrFormat("Robust-%.2f", tau_);
+}
+
+AdaptiveQuantileAllocator::AdaptiveQuantileAllocator(double tau1, double tau2,
+                                                     double rho)
+    : AdaptiveQuantileAllocator(std::vector<double>{tau1, tau2},
+                                std::vector<double>{rho}) {}
+
+AdaptiveQuantileAllocator::AdaptiveQuantileAllocator(
+    std::vector<double> levels, std::vector<double> thresholds)
+    : levels_(std::move(levels)), thresholds_(std::move(thresholds)) {
+  RPAS_CHECK(levels_.size() >= 2) << "adaptive allocator needs >= 2 levels";
+  RPAS_CHECK(levels_.size() == thresholds_.size() + 1)
+      << "need exactly one threshold between consecutive levels";
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    RPAS_CHECK(levels_[i] > 0.0 && levels_[i] < 1.0);
+    if (i > 0) {
+      RPAS_CHECK(levels_[i] > levels_[i - 1])
+          << "levels must be strictly increasing";
+    }
+  }
+  for (size_t i = 1; i < thresholds_.size(); ++i) {
+    RPAS_CHECK(thresholds_[i] > thresholds_[i - 1])
+        << "thresholds must be strictly increasing";
+  }
+}
+
+double AdaptiveQuantileAllocator::LevelForUncertainty(
+    double uncertainty) const {
+  for (size_t i = 0; i < thresholds_.size(); ++i) {
+    if (uncertainty < thresholds_[i]) {
+      return levels_[i];
+    }
+  }
+  return levels_.back();
+}
+
+Result<std::vector<int>> AdaptiveQuantileAllocator::Allocate(
+    const ts::QuantileForecast& forecast, const ScalingConfig& config) const {
+  std::vector<double> trajectory(forecast.Horizon());
+  for (size_t h = 0; h < forecast.Horizon(); ++h) {
+    const double u = QuantileUncertainty(forecast, h);
+    trajectory[h] = forecast.Value(h, LevelForUncertainty(u));
+  }
+  return AllocateForTrajectory(trajectory, config);
+}
+
+std::string AdaptiveQuantileAllocator::Name() const {
+  std::string name = "Adaptive";
+  for (double level : levels_) {
+    name += StrFormat("-%.2f", level);
+  }
+  return name;
+}
+
+// -------------------------------------------------------------- Padding ---
+
+PaddingEnhancement::PaddingEnhancement(Options options) : options_(options) {
+  RPAS_CHECK(options_.error_window > 0);
+  RPAS_CHECK(options_.quantile > 0.0 && options_.quantile <= 1.0);
+  errors_.reserve(options_.error_window);
+}
+
+void PaddingEnhancement::Observe(double actual, double predicted) {
+  const double underestimation = std::max(actual - predicted, 0.0);
+  if (errors_.size() < options_.error_window) {
+    errors_.push_back(underestimation);
+    if (errors_.size() == options_.error_window) {
+      full_ = true;
+      next_ = 0;
+    }
+  } else {
+    errors_[next_] = underestimation;
+    next_ = (next_ + 1) % options_.error_window;
+  }
+}
+
+double PaddingEnhancement::CurrentPad() const {
+  if (errors_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = errors_;
+  std::sort(sorted.begin(), sorted.end());
+  const double h =
+      (static_cast<double>(sorted.size()) - 1.0) * options_.quantile;
+  const size_t lo = static_cast<size_t>(std::floor(h));
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+std::vector<double> PaddingEnhancement::Pad(
+    const std::vector<double>& prediction) const {
+  const double pad = CurrentPad();
+  std::vector<double> out = prediction;
+  for (double& v : out) {
+    v += pad;
+  }
+  return out;
+}
+
+}  // namespace rpas::core

@@ -1,0 +1,163 @@
+#ifndef RPAS_CORE_STRATEGIES_H_
+#define RPAS_CORE_STRATEGIES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/scaling_config.h"
+#include "ts/quantile_forecast.h"
+
+namespace rpas::core {
+
+// ---------------------------------------------------------------------------
+// Reactive strategies (paper §IV-A "Resource Scalers"): moving-window
+// statistics over *observed* workload — no forecasting. They decide one step
+// at a time from trailing history.
+// ---------------------------------------------------------------------------
+
+/// Decides the node count for the next step from recent observed workload.
+class ReactiveStrategy {
+ public:
+  virtual ~ReactiveStrategy() = default;
+
+  /// `recent` holds observed workloads, oldest first (at least one value).
+  virtual int Decide(const std::vector<double>& recent,
+                     const ScalingConfig& config) const = 0;
+  virtual std::string Name() const = 0;
+};
+
+/// Reactive-Max: scales to the maximum workload observed in the last
+/// `window` steps (Autopilot-style peak provisioning).
+class ReactiveMaxStrategy final : public ReactiveStrategy {
+ public:
+  explicit ReactiveMaxStrategy(size_t window = 6);
+  int Decide(const std::vector<double>& recent,
+             const ScalingConfig& config) const override;
+  std::string Name() const override { return "Reactive-Max"; }
+
+ private:
+  size_t window_;
+};
+
+/// Reactive-Avg: exponentially-decaying weighted average over the last
+/// `window` steps with the given half-life (paper: half-life 6 intervals —
+/// "weights decrease by half every 6 time intervals").
+class ReactiveAvgStrategy final : public ReactiveStrategy {
+ public:
+  explicit ReactiveAvgStrategy(size_t window = 6, double half_life = 6.0);
+  int Decide(const std::vector<double>& recent,
+             const ScalingConfig& config) const override;
+  std::string Name() const override { return "Reactive-Avg"; }
+
+ private:
+  size_t window_;
+  double half_life_;
+};
+
+// ---------------------------------------------------------------------------
+// Forecast-based allocators: map a quantile forecast for the horizon to an
+// allocation plan (paper §III-C).
+// ---------------------------------------------------------------------------
+
+/// Maps a quantile forecast to a node allocation for every horizon step.
+class QuantileAllocator {
+ public:
+  virtual ~QuantileAllocator() = default;
+
+  virtual Result<std::vector<int>> Allocate(
+      const ts::QuantileForecast& forecast,
+      const ScalingConfig& config) const = 0;
+  virtual std::string Name() const = 0;
+};
+
+/// Point-forecast strategy: allocates for the median (0.5-quantile)
+/// trajectory — the non-robust baseline of paper Definition 3.
+class PointForecastAllocator final : public QuantileAllocator {
+ public:
+  PointForecastAllocator() = default;
+  Result<std::vector<int>> Allocate(const ts::QuantileForecast& forecast,
+                                    const ScalingConfig& config)
+      const override;
+  std::string Name() const override { return "Point"; }
+};
+
+/// Robust fixed-quantile strategy (paper Definition 4 / Eq. 6): allocates
+/// for the tau-quantile trajectory, tau > 0.5 for conservatism.
+class RobustQuantileAllocator final : public QuantileAllocator {
+ public:
+  explicit RobustQuantileAllocator(double tau);
+  Result<std::vector<int>> Allocate(const ts::QuantileForecast& forecast,
+                                    const ScalingConfig& config)
+      const override;
+  std::string Name() const override;
+  double tau() const { return tau_; }
+
+ private:
+  double tau_;
+};
+
+/// Adaptive uncertainty-aware strategy (paper Definition 5 + Algorithm 1):
+/// per step, compute the uncertainty U of the quantile forecast (Eq. 8) and
+/// allocate at the optimistic level tau1 when U < rho, at the conservative
+/// level tau2 otherwise. The staircase generalization takes N levels and
+/// N-1 increasing thresholds.
+class AdaptiveQuantileAllocator final : public QuantileAllocator {
+ public:
+  /// Two-level form (Algorithm 1). Requires tau1 < tau2, rho >= 0.
+  AdaptiveQuantileAllocator(double tau1, double tau2, double rho);
+
+  /// Staircase form: `levels` strictly increasing quantile levels,
+  /// `thresholds` strictly increasing uncertainty cut-points with
+  /// levels.size() == thresholds.size() + 1. Level i is used when
+  /// U < thresholds[i] (first match), the last level otherwise.
+  AdaptiveQuantileAllocator(std::vector<double> levels,
+                            std::vector<double> thresholds);
+
+  Result<std::vector<int>> Allocate(const ts::QuantileForecast& forecast,
+                                    const ScalingConfig& config)
+      const override;
+  std::string Name() const override;
+
+  /// Level that would be chosen for a given uncertainty value.
+  double LevelForUncertainty(double uncertainty) const;
+
+ private:
+  std::vector<double> levels_;
+  std::vector<double> thresholds_;
+};
+
+/// Padding enhancement for point-forecast scalers (paper §IV-A, after Shen
+/// et al.'s CloudScale): adds to each prediction a margin derived from
+/// recent underestimation errors of past forecasts. Stateful: feed realized
+/// values back via Observe().
+class PaddingEnhancement {
+ public:
+  struct Options {
+    size_t error_window = 24;  ///< underestimation errors remembered
+    double quantile = 0.9;     ///< error-distribution quantile used as pad
+  };
+
+  explicit PaddingEnhancement(Options options);
+
+  /// Records a realized (actual, predicted) pair from a past decision.
+  void Observe(double actual, double predicted);
+
+  /// Current pad value: the configured quantile of recent positive
+  /// underestimation errors (0 while no errors observed).
+  double CurrentPad() const;
+
+  /// Applies the pad to a point trajectory.
+  std::vector<double> Pad(const std::vector<double>& prediction) const;
+
+ private:
+  Options options_;
+  std::vector<double> errors_;  // ring buffer of positive underestimations
+  size_t next_ = 0;
+  bool full_ = false;
+};
+
+}  // namespace rpas::core
+
+#endif  // RPAS_CORE_STRATEGIES_H_

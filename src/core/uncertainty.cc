@@ -1,0 +1,36 @@
+#include "core/uncertainty.h"
+
+#include "common/logging.h"
+
+namespace rpas::core {
+
+double QuantileUncertainty(const ts::QuantileForecast& forecast, size_t step) {
+  RPAS_CHECK(step < forecast.Horizon()) << "step out of range";
+  const double median = forecast.Value(step, 0.5);
+  double u = 0.0;
+  const std::vector<double>& levels = forecast.Levels();
+  for (size_t q = 0; q < levels.size(); ++q) {
+    const double w_tau = forecast.ValueAtIndex(step, q);
+    const double indicator = w_tau < median ? 1.0 : 0.0;
+    // Standard pinball orientation (non-negative, increasing with spread).
+    // The paper's Eq. 8 prints the last factor as (w^0.5 - w^tau), which
+    // taken literally is <= 0 for every term — yet the text states "a
+    // higher value ... signifies an elevated level of uncertainty" and
+    // that the metric "shares similarities with quantile loss", which is
+    // non-negative. We therefore use (w^tau - w^0.5), the same orientation
+    // fix as PinballLoss (ts/metrics.cc).
+    u += (levels[q] - indicator) * (w_tau - median);
+  }
+  return u;
+}
+
+std::vector<double> QuantileUncertaintyPerStep(
+    const ts::QuantileForecast& forecast) {
+  std::vector<double> out(forecast.Horizon());
+  for (size_t h = 0; h < forecast.Horizon(); ++h) {
+    out[h] = QuantileUncertainty(forecast, h);
+  }
+  return out;
+}
+
+}  // namespace rpas::core

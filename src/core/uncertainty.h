@@ -1,0 +1,25 @@
+#ifndef RPAS_CORE_UNCERTAINTY_H_
+#define RPAS_CORE_UNCERTAINTY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ts/quantile_forecast.h"
+
+namespace rpas::core {
+
+/// The paper's quantile-spread uncertainty metric (Eq. 8):
+///   U = sum_i (tau_i - I(w^{tau_i} < w^{0.5})) * (w^{0.5} - w^{tau_i})
+/// computed over all quantile levels of a single forecast step. It is the
+/// pinball loss of the quantile grid measured against the *median* forecast
+/// instead of the realized value, so it quantifies how spread-out the
+/// forecast distribution is: wider spread => larger U => lower confidence.
+double QuantileUncertainty(const ts::QuantileForecast& forecast, size_t step);
+
+/// U for every step of the horizon.
+std::vector<double> QuantileUncertaintyPerStep(
+    const ts::QuantileForecast& forecast);
+
+}  // namespace rpas::core
+
+#endif  // RPAS_CORE_UNCERTAINTY_H_

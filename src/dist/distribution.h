@@ -1,0 +1,27 @@
+#ifndef RPAS_DIST_DISTRIBUTION_H_
+#define RPAS_DIST_DISTRIBUTION_H_
+
+#include "common/rng.h"
+
+namespace rpas::dist {
+
+/// Univariate continuous probability distribution. The probabilistic
+/// forecasters (paper §III-B, "learn parametric distributions") emit one
+/// Distribution per future time step; the robust auto-scaling manager
+/// consumes its Quantile() as the workload upper bound ŵ^τ.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  virtual double Mean() const = 0;
+  virtual double Variance() const = 0;
+  virtual double LogPdf(double x) const = 0;
+  virtual double Cdf(double x) const = 0;
+  /// Inverse CDF; p must lie in (0, 1).
+  virtual double Quantile(double p) const = 0;
+  virtual double Sample(Rng* rng) const = 0;
+};
+
+}  // namespace rpas::dist
+
+#endif  // RPAS_DIST_DISTRIBUTION_H_

@@ -1,0 +1,31 @@
+#include "dist/gaussian.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "dist/special.h"
+
+namespace rpas::dist {
+
+Gaussian::Gaussian(double mean, double stddev) : mean_(mean), stddev_(stddev) {
+  RPAS_CHECK(stddev > 0.0) << "Gaussian stddev must be positive";
+}
+
+double Gaussian::LogPdf(double x) const {
+  const double z = (x - mean_) / stddev_;
+  return -0.5 * z * z - std::log(stddev_) - 0.5 * std::log(2.0 * M_PI);
+}
+
+double Gaussian::Cdf(double x) const {
+  return NormalCdf((x - mean_) / stddev_);
+}
+
+double Gaussian::Quantile(double p) const {
+  return mean_ + stddev_ * NormalQuantile(p);
+}
+
+double Gaussian::Sample(Rng* rng) const {
+  return rng->Normal(mean_, stddev_);
+}
+
+}  // namespace rpas::dist

@@ -1,0 +1,30 @@
+#ifndef RPAS_DIST_GAUSSIAN_H_
+#define RPAS_DIST_GAUSSIAN_H_
+
+#include "dist/distribution.h"
+
+namespace rpas::dist {
+
+/// Normal distribution N(mean, stddev^2). The output head of the
+/// probabilistic MLP forecaster (paper §III-B Figure 3a).
+class Gaussian final : public Distribution {
+ public:
+  /// stddev must be > 0.
+  Gaussian(double mean, double stddev);
+
+  double Mean() const override { return mean_; }
+  double Variance() const override { return stddev_ * stddev_; }
+  double Stddev() const { return stddev_; }
+  double LogPdf(double x) const override;
+  double Cdf(double x) const override;
+  double Quantile(double p) const override;
+  double Sample(Rng* rng) const override;
+
+ private:
+  double mean_;
+  double stddev_;
+};
+
+}  // namespace rpas::dist
+
+#endif  // RPAS_DIST_GAUSSIAN_H_

@@ -1,0 +1,186 @@
+#include "dist/special.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rpas::dist {
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double NormalQuantile(double p) {
+  RPAS_CHECK(p > 0.0 && p < 1.0) << "NormalQuantile requires p in (0,1)";
+  // Acklam's algorithm.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  double x;
+  if (p < plow) {
+    double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - plow) {
+    double q = p - 0.5;
+    double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+          c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step.
+  double e = NormalCdf(x) - p;
+  double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double Digamma(double x) {
+  RPAS_CHECK(x > 0.0) << "Digamma requires x > 0";
+  double result = 0.0;
+  // Recurrence to push x above 12 for the asymptotic series.
+  while (x < 12.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  // Asymptotic expansion.
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 / 252.0));
+  return result;
+}
+
+double LogBeta(double a, double b) {
+  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+}
+
+namespace {
+
+// Continued fraction for the incomplete beta (Numerical-Recipes style
+// modified Lentz).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) {
+    d = kFpMin;
+  }
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) {
+      d = kFpMin;
+    }
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) {
+      c = kFpMin;
+    }
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) {
+      d = kFpMin;
+    }
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) {
+      c = kFpMin;
+    }
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) {
+      break;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+double IncompleteBetaRegularized(double a, double b, double x) {
+  RPAS_CHECK(a > 0.0 && b > 0.0) << "IncompleteBeta requires a,b > 0";
+  if (x <= 0.0) {
+    return 0.0;
+  }
+  if (x >= 1.0) {
+    return 1.0;
+  }
+  const double ln_front =
+      a * std::log(x) + b * std::log(1.0 - x) - LogBeta(a, b);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTCdf(double x, double dof) {
+  RPAS_CHECK(dof > 0.0) << "StudentTCdf requires dof > 0";
+  if (x == 0.0) {
+    return 0.5;
+  }
+  const double t2 = x * x;
+  const double z = dof / (dof + t2);
+  const double p = 0.5 * IncompleteBetaRegularized(dof / 2.0, 0.5, z);
+  return x > 0.0 ? 1.0 - p : p;
+}
+
+double StudentTQuantile(double p, double dof) {
+  RPAS_CHECK(p > 0.0 && p < 1.0) << "StudentTQuantile requires p in (0,1)";
+  RPAS_CHECK(dof > 0.0);
+  if (p == 0.5) {
+    return 0.0;
+  }
+  // Bracket, then bisect. The normal quantile gives a good starting scale.
+  double hi = std::max(1.0, std::fabs(NormalQuantile(p)) * 4.0 + 4.0);
+  while (StudentTCdf(hi, dof) < p) {
+    hi *= 2.0;
+    if (hi > 1e12) {
+      break;
+    }
+  }
+  double lo = -hi;
+  while (StudentTCdf(lo, dof) > p) {
+    lo *= 2.0;
+    if (lo < -1e12) {
+      break;
+    }
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (StudentTCdf(mid, dof) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12 * std::max(1.0, std::fabs(hi))) {
+      break;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace rpas::dist

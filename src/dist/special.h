@@ -1,0 +1,33 @@
+#ifndef RPAS_DIST_SPECIAL_H_
+#define RPAS_DIST_SPECIAL_H_
+
+namespace rpas::dist {
+
+/// Standard normal cumulative distribution function.
+double NormalCdf(double x);
+
+/// Inverse standard normal CDF (Acklam's rational approximation refined by
+/// one Halley step; |error| < 1e-12 over (0, 1)). p must be in (0, 1).
+double NormalQuantile(double p);
+
+/// Digamma function psi(x) for x > 0 (recurrence + asymptotic series).
+double Digamma(double x);
+
+/// log Beta(a, b) for a, b > 0.
+double LogBeta(double a, double b);
+
+/// Regularized incomplete beta function I_x(a, b) for x in [0, 1],
+/// a, b > 0 (Lentz continued fraction).
+double IncompleteBetaRegularized(double a, double b, double x);
+
+/// CDF of the (standard) Student-t distribution with `dof` degrees of
+/// freedom.
+double StudentTCdf(double x, double dof);
+
+/// Inverse CDF of the standard Student-t distribution (bisection +
+/// Newton polish on StudentTCdf). p in (0, 1), dof > 0.
+double StudentTQuantile(double p, double dof);
+
+}  // namespace rpas::dist
+
+#endif  // RPAS_DIST_SPECIAL_H_

@@ -1,0 +1,43 @@
+#include "dist/student_t.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "dist/special.h"
+
+namespace rpas::dist {
+
+StudentT::StudentT(double location, double scale, double dof)
+    : location_(location), scale_(scale), dof_(dof) {
+  RPAS_CHECK(scale > 0.0) << "StudentT scale must be positive";
+  RPAS_CHECK(dof > 0.0) << "StudentT dof must be positive";
+}
+
+double StudentT::Variance() const {
+  if (dof_ <= 2.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return scale_ * scale_ * dof_ / (dof_ - 2.0);
+}
+
+double StudentT::LogPdf(double x) const {
+  const double z = (x - location_) / scale_;
+  return std::lgamma((dof_ + 1.0) / 2.0) - std::lgamma(dof_ / 2.0) -
+         0.5 * std::log(dof_ * M_PI) - std::log(scale_) -
+         (dof_ + 1.0) / 2.0 * std::log1p(z * z / dof_);
+}
+
+double StudentT::Cdf(double x) const {
+  return StudentTCdf((x - location_) / scale_, dof_);
+}
+
+double StudentT::Quantile(double p) const {
+  return location_ + scale_ * StudentTQuantile(p, dof_);
+}
+
+double StudentT::Sample(Rng* rng) const {
+  return location_ + scale_ * rng->StudentT(dof_);
+}
+
+}  // namespace rpas::dist

@@ -1,0 +1,35 @@
+#ifndef RPAS_DIST_STUDENT_T_H_
+#define RPAS_DIST_STUDENT_T_H_
+
+#include "dist/distribution.h"
+
+namespace rpas::dist {
+
+/// Location-scale Student-t distribution t_nu(location, scale). The paper
+/// chooses Student-t as the DeepAR output head because its longer tails
+/// absorb workload outliers and noise better than a Gaussian (§III-B).
+class StudentT final : public Distribution {
+ public:
+  /// scale > 0, dof > 0. Mean exists for dof > 1; variance for dof > 2.
+  StudentT(double location, double scale, double dof);
+
+  /// Location parameter; equals the mean when dof > 1.
+  double Mean() const override { return location_; }
+  /// Variance scale^2 * dof/(dof-2) for dof > 2; +inf otherwise.
+  double Variance() const override;
+  double Scale() const { return scale_; }
+  double Dof() const { return dof_; }
+  double LogPdf(double x) const override;
+  double Cdf(double x) const override;
+  double Quantile(double p) const override;
+  double Sample(Rng* rng) const override;
+
+ private:
+  double location_;
+  double scale_;
+  double dof_;
+};
+
+}  // namespace rpas::dist
+
+#endif  // RPAS_DIST_STUDENT_T_H_

@@ -1,0 +1,74 @@
+#ifndef RPAS_FORECAST_ARIMA_H_
+#define RPAS_FORECAST_ARIMA_H_
+
+#include <vector>
+
+#include "forecast/forecaster.h"
+
+namespace rpas::forecast {
+
+/// ARIMA(p, d, q) forecaster with Gaussian forecast intervals
+/// (paper §IV-A: "quantile forecasts can be enabled by incorporating
+/// residuals to capture the uncertainty of the forecasts").
+///
+/// Estimation uses the Hannan–Rissanen two-stage procedure:
+///   1. fit a long autoregression by least squares and extract residuals;
+///   2. regress the series on its own lags and lagged residuals to obtain
+///      the AR (phi) and MA (theta) coefficients.
+/// Forecast variance accumulates through the psi-weight (MA-infinity)
+/// expansion of the integrated model, which yields the characteristic
+/// widening intervals — and, on cyclic workloads a non-seasonal ARIMA
+/// cannot track, the over-wide intervals/high coverage the paper observes.
+class ArimaForecaster final : public Forecaster {
+ public:
+  struct Options {
+    int p = 3;        ///< AR order
+    int d = 1;        ///< differencing order (0 or 1 supported)
+    int q = 2;        ///< MA order
+    /// Seasonal differencing order D (0 or 1). With D = 1 the model first
+    /// applies (1 - B^season) — a SARIMA-lite that removes the dominant
+    /// cycle before the ARMA fit. Requires context_length >= season + a few
+    /// ARMA lags.
+    int seasonal_d = 0;
+    size_t season = 144;  ///< steps per season (one day at 10-minute steps)
+    size_t context_length = 72;
+    size_t horizon = 72;
+    std::vector<double> levels;  ///< defaults to DefaultQuantileLevels()
+    double ridge = 1e-6;         ///< least-squares damping
+  };
+
+  explicit ArimaForecaster(Options options);
+
+  Status Fit(const ts::TimeSeries& train) override;
+  Result<ts::QuantileForecast> Predict(
+      const ForecastInput& input) const override;
+
+  size_t Horizon() const override { return options_.horizon; }
+  size_t ContextLength() const override { return options_.context_length; }
+  const std::vector<double>& Levels() const override {
+    return options_.levels;
+  }
+  std::string Name() const override { return "ARIMA"; }
+
+  /// Fitted coefficients (valid after Fit).
+  const std::vector<double>& phi() const { return phi_; }
+  const std::vector<double>& theta() const { return theta_; }
+  double intercept() const { return intercept_; }
+  double sigma2() const { return sigma2_; }
+
+ private:
+  /// Lags of the differencing pipeline, in application order (seasonal
+  /// first, then regular).
+  std::vector<size_t> DifferenceLags() const;
+
+  Options options_;
+  bool fitted_ = false;
+  std::vector<double> phi_;    // AR coefficients, phi_[0] = phi_1
+  std::vector<double> theta_;  // MA coefficients
+  double intercept_ = 0.0;
+  double sigma2_ = 1.0;  // innovation variance
+};
+
+}  // namespace rpas::forecast
+
+#endif  // RPAS_FORECAST_ARIMA_H_

@@ -1,0 +1,89 @@
+#include "forecast/backtest.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rpas::forecast {
+
+namespace {
+
+MetricSummary Summarize(const std::vector<double>& values) {
+  MetricSummary s;
+  if (values.empty()) {
+    return s;
+  }
+  for (double v : values) {
+    s.mean += v;
+  }
+  s.mean /= static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double ss = 0.0;
+    for (double v : values) {
+      ss += (v - s.mean) * (v - s.mean);
+    }
+    s.stddev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<BacktestResult> Backtest(
+    const std::function<std::unique_ptr<Forecaster>()>& factory,
+    const ts::TimeSeries& series, const BacktestOptions& options) {
+  if (options.folds == 0 || options.fold_steps == 0) {
+    return Status::InvalidArgument("backtest needs folds and fold_steps");
+  }
+  const size_t total_eval = options.folds * options.fold_steps;
+  if (series.size() <= total_eval) {
+    return Status::InvalidArgument(
+        "series too short for the requested folds");
+  }
+
+  BacktestResult result;
+  std::vector<double> wqls;
+  std::vector<double> mses;
+  std::vector<double> maes;
+  std::map<double, std::vector<double>> coverages;
+
+  for (size_t fold = 0; fold < options.folds; ++fold) {
+    // Expanding origin: fold 0 evaluates the oldest evaluation block.
+    const size_t origin =
+        series.size() - (options.folds - fold) * options.fold_steps;
+    ts::TimeSeries train = series.Slice(0, origin);
+    ts::TimeSeries eval =
+        series.Slice(origin, origin + options.fold_steps);
+
+    std::unique_ptr<Forecaster> model = factory();
+    if (model == nullptr) {
+      return Status::InvalidArgument("backtest factory returned null");
+    }
+    RPAS_RETURN_IF_ERROR(model->Fit(train));
+    const size_t stride =
+        options.stride > 0 ? options.stride : model->Horizon();
+    RPAS_ASSIGN_OR_RETURN(RollingForecasts rolled,
+                          RollForecasts(*model, train, eval, stride));
+    const std::vector<double> levels =
+        options.levels.empty() ? model->Levels() : options.levels;
+    ts::AccuracyReport report =
+        ts::EvaluateForecasts(rolled.forecasts, rolled.actuals, levels);
+    wqls.push_back(report.mean_wql);
+    mses.push_back(report.mse);
+    maes.push_back(report.mae);
+    for (const auto& [tau, cov] : report.coverage) {
+      coverages[tau].push_back(cov);
+    }
+    result.fold_reports.push_back(std::move(report));
+  }
+
+  result.mean_wql = Summarize(wqls);
+  result.mse = Summarize(mses);
+  result.mae = Summarize(maes);
+  for (const auto& [tau, values] : coverages) {
+    result.coverage[tau] = Summarize(values);
+  }
+  return result;
+}
+
+}  // namespace rpas::forecast

@@ -1,0 +1,53 @@
+#ifndef RPAS_FORECAST_BACKTEST_H_
+#define RPAS_FORECAST_BACKTEST_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "forecast/forecaster.h"
+#include "ts/metrics.h"
+
+namespace rpas::forecast {
+
+/// Rolling-origin backtesting configuration.
+struct BacktestOptions {
+  /// Number of expanding-origin folds. Fold k trains on the series up to
+  /// origin_k and evaluates on the following `fold_steps` observations.
+  size_t folds = 3;
+  /// Evaluation steps per fold.
+  size_t fold_steps = 432;
+  /// Stride between forecasts inside a fold; 0 = the model's horizon.
+  size_t stride = 0;
+  /// Quantile levels to score; empty = the model's own levels.
+  std::vector<double> levels;
+};
+
+/// Mean and standard deviation of a metric across folds.
+struct MetricSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Backtest outcome: per-fold reports plus cross-fold summaries.
+struct BacktestResult {
+  std::vector<ts::AccuracyReport> fold_reports;
+  MetricSummary mean_wql;
+  MetricSummary mse;
+  MetricSummary mae;
+  std::map<double, MetricSummary> coverage;  // per scored level
+};
+
+/// Rolling-origin (expanding-window) backtest: for each fold a *fresh*
+/// model is built by `factory`, fitted on all data before the fold's
+/// origin, and scored on the fold's evaluation window. Reports cross-fold
+/// mean +/- stddev so model comparisons account for fit variance — the
+/// multi-run averaging of the paper's Table I, systematized.
+Result<BacktestResult> Backtest(
+    const std::function<std::unique_ptr<Forecaster>()>& factory,
+    const ts::TimeSeries& series, const BacktestOptions& options);
+
+}  // namespace rpas::forecast
+
+#endif  // RPAS_FORECAST_BACKTEST_H_

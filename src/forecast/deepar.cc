@@ -1,0 +1,252 @@
+#include "forecast/deepar.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "dist/empirical.h"
+#include "nn/checkpoint.h"
+#include "nn/losses.h"
+#include "tensor/ops.h"
+#include "ts/window.h"
+
+namespace rpas::forecast {
+
+using autodiff::Tape;
+using autodiff::Var;
+using tensor::Matrix;
+
+namespace {
+constexpr double kScaleEps = 1e-6;
+
+double SoftplusScalar(double x) {
+  return (x > 0.0 ? x : 0.0) + std::log1p(std::exp(-std::fabs(x)));
+}
+
+/// Per-window mean-abs scale (DeepAR's standard per-item scaling).
+double WindowScale(const std::vector<double>& context) {
+  double mean_abs = 0.0;
+  for (double v : context) {
+    mean_abs += std::fabs(v);
+  }
+  mean_abs /= static_cast<double>(context.size());
+  return std::max(mean_abs, kScaleEps);
+}
+}  // namespace
+
+DeepArForecaster::DeepArForecaster(Options options)
+    : options_(std::move(options)), sample_rng_(options_.seed ^ 0xD1CEu) {
+  RPAS_CHECK(options_.context_length > 0 && options_.horizon > 0);
+  RPAS_CHECK(options_.num_samples >= 2);
+  if (options_.levels.empty()) {
+    options_.levels = DefaultQuantileLevels();
+  }
+}
+
+void DeepArForecaster::BuildModel() {
+  Rng init_rng(options_.seed);
+  lstm_ = std::make_unique<nn::LstmCell>(kInputDim, options_.hidden_dim,
+                                         &init_rng);
+  mu_head_ = std::make_unique<nn::Dense>(options_.hidden_dim, 1,
+                                         nn::Dense::Activation::kNone,
+                                         &init_rng);
+  sigma_head_ = std::make_unique<nn::Dense>(options_.hidden_dim, 1,
+                                            nn::Dense::Activation::kNone,
+                                            &init_rng);
+}
+
+std::vector<autodiff::Parameter*> DeepArForecaster::AllParams() const {
+  std::vector<autodiff::Parameter*> params;
+  for (nn::Module* m : std::initializer_list<nn::Module*>{
+           lstm_.get(), mu_head_.get(), sigma_head_.get()}) {
+    for (auto* p : m->Params()) {
+      params.push_back(p);
+    }
+  }
+  return params;
+}
+
+std::string DeepArForecaster::Signature() const {
+  return StrFormat("DeepAR ctx=%zu h=%zu hidden=%zu head=%d",
+                   options_.context_length, options_.horizon,
+                   options_.hidden_dim, static_cast<int>(options_.head));
+}
+
+Status DeepArForecaster::Save(const std::string& path) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition(
+        "DeepAR: cannot save an unfitted model");
+  }
+  return nn::SaveParameters(path, Signature(), AllParams());
+}
+
+Status DeepArForecaster::Load(const std::string& path) {
+  BuildModel();
+  RPAS_RETURN_IF_ERROR(nn::LoadParameters(path, Signature(), AllParams()));
+  fitted_ = true;
+  return Status::OK();
+}
+
+Status DeepArForecaster::Fit(const ts::TimeSeries& train) {
+  const size_t t_len = options_.context_length;
+  const size_t h = options_.horizon;
+  ts::WindowDataset dataset(train, t_len, h, /*stride=*/1);
+  if (dataset.empty()) {
+    return Status::InvalidArgument("DeepAR: training series too short");
+  }
+
+  BuildModel();
+  std::vector<autodiff::Parameter*> params = AllParams();
+
+  const double step_minutes = train.step_minutes;
+  auto loss_fn = [&, step_minutes](Tape* tape, Rng* rng) -> Var {
+    const std::vector<size_t> indices =
+        dataset.SampleIndices(options_.batch_size, rng);
+    const size_t batch = indices.size();
+    const size_t total = t_len + h;
+
+    // Whole windows (context + target), per-window scaled.
+    std::vector<std::vector<double>> scaled(batch);
+    std::vector<size_t> begins(batch);
+    for (size_t r = 0; r < batch; ++r) {
+      const ts::Window& w = dataset[indices[r]];
+      begins[r] = w.begin;
+      const double scale = WindowScale(w.context);
+      scaled[r].reserve(total);
+      for (double v : w.context) {
+        scaled[r].push_back(v / scale);
+      }
+      for (double v : w.target) {
+        scaled[r].push_back(v / scale);
+      }
+    }
+
+    // Teacher-forced unroll: at step t the input is the observed value at
+    // t-1 plus calendar features of t; the head predicts the value at t.
+    nn::LstmCell::State state = lstm_->ZeroState(tape, batch);
+    Var total_nll;
+    size_t terms = 0;
+    for (size_t t = 1; t < total; ++t) {
+      Matrix x(batch, kInputDim);
+      Matrix target(batch, 1);
+      for (size_t r = 0; r < batch; ++r) {
+        x(r, 0) = scaled[r][t - 1];
+        const auto tf = TimeFeatures(begins[r] + t, step_minutes);
+        for (size_t j = 0; j < kNumTimeFeatures; ++j) {
+          x(r, 1 + j) = tf[j];
+        }
+        target(r, 0) = scaled[r][t];
+      }
+      state = lstm_->Step(tape, tape->Constant(std::move(x)), state);
+      Var mu = mu_head_->Forward(tape, state.h);
+      Var sigma = tape->AddScalar(
+          tape->Softplus(sigma_head_->Forward(tape, state.h)),
+          options_.min_sigma);
+      Var y = tape->Constant(std::move(target));
+      Var nll = options_.head == Head::kStudentT
+                    ? nn::StudentTNllLoss(tape, mu, sigma, y,
+                                          options_.student_t_dof)
+                    : nn::GaussianNllLoss(tape, mu, sigma, y);
+      total_nll = terms == 0 ? nll : tape->Add(total_nll, nll);
+      ++terms;
+    }
+    return tape->Scale(total_nll, 1.0 / static_cast<double>(terms));
+  };
+
+  nn::TrainConfig config = options_.train;
+  config.seed = options_.seed + 1;
+  nn::TrainLoop(config, params, loss_fn);
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<double>>> DeepArForecaster::SampleTrajectories(
+    const ForecastInput& input, size_t num_samples) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("DeepAR: Fit() not called");
+  }
+  if (input.context.size() != options_.context_length) {
+    return Status::InvalidArgument("DeepAR: context length mismatch");
+  }
+  const size_t t_len = options_.context_length;
+  const size_t h = options_.horizon;
+  const double scale = WindowScale(input.context);
+
+  // Encode the observed context once (batch of 1).
+  nn::LstmCell::RawState encoded = lstm_->ZeroRawState(1);
+  for (size_t t = 1; t < t_len; ++t) {
+    Matrix x(1, kInputDim);
+    x(0, 0) = input.context[t - 1] / scale;
+    const auto tf = TimeFeatures(input.start_index + t, input.step_minutes);
+    for (size_t j = 0; j < kNumTimeFeatures; ++j) {
+      x(0, 1 + j) = tf[j];
+    }
+    encoded = lstm_->Step(x, encoded);
+  }
+
+  // Replicate the encoded state across sample rows and roll forward,
+  // feeding each sampled value back as the next input (ancestral sampling).
+  nn::LstmCell::RawState state = lstm_->ZeroRawState(num_samples);
+  for (size_t r = 0; r < num_samples; ++r) {
+    for (size_t c = 0; c < options_.hidden_dim; ++c) {
+      state.h(r, c) = encoded.h(0, c);
+      state.c(r, c) = encoded.c(0, c);
+    }
+  }
+
+  std::vector<std::vector<double>> trajectories(
+      num_samples, std::vector<double>(h, 0.0));
+  std::vector<double> prev(num_samples, input.context.back() / scale);
+  for (size_t step = 0; step < h; ++step) {
+    const size_t abs_index = input.forecast_start() + step;
+    const auto tf = TimeFeatures(abs_index, input.step_minutes);
+    Matrix x(num_samples, kInputDim);
+    for (size_t r = 0; r < num_samples; ++r) {
+      x(r, 0) = prev[r];
+      for (size_t j = 0; j < kNumTimeFeatures; ++j) {
+        x(r, 1 + j) = tf[j];
+      }
+    }
+    state = lstm_->Step(x, state);
+    Matrix mu = mu_head_->Apply(state.h);
+    Matrix sigma_raw = sigma_head_->Apply(state.h);
+    for (size_t r = 0; r < num_samples; ++r) {
+      const double sigma =
+          SoftplusScalar(sigma_raw(r, 0)) + options_.min_sigma;
+      double draw;
+      if (options_.head == Head::kStudentT) {
+        draw = mu(r, 0) + sigma * sample_rng_.StudentT(options_.student_t_dof);
+      } else {
+        draw = mu(r, 0) + sigma * sample_rng_.Normal();
+      }
+      trajectories[r][step] = draw * scale;
+      prev[r] = draw;
+    }
+  }
+  return trajectories;
+}
+
+Result<ts::QuantileForecast> DeepArForecaster::Predict(
+    const ForecastInput& input) const {
+  RPAS_ASSIGN_OR_RETURN(std::vector<std::vector<double>> trajectories,
+                        SampleTrajectories(input, options_.num_samples));
+  const size_t h = options_.horizon;
+  std::vector<std::vector<double>> values(h);
+  std::vector<double> column(trajectories.size());
+  for (size_t step = 0; step < h; ++step) {
+    for (size_t r = 0; r < trajectories.size(); ++r) {
+      column[r] = trajectories[r][step];
+    }
+    dist::Empirical empirical(column);
+    values[step].reserve(options_.levels.size());
+    for (double tau : options_.levels) {
+      values[step].push_back(empirical.Quantile(tau));
+    }
+  }
+  ts::QuantileForecast forecast(options_.levels, std::move(values));
+  forecast.SortQuantilesPerStep();
+  return forecast;
+}
+
+}  // namespace rpas::forecast

@@ -1,0 +1,85 @@
+#ifndef RPAS_FORECAST_DEEPAR_H_
+#define RPAS_FORECAST_DEEPAR_H_
+
+#include <memory>
+#include <vector>
+
+#include "forecast/forecaster.h"
+#include "forecast/time_features.h"
+#include "nn/layers.h"
+#include "nn/trainer.h"
+
+namespace rpas::forecast {
+
+/// DeepAR-style probabilistic forecaster (Salinas et al.; paper §III-B
+/// "learn parametric distributions"): an autoregressive LSTM whose output
+/// head emits per-step distribution parameters. Following the paper we use
+/// a Student-t observation model ("longer tails ... better handle outliers
+/// and noise"); a Gaussian head is available for ablation.
+///
+/// Multi-step quantile forecasts are produced by ancestral sampling:
+/// `num_samples` trajectories are rolled forward feeding each sampled value
+/// back as the next input, and per-step empirical quantiles are taken. This
+/// is the sampling cost the paper's Table III attributes DeepAR's high
+/// inference latency to — and the iterative error accumulation behind its
+/// long-horizon degradation (Fig. 8).
+class DeepArForecaster final : public Forecaster {
+ public:
+  enum class Head { kStudentT, kGaussian };
+
+  struct Options {
+    size_t context_length = 72;
+    size_t horizon = 72;
+    size_t hidden_dim = 32;
+    size_t batch_size = 16;
+    size_t num_samples = 100;  ///< sample paths per forecast
+    Head head = Head::kStudentT;
+    double student_t_dof = 4.0;
+    nn::TrainConfig train;
+    std::vector<double> levels;  ///< defaults to DefaultQuantileLevels()
+    uint64_t seed = 11;
+    double min_sigma = 1e-3;
+  };
+
+  explicit DeepArForecaster(Options options);
+
+  Status Fit(const ts::TimeSeries& train) override;
+  Result<ts::QuantileForecast> Predict(
+      const ForecastInput& input) const override;
+
+  size_t Horizon() const override { return options_.horizon; }
+  size_t ContextLength() const override { return options_.context_length; }
+  const std::vector<double>& Levels() const override {
+    return options_.levels;
+  }
+  std::string Name() const override { return "DeepAR"; }
+
+  /// Full sampled trajectories (num_samples x horizon), before reduction to
+  /// quantiles; used by tests and the Fig. 7 interval visualization.
+  Result<std::vector<std::vector<double>>> SampleTrajectories(
+      const ForecastInput& input, size_t num_samples) const;
+
+  /// Persists the trained weights (text checkpoint, see nn/checkpoint.h).
+  Status Save(const std::string& path) const;
+  /// Restores weights saved by an identically configured model.
+  Status Load(const std::string& path);
+
+ private:
+  void BuildModel();
+  std::vector<autodiff::Parameter*> AllParams() const;
+  std::string Signature() const;
+
+  /// Input feature layout per step: [scaled y_prev, calendar features].
+  static constexpr size_t kInputDim = 1 + kNumTimeFeatures;
+
+  Options options_;
+  bool fitted_ = false;
+  std::unique_ptr<nn::LstmCell> lstm_;
+  std::unique_ptr<nn::Dense> mu_head_;
+  std::unique_ptr<nn::Dense> sigma_head_;
+  mutable Rng sample_rng_;
+};
+
+}  // namespace rpas::forecast
+
+#endif  // RPAS_FORECAST_DEEPAR_H_

@@ -1,0 +1,68 @@
+#include "forecast/forecaster.h"
+
+#include "common/logging.h"
+
+namespace rpas::forecast {
+
+Result<std::vector<double>> Forecaster::PredictPoint(
+    const ForecastInput& input) const {
+  RPAS_ASSIGN_OR_RETURN(ts::QuantileForecast fc, Predict(input));
+  return fc.Median();
+}
+
+std::vector<double> DefaultQuantileLevels() {
+  return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+}
+
+std::vector<double> ScalingQuantileLevels() {
+  return {0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99};
+}
+
+Result<RollingForecasts> RollForecasts(const Forecaster& model,
+                                       const ts::TimeSeries& history,
+                                       const ts::TimeSeries& test,
+                                       size_t stride) {
+  if (stride == 0) {
+    return Status::InvalidArgument("stride must be positive");
+  }
+  const size_t context = model.ContextLength();
+  const size_t horizon = model.Horizon();
+  if (history.size() < context) {
+    return Status::InvalidArgument(
+        "history shorter than the model's context length");
+  }
+  // Work over the concatenation [history | test]; forecast windows must lie
+  // entirely within test so every prediction is scored against held-out
+  // data.
+  ts::TimeSeries joined = history;
+  joined.values.insert(joined.values.end(), test.values.begin(),
+                       test.values.end());
+
+  RollingForecasts out;
+  const size_t first_target = history.size();
+  for (size_t target = first_target; target + horizon <= joined.size();
+       target += stride) {
+    ForecastInput input;
+    input.start_index = target - context;
+    input.step_minutes = joined.step_minutes;
+    input.context.assign(
+        joined.values.begin() + static_cast<long>(target - context),
+        joined.values.begin() + static_cast<long>(target));
+    RPAS_ASSIGN_OR_RETURN(ts::QuantileForecast fc, model.Predict(input));
+    if (fc.Horizon() != horizon) {
+      return Status::Internal("forecaster returned unexpected horizon");
+    }
+    out.forecasts.push_back(std::move(fc));
+    out.actuals.emplace_back(
+        joined.values.begin() + static_cast<long>(target),
+        joined.values.begin() + static_cast<long>(target + horizon));
+    out.forecast_starts.push_back(target);
+  }
+  if (out.forecasts.empty()) {
+    return Status::InvalidArgument(
+        "test series shorter than the forecast horizon");
+  }
+  return out;
+}
+
+}  // namespace rpas::forecast

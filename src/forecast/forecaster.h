@@ -1,0 +1,82 @@
+#ifndef RPAS_FORECAST_FORECASTER_H_
+#define RPAS_FORECAST_FORECASTER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ts/quantile_forecast.h"
+#include "ts/time_series.h"
+
+namespace rpas::forecast {
+
+/// Conditioning information for one forecast: the most recent
+/// `context` observations and their absolute position in the series (used
+/// to derive calendar covariates such as time-of-day).
+struct ForecastInput {
+  /// w_{t-T+1} .. w_t, oldest first.
+  std::vector<double> context;
+  /// Absolute index of context[0] within the underlying series.
+  size_t start_index = 0;
+  /// Sampling interval in minutes.
+  double step_minutes = 10.0;
+
+  /// Absolute index of the first forecast step (one past the context).
+  size_t forecast_start() const { return start_index + context.size(); }
+};
+
+/// Probabilistic workload forecaster interface (paper §III-B). A forecaster
+/// is fitted once on a training series and then queried with context
+/// windows; it returns quantile forecasts over its configured horizon.
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  /// Trains the model. Must be called before Predict.
+  virtual Status Fit(const ts::TimeSeries& train) = 0;
+
+  /// Quantile forecast for the configured horizon at the configured levels.
+  virtual Result<ts::QuantileForecast> Predict(
+      const ForecastInput& input) const = 0;
+
+  /// Point forecast; the default takes the median trajectory of Predict().
+  virtual Result<std::vector<double>> PredictPoint(
+      const ForecastInput& input) const;
+
+  /// Forecast horizon H (steps).
+  virtual size_t Horizon() const = 0;
+  /// Expected context length T (steps).
+  virtual size_t ContextLength() const = 0;
+  /// Quantile levels produced by Predict().
+  virtual const std::vector<double>& Levels() const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+/// The paper's default quantile grid A = {0.1, ..., 0.9} (§IV-B).
+std::vector<double> DefaultQuantileLevels();
+
+/// The grid used for robust auto-scaling experiments
+/// A = {0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99} (§IV-C).
+std::vector<double> ScalingQuantileLevels();
+
+/// Rolling evaluation helper: slides a window over `test` (starting with
+/// `context_length` observations of history, stepping by `stride`), calls
+/// the forecaster, and returns aligned (forecast, actual) pairs.
+/// `history` supplies observations preceding `test` so the first windows
+/// have full context; pass the training series tail.
+struct RollingForecasts {
+  std::vector<ts::QuantileForecast> forecasts;
+  std::vector<std::vector<double>> actuals;
+  /// Absolute start index (within history+test) of each forecast's first
+  /// predicted step.
+  std::vector<size_t> forecast_starts;
+};
+Result<RollingForecasts> RollForecasts(const Forecaster& model,
+                                       const ts::TimeSeries& history,
+                                       const ts::TimeSeries& test,
+                                       size_t stride);
+
+}  // namespace rpas::forecast
+
+#endif  // RPAS_FORECAST_FORECASTER_H_

@@ -1,0 +1,72 @@
+#ifndef RPAS_FORECAST_HOLT_WINTERS_H_
+#define RPAS_FORECAST_HOLT_WINTERS_H_
+
+#include <vector>
+
+#include "forecast/forecaster.h"
+
+namespace rpas::forecast {
+
+/// Additive Holt–Winters (triple exponential smoothing) forecaster with
+/// Gaussian prediction intervals. Not part of the paper's lineup, but the
+/// natural statistical baseline for strongly seasonal workloads — included
+/// as an extension so downstream users have a cheap seasonal model and as
+/// an ablation partner for the neural forecasters.
+///
+/// Smoothing parameters (alpha, beta, gamma) are selected by coarse grid
+/// search minimizing one-step-ahead squared error on the training series.
+/// Interval widths use the standard SES-style variance approximation
+/// var_h = sigma^2 * (1 + (h-1) * alpha^2), with sigma estimated from
+/// in-sample one-step residuals.
+class HoltWintersForecaster final : public Forecaster {
+ public:
+  struct Options {
+    /// Must cover at least two seasons (the smoother re-initializes from
+    /// the context at prediction time).
+    size_t context_length = 288;
+    size_t horizon = 72;
+    size_t season = 144;  ///< steps per season (one day at 10-minute steps)
+    std::vector<double> levels;
+    /// Grid-search candidates; defaults cover the usual range.
+    std::vector<double> alpha_grid = {0.1, 0.3, 0.5, 0.8};
+    std::vector<double> beta_grid = {0.0, 0.01, 0.1};
+    std::vector<double> gamma_grid = {0.05, 0.2, 0.5};
+  };
+
+  explicit HoltWintersForecaster(Options options);
+
+  Status Fit(const ts::TimeSeries& train) override;
+  Result<ts::QuantileForecast> Predict(
+      const ForecastInput& input) const override;
+
+  size_t Horizon() const override { return options_.horizon; }
+  size_t ContextLength() const override { return options_.context_length; }
+  const std::vector<double>& Levels() const override {
+    return options_.levels;
+  }
+  std::string Name() const override { return "HoltWinters"; }
+
+  /// Selected smoothing parameters (valid after Fit).
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+  double gamma() const { return gamma_; }
+  double residual_stddev() const { return residual_stddev_; }
+
+ private:
+  /// Runs the smoother over `values`; returns the one-step SSE and leaves
+  /// the terminal state in *level/*trend/*seasonal when non-null.
+  double RunSmoother(const std::vector<double>& values, double alpha,
+                     double beta, double gamma, double* level, double* trend,
+                     std::vector<double>* seasonal) const;
+
+  Options options_;
+  bool fitted_ = false;
+  double alpha_ = 0.3;
+  double beta_ = 0.01;
+  double gamma_ = 0.2;
+  double residual_stddev_ = 1.0;
+};
+
+}  // namespace rpas::forecast
+
+#endif  // RPAS_FORECAST_HOLT_WINTERS_H_

@@ -1,0 +1,211 @@
+#include "forecast/mlp.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "dist/special.h"
+#include "forecast/time_features.h"
+#include "nn/checkpoint.h"
+#include "nn/losses.h"
+#include "tensor/ops.h"
+#include "ts/window.h"
+
+namespace rpas::forecast {
+
+using autodiff::Tape;
+using autodiff::Var;
+using tensor::Matrix;
+
+MlpForecaster::MlpForecaster(Options options) : options_(std::move(options)) {
+  RPAS_CHECK(options_.context_length > 0 && options_.horizon > 0);
+  if (options_.levels.empty()) {
+    options_.levels = DefaultQuantileLevels();
+  }
+}
+
+size_t MlpForecaster::InputDim() const {
+  return options_.context_length +
+         (options_.use_time_features ? kNumTimeFeatures : 0);
+}
+
+std::vector<double> MlpForecaster::BuildFeatures(
+    const ForecastInput& input) const {
+  RPAS_CHECK(input.context.size() == options_.context_length);
+  std::vector<double> features;
+  features.reserve(InputDim());
+  for (double v : input.context) {
+    features.push_back(scaler_.Transform(v));
+  }
+  if (options_.use_time_features) {
+    const auto tf = TimeFeatures(input.forecast_start(), input.step_minutes);
+    features.insert(features.end(), tf.begin(), tf.end());
+  }
+  return features;
+}
+
+void MlpForecaster::BuildModel() {
+  Rng init_rng(options_.seed);
+  fc1_ = std::make_unique<nn::Dense>(InputDim(), options_.hidden_dim,
+                                     nn::Dense::Activation::kRelu, &init_rng);
+  if (options_.num_hidden_layers >= 2) {
+    fc2_ = std::make_unique<nn::Dense>(options_.hidden_dim,
+                                       options_.hidden_dim,
+                                       nn::Dense::Activation::kRelu,
+                                       &init_rng);
+  } else {
+    fc2_.reset();
+  }
+  head_ = std::make_unique<nn::Dense>(options_.hidden_dim,
+                                      2 * options_.horizon,
+                                      nn::Dense::Activation::kNone,
+                                      &init_rng);
+}
+
+std::vector<autodiff::Parameter*> MlpForecaster::AllParams() const {
+  std::vector<autodiff::Parameter*> params;
+  for (nn::Dense* layer : {fc1_.get(), fc2_.get(), head_.get()}) {
+    if (layer == nullptr) {
+      continue;
+    }
+    for (auto* p : layer->Params()) {
+      params.push_back(p);
+    }
+  }
+  return params;
+}
+
+std::string MlpForecaster::Signature() const {
+  return StrFormat("MLP ctx=%zu h=%zu hidden=%zu layers=%zu tf=%d",
+                   options_.context_length, options_.horizon,
+                   options_.hidden_dim, options_.num_hidden_layers,
+                   options_.use_time_features ? 1 : 0);
+}
+
+Status MlpForecaster::Save(const std::string& path) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("MLP: cannot save an unfitted model");
+  }
+  // The global scaler rides along as an extra 1x2 tensor [shift, scale].
+  autodiff::Parameter scaler_tensor(
+      Matrix{{scaler_.shift(), scaler_.scale()}});
+  std::vector<autodiff::Parameter*> params = AllParams();
+  params.push_back(&scaler_tensor);
+  return nn::SaveParameters(path, Signature(), params);
+}
+
+Status MlpForecaster::Load(const std::string& path) {
+  BuildModel();
+  autodiff::Parameter scaler_tensor(Matrix(1, 2));
+  std::vector<autodiff::Parameter*> params = AllParams();
+  params.push_back(&scaler_tensor);
+  RPAS_RETURN_IF_ERROR(nn::LoadParameters(path, Signature(), params));
+  if (scaler_tensor.value(0, 1) <= 0.0) {
+    return Status::InvalidArgument("checkpoint holds a non-positive scale");
+  }
+  scaler_ = ts::AffineScaler(scaler_tensor.value(0, 0),
+                             scaler_tensor.value(0, 1));
+  fitted_ = true;
+  return Status::OK();
+}
+
+Status MlpForecaster::Fit(const ts::TimeSeries& train) {
+  const size_t t_len = options_.context_length;
+  const size_t h = options_.horizon;
+  ts::WindowDataset dataset(train, t_len, h, /*stride=*/1);
+  if (dataset.empty()) {
+    return Status::InvalidArgument("MLP: training series too short");
+  }
+  scaler_ = ts::AffineScaler::FitStandard(train.values);
+
+  BuildModel();
+  std::vector<autodiff::Parameter*> params = AllParams();
+
+  const double step_minutes = train.step_minutes;
+  auto loss_fn = [&, step_minutes](Tape* tape, Rng* rng) -> Var {
+    const std::vector<size_t> indices =
+        dataset.SampleIndices(options_.batch_size, rng);
+    const size_t batch = indices.size();
+    Matrix features(batch, InputDim());
+    Matrix targets(batch, h);
+    for (size_t r = 0; r < batch; ++r) {
+      const ts::Window& w = dataset[indices[r]];
+      for (size_t j = 0; j < t_len; ++j) {
+        features(r, j) = scaler_.Transform(w.context[j]);
+      }
+      if (options_.use_time_features) {
+        const auto tf = TimeFeatures(w.begin + t_len, step_minutes);
+        for (size_t j = 0; j < kNumTimeFeatures; ++j) {
+          features(r, t_len + j) = tf[j];
+        }
+      }
+      for (size_t j = 0; j < h; ++j) {
+        targets(r, j) = scaler_.Transform(w.target[j]);
+      }
+    }
+    Var x = tape->Constant(std::move(features));
+    Var y = tape->Constant(std::move(targets));
+    Var hidden = fc1_->Forward(tape, x);
+    if (fc2_) {
+      hidden = fc2_->Forward(tape, hidden);
+    }
+    Var out = head_->Forward(tape, hidden);
+    Var mu = tape->SliceCols(out, 0, h);
+    Var sigma = tape->AddScalar(
+        tape->Softplus(tape->SliceCols(out, h, 2 * h)), options_.min_sigma);
+    return nn::GaussianNllLoss(tape, mu, sigma, y);
+  };
+
+  nn::TrainConfig config = options_.train;
+  config.seed = options_.seed + 1;
+  nn::TrainLoop(config, params, loss_fn);
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<MlpForecaster::GaussianParams> MlpForecaster::PredictDistribution(
+    const ForecastInput& input) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("MLP: Fit() not called");
+  }
+  if (input.context.size() != options_.context_length) {
+    return Status::InvalidArgument("MLP: context length mismatch");
+  }
+  Matrix x = Matrix::RowVector(BuildFeatures(input));
+  Matrix hidden = fc1_->Apply(x);
+  if (fc2_) {
+    hidden = fc2_->Apply(hidden);
+  }
+  Matrix out = head_->Apply(hidden);
+  const size_t h = options_.horizon;
+  GaussianParams dist;
+  dist.mean.resize(h);
+  dist.stddev.resize(h);
+  for (size_t step = 0; step < h; ++step) {
+    const double mu_scaled = out(0, step);
+    const double raw = out(0, h + step);
+    const double sigma_scaled =
+        (raw > 0.0 ? raw : 0.0) + std::log1p(std::exp(-std::fabs(raw))) +
+        options_.min_sigma;
+    dist.mean[step] = scaler_.Inverse(mu_scaled);
+    dist.stddev[step] = sigma_scaled * scaler_.scale();
+  }
+  return dist;
+}
+
+Result<ts::QuantileForecast> MlpForecaster::Predict(
+    const ForecastInput& input) const {
+  RPAS_ASSIGN_OR_RETURN(GaussianParams dist, PredictDistribution(input));
+  const size_t h = options_.horizon;
+  std::vector<std::vector<double>> values(h);
+  for (size_t step = 0; step < h; ++step) {
+    values[step].reserve(options_.levels.size());
+    for (double tau : options_.levels) {
+      values[step].push_back(dist.mean[step] +
+                             dist.stddev[step] * dist::NormalQuantile(tau));
+    }
+  }
+  return ts::QuantileForecast(options_.levels, std::move(values));
+}
+
+}  // namespace rpas::forecast

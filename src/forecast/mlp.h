@@ -1,0 +1,86 @@
+#ifndef RPAS_FORECAST_MLP_H_
+#define RPAS_FORECAST_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "forecast/forecaster.h"
+#include "nn/layers.h"
+#include "nn/trainer.h"
+#include "ts/scaler.h"
+
+namespace rpas::forecast {
+
+/// Probabilistic multilayer-perceptron forecaster (paper §IV-A): a
+/// feed-forward network whose "output layer can generate the mean and
+/// variance of a Gaussian distribution", trained with the negative
+/// log-likelihood. Direct multi-horizon: one forward pass emits
+/// (mu_h, sigma_h) for every step of the horizon.
+class MlpForecaster final : public Forecaster {
+ public:
+  struct Options {
+    size_t context_length = 72;
+    size_t horizon = 72;
+    size_t hidden_dim = 64;
+    size_t num_hidden_layers = 2;  ///< 1 or 2
+    size_t batch_size = 32;
+    nn::TrainConfig train;
+    std::vector<double> levels;  ///< defaults to DefaultQuantileLevels()
+    uint64_t seed = 7;
+    double min_sigma = 1e-3;  ///< floor on the scaled stddev head
+    /// When false (default) the input is the raw context window only,
+    /// mirroring the GluonTS SimpleFeedForward baseline the paper
+    /// evaluates; enabling calendar covariates makes the MLP notably
+    /// stronger than the paper's baseline.
+    bool use_time_features = false;
+  };
+
+  explicit MlpForecaster(Options options);
+
+  Status Fit(const ts::TimeSeries& train) override;
+  Result<ts::QuantileForecast> Predict(
+      const ForecastInput& input) const override;
+
+  size_t Horizon() const override { return options_.horizon; }
+  size_t ContextLength() const override { return options_.context_length; }
+  const std::vector<double>& Levels() const override {
+    return options_.levels;
+  }
+  std::string Name() const override { return "MLP"; }
+
+  /// Per-step Gaussian parameters in workload units (after Fit);
+  /// exposed for tests and the Fig. 7 interval visualization.
+  struct GaussianParams {
+    std::vector<double> mean;
+    std::vector<double> stddev;
+  };
+  Result<GaussianParams> PredictDistribution(const ForecastInput& input) const;
+
+  /// Persists the trained weights and the fitted scaler (text checkpoint).
+  Status Save(const std::string& path) const;
+  /// Restores a model saved by an identically configured instance.
+  Status Load(const std::string& path);
+
+ private:
+  void BuildModel();
+  std::vector<autodiff::Parameter*> AllParams() const;
+  std::string Signature() const;
+
+  /// Input width: context length, plus calendar features when enabled.
+  size_t InputDim() const;
+
+  /// Feature vector: scaled context (+ calendar features of the first
+  /// forecast step when enabled).
+  std::vector<double> BuildFeatures(const ForecastInput& input) const;
+
+  Options options_;
+  bool fitted_ = false;
+  ts::AffineScaler scaler_;
+  std::unique_ptr<nn::Dense> fc1_;
+  std::unique_ptr<nn::Dense> fc2_;
+  std::unique_ptr<nn::Dense> head_;  // emits 2*horizon (mu, raw sigma)
+};
+
+}  // namespace rpas::forecast
+
+#endif  // RPAS_FORECAST_MLP_H_

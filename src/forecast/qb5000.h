@@ -1,0 +1,80 @@
+#ifndef RPAS_FORECAST_QB5000_H_
+#define RPAS_FORECAST_QB5000_H_
+
+#include <memory>
+#include <vector>
+
+#include "forecast/forecaster.h"
+#include "forecast/time_features.h"
+#include "nn/layers.h"
+#include "nn/trainer.h"
+#include "tensor/matrix.h"
+#include "ts/scaler.h"
+
+namespace rpas::forecast {
+
+/// QueryBot-5000-style hybrid *point* forecaster (Ma et al., SIGMOD'18;
+/// paper §IV-A): an ensemble that averages three component predictors —
+///   1. direct multi-horizon linear regression on the context window,
+///   2. an autoregressive LSTM point model (MSE-trained),
+///   3. Nadaraya–Watson kernel regression over stored training windows.
+/// Produces a single trajectory; Predict() exposes it as a degenerate
+/// one-level quantile forecast so the point-forecast scaling baselines plug
+/// into the same evaluation machinery.
+class Qb5000Forecaster final : public Forecaster {
+ public:
+  struct Options {
+    size_t context_length = 72;
+    size_t horizon = 72;
+    size_t lstm_hidden = 24;
+    size_t batch_size = 16;
+    nn::TrainConfig train;
+    double ridge = 1e-3;          ///< LR component damping
+    size_t max_kernel_windows = 512;  ///< stored windows for the kernel
+    double kernel_bandwidth = 4.0;    ///< Gaussian kernel bandwidth (scaled)
+    uint64_t seed = 31;
+  };
+
+  explicit Qb5000Forecaster(Options options);
+
+  Status Fit(const ts::TimeSeries& train) override;
+  Result<ts::QuantileForecast> Predict(
+      const ForecastInput& input) const override;
+  Result<std::vector<double>> PredictPoint(
+      const ForecastInput& input) const override;
+
+  size_t Horizon() const override { return options_.horizon; }
+  size_t ContextLength() const override { return options_.context_length; }
+  const std::vector<double>& Levels() const override { return levels_; }
+  std::string Name() const override { return "QB5000"; }
+
+  /// Individual component trajectories (for tests / analysis).
+  Result<std::vector<double>> PredictLinear(const ForecastInput& input) const;
+  Result<std::vector<double>> PredictLstm(const ForecastInput& input) const;
+  Result<std::vector<double>> PredictKernel(const ForecastInput& input) const;
+
+ private:
+  std::vector<double> LinearFeatures(const std::vector<double>& context,
+                                     size_t forecast_start,
+                                     double step_minutes) const;
+
+  Options options_;
+  std::vector<double> levels_{0.5};
+  bool fitted_ = false;
+  ts::AffineScaler scaler_;
+
+  // Linear-regression component: (T + time features + 1) x H coefficients.
+  tensor::Matrix lr_coeffs_;
+
+  // LSTM component.
+  std::unique_ptr<nn::LstmCell> lstm_;
+  std::unique_ptr<nn::Dense> lstm_head_;
+
+  // Kernel component: stored (scaled context, scaled future) exemplars.
+  std::vector<std::vector<double>> kernel_contexts_;
+  std::vector<std::vector<double>> kernel_futures_;
+};
+
+}  // namespace rpas::forecast
+
+#endif  // RPAS_FORECAST_QB5000_H_

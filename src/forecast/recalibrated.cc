@@ -1,0 +1,114 @@
+#include "forecast/recalibrated.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rpas::forecast {
+
+RecalibratedForecaster::RecalibratedForecaster(
+    std::unique_ptr<Forecaster> base, Options options)
+    : base_(std::move(base)), options_(std::move(options)) {
+  RPAS_CHECK(base_ != nullptr);
+  RPAS_CHECK(!options_.probe_levels.empty());
+  RPAS_CHECK(options_.calibration_steps > 0 && options_.stride > 0);
+  RPAS_CHECK(std::is_sorted(options_.probe_levels.begin(),
+                            options_.probe_levels.end()));
+}
+
+Status RecalibratedForecaster::Fit(const ts::TimeSeries& train) {
+  const size_t calib = options_.calibration_steps;
+  if (train.size() <= calib + base_->ContextLength() + base_->Horizon()) {
+    return Status::InvalidArgument(
+        "Recalibrated: series too short for a calibration split");
+  }
+  ts::TimeSeries head = train.Slice(0, train.size() - calib);
+  ts::TimeSeries tail = train.Slice(train.size() - calib, train.size());
+
+  RPAS_RETURN_IF_ERROR(base_->Fit(head));
+
+  // Trace the empirical coverage curve on the calibration window. Probes
+  // outside the base model's stored grid would silently clamp to its
+  // extreme quantiles, flattening the curve, so restrict to its range.
+  RPAS_ASSIGN_OR_RETURN(RollingForecasts rolled,
+                        RollForecasts(*base_, head, tail, options_.stride));
+  const double lo_level = base_->Levels().front();
+  const double hi_level = base_->Levels().back();
+  std::vector<double> probes = base_->Levels();  // always probe the grid
+  for (double level : options_.probe_levels) {
+    if (level >= lo_level && level <= hi_level) {
+      probes.push_back(level);
+    }
+  }
+  std::sort(probes.begin(), probes.end());
+  probes.erase(std::unique(probes.begin(), probes.end()), probes.end());
+  coverage_curve_.clear();
+  for (double level : probes) {
+    size_t covered = 0;
+    size_t total = 0;
+    for (size_t i = 0; i < rolled.forecasts.size(); ++i) {
+      const auto& fc = rolled.forecasts[i];
+      const auto& actual = rolled.actuals[i];
+      for (size_t h = 0; h < fc.Horizon(); ++h) {
+        if (fc.Value(h, level) >= actual[h]) {
+          ++covered;
+        }
+        ++total;
+      }
+    }
+    coverage_curve_[level] =
+        total > 0 ? static_cast<double>(covered) / static_cast<double>(total)
+                  : level;
+  }
+  calibrated_ = true;
+  return Status::OK();
+}
+
+double RecalibratedForecaster::RemappedLevel(double nominal) const {
+  RPAS_CHECK(calibrated_) << "RemappedLevel before Fit";
+  RPAS_CHECK(nominal > 0.0 && nominal < 1.0);
+  // Find the base level whose empirical coverage equals `nominal` by
+  // monotone linear interpolation of the (level, coverage) curve. The raw
+  // curve can wiggle; take the running maximum to enforce monotonicity.
+  double prev_level = 0.0;
+  double prev_cov = 0.0;
+  double running_cov = 0.0;
+  for (const auto& [level, cov] : coverage_curve_) {
+    running_cov = std::max(running_cov, cov);
+    if (running_cov >= nominal) {
+      if (running_cov == prev_cov) {
+        return level;
+      }
+      const double frac = (nominal - prev_cov) / (running_cov - prev_cov);
+      const double mapped = prev_level + frac * (level - prev_level);
+      return std::clamp(mapped, 1e-4, 1.0 - 1e-4);
+    }
+    prev_level = level;
+    prev_cov = running_cov;
+  }
+  // Even the highest probe under-covers: ask for the most extreme level.
+  return 1.0 - 1e-4;
+}
+
+Result<ts::QuantileForecast> RecalibratedForecaster::Predict(
+    const ForecastInput& input) const {
+  if (!calibrated_) {
+    return Status::FailedPrecondition("Recalibrated: Fit() not called");
+  }
+  RPAS_ASSIGN_OR_RETURN(ts::QuantileForecast raw, base_->Predict(input));
+  // Answer each nominal level with the remapped base level's value.
+  const std::vector<double>& levels = base_->Levels();
+  std::vector<std::vector<double>> values(raw.Horizon());
+  for (size_t h = 0; h < raw.Horizon(); ++h) {
+    values[h].reserve(levels.size());
+    for (double nominal : levels) {
+      values[h].push_back(raw.Value(h, RemappedLevel(nominal)));
+    }
+  }
+  ts::QuantileForecast out(levels, std::move(values));
+  out.SortQuantilesPerStep();
+  return out;
+}
+
+}  // namespace rpas::forecast

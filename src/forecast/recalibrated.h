@@ -1,0 +1,73 @@
+#ifndef RPAS_FORECAST_RECALIBRATED_H_
+#define RPAS_FORECAST_RECALIBRATED_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "forecast/forecaster.h"
+
+namespace rpas::forecast {
+
+/// Conformal-style quantile recalibration wrapper (library extension; see
+/// DESIGN.md §6). Probabilistic forecasters are often miscalibrated — the
+/// paper's Table I shows DeepAR covering ~0.55 at the nominal 0.7 level.
+/// Under-coverage directly translates into under-provisioning when the
+/// scaling strategy trusts the nominal level.
+///
+/// This wrapper measures empirical coverage of the base forecaster on a
+/// calibration window and remaps each requested level tau to the base
+/// level whose *empirical* coverage is tau (monotone interpolation of the
+/// coverage curve). The recalibrated forecaster then reports quantiles
+/// whose nominal and empirical levels agree, restoring the semantics the
+/// robust auto-scaling optimization assumes.
+class RecalibratedForecaster final : public Forecaster {
+ public:
+  struct Options {
+    /// Steps held out from the end of the training series for calibration.
+    size_t calibration_steps = 288;
+    /// Stride between calibration forecasts.
+    size_t stride = 24;
+    /// Dense grid of base levels probed to trace the coverage curve.
+    std::vector<double> probe_levels = {0.02, 0.05, 0.1, 0.2, 0.3, 0.4,
+                                        0.5,  0.6,  0.7, 0.8, 0.9, 0.95,
+                                        0.98, 0.995};
+  };
+
+  /// Wraps (and owns) `base`. The wrapper exposes the base model's levels;
+  /// Fit() trains the base on the head of the series and calibrates on the
+  /// tail.
+  RecalibratedForecaster(std::unique_ptr<Forecaster> base, Options options);
+
+  Status Fit(const ts::TimeSeries& train) override;
+  Result<ts::QuantileForecast> Predict(
+      const ForecastInput& input) const override;
+
+  size_t Horizon() const override { return base_->Horizon(); }
+  size_t ContextLength() const override { return base_->ContextLength(); }
+  const std::vector<double>& Levels() const override {
+    return base_->Levels();
+  }
+  std::string Name() const override {
+    return base_->Name() + "+recalibrated";
+  }
+
+  /// Remapped base level used to answer a nominal level (valid after Fit);
+  /// exposed for tests and diagnostics.
+  double RemappedLevel(double nominal) const;
+
+  /// Empirical coverage measured at each probe level (valid after Fit).
+  const std::map<double, double>& CoverageCurve() const {
+    return coverage_curve_;
+  }
+
+ private:
+  std::unique_ptr<Forecaster> base_;
+  Options options_;
+  bool calibrated_ = false;
+  std::map<double, double> coverage_curve_;  // base level -> coverage
+};
+
+}  // namespace rpas::forecast
+
+#endif  // RPAS_FORECAST_RECALIBRATED_H_

@@ -1,0 +1,67 @@
+#include "forecast/seasonal_naive.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "dist/special.h"
+
+namespace rpas::forecast {
+
+SeasonalNaiveForecaster::SeasonalNaiveForecaster(Options options)
+    : options_(std::move(options)) {
+  RPAS_CHECK(options_.context_length > 0 && options_.horizon > 0);
+  RPAS_CHECK(options_.season > 0);
+  if (options_.levels.empty()) {
+    options_.levels = DefaultQuantileLevels();
+  }
+}
+
+Status SeasonalNaiveForecaster::Fit(const ts::TimeSeries& train) {
+  if (train.size() <= options_.season) {
+    return Status::InvalidArgument(
+        "SeasonalNaive: training series shorter than one season");
+  }
+  double ss = 0.0;
+  size_t n = 0;
+  for (size_t t = options_.season; t < train.size(); ++t) {
+    const double diff = train.values[t] - train.values[t - options_.season];
+    ss += diff * diff;
+    ++n;
+  }
+  residual_stddev_ = std::max(std::sqrt(ss / static_cast<double>(n)), 1e-9);
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<ts::QuantileForecast> SeasonalNaiveForecaster::Predict(
+    const ForecastInput& input) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("SeasonalNaive: Fit() not called");
+  }
+  if (input.context.empty()) {
+    return Status::InvalidArgument("SeasonalNaive: empty context");
+  }
+  const size_t n = input.context.size();
+  std::vector<std::vector<double>> values(options_.horizon);
+  for (size_t step = 0; step < options_.horizon; ++step) {
+    // Index of the same phase one season earlier, counted from the context
+    // end; fall back to the last observation when out of range.
+    double point = input.context.back();
+    const size_t steps_back = options_.season;
+    const size_t offset = (step % options_.season);
+    if (steps_back <= n && offset < steps_back) {
+      const size_t idx = n - steps_back + offset;
+      if (idx < n) {
+        point = input.context[idx];
+      }
+    }
+    values[step].reserve(options_.levels.size());
+    for (double tau : options_.levels) {
+      values[step].push_back(point +
+                             residual_stddev_ * dist::NormalQuantile(tau));
+    }
+  }
+  return ts::QuantileForecast(options_.levels, std::move(values));
+}
+
+}  // namespace rpas::forecast

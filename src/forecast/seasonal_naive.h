@@ -1,0 +1,45 @@
+#ifndef RPAS_FORECAST_SEASONAL_NAIVE_H_
+#define RPAS_FORECAST_SEASONAL_NAIVE_H_
+
+#include <vector>
+
+#include "forecast/forecaster.h"
+
+namespace rpas::forecast {
+
+/// Seasonal-naive probabilistic baseline: the point forecast repeats the
+/// observation one season ago (falling back to the last observation when
+/// the context is shorter than a season), and quantiles are Gaussian with a
+/// stddev estimated from seasonal differences on the training series. A
+/// sanity baseline for tests and ablations; not part of the paper's lineup.
+class SeasonalNaiveForecaster final : public Forecaster {
+ public:
+  struct Options {
+    size_t context_length = 72;
+    size_t horizon = 72;
+    size_t season = 144;  ///< steps per season (one day at 10-minute steps)
+    std::vector<double> levels;
+  };
+
+  explicit SeasonalNaiveForecaster(Options options);
+
+  Status Fit(const ts::TimeSeries& train) override;
+  Result<ts::QuantileForecast> Predict(
+      const ForecastInput& input) const override;
+
+  size_t Horizon() const override { return options_.horizon; }
+  size_t ContextLength() const override { return options_.context_length; }
+  const std::vector<double>& Levels() const override {
+    return options_.levels;
+  }
+  std::string Name() const override { return "SeasonalNaive"; }
+
+ private:
+  Options options_;
+  bool fitted_ = false;
+  double residual_stddev_ = 1.0;
+};
+
+}  // namespace rpas::forecast
+
+#endif  // RPAS_FORECAST_SEASONAL_NAIVE_H_

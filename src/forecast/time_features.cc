@@ -1,0 +1,20 @@
+#include "forecast/time_features.h"
+
+#include <cmath>
+
+namespace rpas::forecast {
+
+std::array<double, kNumTimeFeatures> TimeFeatures(size_t abs_index,
+                                                  double step_minutes) {
+  constexpr double kMinutesPerDay = 24.0 * 60.0;
+  constexpr double kMinutesPerWeek = 7.0 * kMinutesPerDay;
+  const double minutes = static_cast<double>(abs_index) * step_minutes;
+  const double day_phase =
+      2.0 * M_PI * std::fmod(minutes, kMinutesPerDay) / kMinutesPerDay;
+  const double week_phase =
+      2.0 * M_PI * std::fmod(minutes, kMinutesPerWeek) / kMinutesPerWeek;
+  return {std::sin(day_phase), std::cos(day_phase), std::sin(week_phase),
+          std::cos(week_phase)};
+}
+
+}  // namespace rpas::forecast

@@ -1,0 +1,21 @@
+#ifndef RPAS_FORECAST_TIME_FEATURES_H_
+#define RPAS_FORECAST_TIME_FEATURES_H_
+
+#include <array>
+#include <cstddef>
+
+namespace rpas::forecast {
+
+/// Number of calendar covariates produced per time step.
+inline constexpr size_t kNumTimeFeatures = 4;
+
+/// Calendar covariates for an absolute step index: sin/cos of time-of-day
+/// and sin/cos of day-of-week phase. Workload traces have strong daily and
+/// weekly cycles (both cluster traces the paper uses do); these features let
+/// the neural forecasters model them beyond the raw context window.
+std::array<double, kNumTimeFeatures> TimeFeatures(size_t abs_index,
+                                                  double step_minutes);
+
+}  // namespace rpas::forecast
+
+#endif  // RPAS_FORECAST_TIME_FEATURES_H_

@@ -1,0 +1,83 @@
+#include "nn/checkpoint.h"
+
+#include <cinttypes>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace rpas::nn {
+
+namespace {
+constexpr char kMagic[] = "RPASCKPT1";
+}
+
+Status SaveParameters(const std::string& path, const std::string& signature,
+                      const std::vector<autodiff::Parameter*>& params) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out << kMagic << "\n" << signature << "\n" << params.size() << "\n";
+  out.precision(17);
+  for (const autodiff::Parameter* p : params) {
+    out << p->value.rows() << " " << p->value.cols() << "\n";
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      if (i > 0) {
+        out << " ";
+      }
+      out << p->value[i];
+    }
+    out << "\n";
+  }
+  out.flush();
+  if (!out) {
+    return Status::IoError("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+Status LoadParameters(const std::string& path, const std::string& signature,
+                      const std::vector<autodiff::Parameter*>& params) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not an RPAS checkpoint");
+  }
+  if (!std::getline(in, line) || line != signature) {
+    return Status::InvalidArgument(
+        "checkpoint signature mismatch: file has '" + line +
+        "', model expects '" + signature + "'");
+  }
+  size_t count = 0;
+  if (!(in >> count) || count != params.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "checkpoint holds %zu tensors, model has %zu", count, params.size()));
+  }
+  for (size_t idx = 0; idx < params.size(); ++idx) {
+    size_t rows = 0;
+    size_t cols = 0;
+    if (!(in >> rows >> cols)) {
+      return Status::InvalidArgument("truncated checkpoint header");
+    }
+    autodiff::Parameter* p = params[idx];
+    if (rows != p->value.rows() || cols != p->value.cols()) {
+      return Status::InvalidArgument(StrFormat(
+          "tensor %zu shape mismatch: file %zux%zu, model %zux%zu", idx,
+          rows, cols, p->value.rows(), p->value.cols()));
+    }
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      if (!(in >> p->value[i])) {
+        return Status::InvalidArgument("truncated checkpoint data");
+      }
+    }
+    p->ZeroGrad();
+  }
+  return Status::OK();
+}
+
+}  // namespace rpas::nn

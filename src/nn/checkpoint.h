@@ -1,0 +1,37 @@
+#ifndef RPAS_NN_CHECKPOINT_H_
+#define RPAS_NN_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "autodiff/tape.h"
+#include "common/result.h"
+
+namespace rpas::nn {
+
+/// Order-based parameter checkpointing. A checkpoint stores a signature
+/// string (model type + architecture fingerprint) followed by every
+/// parameter matrix in Params() order; loading verifies the signature and
+/// every shape, so weights can only be restored into an identically
+/// configured model.
+///
+/// Format (text, line-oriented):
+///   RPASCKPT1
+///   <signature>
+///   <num_tensors>
+///   <rows> <cols>
+///   <row-major values, space separated>   (one line per tensor)
+///   ...
+
+/// Writes the parameters to `path`. Returns IoError on filesystem failure.
+Status SaveParameters(const std::string& path, const std::string& signature,
+                      const std::vector<autodiff::Parameter*>& params);
+
+/// Restores parameters from `path`. Returns InvalidArgument when the file's
+/// signature, tensor count, or any shape does not match `params`.
+Status LoadParameters(const std::string& path, const std::string& signature,
+                      const std::vector<autodiff::Parameter*>& params);
+
+}  // namespace rpas::nn
+
+#endif  // RPAS_NN_CHECKPOINT_H_

@@ -1,0 +1,25 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace rpas::nn {
+
+tensor::Matrix XavierUniform(size_t rows, size_t cols, Rng* rng) {
+  tensor::Matrix m(rows, cols);
+  const double a =
+      std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (size_t i = 0; i < m.size(); ++i) {
+    m[i] = rng->Uniform(-a, a);
+  }
+  return m;
+}
+
+tensor::Matrix Zeros(size_t rows, size_t cols) {
+  return tensor::Matrix(rows, cols);
+}
+
+tensor::Matrix Constant(size_t rows, size_t cols, double value) {
+  return tensor::Matrix(rows, cols, value);
+}
+
+}  // namespace rpas::nn

@@ -1,0 +1,21 @@
+#ifndef RPAS_NN_INIT_H_
+#define RPAS_NN_INIT_H_
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+
+namespace rpas::nn {
+
+/// Xavier/Glorot uniform initialization: U(-a, a) with
+/// a = sqrt(6 / (fan_in + fan_out)).
+tensor::Matrix XavierUniform(size_t rows, size_t cols, Rng* rng);
+
+/// Zero-initialized matrix (biases).
+tensor::Matrix Zeros(size_t rows, size_t cols);
+
+/// Constant-filled matrix (e.g., LSTM forget-gate bias of 1).
+tensor::Matrix Constant(size_t rows, size_t cols, double value);
+
+}  // namespace rpas::nn
+
+#endif  // RPAS_NN_INIT_H_

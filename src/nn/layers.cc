@@ -1,0 +1,383 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace rpas::nn {
+
+namespace ops = ::rpas::tensor;
+
+size_t Module::NumParams() {
+  size_t n = 0;
+  for (Parameter* p : Params()) {
+    n += p->size();
+  }
+  return n;
+}
+
+void Module::ZeroGrads() {
+  for (Parameter* p : Params()) {
+    p->ZeroGrad();
+  }
+}
+
+// ---------------------------------------------------------------- Dense ---
+
+Dense::Dense(size_t in_dim, size_t out_dim, Activation act, Rng* rng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      act_(act),
+      w_(XavierUniform(in_dim, out_dim, rng)),
+      b_(Zeros(1, out_dim)) {}
+
+Var Dense::Forward(Tape* tape, Var x) {
+  Var y = tape->AddRowBroadcast(tape->MatMul(x, tape->Bind(&w_)),
+                                tape->Bind(&b_));
+  switch (act_) {
+    case Activation::kNone:
+      return y;
+    case Activation::kRelu:
+      return tape->Relu(y);
+    case Activation::kTanh:
+      return tape->Tanh(y);
+    case Activation::kSigmoid:
+      return tape->Sigmoid(y);
+    case Activation::kSoftplus:
+      return tape->Softplus(y);
+  }
+  return y;
+}
+
+Matrix Dense::Apply(const Matrix& x) const {
+  Matrix y = ops::AddRowBroadcast(ops::MatMul(x, w_.value), b_.value);
+  switch (act_) {
+    case Activation::kNone:
+      break;
+    case Activation::kRelu:
+      y = ops::Map(y, [](double v) { return v > 0.0 ? v : 0.0; });
+      break;
+    case Activation::kTanh:
+      y = ops::Map(y, [](double v) { return std::tanh(v); });
+      break;
+    case Activation::kSigmoid:
+      y = ops::Map(y, [](double v) {
+        return v >= 0.0 ? 1.0 / (1.0 + std::exp(-v))
+                        : std::exp(v) / (1.0 + std::exp(v));
+      });
+      break;
+    case Activation::kSoftplus:
+      y = ops::Map(y, [](double v) {
+        return (v > 0.0 ? v : 0.0) + std::log1p(std::exp(-std::fabs(v)));
+      });
+      break;
+  }
+  return y;
+}
+
+std::vector<Parameter*> Dense::Params() { return {&w_, &b_}; }
+
+// ------------------------------------------------------------- LstmCell ---
+
+LstmCell::LstmCell(size_t in_dim, size_t hidden_dim, Rng* rng)
+    : in_dim_(in_dim),
+      hidden_dim_(hidden_dim),
+      w_x_(XavierUniform(in_dim, 4 * hidden_dim, rng)),
+      w_h_(XavierUniform(hidden_dim, 4 * hidden_dim, rng)),
+      b_(Zeros(1, 4 * hidden_dim)) {
+  // Forget-gate bias = 1 encourages remembering early in training.
+  for (size_t c = hidden_dim; c < 2 * hidden_dim; ++c) {
+    b_.value(0, c) = 1.0;
+  }
+}
+
+LstmCell::State LstmCell::ZeroState(Tape* tape, size_t batch) const {
+  return {tape->Constant(Matrix(batch, hidden_dim_)),
+          tape->Constant(Matrix(batch, hidden_dim_))};
+}
+
+LstmCell::RawState LstmCell::ZeroRawState(size_t batch) const {
+  return {Matrix(batch, hidden_dim_), Matrix(batch, hidden_dim_)};
+}
+
+LstmCell::State LstmCell::Step(Tape* tape, Var x, const State& state) {
+  const size_t h = hidden_dim_;
+  Var gates = tape->AddRowBroadcast(
+      tape->Add(tape->MatMul(x, tape->Bind(&w_x_)),
+                tape->MatMul(state.h, tape->Bind(&w_h_))),
+      tape->Bind(&b_));
+  Var i = tape->Sigmoid(tape->SliceCols(gates, 0, h));
+  Var f = tape->Sigmoid(tape->SliceCols(gates, h, 2 * h));
+  Var g = tape->Tanh(tape->SliceCols(gates, 2 * h, 3 * h));
+  Var o = tape->Sigmoid(tape->SliceCols(gates, 3 * h, 4 * h));
+  Var c = tape->Add(tape->Mul(f, state.c), tape->Mul(i, g));
+  Var new_h = tape->Mul(o, tape->Tanh(c));
+  return {new_h, c};
+}
+
+LstmCell::RawState LstmCell::Step(const Matrix& x,
+                                  const RawState& state) const {
+  const size_t h = hidden_dim_;
+  Matrix gates = ops::AddRowBroadcast(
+      ops::Add(ops::MatMul(x, w_x_.value), ops::MatMul(state.h, w_h_.value)),
+      b_.value);
+  auto sigmoid = [](double v) {
+    return v >= 0.0 ? 1.0 / (1.0 + std::exp(-v))
+                    : std::exp(v) / (1.0 + std::exp(v));
+  };
+  RawState out;
+  out.h = Matrix(x.rows(), h);
+  out.c = Matrix(x.rows(), h);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t j = 0; j < h; ++j) {
+      const double i = sigmoid(gates(r, j));
+      const double f = sigmoid(gates(r, h + j));
+      const double g = std::tanh(gates(r, 2 * h + j));
+      const double o = sigmoid(gates(r, 3 * h + j));
+      const double c = f * state.c(r, j) + i * g;
+      out.c(r, j) = c;
+      out.h(r, j) = o * std::tanh(c);
+    }
+  }
+  return out;
+}
+
+std::vector<Parameter*> LstmCell::Params() { return {&w_x_, &w_h_, &b_}; }
+
+// ------------------------------------------------------------ LayerNorm ---
+
+namespace {
+constexpr double kLnEps = 1e-5;
+}
+
+LayerNorm::LayerNorm(size_t dim)
+    : dim_(dim), gain_(Constant(1, dim, 1.0)), bias_(Zeros(1, dim)) {}
+
+Var LayerNorm::Forward(Tape* tape, Var x) {
+  RPAS_CHECK(x.cols() == dim_) << "LayerNorm dim mismatch";
+  const Matrix& xv = x.value();
+  const size_t rows = xv.rows();
+  const size_t d = dim_;
+
+  // Normalized activations computed out-of-graph; custom node provides the
+  // analytic LayerNorm backward (cheaper and simpler than composing
+  // primitive broadcast ops).
+  Matrix normalized(rows, d);
+  std::vector<double> inv_std(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    double mean = 0.0;
+    for (size_t c = 0; c < d; ++c) {
+      mean += xv(r, c);
+    }
+    mean /= static_cast<double>(d);
+    double var = 0.0;
+    for (size_t c = 0; c < d; ++c) {
+      const double diff = xv(r, c) - mean;
+      var += diff * diff;
+    }
+    var /= static_cast<double>(d);
+    const double istd = 1.0 / std::sqrt(var + kLnEps);
+    inv_std[r] = istd;
+    for (size_t c = 0; c < d; ++c) {
+      normalized(r, c) = (xv(r, c) - mean) * istd;
+    }
+  }
+
+  const size_t xi = x.id();
+  Var norm_node = tape->Custom(
+      {x}, normalized,
+      [xi, normalized, inv_std, rows, d](const Matrix& g, Tape* t) {
+        // dL/dx = istd/d * (d*g - sum(g) - xhat * sum(g*xhat)) per row.
+        Matrix gx(rows, d);
+        for (size_t r = 0; r < rows; ++r) {
+          double sum_g = 0.0;
+          double sum_gx = 0.0;
+          for (size_t c = 0; c < d; ++c) {
+            sum_g += g(r, c);
+            sum_gx += g(r, c) * normalized(r, c);
+          }
+          for (size_t c = 0; c < d; ++c) {
+            gx(r, c) = inv_std[r] / static_cast<double>(d) *
+                       (static_cast<double>(d) * g(r, c) - sum_g -
+                        normalized(r, c) * sum_gx);
+          }
+        }
+        t->AccumulateGrad(xi, gx);
+      });
+  return tape->AddRowBroadcast(
+      tape->MulRowBroadcast(norm_node, tape->Bind(&gain_)),
+      tape->Bind(&bias_));
+}
+
+Matrix LayerNorm::Apply(const Matrix& x) const {
+  RPAS_CHECK(x.cols() == dim_) << "LayerNorm dim mismatch";
+  Matrix out(x.rows(), dim_);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    double mean = 0.0;
+    for (size_t c = 0; c < dim_; ++c) {
+      mean += x(r, c);
+    }
+    mean /= static_cast<double>(dim_);
+    double var = 0.0;
+    for (size_t c = 0; c < dim_; ++c) {
+      const double diff = x(r, c) - mean;
+      var += diff * diff;
+    }
+    var /= static_cast<double>(dim_);
+    const double istd = 1.0 / std::sqrt(var + kLnEps);
+    for (size_t c = 0; c < dim_; ++c) {
+      out(r, c) =
+          (x(r, c) - mean) * istd * gain_.value(0, c) + bias_.value(0, c);
+    }
+  }
+  return out;
+}
+
+std::vector<Parameter*> LayerNorm::Params() { return {&gain_, &bias_}; }
+
+// ------------------------------------------------- GatedResidualNetwork ---
+
+GatedResidualNetwork::GatedResidualNetwork(size_t in_dim, size_t hidden_dim,
+                                           size_t out_dim, Rng* rng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      fc1_(in_dim, hidden_dim, Dense::Activation::kRelu, rng),
+      fc2_(hidden_dim, out_dim, Dense::Activation::kNone, rng),
+      gate_(out_dim, out_dim, Dense::Activation::kSigmoid, rng),
+      value_(out_dim, out_dim, Dense::Activation::kNone, rng),
+      norm_(out_dim) {
+  if (in_dim != out_dim) {
+    skip_proj_ = std::make_unique<Dense>(in_dim, out_dim,
+                                         Dense::Activation::kNone, rng);
+  }
+}
+
+Var GatedResidualNetwork::Forward(Tape* tape, Var x) {
+  Var hidden = fc2_.Forward(tape, fc1_.Forward(tape, x));
+  Var glu = tape->Mul(gate_.Forward(tape, hidden),
+                      value_.Forward(tape, hidden));
+  Var skip = skip_proj_ ? skip_proj_->Forward(tape, x) : x;
+  return norm_.Forward(tape, tape->Add(skip, glu));
+}
+
+Matrix GatedResidualNetwork::Apply(const Matrix& x) const {
+  Matrix hidden = fc2_.Apply(fc1_.Apply(x));
+  Matrix glu = ops::Mul(gate_.Apply(hidden), value_.Apply(hidden));
+  Matrix skip = skip_proj_ ? skip_proj_->Apply(x) : x;
+  return norm_.Apply(ops::Add(skip, glu));
+}
+
+std::vector<Parameter*> GatedResidualNetwork::Params() {
+  std::vector<Parameter*> params;
+  for (Module* m : std::initializer_list<Module*>{&fc1_, &fc2_, &gate_,
+                                                  &value_, &norm_}) {
+    for (Parameter* p : m->Params()) {
+      params.push_back(p);
+    }
+  }
+  if (skip_proj_) {
+    for (Parameter* p : skip_proj_->Params()) {
+      params.push_back(p);
+    }
+  }
+  return params;
+}
+
+// ------------------------------------------------------------ Attention ---
+
+Var ScaledDotAttention(Tape* tape, Var q, Var k, Var v) {
+  RPAS_CHECK(q.cols() == k.cols()) << "attention dim mismatch";
+  const double scale = 1.0 / std::sqrt(static_cast<double>(q.cols()));
+  Var scores = tape->Scale(tape->MatMul(q, tape->Transpose(k)), scale);
+  return tape->MatMul(tape->SoftmaxRows(scores), v);
+}
+
+Matrix ScaledDotAttention(const Matrix& q, const Matrix& k, const Matrix& v) {
+  RPAS_CHECK(q.cols() == k.cols()) << "attention dim mismatch";
+  const double scale = 1.0 / std::sqrt(static_cast<double>(q.cols()));
+  Matrix scores = ops::Scale(ops::MatMul(q, ops::Transpose(k)), scale);
+  for (size_t r = 0; r < scores.rows(); ++r) {
+    double mx = -1e300;
+    for (size_t c = 0; c < scores.cols(); ++c) {
+      mx = std::max(mx, scores(r, c));
+    }
+    double z = 0.0;
+    for (size_t c = 0; c < scores.cols(); ++c) {
+      scores(r, c) = std::exp(scores(r, c) - mx);
+      z += scores(r, c);
+    }
+    for (size_t c = 0; c < scores.cols(); ++c) {
+      scores(r, c) /= z;
+    }
+  }
+  return ops::MatMul(scores, v);
+}
+
+InterpretableMultiHeadAttention::InterpretableMultiHeadAttention(
+    size_t dim, size_t num_heads, Rng* rng)
+    : dim_(dim),
+      num_heads_(num_heads),
+      head_dim_(dim / num_heads),
+      v_proj_(dim, dim / num_heads, Dense::Activation::kNone, rng),
+      out_proj_(dim / num_heads, dim, Dense::Activation::kNone, rng) {
+  RPAS_CHECK(num_heads > 0 && dim % num_heads == 0)
+      << "attention dim must be divisible by num_heads";
+  for (size_t h = 0; h < num_heads_; ++h) {
+    q_proj_.push_back(std::make_unique<Dense>(dim, head_dim_,
+                                              Dense::Activation::kNone, rng));
+    k_proj_.push_back(std::make_unique<Dense>(dim, head_dim_,
+                                              Dense::Activation::kNone, rng));
+  }
+}
+
+Var InterpretableMultiHeadAttention::Forward(Tape* tape, Var q, Var kv) {
+  Var value = v_proj_.Forward(tape, kv);  // shared across heads
+  Var head_sum;
+  for (size_t h = 0; h < num_heads_; ++h) {
+    Var qh = q_proj_[h]->Forward(tape, q);
+    Var kh = k_proj_[h]->Forward(tape, kv);
+    Var att = ScaledDotAttention(tape, qh, kh, value);
+    head_sum = h == 0 ? att : tape->Add(head_sum, att);
+  }
+  Var mean_heads =
+      tape->Scale(head_sum, 1.0 / static_cast<double>(num_heads_));
+  return out_proj_.Forward(tape, mean_heads);
+}
+
+Matrix InterpretableMultiHeadAttention::Apply(const Matrix& q,
+                                              const Matrix& kv) const {
+  Matrix value = v_proj_.Apply(kv);
+  Matrix head_sum;
+  for (size_t h = 0; h < num_heads_; ++h) {
+    Matrix qh = q_proj_[h]->Apply(q);
+    Matrix kh = k_proj_[h]->Apply(kv);
+    Matrix att = ScaledDotAttention(qh, kh, value);
+    head_sum = h == 0 ? att : ops::Add(head_sum, att);
+  }
+  return out_proj_.Apply(
+      ops::Scale(head_sum, 1.0 / static_cast<double>(num_heads_)));
+}
+
+std::vector<Parameter*> InterpretableMultiHeadAttention::Params() {
+  std::vector<Parameter*> params;
+  for (auto& d : q_proj_) {
+    for (Parameter* p : d->Params()) {
+      params.push_back(p);
+    }
+  }
+  for (auto& d : k_proj_) {
+    for (Parameter* p : d->Params()) {
+      params.push_back(p);
+    }
+  }
+  for (Parameter* p : v_proj_.Params()) {
+    params.push_back(p);
+  }
+  for (Parameter* p : out_proj_.Params()) {
+    params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace rpas::nn

@@ -1,0 +1,174 @@
+#ifndef RPAS_NN_LAYERS_H_
+#define RPAS_NN_LAYERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autodiff/tape.h"
+#include "common/rng.h"
+
+namespace rpas::nn {
+
+using autodiff::Parameter;
+using autodiff::Tape;
+using autodiff::Var;
+using tensor::Matrix;
+
+/// Base for parameterized building blocks. A Module exposes its Parameters
+/// so optimizers can iterate them; Forward methods build tape graphs during
+/// training, and Apply methods run tape-free inference.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Pointers to every trainable parameter (including sub-modules').
+  virtual std::vector<Parameter*> Params() = 0;
+
+  /// Total scalar parameter count.
+  size_t NumParams();
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrads();
+};
+
+/// Fully-connected layer y = x W + b with optional activation.
+class Dense final : public Module {
+ public:
+  enum class Activation { kNone, kRelu, kTanh, kSigmoid, kSoftplus };
+
+  Dense(size_t in_dim, size_t out_dim, Activation act, Rng* rng);
+
+  /// Training path: x is B x in, result B x out.
+  Var Forward(Tape* tape, Var x);
+  /// Inference path (no tape, no gradients).
+  Matrix Apply(const Matrix& x) const;
+
+  std::vector<Parameter*> Params() override;
+
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return out_dim_; }
+
+ private:
+  size_t in_dim_;
+  size_t out_dim_;
+  Activation act_;
+  Parameter w_;
+  Parameter b_;
+};
+
+/// Single LSTM cell (batched over rows). State tensors are B x hidden.
+/// Gate order in the fused weight matrices: input, forget, cell, output.
+/// Forget-gate bias initialized to 1 (standard recipe).
+class LstmCell final : public Module {
+ public:
+  LstmCell(size_t in_dim, size_t hidden_dim, Rng* rng);
+
+  struct State {
+    Var h;
+    Var c;
+  };
+  struct RawState {
+    Matrix h;
+    Matrix c;
+  };
+
+  /// Zero state for a batch of `batch` rows on `tape`.
+  State ZeroState(Tape* tape, size_t batch) const;
+  RawState ZeroRawState(size_t batch) const;
+
+  /// One step of the recurrence on the tape (training).
+  State Step(Tape* tape, Var x, const State& state);
+  /// One step, tape-free (inference; used by DeepAR ancestral sampling).
+  RawState Step(const Matrix& x, const RawState& state) const;
+
+  std::vector<Parameter*> Params() override;
+
+  size_t hidden_dim() const { return hidden_dim_; }
+  size_t in_dim() const { return in_dim_; }
+
+ private:
+  size_t in_dim_;
+  size_t hidden_dim_;
+  Parameter w_x_;  // in x 4H
+  Parameter w_h_;  // H x 4H
+  Parameter b_;    // 1 x 4H
+};
+
+/// Row-wise layer normalization with learned gain/bias
+/// (normalizes each row to zero mean / unit variance).
+class LayerNorm final : public Module {
+ public:
+  explicit LayerNorm(size_t dim);
+
+  Var Forward(Tape* tape, Var x);
+  Matrix Apply(const Matrix& x) const;
+
+  std::vector<Parameter*> Params() override;
+
+ private:
+  size_t dim_;
+  Parameter gain_;  // 1 x dim
+  Parameter bias_;  // 1 x dim
+};
+
+/// Gated Residual Network, the TFT building block:
+///   GRN(x) = LayerNorm(skip(x) + GLU(W2 * ReLU(W1 x + b1) + b2))
+/// where GLU(a) = sigmoid(W4 a + b4) * (W5 a + b5). When in_dim != out_dim
+/// the skip path is a linear projection.
+class GatedResidualNetwork final : public Module {
+ public:
+  GatedResidualNetwork(size_t in_dim, size_t hidden_dim, size_t out_dim,
+                       Rng* rng);
+
+  Var Forward(Tape* tape, Var x);
+  Matrix Apply(const Matrix& x) const;
+
+  std::vector<Parameter*> Params() override;
+
+ private:
+  size_t in_dim_;
+  size_t out_dim_;
+  Dense fc1_;
+  Dense fc2_;
+  Dense gate_;
+  Dense value_;
+  // Projection used only when in_dim != out_dim.
+  std::unique_ptr<Dense> skip_proj_;
+  LayerNorm norm_;
+};
+
+/// Scaled dot-product attention (single head over one sequence):
+///   Attention(Q, K, V) = softmax(Q K^T / sqrt(d_k)) V.
+/// Q: m x d, K: n x d, V: n x d_v. Returns m x d_v (training graph).
+Var ScaledDotAttention(Tape* tape, Var q, Var k, Var v);
+/// Tape-free counterpart.
+Matrix ScaledDotAttention(const Matrix& q, const Matrix& k, const Matrix& v);
+
+/// Interpretable multi-head attention in the TFT spirit: separate query/key
+/// projections per head, a value projection *shared* across heads, and the
+/// head outputs averaged before a final linear map — so attention weights
+/// remain interpretable as one distribution.
+class InterpretableMultiHeadAttention final : public Module {
+ public:
+  InterpretableMultiHeadAttention(size_t dim, size_t num_heads, Rng* rng);
+
+  /// q: m x dim (decoder), kv: n x dim (encoder memory). Returns m x dim.
+  Var Forward(Tape* tape, Var q, Var kv);
+  Matrix Apply(const Matrix& q, const Matrix& kv) const;
+
+  std::vector<Parameter*> Params() override;
+
+ private:
+  size_t dim_;
+  size_t num_heads_;
+  size_t head_dim_;
+  std::vector<std::unique_ptr<Dense>> q_proj_;  // one per head
+  std::vector<std::unique_ptr<Dense>> k_proj_;  // one per head
+  Dense v_proj_;                                // shared value projection
+  Dense out_proj_;
+};
+
+}  // namespace rpas::nn
+
+#endif  // RPAS_NN_LAYERS_H_

@@ -1,0 +1,87 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rpas::nn {
+
+double ClipGradNorm(const std::vector<Parameter*>& params, double max_norm) {
+  RPAS_CHECK(max_norm > 0.0);
+  double sq = 0.0;
+  for (Parameter* p : params) {
+    for (size_t i = 0; i < p->grad.size(); ++i) {
+      sq += p->grad[i] * p->grad[i];
+    }
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm) {
+    const double scale = max_norm / norm;
+    for (Parameter* p : params) {
+      for (size_t i = 0; i < p->grad.size(); ++i) {
+        p->grad[i] *= scale;
+      }
+    }
+  }
+  return norm;
+}
+
+Adam::Adam() : Adam(Options()) {}
+
+Adam::Adam(Options options) : options_(options) {}
+
+void Adam::Step(const std::vector<Parameter*>& params) {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));
+  for (Parameter* p : params) {
+    auto [it, inserted] = moments_.try_emplace(p);
+    if (inserted) {
+      it->second.m = Matrix(p->value.rows(), p->value.cols());
+      it->second.v = Matrix(p->value.rows(), p->value.cols());
+    }
+    Matrix& m = it->second.m;
+    Matrix& v = it->second.v;
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      double g = p->grad[i];
+      if (options_.weight_decay != 0.0) {
+        g += options_.weight_decay * p->value[i];
+      }
+      m[i] = options_.beta1 * m[i] + (1.0 - options_.beta1) * g;
+      v[i] = options_.beta2 * v[i] + (1.0 - options_.beta2) * g * g;
+      const double m_hat = m[i] / bc1;
+      const double v_hat = v[i] / bc2;
+      p->value[i] -=
+          options_.lr * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+    }
+    p->ZeroGrad();
+  }
+}
+
+Sgd::Sgd(double lr, double momentum) : lr_(lr), momentum_(momentum) {
+  RPAS_CHECK(lr > 0.0);
+  RPAS_CHECK(momentum >= 0.0 && momentum < 1.0);
+}
+
+void Sgd::Step(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) {
+    if (momentum_ > 0.0) {
+      auto [it, inserted] = velocity_.try_emplace(p);
+      if (inserted) {
+        it->second = Matrix(p->value.rows(), p->value.cols());
+      }
+      Matrix& vel = it->second;
+      for (size_t i = 0; i < p->value.size(); ++i) {
+        vel[i] = momentum_ * vel[i] - lr_ * p->grad[i];
+        p->value[i] += vel[i];
+      }
+    } else {
+      for (size_t i = 0; i < p->value.size(); ++i) {
+        p->value[i] -= lr_ * p->grad[i];
+      }
+    }
+    p->ZeroGrad();
+  }
+}
+
+}  // namespace rpas::nn

@@ -1,0 +1,41 @@
+#include "nn/trainer.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace rpas::nn {
+
+TrainSummary TrainLoop(
+    const TrainConfig& config, const std::vector<Parameter*>& params,
+    const std::function<autodiff::Var(autodiff::Tape*, Rng*)>& loss_fn) {
+  RPAS_CHECK(config.steps > 0);
+  Rng rng(config.seed);
+  Adam optimizer(Adam::Options{.lr = config.lr});
+
+  TrainSummary summary;
+  summary.best_loss = std::numeric_limits<double>::infinity();
+  for (Parameter* p : params) {
+    p->ZeroGrad();
+  }
+
+  for (int step = 0; step < config.steps; ++step) {
+    autodiff::Tape tape;
+    autodiff::Var loss = loss_fn(&tape, &rng);
+    const double loss_value = loss.value()(0, 0);
+    tape.Backward(loss);
+    ClipGradNorm(params, config.clip_norm);
+    optimizer.Step(params);
+
+    summary.final_loss = loss_value;
+    summary.best_loss = std::min(summary.best_loss, loss_value);
+    ++summary.steps_run;
+    if (config.log_every > 0 && (step + 1) % config.log_every == 0) {
+      RPAS_LOG(kInfo) << "train step " << (step + 1) << "/" << config.steps
+                      << " loss=" << loss_value;
+    }
+  }
+  return summary;
+}
+
+}  // namespace rpas::nn

@@ -1,0 +1,40 @@
+#ifndef RPAS_NN_TRAINER_H_
+#define RPAS_NN_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "autodiff/tape.h"
+#include "common/rng.h"
+#include "nn/optimizer.h"
+
+namespace rpas::nn {
+
+/// Shared training-loop configuration for the neural forecasters.
+struct TrainConfig {
+  int steps = 500;          ///< optimizer steps
+  double lr = 1e-3;         ///< paper §IV-A: fixed 1e-3 for all models
+  double clip_norm = 10.0;  ///< global gradient-norm clip
+  uint64_t seed = 42;
+  int log_every = 0;  ///< 0 disables progress logging
+};
+
+/// Result of a training run.
+struct TrainSummary {
+  double final_loss = 0.0;
+  double best_loss = 0.0;
+  int steps_run = 0;
+};
+
+/// Generic define-by-run training loop: at each step builds a fresh tape via
+/// `loss_fn` (which samples its own minibatch from `rng`), backpropagates,
+/// clips, and applies Adam. Returns the loss trajectory summary.
+///
+/// `loss_fn` must return a 1x1 loss Var on the provided tape.
+TrainSummary TrainLoop(
+    const TrainConfig& config, const std::vector<Parameter*>& params,
+    const std::function<autodiff::Var(autodiff::Tape*, Rng*)>& loss_fn);
+
+}  // namespace rpas::nn
+
+#endif  // RPAS_NN_TRAINER_H_

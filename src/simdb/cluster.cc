@@ -1,0 +1,113 @@
+#include "simdb/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rpas::simdb {
+
+Cluster::Cluster(Options options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  RPAS_CHECK(options_.step_seconds > 0.0);
+  RPAS_CHECK(options_.node_capacity > 0.0);
+  RPAS_CHECK(options_.utilization_threshold > 0.0 &&
+             options_.utilization_threshold <= 1.0);
+  RPAS_CHECK(options_.initial_nodes >= options_.min_nodes);
+  RPAS_CHECK(options_.min_nodes >= 1);
+  nodes_.assign(static_cast<size_t>(options_.initial_nodes), Node{});
+}
+
+void Cluster::InjectNodeFailures(int count) {
+  while (count-- > 0 && nodes_.size() > 1) {
+    nodes_.pop_back();
+    ++total_failures_;
+  }
+}
+
+StepStats Cluster::Step(int target_nodes, double workload) {
+  target_nodes =
+      std::clamp(target_nodes, options_.min_nodes, options_.max_nodes);
+  StepStats stats;
+  stats.step = step_;
+  stats.target_nodes = target_nodes;
+  stats.workload = workload;
+
+  const int current = static_cast<int>(nodes_.size());
+  if (target_nodes > current) {
+    stats.nodes_added = target_nodes - current;
+    for (int i = 0; i < stats.nodes_added; ++i) {
+      Node node;
+      node.warmup_remaining_seconds =
+          options_.warmup.WarmupSeconds(options_.checkpoint_gb, &rng_);
+      nodes_.push_back(node);
+    }
+  } else if (target_nodes < current) {
+    // Scale-in: stateless compute over shared storage detaches immediately;
+    // remove the youngest (possibly still warming) nodes first.
+    stats.nodes_removed = current - target_nodes;
+    nodes_.resize(static_cast<size_t>(target_nodes));
+  }
+  if (stats.nodes_added > 0 || stats.nodes_removed > 0) {
+    ++total_scale_events_;
+    const int direction = stats.nodes_added > 0 ? 1 : -1;
+    if (last_direction_ != 0 && direction != last_direction_) {
+      ++total_direction_changes_;
+    }
+    last_direction_ = direction;
+  }
+
+  // Failure injection: each node may crash this step, losing its capacity;
+  // the next decision re-provisions (the node count snaps back to target).
+  if (options_.failure_rate > 0.0) {
+    size_t write = 0;
+    for (size_t read = 0; read < nodes_.size(); ++read) {
+      if (nodes_.size() - (read - write) > 1 &&
+          rng_.Bernoulli(options_.failure_rate)) {
+        ++stats.nodes_failed;
+        ++total_failures_;
+        continue;  // drop this node
+      }
+      nodes_[write++] = nodes_[read];
+    }
+    nodes_.resize(write);
+  }
+
+  // Effective capacity: a node warming for w seconds of an s-second step
+  // contributes (1 - w/s) of its capacity this step.
+  double effective = 0.0;
+  int active = 0;
+  for (Node& node : nodes_) {
+    if (node.warmup_remaining_seconds <= 0.0) {
+      effective += 1.0;
+      ++active;
+    } else {
+      const double overlap =
+          std::min(node.warmup_remaining_seconds, options_.step_seconds);
+      effective += 1.0 - overlap / options_.step_seconds;
+      node.warmup_remaining_seconds -= options_.step_seconds;
+    }
+  }
+  effective = std::max(effective, 1e-9);
+
+  stats.active_nodes = active;
+  stats.effective_nodes = effective;
+  stats.avg_utilization =
+      workload / (effective * options_.node_capacity);
+  stats.under_provisioned =
+      stats.avg_utilization > options_.utilization_threshold + 1e-12;
+
+  // Latency proxy: M/M/1-style blow-up as utilization approaches 1.
+  const double rho = std::min(stats.avg_utilization, 0.999);
+  stats.p_latency_ms = options_.service_time_ms / (1.0 - rho);
+  if (stats.avg_utilization >= 1.0) {
+    stats.p_latency_ms = options_.service_time_ms * 1000.0;  // saturated
+  }
+  stats.slo_violated = stats.p_latency_ms > options_.slo_latency_ms;
+
+  total_node_steps_ += static_cast<int64_t>(nodes_.size());
+  ++step_;
+  return stats;
+}
+
+}  // namespace rpas::simdb

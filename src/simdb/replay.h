@@ -1,0 +1,38 @@
+#ifndef RPAS_SIMDB_REPLAY_H_
+#define RPAS_SIMDB_REPLAY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "simdb/cluster.h"
+#include "ts/time_series.h"
+
+namespace rpas::simdb {
+
+/// Aggregate outcome of replaying an allocation plan against a realized
+/// workload on the cluster simulator.
+struct ReplayReport {
+  std::vector<StepStats> steps;
+  /// Fraction of steps whose average utilization exceeded the threshold
+  /// (the realized analogue of the paper's Under-Provisioning Rate).
+  double under_provision_rate = 0.0;
+  /// Fraction of steps allocated strictly more nodes than the minimum that
+  /// would have satisfied the threshold (paper's Over-Provisioning Rate).
+  double over_provision_rate = 0.0;
+  /// Fraction of steps whose latency proxy violated the SLO.
+  double slo_violation_rate = 0.0;
+  double mean_utilization = 0.0;
+  int64_t total_node_steps = 0;
+  int scale_events = 0;
+  int direction_changes = 0;  ///< thrashing indicator (paper §V-A)
+};
+
+/// Replays `allocation[t]` nodes against `workload.values[t]` for every
+/// step. Sizes must match.
+Result<ReplayReport> ReplayAllocation(const ts::TimeSeries& workload,
+                                      const std::vector<int>& allocation,
+                                      const Cluster::Options& options);
+
+}  // namespace rpas::simdb
+
+#endif  // RPAS_SIMDB_REPLAY_H_

@@ -1,0 +1,18 @@
+#include "simdb/warmup.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rpas::simdb {
+
+double WarmupModel::WarmupSeconds(double checkpoint_gb, Rng* rng) const {
+  RPAS_CHECK(checkpoint_gb >= 0.0);
+  RPAS_CHECK(replay_gbps > 0.0);
+  const double nominal = base_latency_seconds + checkpoint_gb / replay_gbps;
+  const double jitter =
+      rng != nullptr ? rng->Uniform(-jitter_fraction, jitter_fraction) : 0.0;
+  return std::max(0.0, nominal * (1.0 + jitter));
+}
+
+}  // namespace rpas::simdb

@@ -1,0 +1,28 @@
+#ifndef RPAS_SIMDB_WARMUP_H_
+#define RPAS_SIMDB_WARMUP_H_
+
+#include "common/rng.h"
+
+namespace rpas::simdb {
+
+/// Scale-out warm-up model for a storage-disaggregated database
+/// (paper Fig. 5: a new compute node only has to rebuild in-memory
+/// components — buffer pool, caches — from checkpoints in shared storage,
+/// which "only takes a few seconds").
+///
+/// warmup_seconds = base_latency + checkpoint_gb / replay_gbps, plus
+/// multiplicative jitter. The paper's Fig. 5 production data (Alibaba Cloud)
+/// is reproduced by sweeping checkpoint_gb; see bench/fig5.
+struct WarmupModel {
+  double base_latency_seconds = 1.2;  ///< node bring-up + registration
+  double replay_gbps = 2.0;           ///< checkpoint replay bandwidth
+  double jitter_fraction = 0.10;      ///< +/- uniform jitter
+
+  /// Warm-up duration for a node loading `checkpoint_gb` of in-memory
+  /// state. Deterministic given the Rng state.
+  double WarmupSeconds(double checkpoint_gb, Rng* rng) const;
+};
+
+}  // namespace rpas::simdb
+
+#endif  // RPAS_SIMDB_WARMUP_H_

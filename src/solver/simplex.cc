@@ -1,0 +1,270 @@
+#include "solver/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rpas::solver {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense simplex tableau: `rows` constraint rows plus one objective row
+/// stored separately; column layout [structural | slack/surplus |
+/// artificial | rhs].
+struct Tableau {
+  std::vector<std::vector<double>> a;  // m x (n_total)
+  std::vector<double> rhs;             // m
+  std::vector<double> obj;             // reduced costs, n_total
+  double obj_value = 0.0;
+  std::vector<int> basis;              // basic variable per row
+  std::vector<bool> blocked;           // columns barred from entering
+  size_t n_total = 0;
+
+  void Pivot(size_t row, size_t col) {
+    const double pivot = a[row][col];
+    RPAS_DCHECK(std::fabs(pivot) > kEps);
+    const double inv = 1.0 / pivot;
+    for (double& v : a[row]) {
+      v *= inv;
+    }
+    rhs[row] *= inv;
+    for (size_t r = 0; r < a.size(); ++r) {
+      if (r == row) {
+        continue;
+      }
+      const double factor = a[r][col];
+      if (std::fabs(factor) < kEps) {
+        continue;
+      }
+      for (size_t c = 0; c < n_total; ++c) {
+        a[r][c] -= factor * a[row][c];
+      }
+      rhs[r] -= factor * rhs[row];
+    }
+    const double obj_factor = obj[col];
+    if (std::fabs(obj_factor) > kEps) {
+      for (size_t c = 0; c < n_total; ++c) {
+        obj[c] -= obj_factor * a[row][c];
+      }
+      obj_value -= obj_factor * rhs[row];
+    }
+    basis[row] = static_cast<int>(col);
+  }
+
+  /// Runs simplex iterations until optimal/unbounded/iteration cap.
+  /// Returns OK / OutOfRange(unbounded) / ResourceExhausted(cap).
+  Status Iterate(int max_iterations, int* iterations) {
+    for (int it = 0; it < max_iterations; ++it) {
+      // Bland's rule: entering = lowest-index column with negative reduced
+      // cost.
+      int entering = -1;
+      for (size_t c = 0; c < n_total; ++c) {
+        if (!blocked[c] && obj[c] < -kEps) {
+          entering = static_cast<int>(c);
+          break;
+        }
+      }
+      if (entering < 0) {
+        *iterations += it;
+        return Status::OK();
+      }
+      // Ratio test; ties broken by smallest basis index (Bland).
+      int leaving = -1;
+      double best_ratio = 0.0;
+      for (size_t r = 0; r < a.size(); ++r) {
+        const double coef = a[r][static_cast<size_t>(entering)];
+        if (coef > kEps) {
+          const double ratio = rhs[r] / coef;
+          if (leaving < 0 || ratio < best_ratio - kEps ||
+              (std::fabs(ratio - best_ratio) <= kEps &&
+               basis[r] < basis[static_cast<size_t>(leaving)])) {
+            leaving = static_cast<int>(r);
+            best_ratio = ratio;
+          }
+        }
+      }
+      if (leaving < 0) {
+        return Status::OutOfRange("LP is unbounded");
+      }
+      Pivot(static_cast<size_t>(leaving), static_cast<size_t>(entering));
+    }
+    return Status::ResourceExhausted("simplex iteration limit reached");
+  }
+};
+
+}  // namespace
+
+Result<LpSolution> SolveSimplex(const LinearProgram& lp, int max_iterations) {
+  const size_t n = lp.num_vars();
+  const size_t m = lp.constraints.size();
+  if (n == 0) {
+    return Status::InvalidArgument("LP has no variables");
+  }
+  for (const Constraint& c : lp.constraints) {
+    if (c.coeffs.size() != n) {
+      return Status::InvalidArgument(
+          "constraint width does not match objective");
+    }
+  }
+
+  // Count auxiliary columns.
+  size_t num_slack = 0;
+  size_t num_artificial = 0;
+  for (const Constraint& c : lp.constraints) {
+    const double sign = c.rhs < 0.0 ? -1.0 : 1.0;
+    Relation rel = c.relation;
+    if (sign < 0.0) {
+      if (rel == Relation::kLessEqual) {
+        rel = Relation::kGreaterEqual;
+      } else if (rel == Relation::kGreaterEqual) {
+        rel = Relation::kLessEqual;
+      }
+    }
+    switch (rel) {
+      case Relation::kLessEqual:
+        ++num_slack;
+        break;
+      case Relation::kGreaterEqual:
+        ++num_slack;
+        ++num_artificial;
+        break;
+      case Relation::kEqual:
+        ++num_artificial;
+        break;
+    }
+  }
+
+  Tableau t;
+  t.n_total = n + num_slack + num_artificial;
+  t.a.assign(m, std::vector<double>(t.n_total, 0.0));
+  t.rhs.assign(m, 0.0);
+  t.basis.assign(m, -1);
+  t.blocked.assign(t.n_total, false);
+
+  size_t slack_col = n;
+  size_t artificial_col = n + num_slack;
+  const size_t first_artificial = artificial_col;
+  for (size_t r = 0; r < m; ++r) {
+    const Constraint& c = lp.constraints[r];
+    const double sign = c.rhs < 0.0 ? -1.0 : 1.0;
+    for (size_t j = 0; j < n; ++j) {
+      t.a[r][j] = sign * c.coeffs[j];
+    }
+    t.rhs[r] = sign * c.rhs;
+    Relation rel = c.relation;
+    if (sign < 0.0) {
+      if (rel == Relation::kLessEqual) {
+        rel = Relation::kGreaterEqual;
+      } else if (rel == Relation::kGreaterEqual) {
+        rel = Relation::kLessEqual;
+      }
+    }
+    switch (rel) {
+      case Relation::kLessEqual:
+        t.a[r][slack_col] = 1.0;
+        t.basis[r] = static_cast<int>(slack_col);
+        ++slack_col;
+        break;
+      case Relation::kGreaterEqual:
+        t.a[r][slack_col] = -1.0;  // surplus
+        ++slack_col;
+        t.a[r][artificial_col] = 1.0;
+        t.basis[r] = static_cast<int>(artificial_col);
+        ++artificial_col;
+        break;
+      case Relation::kEqual:
+        t.a[r][artificial_col] = 1.0;
+        t.basis[r] = static_cast<int>(artificial_col);
+        ++artificial_col;
+        break;
+    }
+  }
+
+  int iterations = 0;
+
+  // ---- Phase 1: minimize the sum of artificials. ----
+  if (num_artificial > 0) {
+    t.obj.assign(t.n_total, 0.0);
+    for (size_t c = first_artificial; c < t.n_total; ++c) {
+      t.obj[c] = 1.0;
+    }
+    t.obj_value = 0.0;
+    // Make reduced costs consistent with the starting basis (price out the
+    // basic artificials).
+    for (size_t r = 0; r < m; ++r) {
+      if (t.basis[r] >= static_cast<int>(first_artificial)) {
+        for (size_t c = 0; c < t.n_total; ++c) {
+          t.obj[c] -= t.a[r][c];
+        }
+        t.obj_value -= t.rhs[r];
+      }
+    }
+    RPAS_RETURN_IF_ERROR(t.Iterate(max_iterations, &iterations));
+    // obj_value tracks -(current phase-1 objective).
+    if (-t.obj_value > 1e-7) {
+      return Status::FailedPrecondition("LP is infeasible");
+    }
+    // Drive any remaining basic artificials out of the basis.
+    for (size_t r = 0; r < m; ++r) {
+      if (t.basis[r] >= static_cast<int>(first_artificial)) {
+        int pivot_col = -1;
+        for (size_t c = 0; c < first_artificial; ++c) {
+          if (std::fabs(t.a[r][c]) > kEps) {
+            pivot_col = static_cast<int>(c);
+            break;
+          }
+        }
+        if (pivot_col >= 0) {
+          t.Pivot(r, static_cast<size_t>(pivot_col));
+        }
+        // If the row is all zeros over non-artificials the constraint is
+        // redundant; the artificial stays basic at value 0, harmless once
+        // blocked from the objective.
+      }
+    }
+    // Bar artificials from ever re-entering.
+    for (size_t c = first_artificial; c < t.n_total; ++c) {
+      t.blocked[c] = true;
+    }
+  }
+
+  // ---- Phase 2: original objective. ----
+  t.obj.assign(t.n_total, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    t.obj[j] = lp.objective[j];
+  }
+  t.obj_value = 0.0;
+  for (size_t r = 0; r < m; ++r) {
+    const int b = t.basis[r];
+    if (b >= 0 && b < static_cast<int>(n) &&
+        std::fabs(lp.objective[static_cast<size_t>(b)]) > 0.0) {
+      const double cb = lp.objective[static_cast<size_t>(b)];
+      for (size_t c = 0; c < t.n_total; ++c) {
+        t.obj[c] -= cb * t.a[r][c];
+      }
+      t.obj_value -= cb * t.rhs[r];
+    }
+  }
+  RPAS_RETURN_IF_ERROR(t.Iterate(max_iterations, &iterations));
+
+  LpSolution solution;
+  solution.x.assign(n, 0.0);
+  for (size_t r = 0; r < m; ++r) {
+    const int b = t.basis[r];
+    if (b >= 0 && b < static_cast<int>(n)) {
+      solution.x[static_cast<size_t>(b)] = t.rhs[r];
+    }
+  }
+  double value = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    value += lp.objective[j] * solution.x[j];
+  }
+  solution.objective_value = value;
+  solution.iterations = iterations;
+  return solution;
+}
+
+}  // namespace rpas::solver

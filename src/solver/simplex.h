@@ -1,0 +1,52 @@
+#ifndef RPAS_SOLVER_SIMPLEX_H_
+#define RPAS_SOLVER_SIMPLEX_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace rpas::solver {
+
+/// Linear-program constraint sense.
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+/// One linear constraint: sum_j coeffs[j] * x_j (relation) rhs.
+struct Constraint {
+  std::vector<double> coeffs;
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// A minimization LP over non-negative variables:
+///   min objective . x   s.t.  constraints,  x >= 0.
+struct LinearProgram {
+  std::vector<double> objective;
+  std::vector<Constraint> constraints;
+
+  size_t num_vars() const { return objective.size(); }
+};
+
+/// LP solution.
+struct LpSolution {
+  std::vector<double> x;
+  double objective_value = 0.0;
+  int iterations = 0;
+};
+
+/// Solves an LP with the two-phase dense tableau simplex method (Bland's
+/// anti-cycling rule). Returns:
+///  * FailedPrecondition when the program is infeasible,
+///  * OutOfRange when it is unbounded,
+///  * InvalidArgument on malformed input (ragged constraints).
+///
+/// This is the "standard linear programming solver" of paper §III-C used to
+/// solve the (deterministic counterpart of the) robust auto-scaling
+/// optimization; for the separable auto-scaling LP the specialized solver in
+/// autoscaling.h is equivalent and faster, and the two are cross-checked in
+/// tests.
+Result<LpSolution> SolveSimplex(const LinearProgram& lp,
+                                int max_iterations = 10000);
+
+}  // namespace rpas::solver
+
+#endif  // RPAS_SOLVER_SIMPLEX_H_

@@ -1,0 +1,68 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+
+namespace rpas::tensor {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ == 0 ? 0 : init.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    RPAS_CHECK(row.size() == cols_) << "ragged initializer list";
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::ColumnVector(const std::vector<double>& values) {
+  Matrix m(values.size(), 1);
+  std::copy(values.begin(), values.end(), m.data_.begin());
+  return m;
+}
+
+Matrix Matrix::RowVector(const std::vector<double>& values) {
+  Matrix m(1, values.size());
+  std::copy(values.begin(), values.end(), m.data_.begin());
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    m(i, i) = 1.0;
+  }
+  return m;
+}
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Matrix Matrix::Reshaped(size_t rows, size_t cols) const {
+  RPAS_CHECK(rows * cols == data_.size())
+      << "reshape " << rows_ << "x" << cols_ << " -> " << rows << "x" << cols;
+  Matrix out = *this;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  return out;
+}
+
+Matrix Matrix::Row(size_t r) const {
+  RPAS_CHECK(r < rows_);
+  Matrix out(1, cols_);
+  std::copy(data_.begin() + static_cast<long>(r * cols_),
+            data_.begin() + static_cast<long>((r + 1) * cols_),
+            out.data_.begin());
+  return out;
+}
+
+Matrix Matrix::Col(size_t c) const {
+  RPAS_CHECK(c < cols_);
+  Matrix out(rows_, 1);
+  for (size_t r = 0; r < rows_; ++r) {
+    out(r, 0) = (*this)(r, c);
+  }
+  return out;
+}
+
+}  // namespace rpas::tensor

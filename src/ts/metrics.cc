@@ -1,0 +1,137 @@
+#include "ts/metrics.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rpas::ts {
+
+double PinballLoss(double tau, double actual, double predicted) {
+  // Standard (non-negative) pinball loss. Note the paper's Eq. 1 prints the
+  // last factor as (y_hat - y); taken literally that is negative for
+  // underestimation, so we use the standard orientation (tau - I) * (y -
+  // y_hat), which matches the quantile-regression literature and the
+  // GluonTS implementation the paper evaluates with.
+  const double indicator = actual < predicted ? 1.0 : 0.0;
+  return (tau - indicator) * (actual - predicted);
+}
+
+AccuracyReport EvaluateForecasts(
+    const std::vector<QuantileForecast>& forecasts,
+    const std::vector<std::vector<double>>& actuals,
+    const std::vector<double>& levels) {
+  RPAS_CHECK(forecasts.size() == actuals.size())
+      << "forecast/actual count mismatch";
+  RPAS_CHECK(!levels.empty());
+
+  AccuracyReport report;
+  std::map<double, double> pinball_sums;
+  std::map<double, size_t> covered_counts;
+  for (double tau : levels) {
+    pinball_sums[tau] = 0.0;
+    covered_counts[tau] = 0;
+  }
+  double actual_sum = 0.0;
+  double se_sum = 0.0;
+  double ae_sum = 0.0;
+  size_t n = 0;
+
+  for (size_t i = 0; i < forecasts.size(); ++i) {
+    const QuantileForecast& fc = forecasts[i];
+    const std::vector<double>& actual = actuals[i];
+    RPAS_CHECK(actual.size() == fc.Horizon())
+        << "actual length != forecast horizon";
+    for (size_t h = 0; h < actual.size(); ++h) {
+      const double y = actual[h];
+      actual_sum += y;
+      const double median = fc.Value(h, 0.5);
+      se_sum += (median - y) * (median - y);
+      ae_sum += std::fabs(median - y);
+      ++n;
+      for (double tau : levels) {
+        const double pred = fc.Value(h, tau);
+        pinball_sums[tau] += PinballLoss(tau, y, pred);
+        if (pred >= y) {
+          ++covered_counts[tau];
+        }
+      }
+    }
+  }
+
+  report.num_points = n;
+  if (n == 0) {
+    return report;
+  }
+  const double denom = actual_sum != 0.0 ? actual_sum : 1.0;
+  double wql_total = 0.0;
+  for (double tau : levels) {
+    const double wql = 2.0 * pinball_sums[tau] / denom;
+    report.wql[tau] = wql;
+    wql_total += wql;
+    report.coverage[tau] =
+        static_cast<double>(covered_counts[tau]) / static_cast<double>(n);
+  }
+  report.mean_wql = wql_total / static_cast<double>(levels.size());
+  report.mse = se_sum / static_cast<double>(n);
+  report.mae = ae_sum / static_cast<double>(n);
+  return report;
+}
+
+std::vector<double> PerStepQuantileLoss(const QuantileForecast& forecast,
+                                        const std::vector<double>& actual) {
+  RPAS_CHECK(actual.size() == forecast.Horizon());
+  std::vector<double> out(actual.size(), 0.0);
+  for (size_t h = 0; h < actual.size(); ++h) {
+    double sum = 0.0;
+    for (size_t q = 0; q < forecast.Levels().size(); ++q) {
+      sum += PinballLoss(forecast.Levels()[q], actual[h],
+                         forecast.ValueAtIndex(h, q));
+    }
+    out[h] = sum;
+  }
+  return out;
+}
+
+std::vector<double> PerStepSquaredError(const QuantileForecast& forecast,
+                                        const std::vector<double>& actual) {
+  RPAS_CHECK(actual.size() == forecast.Horizon());
+  std::vector<double> out(actual.size(), 0.0);
+  for (size_t h = 0; h < actual.size(); ++h) {
+    const double median = forecast.Value(h, 0.5);
+    out[h] = (median - actual[h]) * (median - actual[h]);
+  }
+  return out;
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  RPAS_CHECK(a.size() == b.size());
+  const size_t n = a.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) {
+    return 0.0;
+  }
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace rpas::ts

@@ -1,0 +1,57 @@
+#ifndef RPAS_TS_METRICS_H_
+#define RPAS_TS_METRICS_H_
+
+#include <map>
+#include <vector>
+
+#include "ts/quantile_forecast.h"
+
+namespace rpas::ts {
+
+/// Pinball / quantile loss rho_tau(y, y_hat) = (tau - I(y < y_hat)) *
+/// (y_hat - y)  (paper Eq. 1). Non-negative; zero iff y == y_hat.
+double PinballLoss(double tau, double actual, double predicted);
+
+/// Forecast-accuracy metrics from the paper's §IV-B, computed over a set of
+/// evaluation windows.
+struct AccuracyReport {
+  /// wQL[tau] = 2 * sum(rho_tau) / sum(y), per requested level.
+  std::map<double, double> wql;
+  /// Coverage[tau]: fraction of points whose tau-quantile forecast is
+  /// >= the realized value. Perfect calibration: Coverage[tau] == tau.
+  std::map<double, double> coverage;
+  /// Mean of wQL over the requested levels.
+  double mean_wql = 0.0;
+  /// MSE / MAE of the point forecast (median trajectory).
+  double mse = 0.0;
+  double mae = 0.0;
+  /// Number of (window, step) points scored.
+  size_t num_points = 0;
+};
+
+/// Scores a batch of quantile forecasts against aligned realized values.
+/// `actuals[i]` must have the same length as `forecasts[i].Horizon()`.
+/// `levels` selects which quantile levels are reported; each must be
+/// available from the forecasts (stored or interpolable).
+AccuracyReport EvaluateForecasts(
+    const std::vector<QuantileForecast>& forecasts,
+    const std::vector<std::vector<double>>& actuals,
+    const std::vector<double>& levels);
+
+/// Per-step quantile loss of a single forecast, summed over the level grid
+/// (used for the paper's Figure 6 uncertainty/accuracy correlation).
+std::vector<double> PerStepQuantileLoss(const QuantileForecast& forecast,
+                                        const std::vector<double>& actual);
+
+/// Per-step squared error of the median trajectory.
+std::vector<double> PerStepSquaredError(const QuantileForecast& forecast,
+                                        const std::vector<double>& actual);
+
+/// Pearson correlation coefficient of two equal-length vectors
+/// (0 when either side is constant).
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+}  // namespace rpas::ts
+
+#endif  // RPAS_TS_METRICS_H_

@@ -1,0 +1,82 @@
+#include "ts/quantile_forecast.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rpas::ts {
+
+QuantileForecast::QuantileForecast(std::vector<double> levels,
+                                   std::vector<std::vector<double>> values)
+    : levels_(std::move(levels)), values_(std::move(values)) {
+  RPAS_CHECK(!levels_.empty()) << "QuantileForecast needs >= 1 level";
+  for (size_t q = 0; q < levels_.size(); ++q) {
+    RPAS_CHECK(levels_[q] > 0.0 && levels_[q] < 1.0)
+        << "quantile level outside (0,1)";
+    if (q > 0) {
+      RPAS_CHECK(levels_[q] > levels_[q - 1])
+          << "quantile levels must be strictly increasing";
+    }
+  }
+  for (const auto& row : values_) {
+    RPAS_CHECK(row.size() == levels_.size())
+        << "forecast row width != number of levels";
+  }
+}
+
+double QuantileForecast::ValueAtIndex(size_t h, size_t q) const {
+  RPAS_CHECK(h < values_.size() && q < levels_.size());
+  return values_[h][q];
+}
+
+double QuantileForecast::Value(size_t h, double tau) const {
+  RPAS_CHECK(h < values_.size()) << "horizon step out of range";
+  RPAS_CHECK(tau > 0.0 && tau < 1.0) << "tau outside (0,1)";
+  const auto& row = values_[h];
+  if (tau <= levels_.front()) {
+    return row.front();
+  }
+  if (tau >= levels_.back()) {
+    return row.back();
+  }
+  // levels_ is sorted; find the bracketing pair.
+  const auto it = std::lower_bound(levels_.begin(), levels_.end(), tau);
+  const size_t hi = static_cast<size_t>(it - levels_.begin());
+  if (std::fabs(levels_[hi] - tau) < 1e-12) {
+    return row[hi];
+  }
+  const size_t lo = hi - 1;
+  const double frac = (tau - levels_[lo]) / (levels_[hi] - levels_[lo]);
+  return row[lo] + frac * (row[hi] - row[lo]);
+}
+
+std::vector<double> QuantileForecast::Median() const { return Trajectory(0.5); }
+
+std::vector<double> QuantileForecast::Trajectory(double tau) const {
+  std::vector<double> out;
+  out.reserve(values_.size());
+  for (size_t h = 0; h < values_.size(); ++h) {
+    out.push_back(Value(h, tau));
+  }
+  return out;
+}
+
+int QuantileForecast::LevelIndex(double tau) const {
+  for (size_t q = 0; q < levels_.size(); ++q) {
+    if (std::fabs(levels_[q] - tau) < 1e-9) {
+      return static_cast<int>(q);
+    }
+  }
+  return -1;
+}
+
+void QuantileForecast::SortQuantilesPerStep() {
+  for (auto& row : values_) {
+    for (size_t q = 1; q < row.size(); ++q) {
+      row[q] = std::max(row[q], row[q - 1]);
+    }
+  }
+}
+
+}  // namespace rpas::ts

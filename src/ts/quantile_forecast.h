@@ -1,0 +1,56 @@
+#ifndef RPAS_TS_QUANTILE_FORECAST_H_
+#define RPAS_TS_QUANTILE_FORECAST_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace rpas::ts {
+
+/// Multi-horizon quantile forecast (paper Definition 2): for each future
+/// step h = 1..H and each quantile level tau in a sorted grid, the value
+/// ŵ_{T+h}^tau. Produced by every probabilistic forecaster; consumed by the
+/// robust auto-scaling manager.
+class QuantileForecast {
+ public:
+  QuantileForecast() = default;
+
+  /// `levels` must be strictly increasing inside (0, 1);
+  /// `values[h][q]` is the level-q forecast at step h. Every row must have
+  /// `levels.size()` entries, non-decreasing across q (non-crossing
+  /// quantiles). Construction CHECK-fails on malformed shapes.
+  QuantileForecast(std::vector<double> levels,
+                   std::vector<std::vector<double>> values);
+
+  size_t Horizon() const { return values_.size(); }
+  const std::vector<double>& Levels() const { return levels_; }
+
+  /// Forecast at step `h` (0-based) and stored level index `q`.
+  double ValueAtIndex(size_t h, size_t q) const;
+
+  /// Forecast at step `h` for an arbitrary level `tau` in (0,1): exact when
+  /// tau is on the stored grid, linear interpolation between neighbours,
+  /// clamped to the outermost stored levels otherwise.
+  double Value(size_t h, double tau) const;
+
+  /// Median trajectory (tau = 0.5).
+  std::vector<double> Median() const;
+  /// Whole trajectory at a given level.
+  std::vector<double> Trajectory(double tau) const;
+
+  /// Index of `tau` in Levels(), or -1 if absent (tolerance 1e-9).
+  int LevelIndex(double tau) const;
+
+  /// Enforces monotone non-crossing quantiles per step by running an
+  /// isotonic pass (cumulative max). Sampling-based forecasters call this
+  /// to clean small sample noise.
+  void SortQuantilesPerStep();
+
+ private:
+  std::vector<double> levels_;
+  std::vector<std::vector<double>> values_;  // [horizon][level]
+};
+
+}  // namespace rpas::ts
+
+#endif  // RPAS_TS_QUANTILE_FORECAST_H_

@@ -1,0 +1,72 @@
+#include "ts/scaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rpas::ts {
+
+namespace {
+constexpr double kMinScale = 1e-9;
+}
+
+AffineScaler::AffineScaler(double shift, double scale)
+    : shift_(shift), scale_(scale) {
+  RPAS_CHECK(scale > 0.0) << "scale must be positive";
+}
+
+AffineScaler AffineScaler::FitStandard(const std::vector<double>& values) {
+  RPAS_CHECK(!values.empty());
+  double mean = 0.0;
+  for (double v : values) {
+    mean += v;
+  }
+  mean /= static_cast<double>(values.size());
+  double ss = 0.0;
+  for (double v : values) {
+    ss += (v - mean) * (v - mean);
+  }
+  const double sd =
+      values.size() > 1
+          ? std::sqrt(ss / static_cast<double>(values.size() - 1))
+          : 0.0;
+  return AffineScaler(mean, std::max(sd, kMinScale));
+}
+
+AffineScaler AffineScaler::FitMeanAbs(const std::vector<double>& values) {
+  RPAS_CHECK(!values.empty());
+  double mean_abs = 0.0;
+  for (double v : values) {
+    mean_abs += std::fabs(v);
+  }
+  mean_abs /= static_cast<double>(values.size());
+  return AffineScaler(0.0, std::max(mean_abs, kMinScale));
+}
+
+AffineScaler AffineScaler::FitMinMax(const std::vector<double>& values) {
+  RPAS_CHECK(!values.empty());
+  const auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+  return AffineScaler(*mn, std::max(*mx - *mn, kMinScale));
+}
+
+std::vector<double> AffineScaler::Transform(
+    const std::vector<double>& xs) const {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) {
+    out.push_back(Transform(x));
+  }
+  return out;
+}
+
+std::vector<double> AffineScaler::Inverse(const std::vector<double>& ys) const {
+  std::vector<double> out;
+  out.reserve(ys.size());
+  for (double y : ys) {
+    out.push_back(Inverse(y));
+  }
+  return out;
+}
+
+}  // namespace rpas::ts

@@ -1,0 +1,40 @@
+#ifndef RPAS_TS_SCALER_H_
+#define RPAS_TS_SCALER_H_
+
+#include <vector>
+
+namespace rpas::ts {
+
+/// Affine normalization y = (x - shift) / scale fitted on training data.
+/// Neural forecasters train on normalized values and invert forecasts back
+/// to workload units.
+class AffineScaler {
+ public:
+  /// Identity scaler.
+  AffineScaler() : shift_(0.0), scale_(1.0) {}
+  AffineScaler(double shift, double scale);
+
+  /// Z-score scaler: shift = mean, scale = stddev (>= epsilon).
+  static AffineScaler FitStandard(const std::vector<double>& values);
+  /// DeepAR-style mean scaler: shift = 0, scale = mean(|x|) (>= epsilon).
+  static AffineScaler FitMeanAbs(const std::vector<double>& values);
+  /// Min-max to [0, 1].
+  static AffineScaler FitMinMax(const std::vector<double>& values);
+
+  double Transform(double x) const { return (x - shift_) / scale_; }
+  double Inverse(double y) const { return y * scale_ + shift_; }
+
+  std::vector<double> Transform(const std::vector<double>& xs) const;
+  std::vector<double> Inverse(const std::vector<double>& ys) const;
+
+  double shift() const { return shift_; }
+  double scale() const { return scale_; }
+
+ private:
+  double shift_;
+  double scale_;
+};
+
+}  // namespace rpas::ts
+
+#endif  // RPAS_TS_SCALER_H_

@@ -1,0 +1,99 @@
+#include "ts/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace rpas::ts {
+
+TimeSeries TimeSeries::Slice(size_t begin, size_t end) const {
+  RPAS_CHECK(begin <= end && end <= values.size()) << "slice out of range";
+  TimeSeries out;
+  out.values.assign(values.begin() + static_cast<long>(begin),
+                    values.begin() + static_cast<long>(end));
+  out.step_minutes = step_minutes;
+  out.name = name;
+  return out;
+}
+
+std::pair<TimeSeries, TimeSeries> TimeSeries::SplitTail(size_t n) const {
+  RPAS_CHECK(n <= values.size()) << "tail larger than series";
+  return {Slice(0, values.size() - n), Slice(values.size() - n, values.size())};
+}
+
+double TimeSeries::Min() const {
+  RPAS_CHECK(!values.empty());
+  return *std::min_element(values.begin(), values.end());
+}
+
+double TimeSeries::Max() const {
+  RPAS_CHECK(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+double TimeSeries::Mean() const {
+  RPAS_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double TimeSeries::Stddev() const {
+  if (values.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean();
+  double ss = 0.0;
+  for (double v : values) {
+    ss += (v - mean) * (v - mean);
+  }
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+TimeSeries AggregateBlocks(const TimeSeries& series, size_t block) {
+  RPAS_CHECK(block > 0);
+  TimeSeries out;
+  out.step_minutes = series.step_minutes * static_cast<double>(block);
+  out.name = series.name;
+  const size_t full_blocks = series.size() / block;
+  out.values.reserve(full_blocks);
+  for (size_t b = 0; b < full_blocks; ++b) {
+    double sum = 0.0;
+    for (size_t i = 0; i < block; ++i) {
+      sum += series.values[b * block + i];
+    }
+    out.values.push_back(sum / static_cast<double>(block));
+  }
+  return out;
+}
+
+Result<TimeSeries> LoadTimeSeriesCsv(const std::string& path,
+                                     const std::string& column,
+                                     double step_minutes) {
+  RPAS_ASSIGN_OR_RETURN(CsvTable table, ReadCsv(path));
+  RPAS_ASSIGN_OR_RETURN(std::vector<double> values,
+                        CsvNumericColumn(table, column));
+  TimeSeries series;
+  series.values = std::move(values);
+  series.step_minutes = step_minutes;
+  series.name = column;
+  return series;
+}
+
+Status SaveTimeSeriesCsv(const std::string& path, const TimeSeries& series) {
+  CsvTable table;
+  table.header = {"step", "value"};
+  table.rows.reserve(series.size());
+  for (size_t i = 0; i < series.size(); ++i) {
+    table.rows.push_back(
+        {std::to_string(i), StrFormat("%.10g", series.values[i])});
+  }
+  return WriteCsv(path, table);
+}
+
+}  // namespace rpas::ts

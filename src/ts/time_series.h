@@ -1,0 +1,56 @@
+#ifndef RPAS_TS_TIME_SERIES_H_
+#define RPAS_TS_TIME_SERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace rpas::ts {
+
+/// Uniformly-sampled univariate workload time series (paper Definition 1).
+/// The workload metric is deliberately unspecified — CPU percentage, query
+/// arrival rate, memory — matching the paper's metric-agnostic definition;
+/// RPAS benches use aggregated CPU utilization at 10-minute intervals.
+struct TimeSeries {
+  /// Observations w_1 .. w_T.
+  std::vector<double> values;
+  /// Sampling interval in minutes (paper aggregates traces at 10 minutes).
+  double step_minutes = 10.0;
+  /// Human-readable label ("alibaba-cpu", "google-cpu", ...).
+  std::string name;
+
+  size_t size() const { return values.size(); }
+  bool empty() const { return values.empty(); }
+  double operator[](size_t i) const { return values[i]; }
+
+  /// Copies the closed-open index range [begin, end).
+  TimeSeries Slice(size_t begin, size_t end) const;
+
+  /// Splits off the last `n` points: returns {head, tail}. Used for
+  /// train/test splits.
+  std::pair<TimeSeries, TimeSeries> SplitTail(size_t n) const;
+
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for size < 2.
+  double Stddev() const;
+};
+
+/// Aggregates `series` by non-overlapping blocks of `block` points (mean per
+/// block); used to re-aggregate fine-grained traces to 10-minute intervals.
+TimeSeries AggregateBlocks(const TimeSeries& series, size_t block);
+
+/// Loads a single numeric column from CSV as a time series.
+Result<TimeSeries> LoadTimeSeriesCsv(const std::string& path,
+                                     const std::string& column,
+                                     double step_minutes = 10.0);
+
+/// Saves a series as a two-column CSV (step, value).
+Status SaveTimeSeriesCsv(const std::string& path, const TimeSeries& series);
+
+}  // namespace rpas::ts
+
+#endif  // RPAS_TS_TIME_SERIES_H_

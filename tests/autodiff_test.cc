@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "autodiff/tape.h"
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace rpas::autodiff {
+namespace {
+
+using tensor::Matrix;
+
+/// Verifies analytic gradients against central finite differences for every
+/// element of every parameter. `loss_fn` must build a fresh graph from the
+/// parameters' *current* values and return the scalar loss value.
+void CheckGradients(std::vector<Parameter*> params,
+                    const std::function<double()>& loss_fn,
+                    double h = 1e-6, double tol = 1e-5) {
+  // Each parameter's `grad` must already hold the analytic gradient
+  // (callers run Backward first); loss_fn only re-evaluates the loss value
+  // from the parameters' current values.
+  for (Parameter* p : params) {
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      const double orig = p->value[i];
+      p->value[i] = orig + h;
+      const double up = loss_fn();
+      p->value[i] = orig - h;
+      const double down = loss_fn();
+      p->value[i] = orig;
+      const double numeric = (up - down) / (2.0 * h);
+      EXPECT_NEAR(p->grad[i], numeric, tol)
+          << "param element " << i << " grad mismatch";
+    }
+  }
+}
+
+/// Convenience wrapper: builds the graph with `graph_fn`, backprops, then
+/// finite-differences.
+void CheckGraph(std::vector<Parameter*> params,
+                const std::function<Var(Tape*)>& graph_fn, double tol = 1e-5) {
+  for (Parameter* p : params) {
+    p->ZeroGrad();
+  }
+  Tape tape;
+  Var loss = graph_fn(&tape);
+  tape.Backward(loss);
+  CheckGradients(
+      params,
+      [&]() {
+        Tape t2;
+        return graph_fn(&t2).value()(0, 0);
+      },
+      1e-6, tol);
+}
+
+Matrix RandomMatrix(size_t rows, size_t cols, Rng* rng, double scale = 1.0) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m[i] = scale * rng->Normal();
+  }
+  return m;
+}
+
+TEST(TapeTest, ConstantHasValue) {
+  Tape tape;
+  Var c = tape.Constant(Matrix{{1, 2}});
+  EXPECT_DOUBLE_EQ(c.value()(0, 1), 2.0);
+  EXPECT_EQ(c.rows(), 1u);
+  EXPECT_EQ(c.cols(), 2u);
+}
+
+TEST(TapeTest, BindDeduplicates) {
+  Parameter p(Matrix{{1.0}});
+  Tape tape;
+  Var a = tape.Bind(&p);
+  Var b = tape.Bind(&p);
+  EXPECT_EQ(a.id(), b.id());
+}
+
+TEST(TapeTest, SimpleChainRule) {
+  // f(w) = mean((w * 3)^2), w = [2] => f = 36, df/dw = 2*3w*3 = 36.
+  Parameter w(Matrix{{2.0}});
+  Tape tape;
+  Var loss = tape.Mean(tape.Square(tape.Scale(tape.Bind(&w), 3.0)));
+  EXPECT_DOUBLE_EQ(loss.value()(0, 0), 36.0);
+  tape.Backward(loss);
+  EXPECT_DOUBLE_EQ(w.grad(0, 0), 36.0);
+}
+
+TEST(TapeTest, GradAccumulatesAcrossUses) {
+  // f(w) = sum(w + w) => df/dw = 2.
+  Parameter w(Matrix{{1.0, 2.0}});
+  Tape tape;
+  Var v = tape.Bind(&w);
+  Var loss = tape.Sum(tape.Add(v, v));
+  tape.Backward(loss);
+  EXPECT_DOUBLE_EQ(w.grad(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(w.grad(0, 1), 2.0);
+}
+
+TEST(TapeGradCheck, MatMul) {
+  Rng rng(1);
+  Parameter a(RandomMatrix(3, 4, &rng));
+  Parameter b(RandomMatrix(4, 2, &rng));
+  CheckGraph({&a, &b}, [&](Tape* t) {
+    return t->Sum(t->MatMul(t->Bind(&a), t->Bind(&b)));
+  });
+}
+
+TEST(TapeGradCheck, MatMulThroughSquare) {
+  Rng rng(2);
+  Parameter a(RandomMatrix(2, 3, &rng));
+  Parameter b(RandomMatrix(3, 2, &rng));
+  CheckGraph({&a, &b}, [&](Tape* t) {
+    return t->Sum(t->Square(t->MatMul(t->Bind(&a), t->Bind(&b))));
+  });
+}
+
+TEST(TapeGradCheck, ElementwiseBinary) {
+  Rng rng(3);
+  Parameter a(RandomMatrix(2, 3, &rng));
+  Parameter b(RandomMatrix(2, 3, &rng));
+  CheckGraph({&a, &b}, [&](Tape* t) {
+    Var va = t->Bind(&a);
+    Var vb = t->Bind(&b);
+    return t->Sum(t->Mul(t->Add(va, vb), t->Sub(va, vb)));
+  });
+}
+
+TEST(TapeGradCheck, Div) {
+  Rng rng(4);
+  Parameter a(RandomMatrix(2, 2, &rng));
+  Matrix b_val = RandomMatrix(2, 2, &rng);
+  for (size_t i = 0; i < b_val.size(); ++i) {
+    b_val[i] = 2.0 + std::fabs(b_val[i]);  // keep well away from zero
+  }
+  Parameter b(b_val);
+  CheckGraph({&a, &b}, [&](Tape* t) {
+    return t->Sum(t->Div(t->Bind(&a), t->Bind(&b)));
+  });
+}
+
+TEST(TapeGradCheck, MaxRoutesSubgradient) {
+  Parameter a(Matrix{{1.0, 5.0}});
+  Parameter b(Matrix{{3.0, 2.0}});
+  Tape tape;
+  Var loss = tape.Sum(tape.Max(tape.Bind(&a), tape.Bind(&b)));
+  tape.Backward(loss);
+  EXPECT_DOUBLE_EQ(a.grad(0, 0), 0.0);  // b wins
+  EXPECT_DOUBLE_EQ(a.grad(0, 1), 1.0);  // a wins
+  EXPECT_DOUBLE_EQ(b.grad(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(b.grad(0, 1), 0.0);
+}
+
+TEST(TapeGradCheck, Broadcasts) {
+  Rng rng(5);
+  Parameter a(RandomMatrix(3, 4, &rng));
+  Parameter row(RandomMatrix(1, 4, &rng));
+  CheckGraph({&a, &row}, [&](Tape* t) {
+    return t->Sum(t->Square(t->AddRowBroadcast(t->Bind(&a), t->Bind(&row))));
+  });
+  CheckGraph({&a, &row}, [&](Tape* t) {
+    return t->Sum(t->Square(t->MulRowBroadcast(t->Bind(&a), t->Bind(&row))));
+  });
+}
+
+TEST(TapeGradCheck, UnaryActivations) {
+  Rng rng(6);
+  Parameter a(RandomMatrix(2, 3, &rng, 0.8));
+  CheckGraph({&a}, [&](Tape* t) { return t->Sum(t->Tanh(t->Bind(&a))); });
+  CheckGraph({&a}, [&](Tape* t) { return t->Sum(t->Sigmoid(t->Bind(&a))); });
+  CheckGraph({&a}, [&](Tape* t) { return t->Sum(t->Softplus(t->Bind(&a))); });
+  CheckGraph({&a}, [&](Tape* t) { return t->Sum(t->Exp(t->Bind(&a))); });
+}
+
+TEST(TapeGradCheck, ReluSubgradient) {
+  // Keep values away from the kink for finite differences.
+  Parameter a(Matrix{{1.5, -2.0, 0.7}});
+  CheckGraph({&a}, [&](Tape* t) {
+    return t->Sum(t->Square(t->Relu(t->Bind(&a))));
+  });
+}
+
+TEST(TapeGradCheck, LogSqrtOnPositives) {
+  Rng rng(7);
+  Matrix v = RandomMatrix(2, 2, &rng);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = 1.0 + std::fabs(v[i]);
+  }
+  Parameter a(v);
+  CheckGraph({&a}, [&](Tape* t) { return t->Sum(t->Log(t->Bind(&a))); });
+  CheckGraph({&a}, [&](Tape* t) { return t->Sum(t->Sqrt(t->Bind(&a))); });
+}
+
+TEST(TapeGradCheck, SoftmaxRows) {
+  Rng rng(8);
+  Parameter a(RandomMatrix(2, 4, &rng));
+  Parameter weight(RandomMatrix(2, 4, &rng));
+  // Weighted sum so the gradient is not trivially zero (softmax rows sum
+  // to 1, so Sum(softmax) has zero gradient).
+  CheckGraph({&a}, [&](Tape* t) {
+    return t->Sum(
+        t->Mul(t->SoftmaxRows(t->Bind(&a)), t->Constant(weight.value)));
+  });
+}
+
+TEST(TapeGradCheck, SoftmaxRowsSumIsConstant) {
+  Rng rng(9);
+  Parameter a(RandomMatrix(1, 5, &rng));
+  Tape tape;
+  Var sm = tape.SoftmaxRows(tape.Bind(&a));
+  Var loss = tape.Sum(sm);
+  EXPECT_NEAR(loss.value()(0, 0), 1.0, 1e-12);
+  tape.Backward(loss);
+  for (size_t i = 0; i < a.grad.size(); ++i) {
+    EXPECT_NEAR(a.grad[i], 0.0, 1e-10);
+  }
+}
+
+TEST(TapeGradCheck, ConcatAndSlice) {
+  Rng rng(10);
+  Parameter a(RandomMatrix(2, 3, &rng));
+  Parameter b(RandomMatrix(2, 2, &rng));
+  CheckGraph({&a, &b}, [&](Tape* t) {
+    Var cat = t->ConcatCols(t->Bind(&a), t->Bind(&b));
+    return t->Sum(t->Square(t->SliceCols(cat, 1, 4)));
+  });
+  Parameter c(RandomMatrix(2, 3, &rng));
+  Parameter d(RandomMatrix(3, 3, &rng));
+  CheckGraph({&c, &d}, [&](Tape* t) {
+    Var cat = t->ConcatRows(t->Bind(&c), t->Bind(&d));
+    return t->Sum(t->Square(t->SliceRows(cat, 1, 4)));
+  });
+}
+
+TEST(TapeGradCheck, Reshape) {
+  Rng rng(11);
+  Parameter a(RandomMatrix(2, 6, &rng));
+  CheckGraph({&a}, [&](Tape* t) {
+    return t->Sum(t->Square(t->Reshape(t->Bind(&a), 3, 4)));
+  });
+}
+
+TEST(TapeGradCheck, Transpose) {
+  Rng rng(12);
+  Parameter a(RandomMatrix(2, 3, &rng));
+  Parameter b(RandomMatrix(2, 3, &rng));
+  CheckGraph({&a, &b}, [&](Tape* t) {
+    return t->Sum(
+        t->Square(t->MatMul(t->Transpose(t->Bind(&a)), t->Bind(&b))));
+  });
+}
+
+TEST(TapeGradCheck, MeanMatchesScaledSum) {
+  Rng rng(13);
+  Parameter a(RandomMatrix(3, 3, &rng));
+  Tape tape;
+  Var loss = tape.Mean(tape.Bind(&a));
+  tape.Backward(loss);
+  for (size_t i = 0; i < a.grad.size(); ++i) {
+    EXPECT_NEAR(a.grad[i], 1.0 / 9.0, 1e-12);
+  }
+}
+
+TEST(TapeGradCheck, CustomOp) {
+  // Custom cube op: y = x^3, dy/dx = 3x^2.
+  Rng rng(14);
+  Parameter a(RandomMatrix(2, 2, &rng));
+  CheckGraph({&a}, [&](Tape* t) {
+    Var x = t->Bind(&a);
+    const Matrix& xv = x.value();
+    Matrix cubed(xv.rows(), xv.cols());
+    for (size_t i = 0; i < xv.size(); ++i) {
+      cubed[i] = xv[i] * xv[i] * xv[i];
+    }
+    const size_t xi = x.id();
+    Var y = t->Custom({x}, cubed, [xi](const Matrix& g, Tape* tp) {
+      const Matrix& xval = tp->ValueOf(xi);
+      Matrix gx(g.rows(), g.cols());
+      for (size_t i = 0; i < g.size(); ++i) {
+        gx[i] = g[i] * 3.0 * xval[i] * xval[i];
+      }
+      tp->AccumulateGrad(xi, gx);
+    });
+    return t->Sum(y);
+  });
+}
+
+TEST(TapeGradCheck, WeightSharingAcrossSteps) {
+  // Unrolled recurrence x_{t+1} = tanh(x_t * w): the same parameter is
+  // bound and used three times; gradients must accumulate.
+  Rng rng(15);
+  Parameter w(RandomMatrix(2, 2, &rng, 0.5));
+  Matrix x0 = RandomMatrix(1, 2, &rng);
+  CheckGraph({&w}, [&](Tape* t) {
+    Var x = t->Constant(x0);
+    for (int step = 0; step < 3; ++step) {
+      x = t->Tanh(t->MatMul(x, t->Bind(&w)));
+    }
+    return t->Sum(t->Square(x));
+  });
+}
+
+TEST(TapeGradCheck, DeepCompositeGraph) {
+  Rng rng(16);
+  Parameter w1(RandomMatrix(3, 4, &rng, 0.5));
+  Parameter b1(RandomMatrix(1, 4, &rng, 0.1));
+  Parameter w2(RandomMatrix(4, 1, &rng, 0.5));
+  Matrix x = RandomMatrix(5, 3, &rng);
+  Matrix y = RandomMatrix(5, 1, &rng);
+  CheckGraph({&w1, &b1, &w2}, [&](Tape* t) {
+    Var h = t->Tanh(t->AddRowBroadcast(
+        t->MatMul(t->Constant(x), t->Bind(&w1)), t->Bind(&b1)));
+    Var pred = t->MatMul(h, t->Bind(&w2));
+    return t->Mean(t->Square(t->Sub(pred, t->Constant(y))));
+  });
+}
+
+TEST(TapeTest, BackwardTwiceOnDifferentTapesAccumulatesIntoParam) {
+  Parameter w(Matrix{{1.0}});
+  for (int i = 0; i < 2; ++i) {
+    Tape tape;
+    Var loss = tape.Sum(tape.Square(tape.Bind(&w)));
+    tape.Backward(loss);
+  }
+  // dw = 2w = 2 per pass; two passes accumulate to 4.
+  EXPECT_DOUBLE_EQ(w.grad(0, 0), 4.0);
+}
+
+}  // namespace
+}  // namespace rpas::autodiff

@@ -1,0 +1,231 @@
+// Tests for the quantile-recalibration wrapper and the rolling-origin
+// backtester (library extensions, DESIGN.md §6).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+#include "forecast/backtest.h"
+#include "forecast/recalibrated.h"
+#include "forecast/seasonal_naive.h"
+#include "ts/metrics.h"
+
+namespace rpas::forecast {
+namespace {
+
+constexpr size_t kDay = 144;
+
+ts::TimeSeries NoisySine(size_t num_steps, double noise, uint64_t seed) {
+  ts::TimeSeries s;
+  s.step_minutes = 10.0;
+  Rng rng(seed);
+  for (size_t i = 0; i < num_steps; ++i) {
+    const double phase = 2.0 * M_PI * static_cast<double>(i % kDay) /
+                         static_cast<double>(kDay);
+    s.values.push_back(10.0 + 4.0 * std::sin(phase) + noise * rng.Normal());
+  }
+  return s;
+}
+
+/// A deliberately *overconfident* forecaster: seasonal-naive point forecast
+/// with intervals shrunk to a fraction of the honest residual spread. Its
+/// nominal 0.9 quantile covers far less than 90% — exactly the failure the
+/// recalibration wrapper must repair.
+class OverconfidentForecaster final : public Forecaster {
+ public:
+  OverconfidentForecaster(size_t horizon, double shrink)
+      : horizon_(horizon), shrink_(shrink) {
+    SeasonalNaiveForecaster::Options options;
+    options.context_length = kDay;
+    options.horizon = horizon;
+    options.season = kDay;
+    options.levels = {0.1,  0.2,  0.3,  0.4,  0.5,   0.6, 0.7,
+                      0.8,  0.9,  0.95, 0.98, 0.995};
+    inner_ = std::make_unique<SeasonalNaiveForecaster>(options);
+  }
+
+  Status Fit(const ts::TimeSeries& train) override {
+    return inner_->Fit(train);
+  }
+
+  Result<ts::QuantileForecast> Predict(
+      const ForecastInput& input) const override {
+    RPAS_ASSIGN_OR_RETURN(ts::QuantileForecast fc, inner_->Predict(input));
+    // Shrink every quantile toward the median.
+    std::vector<std::vector<double>> values(fc.Horizon());
+    for (size_t h = 0; h < fc.Horizon(); ++h) {
+      const double median = fc.Value(h, 0.5);
+      values[h].reserve(fc.Levels().size());
+      for (size_t q = 0; q < fc.Levels().size(); ++q) {
+        values[h].push_back(median +
+                            shrink_ * (fc.ValueAtIndex(h, q) - median));
+      }
+    }
+    return ts::QuantileForecast(fc.Levels(), std::move(values));
+  }
+
+  size_t Horizon() const override { return horizon_; }
+  size_t ContextLength() const override { return kDay; }
+  const std::vector<double>& Levels() const override {
+    return inner_->Levels();
+  }
+  std::string Name() const override { return "Overconfident"; }
+
+ private:
+  size_t horizon_;
+  double shrink_;
+  std::unique_ptr<SeasonalNaiveForecaster> inner_;
+};
+
+TEST(RecalibratedTest, RepairsOverconfidentCoverage) {
+  ts::TimeSeries series = NoisySine(14 * kDay, 1.0, 1);
+  auto [train, test] = series.SplitTail(2 * kDay);
+
+  // Raw overconfident model: nominal 0.9 covers far less than 0.9.
+  auto raw = std::make_unique<OverconfidentForecaster>(36, 0.6);
+  ASSERT_TRUE(raw->Fit(train).ok());
+  auto raw_rolled = RollForecasts(*raw, train, test, 36);
+  ASSERT_TRUE(raw_rolled.ok());
+  auto raw_report = ts::EvaluateForecasts(raw_rolled->forecasts,
+                                          raw_rolled->actuals, {0.9});
+  ASSERT_LT(raw_report.coverage.at(0.9), 0.85) << "premise: miscalibrated";
+
+  // Wrapped model: coverage at nominal 0.9 must move close to 0.9.
+  RecalibratedForecaster::Options options;
+  options.calibration_steps = 3 * kDay;
+  options.stride = 36;
+  RecalibratedForecaster wrapped(
+      std::make_unique<OverconfidentForecaster>(36, 0.6), options);
+  ASSERT_TRUE(wrapped.Fit(train).ok());
+  auto cal_rolled = RollForecasts(wrapped, train, test, 36);
+  ASSERT_TRUE(cal_rolled.ok());
+  auto cal_report = ts::EvaluateForecasts(cal_rolled->forecasts,
+                                          cal_rolled->actuals, {0.9});
+  EXPECT_GT(cal_report.coverage.at(0.9),
+            raw_report.coverage.at(0.9) + 0.05);
+  EXPECT_NEAR(cal_report.coverage.at(0.9), 0.9, 0.1);
+}
+
+TEST(RecalibratedTest, RemappedLevelMonotone) {
+  ts::TimeSeries series = NoisySine(10 * kDay, 1.0, 2);
+  RecalibratedForecaster::Options options;
+  options.calibration_steps = 2 * kDay;
+  options.stride = 36;
+  RecalibratedForecaster wrapped(
+      std::make_unique<OverconfidentForecaster>(36, 0.4), options);
+  ASSERT_TRUE(wrapped.Fit(series).ok());
+  double prev = 0.0;
+  for (double nominal : {0.1, 0.3, 0.5, 0.7, 0.9, 0.95}) {
+    const double mapped = wrapped.RemappedLevel(nominal);
+    EXPECT_GE(mapped, prev);
+    EXPECT_GT(mapped, 0.0);
+    EXPECT_LT(mapped, 1.0);
+    prev = mapped;
+  }
+}
+
+TEST(RecalibratedTest, OverconfidentModelMapsToMoreExtremeLevels) {
+  ts::TimeSeries series = NoisySine(10 * kDay, 1.0, 3);
+  RecalibratedForecaster::Options options;
+  options.calibration_steps = 2 * kDay;
+  options.stride = 36;
+  RecalibratedForecaster wrapped(
+      std::make_unique<OverconfidentForecaster>(36, 0.6), options);
+  ASSERT_TRUE(wrapped.Fit(series).ok());
+  // To reach true 0.9 coverage an overconfident model must be queried
+  // beyond its nominal 0.9.
+  EXPECT_GT(wrapped.RemappedLevel(0.9), 0.9);
+}
+
+TEST(RecalibratedTest, NameAndPlumbing) {
+  RecalibratedForecaster::Options options;
+  RecalibratedForecaster wrapped(
+      std::make_unique<OverconfidentForecaster>(36, 0.5), options);
+  EXPECT_EQ(wrapped.Name(), "Overconfident+recalibrated");
+  EXPECT_EQ(wrapped.Horizon(), 36u);
+  ForecastInput input;
+  input.context.assign(kDay, 1.0);
+  EXPECT_EQ(wrapped.Predict(input).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RecalibratedTest, RejectsTooShortSeries) {
+  RecalibratedForecaster::Options options;
+  options.calibration_steps = 5 * kDay;
+  RecalibratedForecaster wrapped(
+      std::make_unique<OverconfidentForecaster>(36, 0.5), options);
+  ts::TimeSeries tiny = NoisySine(5 * kDay, 1.0, 4);
+  EXPECT_FALSE(wrapped.Fit(tiny).ok());
+}
+
+// ---------------------------------------------------------------- Backtest ---
+
+TEST(BacktestTest, RunsRequestedFolds) {
+  ts::TimeSeries series = NoisySine(16 * kDay, 0.5, 5);
+  BacktestOptions options;
+  options.folds = 3;
+  options.fold_steps = kDay;
+  auto result = Backtest(
+      []() -> std::unique_ptr<Forecaster> {
+        SeasonalNaiveForecaster::Options o;
+        o.context_length = kDay;
+        o.horizon = 36;
+        o.season = kDay;
+        return std::make_unique<SeasonalNaiveForecaster>(o);
+      },
+      series, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->fold_reports.size(), 3u);
+  EXPECT_GT(result->mean_wql.mean, 0.0);
+  EXPECT_GE(result->mean_wql.stddev, 0.0);
+  EXPECT_FALSE(result->coverage.empty());
+}
+
+TEST(BacktestTest, PerfectModelHasZeroErrorAndZeroVariance) {
+  ts::TimeSeries series = NoisySine(16 * kDay, 0.0, 6);  // noiseless
+  BacktestOptions options;
+  options.folds = 2;
+  options.fold_steps = kDay;
+  options.levels = {0.5};
+  auto result = Backtest(
+      []() -> std::unique_ptr<Forecaster> {
+        SeasonalNaiveForecaster::Options o;
+        o.context_length = kDay;
+        o.horizon = 36;
+        o.season = kDay;
+        return std::make_unique<SeasonalNaiveForecaster>(o);
+      },
+      series, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->mse.mean, 0.0, 1e-9);
+  EXPECT_NEAR(result->mse.stddev, 0.0, 1e-9);
+}
+
+TEST(BacktestTest, RejectsBadConfigs) {
+  ts::TimeSeries series = NoisySine(4 * kDay, 0.5, 7);
+  BacktestOptions options;
+  options.folds = 0;
+  auto factory = []() -> std::unique_ptr<Forecaster> {
+    return std::make_unique<SeasonalNaiveForecaster>(
+        SeasonalNaiveForecaster::Options{});
+  };
+  EXPECT_FALSE(Backtest(factory, series, options).ok());
+  options.folds = 50;
+  options.fold_steps = kDay;
+  EXPECT_FALSE(Backtest(factory, series, options).ok());  // too short
+}
+
+TEST(BacktestTest, NullFactoryRejected) {
+  ts::TimeSeries series = NoisySine(16 * kDay, 0.5, 8);
+  BacktestOptions options;
+  options.folds = 1;
+  options.fold_steps = kDay;
+  auto result = Backtest(
+      []() -> std::unique_ptr<Forecaster> { return nullptr; }, series,
+      options);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace rpas::forecast

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dist/empirical.h"
+#include "dist/gaussian.h"
+#include "dist/special.h"
+#include "dist/student_t.h"
+
+namespace rpas::dist {
+namespace {
+
+// ------------------------------------------------------ special functions ---
+
+TEST(SpecialTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-9);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.024997895148220435, 1e-9);
+  EXPECT_NEAR(NormalCdf(3.0), 0.9986501019683699, 1e-9);
+}
+
+TEST(SpecialTest, NormalQuantileInvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(SpecialTest, NormalQuantileKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-10);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-8);
+  EXPECT_NEAR(NormalQuantile(0.9), 1.2815515655446004, 1e-8);
+}
+
+TEST(SpecialTest, DigammaRecurrenceIdentity) {
+  // psi(x+1) = psi(x) + 1/x.
+  for (double x : {0.5, 1.0, 2.3, 7.7}) {
+    EXPECT_NEAR(Digamma(x + 1.0), Digamma(x) + 1.0 / x, 1e-10) << "x=" << x;
+  }
+}
+
+TEST(SpecialTest, DigammaKnownValues) {
+  // psi(1) = -gamma (Euler-Mascheroni).
+  EXPECT_NEAR(Digamma(1.0), -0.5772156649015329, 1e-9);
+  // psi(0.5) = -gamma - 2 ln 2.
+  EXPECT_NEAR(Digamma(0.5), -1.9635100260214235, 1e-9);
+}
+
+TEST(SpecialTest, LogBetaSymmetry) {
+  EXPECT_NEAR(LogBeta(2.0, 3.0), LogBeta(3.0, 2.0), 1e-12);
+  // B(2,3) = 1/12.
+  EXPECT_NEAR(std::exp(LogBeta(2.0, 3.0)), 1.0 / 12.0, 1e-10);
+}
+
+TEST(SpecialTest, IncompleteBetaBoundaries) {
+  EXPECT_DOUBLE_EQ(IncompleteBetaRegularized(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(IncompleteBetaRegularized(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(SpecialTest, IncompleteBetaUniformCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.3, 0.5, 0.9}) {
+    EXPECT_NEAR(IncompleteBetaRegularized(1.0, 1.0, x), x, 1e-10);
+  }
+}
+
+TEST(SpecialTest, StudentTCdfSymmetry) {
+  for (double x : {0.5, 1.0, 2.5}) {
+    EXPECT_NEAR(StudentTCdf(x, 5.0) + StudentTCdf(-x, 5.0), 1.0, 1e-10);
+  }
+  EXPECT_NEAR(StudentTCdf(0.0, 3.0), 0.5, 1e-12);
+}
+
+TEST(SpecialTest, StudentTCdfKnownValue) {
+  // t_1 (Cauchy): CDF(1) = 0.75.
+  EXPECT_NEAR(StudentTCdf(1.0, 1.0), 0.75, 1e-8);
+  // Large dof approaches the normal CDF.
+  EXPECT_NEAR(StudentTCdf(1.0, 1e6), NormalCdf(1.0), 1e-4);
+}
+
+TEST(SpecialTest, StudentTQuantileInvertsCdf) {
+  for (double dof : {1.0, 2.0, 4.0, 30.0}) {
+    for (double p : {0.05, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+      EXPECT_NEAR(StudentTCdf(StudentTQuantile(p, dof), dof), p, 1e-8)
+          << "dof=" << dof << " p=" << p;
+    }
+  }
+}
+
+TEST(SpecialTest, StudentTQuantileKnownValue) {
+  // t_{0.975, 4} = 2.776445.
+  EXPECT_NEAR(StudentTQuantile(0.975, 4.0), 2.7764451051977987, 1e-5);
+}
+
+// ---------------------------------------------------------------- Gaussian ---
+
+TEST(GaussianTest, Moments) {
+  Gaussian g(3.0, 2.0);
+  EXPECT_DOUBLE_EQ(g.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(g.Variance(), 4.0);
+}
+
+TEST(GaussianTest, LogPdfKnown) {
+  Gaussian g(0.0, 1.0);
+  EXPECT_NEAR(g.LogPdf(0.0), -0.5 * std::log(2.0 * M_PI), 1e-12);
+}
+
+TEST(GaussianTest, QuantileCdfRoundTrip) {
+  Gaussian g(5.0, 3.0);
+  for (double p : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(g.Cdf(g.Quantile(p)), p, 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(g.Quantile(0.5), 5.0);
+}
+
+TEST(GaussianTest, SampleMoments) {
+  Gaussian g(-2.0, 0.5);
+  Rng rng(77);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = g.Sample(&rng);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, -2.0, 0.02);
+  EXPECT_NEAR(sq / n - mean * mean, 0.25, 0.01);
+}
+
+// ---------------------------------------------------------------- StudentT ---
+
+TEST(StudentTTest, Moments) {
+  StudentT t(1.0, 2.0, 5.0);
+  EXPECT_DOUBLE_EQ(t.Mean(), 1.0);
+  EXPECT_NEAR(t.Variance(), 4.0 * 5.0 / 3.0, 1e-12);
+  StudentT heavy(0.0, 1.0, 2.0);
+  EXPECT_TRUE(std::isinf(heavy.Variance()));
+}
+
+TEST(StudentTTest, QuantileCdfRoundTrip) {
+  StudentT t(10.0, 2.0, 4.0);
+  for (double p : {0.05, 0.5, 0.95}) {
+    EXPECT_NEAR(t.Cdf(t.Quantile(p)), p, 1e-7);
+  }
+  EXPECT_NEAR(t.Quantile(0.5), 10.0, 1e-9);
+}
+
+TEST(StudentTTest, HeavierTailsThanGaussian) {
+  Gaussian g(0.0, 1.0);
+  StudentT t(0.0, 1.0, 3.0);
+  // Same scale: the t distribution puts more mass beyond 3.
+  EXPECT_GT(1.0 - t.Cdf(3.0), 1.0 - g.Cdf(3.0));
+}
+
+TEST(StudentTTest, LogPdfIntegratesConsistently) {
+  // Check pdf via numeric derivative of cdf at a few points.
+  StudentT t(0.0, 1.0, 6.0);
+  for (double x : {-1.0, 0.0, 2.0}) {
+    const double h = 1e-5;
+    const double numeric_pdf = (t.Cdf(x + h) - t.Cdf(x - h)) / (2.0 * h);
+    EXPECT_NEAR(std::exp(t.LogPdf(x)), numeric_pdf, 1e-5) << "x=" << x;
+  }
+}
+
+TEST(StudentTTest, SampleLocation) {
+  StudentT t(7.0, 1.0, 8.0);
+  Rng rng(123);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sum += t.Sample(&rng);
+  }
+  EXPECT_NEAR(sum / n, 7.0, 0.05);
+}
+
+// --------------------------------------------------------------- Empirical ---
+
+TEST(EmpiricalTest, QuantilesOfKnownSample) {
+  Empirical e({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(e.Quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(e.Quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(e.Quantile(0.75), 4.0);
+  // Interpolation between order statistics.
+  EXPECT_DOUBLE_EQ(e.Quantile(0.625), 3.5);
+}
+
+TEST(EmpiricalTest, MeanVariance) {
+  Empirical e({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(e.Mean(), 4.0);
+  EXPECT_DOUBLE_EQ(e.Variance(), 4.0);  // sample variance
+}
+
+TEST(EmpiricalTest, CdfStepFunction) {
+  Empirical e({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.Cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.Cdf(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(e.Cdf(10.0), 1.0);
+}
+
+TEST(EmpiricalTest, SingleSample) {
+  Empirical e({42.0});
+  EXPECT_DOUBLE_EQ(e.Quantile(0.1), 42.0);
+  EXPECT_DOUBLE_EQ(e.Quantile(0.9), 42.0);
+  EXPECT_DOUBLE_EQ(e.Variance(), 0.0);
+}
+
+TEST(EmpiricalTest, QuantileMonotone) {
+  Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 200; ++i) {
+    samples.push_back(rng.Normal());
+  }
+  Empirical e(samples);
+  double prev = e.Quantile(0.01);
+  for (double p = 0.05; p < 1.0; p += 0.05) {
+    const double q = e.Quantile(p);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(EmpiricalTest, LargeSampleQuantilesMatchSource) {
+  Gaussian g(0.0, 1.0);
+  Rng rng(6);
+  std::vector<double> samples;
+  for (int i = 0; i < 100000; ++i) {
+    samples.push_back(g.Sample(&rng));
+  }
+  Empirical e(std::move(samples));
+  EXPECT_NEAR(e.Quantile(0.9), g.Quantile(0.9), 0.03);
+  EXPECT_NEAR(e.Quantile(0.5), 0.0, 0.02);
+}
+
+TEST(EmpiricalTest, SampleDrawsFromData) {
+  Empirical e({1.0, 2.0, 3.0});
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const double s = e.Sample(&rng);
+    EXPECT_TRUE(s == 1.0 || s == 2.0 || s == 3.0);
+  }
+}
+
+// Parameterized calibration sweep: for each distribution, the fraction of
+// samples below Quantile(p) must approximate p.
+class QuantileCalibrationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileCalibrationTest, GaussianCalibrated) {
+  const double p = GetParam();
+  Gaussian g(1.0, 2.0);
+  Rng rng(91);
+  const double q = g.Quantile(p);
+  int below = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    if (g.Sample(&rng) <= q) {
+      ++below;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(below) / n, p, 0.01);
+}
+
+TEST_P(QuantileCalibrationTest, StudentTCalibrated) {
+  const double p = GetParam();
+  StudentT t(0.0, 1.5, 4.0);
+  Rng rng(92);
+  const double q = t.Quantile(p);
+  int below = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    if (t.Sample(&rng) <= q) {
+      ++below;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(below) / n, p, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, QuantileCalibrationTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9, 0.95));
+
+}  // namespace
+}  // namespace rpas::dist

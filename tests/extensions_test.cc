@@ -1,0 +1,410 @@
+// Tests for the library extensions beyond the paper's core experiments:
+// Holt-Winters forecaster, model checkpointing, the online auto-scaling
+// loop, and multi-resource allocation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "common/rng.h"
+#include "core/multi_resource.h"
+#include "core/online_loop.h"
+#include "forecast/holt_winters.h"
+#include "forecast/mlp.h"
+#include "forecast/seasonal_naive.h"
+#include "forecast/tft.h"
+#include "nn/checkpoint.h"
+#include "trace/generator.h"
+#include "ts/metrics.h"
+
+namespace rpas {
+namespace {
+
+constexpr size_t kDay = 144;
+
+ts::TimeSeries SineSeries(size_t num_steps, double noise, uint64_t seed) {
+  ts::TimeSeries s;
+  s.step_minutes = 10.0;
+  Rng rng(seed);
+  for (size_t i = 0; i < num_steps; ++i) {
+    const double phase = 2.0 * M_PI * static_cast<double>(i % kDay) /
+                         static_cast<double>(kDay);
+    s.values.push_back(10.0 + 4.0 * std::sin(phase) + noise * rng.Normal());
+  }
+  return s;
+}
+
+// ------------------------------------------------------------ HoltWinters ---
+
+TEST(HoltWintersTest, NailsCleanSeasonalSeries) {
+  ts::TimeSeries s = SineSeries(8 * kDay, /*noise=*/0.05, 1);
+  forecast::HoltWintersForecaster::Options options;
+  options.context_length = 2 * kDay;
+  options.horizon = 72;
+  options.season = kDay;
+  forecast::HoltWintersForecaster model(options);
+  auto [train, test] = s.SplitTail(kDay);
+  ASSERT_TRUE(model.Fit(train).ok());
+
+  auto rolled = forecast::RollForecasts(model, train, test, 72);
+  ASSERT_TRUE(rolled.ok());
+  auto report =
+      ts::EvaluateForecasts(rolled->forecasts, rolled->actuals, {0.5});
+  // Signal variance is 8; HW should be near the noise floor.
+  EXPECT_LT(report.mse, 0.5);
+}
+
+TEST(HoltWintersTest, TracksLevelShift) {
+  // Seasonal series whose level jumps halfway: the smoother must adapt.
+  ts::TimeSeries s = SineSeries(8 * kDay, 0.05, 2);
+  for (size_t i = 4 * kDay; i < s.size(); ++i) {
+    s.values[i] += 5.0;
+  }
+  forecast::HoltWintersForecaster::Options options;
+  options.context_length = 2 * kDay;
+  options.horizon = 36;
+  options.season = kDay;
+  forecast::HoltWintersForecaster model(options);
+  ASSERT_TRUE(model.Fit(s.Slice(0, 7 * kDay)).ok());
+  forecast::ForecastInput input;
+  input.start_index = 7 * kDay - 2 * kDay;
+  input.step_minutes = 10.0;
+  input.context.assign(
+      s.values.begin() + static_cast<long>(5 * kDay),
+      s.values.begin() + static_cast<long>(7 * kDay));
+  auto fc = model.Predict(input);
+  ASSERT_TRUE(fc.ok());
+  // Median forecast should live at the shifted level (15 +- amplitude).
+  const double median0 = fc->Value(0, 0.5);
+  EXPECT_GT(median0, 9.0);
+}
+
+TEST(HoltWintersTest, IntervalsWidenWithHorizon) {
+  ts::TimeSeries s = SineSeries(8 * kDay, 1.0, 3);
+  forecast::HoltWintersForecaster::Options options;
+  options.context_length = 2 * kDay;
+  options.horizon = 72;
+  options.season = kDay;
+  forecast::HoltWintersForecaster model(options);
+  ASSERT_TRUE(model.Fit(s).ok());
+  forecast::ForecastInput input;
+  input.start_index = s.size() - 2 * kDay;
+  input.step_minutes = 10.0;
+  input.context.assign(s.values.end() - 2 * kDay, s.values.end());
+  auto fc = model.Predict(input);
+  ASSERT_TRUE(fc.ok());
+  const double early = fc->Value(0, 0.9) - fc->Value(0, 0.1);
+  const double late = fc->Value(71, 0.9) - fc->Value(71, 0.1);
+  EXPECT_GT(late, early);
+}
+
+TEST(HoltWintersTest, RejectsShortTrainOrContext) {
+  forecast::HoltWintersForecaster::Options options;
+  options.season = kDay;
+  forecast::HoltWintersForecaster model(options);
+  ts::TimeSeries tiny = SineSeries(kDay, 0.1, 4);
+  EXPECT_FALSE(model.Fit(tiny).ok());
+  ASSERT_TRUE(model.Fit(SineSeries(6 * kDay, 0.1, 5)).ok());
+  forecast::ForecastInput input;
+  input.context.assign(10, 1.0);
+  EXPECT_FALSE(model.Predict(input).ok());
+}
+
+TEST(HoltWintersTest, GridSearchPicksFromGrid) {
+  ts::TimeSeries s = SineSeries(6 * kDay, 0.3, 6);
+  forecast::HoltWintersForecaster::Options options;
+  options.season = kDay;
+  forecast::HoltWintersForecaster model(options);
+  ASSERT_TRUE(model.Fit(s).ok());
+  auto contains = [](const std::vector<double>& grid, double v) {
+    for (double g : grid) {
+      if (g == v) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains(options.alpha_grid, model.alpha()));
+  EXPECT_TRUE(contains(options.beta_grid, model.beta()));
+  EXPECT_TRUE(contains(options.gamma_grid, model.gamma()));
+  EXPECT_GT(model.residual_stddev(), 0.0);
+}
+
+// ------------------------------------------------------------- Checkpoint ---
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("rpas_ckpt_" + std::to_string(::getpid()) + ".txt");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path() const { return path_.string(); }
+  std::filesystem::path path_;
+};
+
+TEST_F(CheckpointTest, RawRoundTrip) {
+  Rng rng(7);
+  autodiff::Parameter a(tensor::Matrix(3, 4));
+  autodiff::Parameter b(tensor::Matrix(1, 2));
+  for (size_t i = 0; i < a.value.size(); ++i) {
+    a.value[i] = rng.Normal();
+  }
+  b.value(0, 0) = 1.5;
+  b.value(0, 1) = -2.25;
+  ASSERT_TRUE(nn::SaveParameters(path(), "sig", {&a, &b}).ok());
+
+  autodiff::Parameter a2(tensor::Matrix(3, 4));
+  autodiff::Parameter b2(tensor::Matrix(1, 2));
+  ASSERT_TRUE(nn::LoadParameters(path(), "sig", {&a2, &b2}).ok());
+  for (size_t i = 0; i < a.value.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a2.value[i], a.value[i]);
+  }
+  EXPECT_DOUBLE_EQ(b2.value(0, 1), -2.25);
+}
+
+TEST_F(CheckpointTest, SignatureMismatchRejected) {
+  autodiff::Parameter a(tensor::Matrix(1, 1));
+  ASSERT_TRUE(nn::SaveParameters(path(), "model-v1", {&a}).ok());
+  EXPECT_EQ(nn::LoadParameters(path(), "model-v2", {&a}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CheckpointTest, ShapeMismatchRejected) {
+  autodiff::Parameter a(tensor::Matrix(2, 2));
+  ASSERT_TRUE(nn::SaveParameters(path(), "sig", {&a}).ok());
+  autodiff::Parameter wrong(tensor::Matrix(2, 3));
+  EXPECT_EQ(nn::LoadParameters(path(), "sig", {&wrong}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CheckpointTest, CountMismatchRejected) {
+  autodiff::Parameter a(tensor::Matrix(1, 1));
+  ASSERT_TRUE(nn::SaveParameters(path(), "sig", {&a}).ok());
+  autodiff::Parameter b(tensor::Matrix(1, 1));
+  EXPECT_EQ(nn::LoadParameters(path(), "sig", {&a, &b}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CheckpointTest, MissingFileIsIoError) {
+  autodiff::Parameter a(tensor::Matrix(1, 1));
+  EXPECT_EQ(nn::LoadParameters("/nonexistent/ckpt", "sig", {&a}).code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(CheckpointTest, TftSaveLoadPreservesPredictions) {
+  ts::TimeSeries s = SineSeries(3 * kDay, 0.3, 8);
+  forecast::TftForecaster::Options options;
+  options.context_length = 36;
+  options.horizon = 12;
+  options.d_model = 8;
+  options.batch_size = 2;
+  options.train.steps = 60;
+  options.levels = {0.1, 0.5, 0.9};
+  forecast::TftForecaster original(options);
+  ASSERT_TRUE(original.Fit(s).ok());
+  ASSERT_TRUE(original.Save(path()).ok());
+
+  forecast::TftForecaster restored(options);
+  ASSERT_TRUE(restored.Load(path()).ok());
+
+  forecast::ForecastInput input;
+  input.start_index = s.size() - 36;
+  input.step_minutes = 10.0;
+  input.context.assign(s.values.end() - 36, s.values.end());
+  auto fc1 = original.Predict(input);
+  auto fc2 = restored.Predict(input);
+  ASSERT_TRUE(fc1.ok() && fc2.ok());
+  for (size_t h = 0; h < 12; ++h) {
+    for (size_t q = 0; q < 3; ++q) {
+      EXPECT_DOUBLE_EQ(fc1->ValueAtIndex(h, q), fc2->ValueAtIndex(h, q));
+    }
+  }
+}
+
+TEST_F(CheckpointTest, TftRejectsDifferentArchitecture) {
+  ts::TimeSeries s = SineSeries(3 * kDay, 0.3, 9);
+  forecast::TftForecaster::Options options;
+  options.context_length = 36;
+  options.horizon = 12;
+  options.d_model = 8;
+  options.batch_size = 2;
+  options.train.steps = 30;
+  options.levels = {0.1, 0.5, 0.9};
+  forecast::TftForecaster original(options);
+  ASSERT_TRUE(original.Fit(s).ok());
+  ASSERT_TRUE(original.Save(path()).ok());
+
+  options.d_model = 16;  // different architecture
+  forecast::TftForecaster other(options);
+  EXPECT_FALSE(other.Load(path()).ok());
+}
+
+TEST_F(CheckpointTest, MlpSaveLoadPreservesScalerAndWeights) {
+  ts::TimeSeries s = SineSeries(3 * kDay, 0.3, 10);
+  forecast::MlpForecaster::Options options;
+  options.context_length = 36;
+  options.horizon = 12;
+  options.hidden_dim = 16;
+  options.train.steps = 60;
+  forecast::MlpForecaster original(options);
+  ASSERT_TRUE(original.Fit(s).ok());
+  ASSERT_TRUE(original.Save(path()).ok());
+
+  forecast::MlpForecaster restored(options);
+  ASSERT_TRUE(restored.Load(path()).ok());
+  forecast::ForecastInput input;
+  input.start_index = s.size() - 36;
+  input.step_minutes = 10.0;
+  input.context.assign(s.values.end() - 36, s.values.end());
+  auto d1 = original.PredictDistribution(input);
+  auto d2 = restored.PredictDistribution(input);
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  for (size_t h = 0; h < 12; ++h) {
+    EXPECT_DOUBLE_EQ(d1->mean[h], d2->mean[h]);
+    EXPECT_DOUBLE_EQ(d1->stddev[h], d2->stddev[h]);
+  }
+}
+
+TEST_F(CheckpointTest, SaveUnfittedModelFails) {
+  forecast::TftForecaster model(forecast::TftForecaster::Options{});
+  EXPECT_EQ(model.Save(path()).code(), StatusCode::kFailedPrecondition);
+}
+
+// -------------------------------------------------------------- OnlineLoop ---
+
+class OnlineLoopFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    series_ = SineSeries(8 * kDay, 0.3, 11);
+    forecast::SeasonalNaiveForecaster::Options options;
+    options.context_length = kDay;
+    options.horizon = 36;
+    options.season = kDay;
+    model_ = std::make_unique<forecast::SeasonalNaiveForecaster>(options);
+    ASSERT_TRUE(model_->Fit(series_.Slice(0, 6 * kDay)).ok());
+    config_.theta = 2.0;
+    config_.min_nodes = 1;
+    manager_ = std::make_unique<core::RobustAutoScalingManager>(
+        model_.get(), std::make_unique<core::RobustQuantileAllocator>(0.9),
+        config_);
+  }
+
+  core::OnlineLoopOptions LoopOptions() const {
+    core::OnlineLoopOptions options;
+    options.cluster.node_capacity = config_.theta;
+    options.cluster.utilization_threshold = 1.0;
+    options.cluster.initial_nodes = 5;
+    return options;
+  }
+
+  ts::TimeSeries series_;
+  std::unique_ptr<forecast::SeasonalNaiveForecaster> model_;
+  core::ScalingConfig config_;
+  std::unique_ptr<core::RobustAutoScalingManager> manager_;
+};
+
+TEST_F(OnlineLoopFixture, RunsAndReplansEveryHorizon) {
+  auto result = core::RunOnlineLoop(*manager_, series_, 6 * kDay, kDay,
+                                    LoopOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->allocation.size(), kDay);
+  EXPECT_EQ(result->steps.size(), kDay);
+  // 144 steps at horizon 36 -> 4 plans.
+  EXPECT_EQ(result->plans_made, 4u);
+}
+
+TEST_F(OnlineLoopFixture, CustomReplanInterval) {
+  core::OnlineLoopOptions options = LoopOptions();
+  options.replan_every = 12;
+  auto result =
+      core::RunOnlineLoop(*manager_, series_, 6 * kDay, kDay, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plans_made, kDay / 12);
+}
+
+TEST_F(OnlineLoopFixture, RobustLoopMostlyAvoidsUnderProvisioning) {
+  auto result = core::RunOnlineLoop(*manager_, series_, 6 * kDay, 2 * kDay,
+                                    LoopOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->under_provision_rate, 0.15);
+  EXPECT_GT(result->mean_utilization, 0.0);
+  EXPECT_GT(result->total_node_steps, 0);
+}
+
+TEST_F(OnlineLoopFixture, RejectsBadRanges) {
+  EXPECT_FALSE(
+      core::RunOnlineLoop(*manager_, series_, 6 * kDay, 0, LoopOptions())
+          .ok());
+  EXPECT_FALSE(core::RunOnlineLoop(*manager_, series_, series_.size(), 10,
+                                   LoopOptions())
+                   .ok());
+}
+
+// ----------------------------------------------------------- MultiResource ---
+
+TEST(MultiResourceTest, BindingResourceWins) {
+  core::ScalingConfig config;
+  config.theta = 1.0;  // ignored
+  std::vector<core::ResourceDemand> demands = {
+      {"cpu", {4.0, 1.0}, 2.0},     // needs 2, 1
+      {"memory", {3.0, 9.0}, 3.0},  // needs 1, 3
+  };
+  auto alloc = core::AllocateMultiResource(demands, config);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(*alloc, (std::vector<int>{2, 3}));
+  auto binding = core::BindingResourcePerStep(demands, config);
+  ASSERT_TRUE(binding.ok());
+  EXPECT_EQ(*binding, (std::vector<int>{0, 1}));
+}
+
+TEST(MultiResourceTest, MinNodesFloor) {
+  core::ScalingConfig config;
+  config.min_nodes = 2;
+  std::vector<core::ResourceDemand> demands = {{"cpu", {0.1}, 1.0}};
+  auto alloc = core::AllocateMultiResource(demands, config);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ((*alloc)[0], 2);
+  auto binding = core::BindingResourcePerStep(demands, config);
+  ASSERT_TRUE(binding.ok());
+  EXPECT_EQ((*binding)[0], -1);  // floor binds, not a resource
+}
+
+TEST(MultiResourceTest, CapViolationReported) {
+  core::ScalingConfig config;
+  config.max_nodes = 2;
+  std::vector<core::ResourceDemand> demands = {{"cpu", {10.0}, 1.0}};
+  EXPECT_EQ(core::AllocateMultiResource(demands, config).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(MultiResourceTest, MismatchedLengthsRejected) {
+  core::ScalingConfig config;
+  std::vector<core::ResourceDemand> demands = {{"cpu", {1.0, 2.0}, 1.0},
+                                               {"mem", {1.0}, 1.0}};
+  EXPECT_FALSE(core::AllocateMultiResource(demands, config).ok());
+}
+
+TEST(MultiResourceTest, QuantileVariantUsesTauTrajectories) {
+  core::ScalingConfig config;
+  ts::QuantileForecast cpu({0.5, 0.9}, {{2.0, 4.0}});
+  ts::QuantileForecast mem({0.5, 0.9}, {{1.0, 9.0}});
+  auto alloc = core::AllocateMultiResourceQuantile(
+      {{cpu, 1.0}, {mem, 3.0}}, 0.9, config);
+  ASSERT_TRUE(alloc.ok());
+  // cpu: ceil(4/1) = 4; mem: ceil(9/3) = 3 -> 4.
+  EXPECT_EQ((*alloc)[0], 4);
+}
+
+TEST(MultiResourceTest, SingleResourceMatchesScalarPath) {
+  core::ScalingConfig config;
+  std::vector<core::ResourceDemand> demands = {{"cpu", {7.3, 0.0, 2.0}, 1.0}};
+  auto alloc = core::AllocateMultiResource(demands, config);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(*alloc, (std::vector<int>{8, 1, 2}));
+}
+
+}  // namespace
+}  // namespace rpas

@@ -1,0 +1,548 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/tape.h"
+#include "common/rng.h"
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "nn/losses.h"
+#include "nn/optimizer.h"
+#include "nn/trainer.h"
+#include "tensor/ops.h"
+
+namespace rpas::nn {
+namespace {
+
+using autodiff::Parameter;
+using autodiff::Tape;
+using autodiff::Var;
+using tensor::Matrix;
+
+Matrix RandomMatrix(size_t rows, size_t cols, Rng* rng, double scale = 1.0) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m[i] = scale * rng->Normal();
+  }
+  return m;
+}
+
+// ------------------------------------------------------------------- init ---
+
+TEST(InitTest, XavierBounds) {
+  Rng rng(1);
+  Matrix w = XavierUniform(10, 20, &rng);
+  const double bound = std::sqrt(6.0 / 30.0);
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(std::fabs(w[i]), bound);
+  }
+}
+
+TEST(InitTest, ZerosAndConstant) {
+  EXPECT_DOUBLE_EQ(Zeros(2, 2)(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(Constant(2, 2, 3.0)(0, 1), 3.0);
+}
+
+// ------------------------------------------------------------------ Dense ---
+
+TEST(DenseTest, ForwardAndApplyAgree) {
+  Rng rng(2);
+  Dense layer(3, 4, Dense::Activation::kTanh, &rng);
+  Matrix x = RandomMatrix(5, 3, &rng);
+  Tape tape;
+  Var out = layer.Forward(&tape, tape.Constant(x));
+  Matrix raw = layer.Apply(x);
+  ASSERT_EQ(out.value().rows(), raw.rows());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_NEAR(out.value()[i], raw[i], 1e-12);
+  }
+}
+
+TEST(DenseTest, AllActivationsAgreeAcrossPaths) {
+  Rng rng(3);
+  for (auto act : {Dense::Activation::kNone, Dense::Activation::kRelu,
+                   Dense::Activation::kTanh, Dense::Activation::kSigmoid,
+                   Dense::Activation::kSoftplus}) {
+    Dense layer(2, 2, act, &rng);
+    Matrix x = RandomMatrix(3, 2, &rng);
+    Tape tape;
+    Var out = layer.Forward(&tape, tape.Constant(x));
+    Matrix raw = layer.Apply(x);
+    for (size_t i = 0; i < raw.size(); ++i) {
+      EXPECT_NEAR(out.value()[i], raw[i], 1e-12);
+    }
+  }
+}
+
+TEST(DenseTest, ParamCount) {
+  Rng rng(4);
+  Dense layer(3, 5, Dense::Activation::kNone, &rng);
+  EXPECT_EQ(layer.NumParams(), 3u * 5u + 5u);
+  EXPECT_EQ(layer.Params().size(), 2u);
+}
+
+// --------------------------------------------------------------- LstmCell ---
+
+TEST(LstmTest, TapeAndRawAgree) {
+  Rng rng(5);
+  LstmCell cell(3, 4, &rng);
+  Matrix x1 = RandomMatrix(2, 3, &rng);
+  Matrix x2 = RandomMatrix(2, 3, &rng);
+
+  Tape tape;
+  auto st = cell.ZeroState(&tape, 2);
+  st = cell.Step(&tape, tape.Constant(x1), st);
+  st = cell.Step(&tape, tape.Constant(x2), st);
+
+  auto raw = cell.ZeroRawState(2);
+  raw = cell.Step(x1, raw);
+  raw = cell.Step(x2, raw);
+
+  for (size_t i = 0; i < raw.h.size(); ++i) {
+    EXPECT_NEAR(st.h.value()[i], raw.h[i], 1e-12);
+    EXPECT_NEAR(st.c.value()[i], raw.c[i], 1e-12);
+  }
+}
+
+TEST(LstmTest, StateShapes) {
+  Rng rng(6);
+  LstmCell cell(2, 8, &rng);
+  auto raw = cell.ZeroRawState(4);
+  EXPECT_EQ(raw.h.rows(), 4u);
+  EXPECT_EQ(raw.h.cols(), 8u);
+  raw = cell.Step(RandomMatrix(4, 2, &rng), raw);
+  EXPECT_EQ(raw.h.rows(), 4u);
+  EXPECT_EQ(raw.c.cols(), 8u);
+}
+
+TEST(LstmTest, HiddenStateBounded) {
+  // h = o * tanh(c) is always in (-1, 1).
+  Rng rng(7);
+  LstmCell cell(2, 4, &rng);
+  auto raw = cell.ZeroRawState(1);
+  for (int t = 0; t < 50; ++t) {
+    raw = cell.Step(RandomMatrix(1, 2, &rng, 3.0), raw);
+    for (size_t i = 0; i < raw.h.size(); ++i) {
+      EXPECT_LT(std::fabs(raw.h[i]), 1.0);
+    }
+  }
+}
+
+TEST(LstmTest, GradientsFlowThroughTime) {
+  Rng rng(8);
+  LstmCell cell(2, 3, &rng);
+  Matrix x = RandomMatrix(1, 2, &rng);
+  Tape tape;
+  auto st = cell.ZeroState(&tape, 1);
+  for (int t = 0; t < 5; ++t) {
+    st = cell.Step(&tape, tape.Constant(x), st);
+  }
+  Var loss = tape.Sum(tape.Square(st.h));
+  tape.Backward(loss);
+  double grad_norm = 0.0;
+  for (Parameter* p : cell.Params()) {
+    for (size_t i = 0; i < p->grad.size(); ++i) {
+      grad_norm += p->grad[i] * p->grad[i];
+    }
+  }
+  EXPECT_GT(grad_norm, 0.0);
+}
+
+// -------------------------------------------------------------- LayerNorm ---
+
+TEST(LayerNormTest, NormalizesRows) {
+  LayerNorm ln(4);
+  Matrix x{{1.0, 2.0, 3.0, 4.0}, {10.0, 10.0, 30.0, 30.0}};
+  Matrix out = ln.Apply(x);
+  for (size_t r = 0; r < out.rows(); ++r) {
+    double mean = 0.0;
+    for (size_t c = 0; c < out.cols(); ++c) {
+      mean += out(r, c);
+    }
+    EXPECT_NEAR(mean / 4.0, 0.0, 1e-9);
+  }
+}
+
+TEST(LayerNormTest, ForwardAndApplyAgree) {
+  Rng rng(9);
+  LayerNorm ln(5);
+  Matrix x = RandomMatrix(3, 5, &rng, 2.0);
+  Tape tape;
+  Var out = ln.Forward(&tape, tape.Constant(x));
+  Matrix raw = ln.Apply(x);
+  for (size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_NEAR(out.value()[i], raw[i], 1e-12);
+  }
+}
+
+TEST(LayerNormTest, GradientCheck) {
+  Rng rng(10);
+  Parameter input(RandomMatrix(2, 4, &rng));
+  LayerNorm ln(4);
+  std::vector<Parameter*> params = {&input};
+  for (Parameter* p : ln.Params()) {
+    params.push_back(p);
+  }
+  for (Parameter* p : params) {
+    p->ZeroGrad();
+  }
+  Matrix weight = RandomMatrix(2, 4, &rng);
+  auto graph = [&](Tape* t) {
+    return t->Sum(
+        t->Mul(ln.Forward(t, t->Bind(&input)), t->Constant(weight)));
+  };
+  Tape tape;
+  Var loss = graph(&tape);
+  tape.Backward(loss);
+  for (Parameter* p : params) {
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      const double orig = p->value[i];
+      const double h = 1e-6;
+      p->value[i] = orig + h;
+      Tape t_up;
+      const double up = graph(&t_up).value()(0, 0);
+      p->value[i] = orig - h;
+      Tape t_down;
+      const double down = graph(&t_down).value()(0, 0);
+      p->value[i] = orig;
+      EXPECT_NEAR(p->grad[i], (up - down) / (2.0 * h), 1e-5);
+    }
+  }
+}
+
+// ---------------------------------------------------- GatedResidualNetwork ---
+
+TEST(GrnTest, ForwardAndApplyAgree) {
+  Rng rng(11);
+  GatedResidualNetwork grn(6, 8, 4, &rng);
+  Matrix x = RandomMatrix(3, 6, &rng);
+  Tape tape;
+  Var out = grn.Forward(&tape, tape.Constant(x));
+  Matrix raw = grn.Apply(x);
+  ASSERT_EQ(raw.cols(), 4u);
+  for (size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_NEAR(out.value()[i], raw[i], 1e-12);
+  }
+}
+
+TEST(GrnTest, SameDimSkipsProjection) {
+  Rng rng(12);
+  GatedResidualNetwork grn(4, 8, 4, &rng);
+  Matrix x = RandomMatrix(2, 4, &rng);
+  Matrix out = grn.Apply(x);
+  EXPECT_EQ(out.cols(), 4u);
+}
+
+// -------------------------------------------------------------- Attention ---
+
+TEST(AttentionTest, UniformKeysGiveMeanOfValues) {
+  // With all keys identical the attention weights are uniform, so the
+  // output equals the mean of the value rows.
+  Matrix q{{1.0, 0.0}};
+  Matrix k{{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}};
+  Matrix v{{3.0, 0.0}, {6.0, 3.0}, {0.0, 0.0}};
+  Matrix out = ScaledDotAttention(q, k, v);
+  EXPECT_NEAR(out(0, 0), 3.0, 1e-12);
+  EXPECT_NEAR(out(0, 1), 1.0, 1e-12);
+}
+
+TEST(AttentionTest, TapeAndRawAgree) {
+  Rng rng(13);
+  Matrix q = RandomMatrix(4, 6, &rng);
+  Matrix k = RandomMatrix(7, 6, &rng);
+  Matrix v = RandomMatrix(7, 6, &rng);
+  Tape tape;
+  Var out = ScaledDotAttention(&tape, tape.Constant(q), tape.Constant(k),
+                               tape.Constant(v));
+  Matrix raw = ScaledDotAttention(q, k, v);
+  for (size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_NEAR(out.value()[i], raw[i], 1e-12);
+  }
+}
+
+TEST(AttentionTest, InterpretableMhaForwardApplyAgree) {
+  Rng rng(14);
+  InterpretableMultiHeadAttention mha(8, 2, &rng);
+  Matrix q = RandomMatrix(3, 8, &rng);
+  Matrix kv = RandomMatrix(5, 8, &rng);
+  Tape tape;
+  Var out = mha.Forward(&tape, tape.Constant(q), tape.Constant(kv));
+  Matrix raw = mha.Apply(q, kv);
+  ASSERT_EQ(raw.rows(), 3u);
+  ASSERT_EQ(raw.cols(), 8u);
+  for (size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_NEAR(out.value()[i], raw[i], 1e-12);
+  }
+}
+
+TEST(AttentionTest, MhaGradientsFlow) {
+  Rng rng(15);
+  InterpretableMultiHeadAttention mha(4, 2, &rng);
+  Matrix q = RandomMatrix(2, 4, &rng);
+  Matrix kv = RandomMatrix(3, 4, &rng);
+  Tape tape;
+  Var out = mha.Forward(&tape, tape.Constant(q), tape.Constant(kv));
+  tape.Backward(tape.Sum(tape.Square(out)));
+  double norm = 0.0;
+  for (Parameter* p : mha.Params()) {
+    for (size_t i = 0; i < p->grad.size(); ++i) {
+      norm += p->grad[i] * p->grad[i];
+    }
+  }
+  EXPECT_GT(norm, 0.0);
+}
+
+// ----------------------------------------------------------------- Losses ---
+
+TEST(LossTest, MseKnownValue) {
+  Tape tape;
+  Var pred = tape.Constant(Matrix{{1.0, 2.0}});
+  Var target = tape.Constant(Matrix{{3.0, 2.0}});
+  Var loss = MseLoss(&tape, pred, target);
+  EXPECT_DOUBLE_EQ(loss.value()(0, 0), 2.0);  // (4 + 0) / 2
+}
+
+TEST(LossTest, GaussianNllMatchesFormula) {
+  Tape tape;
+  const double mu = 1.0;
+  const double sigma = 2.0;
+  const double y = 2.5;
+  Var loss = GaussianNllLoss(&tape, tape.Constant(Matrix{{mu}}),
+                             tape.Constant(Matrix{{sigma}}),
+                             tape.Constant(Matrix{{y}}));
+  const double z = (y - mu) / sigma;
+  const double expected =
+      0.5 * std::log(2.0 * M_PI) + std::log(sigma) + 0.5 * z * z;
+  EXPECT_NEAR(loss.value()(0, 0), expected, 1e-12);
+}
+
+TEST(LossTest, GaussianNllMinimizedAtTarget) {
+  // NLL as a function of mu is minimized when mu == y.
+  Tape t1;
+  Var at_target = GaussianNllLoss(&t1, t1.Constant(Matrix{{5.0}}),
+                                  t1.Constant(Matrix{{1.0}}),
+                                  t1.Constant(Matrix{{5.0}}));
+  Tape t2;
+  Var off_target = GaussianNllLoss(&t2, t2.Constant(Matrix{{4.0}}),
+                                   t2.Constant(Matrix{{1.0}}),
+                                   t2.Constant(Matrix{{5.0}}));
+  EXPECT_LT(at_target.value()(0, 0), off_target.value()(0, 0));
+}
+
+TEST(LossTest, StudentTNllMatchesDistribution) {
+  // Must equal -LogPdf of the location-scale Student-t.
+  const double mu = 0.5;
+  const double sigma = 1.5;
+  const double dof = 4.0;
+  const double y = 2.0;
+  Tape tape;
+  Var loss = StudentTNllLoss(&tape, tape.Constant(Matrix{{mu}}),
+                             tape.Constant(Matrix{{sigma}}),
+                             tape.Constant(Matrix{{y}}), dof);
+  const double z = (y - mu) / sigma;
+  const double expected = -(std::lgamma((dof + 1.0) / 2.0) -
+                            std::lgamma(dof / 2.0) -
+                            0.5 * std::log(dof * M_PI) - std::log(sigma) -
+                            (dof + 1.0) / 2.0 * std::log1p(z * z / dof));
+  EXPECT_NEAR(loss.value()(0, 0), expected, 1e-12);
+}
+
+TEST(LossTest, StudentTNllHandlesOutliersBetterThanGaussian) {
+  // For a far outlier, Student-t NLL grows much slower (log vs quadratic) —
+  // the paper's §III-B rationale for choosing it.
+  Tape t1;
+  const double outlier = 50.0;
+  Var g = GaussianNllLoss(&t1, t1.Constant(Matrix{{0.0}}),
+                          t1.Constant(Matrix{{1.0}}),
+                          t1.Constant(Matrix{{outlier}}));
+  Tape t2;
+  Var st = StudentTNllLoss(&t2, t2.Constant(Matrix{{0.0}}),
+                           t2.Constant(Matrix{{1.0}}),
+                           t2.Constant(Matrix{{outlier}}), 4.0);
+  EXPECT_LT(st.value()(0, 0), g.value()(0, 0) / 10.0);
+}
+
+TEST(LossTest, QuantileGridLossKnownValue) {
+  // One row, grid {0.5}: pinball(0.5) = 0.5 * |y - yhat|; loss sums over
+  // quantiles and averages rows.
+  Tape tape;
+  Var pred = tape.Constant(Matrix{{3.0}});
+  Var target = tape.Constant(Matrix{{5.0}});
+  Var loss = QuantileGridLoss(&tape, pred, target, {0.5});
+  EXPECT_DOUBLE_EQ(loss.value()(0, 0), 1.0);
+}
+
+TEST(LossTest, QuantileGridLossAsymmetry) {
+  // tau = 0.9 penalizes under-prediction 9x more than over-prediction.
+  Tape t1;
+  Var under = QuantileGridLoss(&t1, t1.Constant(Matrix{{0.0}}),
+                               t1.Constant(Matrix{{1.0}}), {0.9});
+  Tape t2;
+  Var over = QuantileGridLoss(&t2, t2.Constant(Matrix{{1.0}}),
+                              t2.Constant(Matrix{{0.0}}), {0.9});
+  EXPECT_NEAR(under.value()(0, 0) / over.value()(0, 0), 9.0, 1e-9);
+}
+
+TEST(LossTest, QuantileGridLossGradientCheck) {
+  Rng rng(16);
+  Parameter pred(RandomMatrix(4, 3, &rng));
+  Matrix target = RandomMatrix(4, 1, &rng);
+  const std::vector<double> taus = {0.1, 0.5, 0.9};
+  pred.ZeroGrad();
+  auto graph = [&](Tape* t) {
+    return QuantileGridLoss(t, t->Bind(&pred), t->Constant(target), taus);
+  };
+  Tape tape;
+  tape.Backward(graph(&tape));
+  for (size_t i = 0; i < pred.value.size(); ++i) {
+    const double orig = pred.value[i];
+    const double h = 1e-6;
+    pred.value[i] = orig + h;
+    Tape up_tape;
+    const double up = graph(&up_tape).value()(0, 0);
+    pred.value[i] = orig - h;
+    Tape down_tape;
+    const double down = graph(&down_tape).value()(0, 0);
+    pred.value[i] = orig;
+    EXPECT_NEAR(pred.grad[i], (up - down) / (2.0 * h), 1e-5);
+  }
+}
+
+// -------------------------------------------------------------- Optimizer ---
+
+TEST(OptimizerTest, ClipGradNormScalesDown) {
+  Parameter p(Matrix{{3.0, 4.0}});
+  p.grad(0, 0) = 3.0;
+  p.grad(0, 1) = 4.0;  // norm 5
+  const double before = ClipGradNorm({&p}, 1.0);
+  EXPECT_DOUBLE_EQ(before, 5.0);
+  EXPECT_NEAR(std::hypot(p.grad(0, 0), p.grad(0, 1)), 1.0, 1e-12);
+}
+
+TEST(OptimizerTest, ClipGradNormLeavesSmallGradients) {
+  Parameter p(Matrix{{1.0}});
+  p.grad(0, 0) = 0.5;
+  ClipGradNorm({&p}, 10.0);
+  EXPECT_DOUBLE_EQ(p.grad(0, 0), 0.5);
+}
+
+TEST(OptimizerTest, AdamConvergesOnQuadratic) {
+  // min (w - 3)^2.
+  Parameter w(Matrix{{0.0}});
+  Adam adam(Adam::Options{.lr = 0.1});
+  for (int step = 0; step < 500; ++step) {
+    Tape tape;
+    Var loss = tape.Square(tape.AddScalar(tape.Bind(&w), -3.0));
+    tape.Backward(loss);
+    adam.Step({&w});
+  }
+  EXPECT_NEAR(w.value(0, 0), 3.0, 1e-3);
+}
+
+TEST(OptimizerTest, AdamZeroesGradAfterStep) {
+  Parameter w(Matrix{{1.0}});
+  w.grad(0, 0) = 2.0;
+  Adam adam;
+  adam.Step({&w});
+  EXPECT_DOUBLE_EQ(w.grad(0, 0), 0.0);
+}
+
+TEST(OptimizerTest, SgdConvergesOnQuadratic) {
+  Parameter w(Matrix{{10.0}});
+  Sgd sgd(0.1, 0.5);
+  for (int step = 0; step < 300; ++step) {
+    Tape tape;
+    Var loss = tape.Square(tape.AddScalar(tape.Bind(&w), -2.0));
+    tape.Backward(loss);
+    sgd.Step({&w});
+  }
+  EXPECT_NEAR(w.value(0, 0), 2.0, 1e-3);
+}
+
+TEST(OptimizerTest, WeightDecayShrinksWeights) {
+  Parameter w(Matrix{{5.0}});
+  Adam adam(Adam::Options{.lr = 0.05, .weight_decay = 1.0});
+  for (int step = 0; step < 400; ++step) {
+    // Zero data gradient: only weight decay acts.
+    w.ZeroGrad();
+    adam.Step({&w});
+  }
+  EXPECT_LT(std::fabs(w.value(0, 0)), 0.5);
+}
+
+// ---------------------------------------------------------------- Trainer ---
+
+TEST(TrainerTest, LearnsLinearRegression) {
+  // y = x * [2, -1]^T + 0.5.
+  Rng data_rng(17);
+  Matrix x = RandomMatrix(64, 2, &data_rng);
+  Matrix y(64, 1);
+  for (size_t r = 0; r < 64; ++r) {
+    y(r, 0) = 2.0 * x(r, 0) - 1.0 * x(r, 1) + 0.5;
+  }
+  Rng init_rng(18);
+  Dense layer(2, 1, Dense::Activation::kNone, &init_rng);
+
+  TrainConfig config;
+  config.steps = 400;
+  config.lr = 0.05;
+  auto summary = TrainLoop(config, layer.Params(), [&](Tape* t, Rng*) {
+    Var pred = layer.Forward(t, t->Constant(x));
+    return MseLoss(t, pred, t->Constant(y));
+  });
+  EXPECT_LT(summary.final_loss, 1e-4);
+  EXPECT_EQ(summary.steps_run, 400);
+}
+
+TEST(TrainerTest, LearnsNonlinearFunction) {
+  // y = tanh(x0) * 2 needs the hidden layer.
+  Rng data_rng(19);
+  Matrix x = RandomMatrix(128, 1, &data_rng);
+  Matrix y(128, 1);
+  for (size_t r = 0; r < 128; ++r) {
+    y(r, 0) = 2.0 * std::tanh(3.0 * x(r, 0));
+  }
+  Rng init_rng(20);
+  Dense l1(1, 16, Dense::Activation::kTanh, &init_rng);
+  Dense l2(16, 1, Dense::Activation::kNone, &init_rng);
+  std::vector<Parameter*> params;
+  for (auto* p : l1.Params()) params.push_back(p);
+  for (auto* p : l2.Params()) params.push_back(p);
+
+  TrainConfig config;
+  config.steps = 800;
+  config.lr = 0.01;
+  auto summary = TrainLoop(config, params, [&](Tape* t, Rng*) {
+    Var pred = l2.Forward(t, l1.Forward(t, t->Constant(x)));
+    return MseLoss(t, pred, t->Constant(y));
+  });
+  EXPECT_LT(summary.final_loss, 0.01);
+}
+
+TEST(TrainerTest, QuantileHeadsLearnDistinctQuantiles) {
+  // Data: y ~ N(0, 1). A constant predictor per quantile trained with
+  // pinball loss must converge to the respective normal quantiles.
+  Rng data_rng(21);
+  Matrix y(512, 1);
+  for (size_t r = 0; r < 512; ++r) {
+    y(r, 0) = data_rng.Normal();
+  }
+  Parameter heads(Matrix(1, 3));  // predicts quantiles 0.1, 0.5, 0.9
+  const std::vector<double> taus = {0.1, 0.5, 0.9};
+
+  TrainConfig config;
+  config.steps = 1500;
+  config.lr = 0.02;
+  TrainLoop(config, {&heads}, [&](Tape* t, Rng*) {
+    // Broadcast the constant heads across all rows.
+    Var ones = t->Constant(Matrix(512, 1, 1.0));
+    Var pred = t->MatMul(ones, t->Bind(&heads));
+    return QuantileGridLoss(t, pred, t->Constant(y), taus);
+  });
+  EXPECT_NEAR(heads.value(0, 0), -1.2816, 0.15);
+  EXPECT_NEAR(heads.value(0, 1), 0.0, 0.15);
+  EXPECT_NEAR(heads.value(0, 2), 1.2816, 0.15);
+}
+
+}  // namespace
+}  // namespace rpas::nn

@@ -1,0 +1,286 @@
+// Property-based sweeps over randomized inputs: invariants that must hold
+// for any data, exercised across seeds/parameters with TEST_P.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/manager.h"
+#include "core/strategies.h"
+#include "core/uncertainty.h"
+#include "simdb/warmup.h"
+#include "solver/autoscaling.h"
+#include "solver/simplex.h"
+#include "ts/metrics.h"
+#include "ts/quantile_forecast.h"
+#include "ts/scaler.h"
+#include "ts/time_series.h"
+
+namespace rpas {
+namespace {
+
+/// Random non-crossing quantile forecast over the scaling grid.
+ts::QuantileForecast RandomForecast(Rng* rng, size_t horizon) {
+  const std::vector<double> levels = {0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99};
+  std::vector<std::vector<double>> values(horizon);
+  for (size_t h = 0; h < horizon; ++h) {
+    const double base = rng->Uniform(0.5, 20.0);
+    double v = base;
+    values[h].reserve(levels.size());
+    for (size_t q = 0; q < levels.size(); ++q) {
+      values[h].push_back(v);
+      v += rng->Uniform(0.0, 3.0);
+    }
+  }
+  return ts::QuantileForecast(levels, std::move(values));
+}
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeededProperty, RobustAllocationMonotoneInTau) {
+  Rng rng(GetParam());
+  const ts::QuantileForecast fc = RandomForecast(&rng, 24);
+  core::ScalingConfig config;
+  config.theta = rng.Uniform(0.5, 3.0);
+  std::vector<int> prev;
+  for (double tau : {0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99}) {
+    auto alloc = core::RobustQuantileAllocator(tau).Allocate(fc, config);
+    ASSERT_TRUE(alloc.ok());
+    if (!prev.empty()) {
+      for (size_t t = 0; t < prev.size(); ++t) {
+        EXPECT_GE((*alloc)[t], prev[t]);
+      }
+    }
+    prev = *alloc;
+  }
+}
+
+TEST_P(SeededProperty, AdaptiveAllocationBetweenItsLevels) {
+  Rng rng(GetParam() ^ 0xAD);
+  const ts::QuantileForecast fc = RandomForecast(&rng, 24);
+  core::ScalingConfig config;
+  config.theta = rng.Uniform(0.5, 3.0);
+  const double rho = rng.Uniform(0.0, 40.0);
+  core::AdaptiveQuantileAllocator adaptive(0.6, 0.95, rho);
+  auto a = adaptive.Allocate(fc, config);
+  auto lo = core::RobustQuantileAllocator(0.6).Allocate(fc, config);
+  auto hi = core::RobustQuantileAllocator(0.95).Allocate(fc, config);
+  ASSERT_TRUE(a.ok() && lo.ok() && hi.ok());
+  for (size_t t = 0; t < a->size(); ++t) {
+    EXPECT_GE((*a)[t], (*lo)[t]);
+    EXPECT_LE((*a)[t], (*hi)[t]);
+  }
+}
+
+TEST_P(SeededProperty, AllocationSatisfiesDemandConstraint) {
+  // The defining constraint of Definition 4: w_t^tau / c_t <= theta.
+  Rng rng(GetParam() ^ 0x51);
+  const ts::QuantileForecast fc = RandomForecast(&rng, 16);
+  core::ScalingConfig config;
+  config.theta = rng.Uniform(0.5, 3.0);
+  const double tau = 0.9;
+  auto alloc = core::RobustQuantileAllocator(tau).Allocate(fc, config);
+  ASSERT_TRUE(alloc.ok());
+  for (size_t t = 0; t < alloc->size(); ++t) {
+    const double w = std::max(fc.Value(t, tau), 0.0);
+    EXPECT_LE(w / (*alloc)[t], config.theta + 1e-9);
+  }
+}
+
+TEST_P(SeededProperty, UncertaintyEqualsPinballAgainstMedian) {
+  // Cross-check Eq. 8 against the shared pinball implementation.
+  Rng rng(GetParam() ^ 0xEE);
+  const ts::QuantileForecast fc = RandomForecast(&rng, 8);
+  for (size_t h = 0; h < fc.Horizon(); ++h) {
+    double expected = 0.0;
+    const double median = fc.Value(h, 0.5);
+    for (size_t q = 0; q < fc.Levels().size(); ++q) {
+      expected +=
+          ts::PinballLoss(fc.Levels()[q], fc.ValueAtIndex(h, q), median);
+    }
+    EXPECT_NEAR(core::QuantileUncertainty(fc, h), expected, 1e-9);
+  }
+}
+
+TEST_P(SeededProperty, UncertaintyNonNegativeAndZeroOnDegenerate) {
+  Rng rng(GetParam() ^ 0x77);
+  const ts::QuantileForecast fc = RandomForecast(&rng, 8);
+  for (size_t h = 0; h < fc.Horizon(); ++h) {
+    EXPECT_GE(core::QuantileUncertainty(fc, h), 0.0);
+  }
+}
+
+TEST_P(SeededProperty, SmootherRespectsDeltaAndNeverBlocksScaleOutForever) {
+  Rng rng(GetParam() ^ 0x5A);
+  std::vector<int> plan(32);
+  for (int& v : plan) {
+    v = 1 + static_cast<int>(rng.UniformInt(12));
+  }
+  const int delta = 1 + static_cast<int>(rng.UniformInt(3));
+  core::ScalingSmoother smoother(
+      {.max_step_delta = delta,
+       .scale_in_cooldown = static_cast<int>(rng.UniformInt(4))});
+  const int start = 1 + static_cast<int>(rng.UniformInt(6));
+  const std::vector<int> out = smoother.Smooth(plan, start);
+  ASSERT_EQ(out.size(), plan.size());
+  int prev = start;
+  for (int v : out) {
+    EXPECT_LE(std::abs(v - prev), delta);
+    prev = v;
+  }
+}
+
+TEST_P(SeededProperty, PaddingPadBoundedByMaxObservedError) {
+  Rng rng(GetParam() ^ 0xFA);
+  core::PaddingEnhancement padding(
+      {.error_window = 16, .quantile = rng.Uniform(0.5, 1.0)});
+  double max_err = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    const double actual = rng.Uniform(0.0, 10.0);
+    const double predicted = rng.Uniform(0.0, 10.0);
+    padding.Observe(actual, predicted);
+    max_err = std::max(max_err, std::max(actual - predicted, 0.0));
+    EXPECT_GE(padding.CurrentPad(), 0.0);
+    EXPECT_LE(padding.CurrentPad(), max_err + 1e-12);
+  }
+}
+
+TEST_P(SeededProperty, ScalerRoundTrip) {
+  Rng rng(GetParam() ^ 0x5C);
+  std::vector<double> data(64);
+  for (double& v : data) {
+    v = rng.Normal(5.0, 3.0);
+  }
+  for (const ts::AffineScaler& scaler :
+       {ts::AffineScaler::FitStandard(data), ts::AffineScaler::FitMeanAbs(data),
+        ts::AffineScaler::FitMinMax(data)}) {
+    for (double v : data) {
+      EXPECT_NEAR(scaler.Inverse(scaler.Transform(v)), v, 1e-9);
+    }
+  }
+}
+
+TEST_P(SeededProperty, QuantileForecastInterpolationMonotone) {
+  Rng rng(GetParam() ^ 0x1F);
+  const ts::QuantileForecast fc = RandomForecast(&rng, 6);
+  for (size_t h = 0; h < fc.Horizon(); ++h) {
+    double prev = fc.Value(h, 0.01);
+    for (double tau = 0.05; tau < 1.0; tau += 0.03) {
+      const double v = fc.Value(h, tau);
+      EXPECT_GE(v, prev - 1e-12);
+      prev = v;
+    }
+  }
+}
+
+TEST_P(SeededProperty, SimplexSolutionFeasibleOnRandomCoveringPrograms) {
+  Rng rng(GetParam() ^ 0xC0);
+  // min c.x s.t. A x >= b with non-negative A, c: always feasible, bounded.
+  const size_t n = 2 + rng.UniformInt(4);
+  const size_t m = 2 + rng.UniformInt(4);
+  solver::LinearProgram lp;
+  lp.objective.resize(n);
+  for (double& c : lp.objective) {
+    c = rng.Uniform(0.5, 2.0);
+  }
+  for (size_t i = 0; i < m; ++i) {
+    solver::Constraint c;
+    c.coeffs.resize(n);
+    bool any = false;
+    for (double& a : c.coeffs) {
+      a = rng.Bernoulli(0.7) ? rng.Uniform(0.1, 2.0) : 0.0;
+      any = any || a > 0.0;
+    }
+    if (!any) {
+      c.coeffs[0] = 1.0;
+    }
+    c.relation = solver::Relation::kGreaterEqual;
+    c.rhs = rng.Uniform(0.0, 5.0);
+    lp.constraints.push_back(std::move(c));
+  }
+  auto solution = solver::SolveSimplex(lp);
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  for (const solver::Constraint& c : lp.constraints) {
+    double lhs = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      lhs += c.coeffs[j] * solution->x[j];
+    }
+    EXPECT_GE(lhs, c.rhs - 1e-7);
+  }
+  for (double x : solution->x) {
+    EXPECT_GE(x, -1e-9);
+  }
+}
+
+TEST_P(SeededProperty, AggregateBlocksPreservesTotalMean) {
+  Rng rng(GetParam() ^ 0xA6);
+  ts::TimeSeries s;
+  s.step_minutes = 1.0;
+  const size_t block = 2 + rng.UniformInt(5);
+  const size_t blocks = 10 + rng.UniformInt(20);
+  for (size_t i = 0; i < block * blocks; ++i) {
+    s.values.push_back(rng.Uniform(0.0, 100.0));
+  }
+  const ts::TimeSeries agg = AggregateBlocks(s, block);
+  ASSERT_EQ(agg.size(), blocks);
+  EXPECT_NEAR(agg.Mean(), s.Mean(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
+// ------------------------------------------------------- parameter sweeps ---
+
+class WarmupSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WarmupSweep, WarmupMonotoneInCheckpointSize) {
+  simdb::WarmupModel model;
+  model.replay_gbps = GetParam();
+  model.jitter_fraction = 0.0;
+  double prev = -1.0;
+  for (double gb : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const double w = model.WarmupSeconds(gb, nullptr);
+    EXPECT_GT(w, prev);
+    prev = w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths, WarmupSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 8.0));
+
+class PinballSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PinballSweep, EmpiricalQuantileMinimizesPinballLoss) {
+  // The tau-quantile of a sample minimizes mean pinball loss at level tau —
+  // the property that makes quantile regression work (paper Eq. 1).
+  const double tau = GetParam();
+  Rng rng(42);
+  std::vector<double> sample(400);
+  for (double& v : sample) {
+    v = rng.Normal(0.0, 2.0);
+  }
+  std::vector<double> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  const double q =
+      sorted[static_cast<size_t>(tau * (sorted.size() - 1))];
+  auto mean_loss = [&](double pred) {
+    double total = 0.0;
+    for (double y : sample) {
+      total += ts::PinballLoss(tau, y, pred);
+    }
+    return total / static_cast<double>(sample.size());
+  };
+  const double at_quantile = mean_loss(q);
+  for (double offset : {-1.0, -0.3, 0.3, 1.0}) {
+    EXPECT_GE(mean_loss(q + offset), at_quantile - 1e-9)
+        << "tau=" << tau << " offset=" << offset;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, PinballSweep,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9));
+
+}  // namespace
+}  // namespace rpas

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+
+namespace rpas::tensor {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_DOUBLE_EQ(m[i], 0.0);
+  }
+}
+
+TEST(MatrixTest, FillConstructor) {
+  Matrix m(2, 2, 3.5);
+  EXPECT_DOUBLE_EQ(m(1, 1), 3.5);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(MatrixTest, RowAndColumnVectors) {
+  Matrix col = Matrix::ColumnVector({1.0, 2.0, 3.0});
+  EXPECT_EQ(col.rows(), 3u);
+  EXPECT_EQ(col.cols(), 1u);
+  EXPECT_DOUBLE_EQ(col(2, 0), 3.0);
+
+  Matrix row = Matrix::RowVector({4.0, 5.0});
+  EXPECT_EQ(row.rows(), 1u);
+  EXPECT_EQ(row.cols(), 2u);
+  EXPECT_DOUBLE_EQ(row(0, 1), 5.0);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix eye = Matrix::Identity(3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(eye(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, Reshape) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  Matrix r = m.Reshaped(3, 2);
+  EXPECT_DOUBLE_EQ(r(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(r(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(r(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(r(2, 1), 6.0);
+}
+
+TEST(MatrixTest, RowAndColExtraction) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  Matrix row = m.Row(1);
+  EXPECT_EQ(row.rows(), 1u);
+  EXPECT_DOUBLE_EQ(row(0, 2), 6.0);
+  Matrix col = m.Col(1);
+  EXPECT_EQ(col.rows(), 2u);
+  EXPECT_DOUBLE_EQ(col(1, 0), 5.0);
+}
+
+TEST(OpsTest, MatMulKnownValues) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(OpsTest, MatMulIdentity) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix c = MatMul(a, Matrix::Identity(2));
+  EXPECT_DOUBLE_EQ(c(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 4.0);
+}
+
+TEST(OpsTest, MatMulNonSquare) {
+  Matrix a{{1, 2, 3}};        // 1x3
+  Matrix b{{1}, {2}, {3}};    // 3x1
+  Matrix c = MatMul(a, b);    // 1x1
+  EXPECT_DOUBLE_EQ(c(0, 0), 14.0);
+}
+
+TEST(OpsTest, TransposeRoundTrip) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  Matrix t = Transpose(a);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  Matrix tt = Transpose(t);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(tt[i], a[i]);
+  }
+}
+
+TEST(OpsTest, ElementwiseOps) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  EXPECT_DOUBLE_EQ(Add(a, b)(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(Sub(b, a)(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(Mul(a, b)(1, 0), 21.0);
+  EXPECT_DOUBLE_EQ(Div(b, a)(0, 1), 3.0);
+}
+
+TEST(OpsTest, AddRowBroadcast) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix bias{{10, 20}};
+  Matrix out = AddRowBroadcast(a, bias);
+  EXPECT_DOUBLE_EQ(out(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(out(1, 1), 24.0);
+}
+
+TEST(OpsTest, ScaleAndAddScalar) {
+  Matrix a{{1, 2}};
+  EXPECT_DOUBLE_EQ(Scale(a, 3.0)(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(AddScalar(a, 1.5)(0, 0), 2.5);
+}
+
+TEST(OpsTest, MapApplies) {
+  Matrix a{{1, 4}, {9, 16}};
+  Matrix s = Map(a, [](double x) { return std::sqrt(x); });
+  EXPECT_DOUBLE_EQ(s(1, 0), 3.0);
+}
+
+TEST(OpsTest, AxpyAccumulates) {
+  Matrix x{{1, 2}};
+  Matrix y{{10, 20}};
+  Axpy(2.0, x, &y);
+  EXPECT_DOUBLE_EQ(y(0, 0), 12.0);
+  EXPECT_DOUBLE_EQ(y(0, 1), 24.0);
+}
+
+TEST(OpsTest, Reductions) {
+  Matrix a{{1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(Sum(a), 10.0);
+  EXPECT_DOUBLE_EQ(Mean(a), 2.5);
+  EXPECT_DOUBLE_EQ(MaxAbs(Scale(a, -1.0)), 4.0);
+  EXPECT_DOUBLE_EQ(Dot(a, a), 30.0);
+  EXPECT_DOUBLE_EQ(Norm(a), std::sqrt(30.0));
+}
+
+TEST(OpsTest, ColAndRowSums) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix cs = ColSums(a);
+  EXPECT_DOUBLE_EQ(cs(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(cs(0, 1), 6.0);
+  Matrix rs = RowSums(a);
+  EXPECT_DOUBLE_EQ(rs(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(rs(1, 0), 7.0);
+}
+
+TEST(OpsTest, Concat) {
+  Matrix a{{1}, {2}};
+  Matrix b{{3}, {4}};
+  Matrix cols = ConcatCols(a, b);
+  EXPECT_EQ(cols.cols(), 2u);
+  EXPECT_DOUBLE_EQ(cols(1, 1), 4.0);
+  Matrix rows = ConcatRows(a, b);
+  EXPECT_EQ(rows.rows(), 4u);
+  EXPECT_DOUBLE_EQ(rows(3, 0), 4.0);
+}
+
+TEST(OpsTest, Slices) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  Matrix c = SliceCols(a, 1, 3);
+  EXPECT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(1, 0), 5.0);
+  Matrix r = SliceRows(a, 1, 2);
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_DOUBLE_EQ(r(0, 2), 6.0);
+}
+
+TEST(OpsTest, SolveLinearSystemKnown) {
+  // 2x + y = 5 ; x - y = 1  =>  x = 2, y = 1.
+  Matrix a{{2, 1}, {1, -1}};
+  Matrix b{{5}, {1}};
+  auto x = SolveLinearSystem(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR((*x)(1, 0), 1.0, 1e-12);
+}
+
+TEST(OpsTest, SolveLinearSystemNeedsPivoting) {
+  // Zero on the diagonal forces a row swap.
+  Matrix a{{0, 1}, {1, 0}};
+  Matrix b{{2}, {3}};
+  auto x = SolveLinearSystem(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)(0, 0), 3.0, 1e-12);
+  EXPECT_NEAR((*x)(1, 0), 2.0, 1e-12);
+}
+
+TEST(OpsTest, SolveLinearSystemSingular) {
+  Matrix a{{1, 2}, {2, 4}};
+  Matrix b{{1}, {2}};
+  EXPECT_EQ(SolveLinearSystem(a, b).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(OpsTest, SolveLinearSystemRejectsNonSquare) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  Matrix b{{1}, {2}};
+  EXPECT_EQ(SolveLinearSystem(a, b).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(OpsTest, SolveLinearSystemRandomRoundTrip) {
+  Rng rng(5);
+  const size_t n = 12;
+  Matrix a(n, n);
+  Matrix x_true(n, 1);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Normal();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    a(i, i) += 5.0;  // well-conditioned
+    x_true(i, 0) = rng.Normal();
+  }
+  Matrix b = MatMul(a, x_true);
+  auto x = SolveLinearSystem(a, b);
+  ASSERT_TRUE(x.ok());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR((*x)(i, 0), x_true(i, 0), 1e-9);
+  }
+}
+
+TEST(OpsTest, LeastSquaresExactFit) {
+  // y = 2x + 1 sampled without noise.
+  Matrix a(4, 2);
+  Matrix b(4, 1);
+  for (int i = 0; i < 4; ++i) {
+    a(i, 0) = i;
+    a(i, 1) = 1.0;
+    b(i, 0) = 2.0 * i + 1.0;
+  }
+  auto coeffs = SolveLeastSquares(a, b);
+  ASSERT_TRUE(coeffs.ok());
+  EXPECT_NEAR((*coeffs)(0, 0), 2.0, 1e-10);
+  EXPECT_NEAR((*coeffs)(1, 0), 1.0, 1e-10);
+}
+
+TEST(OpsTest, LeastSquaresRidgeShrinks) {
+  Matrix a(3, 1);
+  Matrix b(3, 1);
+  for (int i = 0; i < 3; ++i) {
+    a(i, 0) = 1.0;
+    b(i, 0) = 3.0;
+  }
+  auto no_ridge = SolveLeastSquares(a, b, 0.0);
+  auto ridge = SolveLeastSquares(a, b, 10.0);
+  ASSERT_TRUE(no_ridge.ok());
+  ASSERT_TRUE(ridge.ok());
+  EXPECT_NEAR((*no_ridge)(0, 0), 3.0, 1e-10);
+  EXPECT_LT((*ridge)(0, 0), 3.0);
+}
+
+TEST(OpsTest, LeastSquaresRejectsNegativeRidge) {
+  Matrix a(2, 1, 1.0);
+  Matrix b(2, 1, 1.0);
+  EXPECT_FALSE(SolveLeastSquares(a, b, -1.0).ok());
+}
+
+}  // namespace
+}  // namespace rpas::tensor
