@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_robustness"
+  "../bench/ablation_robustness.pdb"
+  "CMakeFiles/ablation_robustness.dir/ablation_robustness.cc.o"
+  "CMakeFiles/ablation_robustness.dir/ablation_robustness.cc.o.d"
+  "CMakeFiles/ablation_robustness.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_robustness.dir/bench_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

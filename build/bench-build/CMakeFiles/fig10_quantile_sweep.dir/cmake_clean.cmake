@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_quantile_sweep"
+  "../bench/fig10_quantile_sweep.pdb"
+  "CMakeFiles/fig10_quantile_sweep.dir/bench_common.cc.o"
+  "CMakeFiles/fig10_quantile_sweep.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig10_quantile_sweep.dir/fig10_quantile_sweep.cc.o"
+  "CMakeFiles/fig10_quantile_sweep.dir/fig10_quantile_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_quantile_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_adaptive_heatmap"
+  "../bench/fig11_adaptive_heatmap.pdb"
+  "CMakeFiles/fig11_adaptive_heatmap.dir/bench_common.cc.o"
+  "CMakeFiles/fig11_adaptive_heatmap.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig11_adaptive_heatmap.dir/fig11_adaptive_heatmap.cc.o"
+  "CMakeFiles/fig11_adaptive_heatmap.dir/fig11_adaptive_heatmap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_adaptive_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

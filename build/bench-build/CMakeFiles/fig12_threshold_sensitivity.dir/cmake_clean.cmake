@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_threshold_sensitivity"
+  "../bench/fig12_threshold_sensitivity.pdb"
+  "CMakeFiles/fig12_threshold_sensitivity.dir/bench_common.cc.o"
+  "CMakeFiles/fig12_threshold_sensitivity.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig12_threshold_sensitivity.dir/fig12_threshold_sensitivity.cc.o"
+  "CMakeFiles/fig12_threshold_sensitivity.dir/fig12_threshold_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_threshold_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

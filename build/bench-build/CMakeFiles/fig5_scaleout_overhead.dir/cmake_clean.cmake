@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_scaleout_overhead"
+  "../bench/fig5_scaleout_overhead.pdb"
+  "CMakeFiles/fig5_scaleout_overhead.dir/bench_common.cc.o"
+  "CMakeFiles/fig5_scaleout_overhead.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig5_scaleout_overhead.dir/fig5_scaleout_overhead.cc.o"
+  "CMakeFiles/fig5_scaleout_overhead.dir/fig5_scaleout_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_scaleout_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_uncertainty_correlation"
+  "../bench/fig6_uncertainty_correlation.pdb"
+  "CMakeFiles/fig6_uncertainty_correlation.dir/bench_common.cc.o"
+  "CMakeFiles/fig6_uncertainty_correlation.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig6_uncertainty_correlation.dir/fig6_uncertainty_correlation.cc.o"
+  "CMakeFiles/fig6_uncertainty_correlation.dir/fig6_uncertainty_correlation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_uncertainty_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

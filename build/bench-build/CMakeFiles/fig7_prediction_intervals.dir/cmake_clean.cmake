@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_prediction_intervals"
+  "../bench/fig7_prediction_intervals.pdb"
+  "CMakeFiles/fig7_prediction_intervals.dir/bench_common.cc.o"
+  "CMakeFiles/fig7_prediction_intervals.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig7_prediction_intervals.dir/fig7_prediction_intervals.cc.o"
+  "CMakeFiles/fig7_prediction_intervals.dir/fig7_prediction_intervals.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_prediction_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_horizons"
+  "../bench/fig8_horizons.pdb"
+  "CMakeFiles/fig8_horizons.dir/bench_common.cc.o"
+  "CMakeFiles/fig8_horizons.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig8_horizons.dir/fig8_horizons.cc.o"
+  "CMakeFiles/fig8_horizons.dir/fig8_horizons.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_horizons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

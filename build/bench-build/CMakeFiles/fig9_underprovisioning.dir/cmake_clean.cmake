@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_underprovisioning"
+  "../bench/fig9_underprovisioning.pdb"
+  "CMakeFiles/fig9_underprovisioning.dir/bench_common.cc.o"
+  "CMakeFiles/fig9_underprovisioning.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig9_underprovisioning.dir/fig9_underprovisioning.cc.o"
+  "CMakeFiles/fig9_underprovisioning.dir/fig9_underprovisioning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_underprovisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/table1_forecast_accuracy"
+  "../bench/table1_forecast_accuracy.pdb"
+  "CMakeFiles/table1_forecast_accuracy.dir/bench_common.cc.o"
+  "CMakeFiles/table1_forecast_accuracy.dir/bench_common.cc.o.d"
+  "CMakeFiles/table1_forecast_accuracy.dir/table1_forecast_accuracy.cc.o"
+  "CMakeFiles/table1_forecast_accuracy.dir/table1_forecast_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_forecast_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/table2_overhead"
+  "../bench/table2_overhead.pdb"
+  "CMakeFiles/table2_overhead.dir/bench_common.cc.o"
+  "CMakeFiles/table2_overhead.dir/bench_common.cc.o.d"
+  "CMakeFiles/table2_overhead.dir/table2_overhead.cc.o"
+  "CMakeFiles/table2_overhead.dir/table2_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/table3_breakdown"
+  "../bench/table3_breakdown.pdb"
+  "CMakeFiles/table3_breakdown.dir/bench_common.cc.o"
+  "CMakeFiles/table3_breakdown.dir/bench_common.cc.o.d"
+  "CMakeFiles/table3_breakdown.dir/table3_breakdown.cc.o"
+  "CMakeFiles/table3_breakdown.dir/table3_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

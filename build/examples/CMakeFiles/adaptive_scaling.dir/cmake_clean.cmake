@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_scaling.dir/adaptive_scaling.cpp.o"
+  "CMakeFiles/adaptive_scaling.dir/adaptive_scaling.cpp.o.d"
+  "adaptive_scaling"
+  "adaptive_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecaster_playground.dir/forecaster_playground.cpp.o"
+  "CMakeFiles/forecaster_playground.dir/forecaster_playground.cpp.o.d"
+  "forecaster_playground"
+  "forecaster_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecaster_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

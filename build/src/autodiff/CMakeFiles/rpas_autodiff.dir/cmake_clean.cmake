@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpas_autodiff.dir/tape.cc.o"
+  "CMakeFiles/rpas_autodiff.dir/tape.cc.o.d"
+  "librpas_autodiff.a"
+  "librpas_autodiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpas_autodiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

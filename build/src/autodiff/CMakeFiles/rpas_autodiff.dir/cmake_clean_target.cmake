@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librpas_autodiff.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rpas_autodiff.
+# This may be replaced when dependencies are built.

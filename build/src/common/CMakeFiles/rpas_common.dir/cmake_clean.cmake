@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpas_common.dir/csv.cc.o"
+  "CMakeFiles/rpas_common.dir/csv.cc.o.d"
+  "CMakeFiles/rpas_common.dir/logging.cc.o"
+  "CMakeFiles/rpas_common.dir/logging.cc.o.d"
+  "CMakeFiles/rpas_common.dir/rng.cc.o"
+  "CMakeFiles/rpas_common.dir/rng.cc.o.d"
+  "CMakeFiles/rpas_common.dir/status.cc.o"
+  "CMakeFiles/rpas_common.dir/status.cc.o.d"
+  "CMakeFiles/rpas_common.dir/strings.cc.o"
+  "CMakeFiles/rpas_common.dir/strings.cc.o.d"
+  "librpas_common.a"
+  "librpas_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpas_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

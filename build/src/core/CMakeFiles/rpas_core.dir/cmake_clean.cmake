@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpas_core.dir/evaluator.cc.o"
+  "CMakeFiles/rpas_core.dir/evaluator.cc.o.d"
+  "CMakeFiles/rpas_core.dir/manager.cc.o"
+  "CMakeFiles/rpas_core.dir/manager.cc.o.d"
+  "CMakeFiles/rpas_core.dir/multi_resource.cc.o"
+  "CMakeFiles/rpas_core.dir/multi_resource.cc.o.d"
+  "CMakeFiles/rpas_core.dir/online_loop.cc.o"
+  "CMakeFiles/rpas_core.dir/online_loop.cc.o.d"
+  "CMakeFiles/rpas_core.dir/strategies.cc.o"
+  "CMakeFiles/rpas_core.dir/strategies.cc.o.d"
+  "CMakeFiles/rpas_core.dir/uncertainty.cc.o"
+  "CMakeFiles/rpas_core.dir/uncertainty.cc.o.d"
+  "librpas_core.a"
+  "librpas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

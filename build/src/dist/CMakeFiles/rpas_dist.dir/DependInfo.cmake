@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/empirical.cc" "src/dist/CMakeFiles/rpas_dist.dir/empirical.cc.o" "gcc" "src/dist/CMakeFiles/rpas_dist.dir/empirical.cc.o.d"
+  "/root/repo/src/dist/gaussian.cc" "src/dist/CMakeFiles/rpas_dist.dir/gaussian.cc.o" "gcc" "src/dist/CMakeFiles/rpas_dist.dir/gaussian.cc.o.d"
+  "/root/repo/src/dist/special.cc" "src/dist/CMakeFiles/rpas_dist.dir/special.cc.o" "gcc" "src/dist/CMakeFiles/rpas_dist.dir/special.cc.o.d"
+  "/root/repo/src/dist/student_t.cc" "src/dist/CMakeFiles/rpas_dist.dir/student_t.cc.o" "gcc" "src/dist/CMakeFiles/rpas_dist.dir/student_t.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rpas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpas_dist.dir/empirical.cc.o"
+  "CMakeFiles/rpas_dist.dir/empirical.cc.o.d"
+  "CMakeFiles/rpas_dist.dir/gaussian.cc.o"
+  "CMakeFiles/rpas_dist.dir/gaussian.cc.o.d"
+  "CMakeFiles/rpas_dist.dir/special.cc.o"
+  "CMakeFiles/rpas_dist.dir/special.cc.o.d"
+  "CMakeFiles/rpas_dist.dir/student_t.cc.o"
+  "CMakeFiles/rpas_dist.dir/student_t.cc.o.d"
+  "librpas_dist.a"
+  "librpas_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpas_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

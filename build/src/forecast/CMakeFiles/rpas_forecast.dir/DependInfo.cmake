@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forecast/arima.cc" "src/forecast/CMakeFiles/rpas_forecast.dir/arima.cc.o" "gcc" "src/forecast/CMakeFiles/rpas_forecast.dir/arima.cc.o.d"
+  "/root/repo/src/forecast/backtest.cc" "src/forecast/CMakeFiles/rpas_forecast.dir/backtest.cc.o" "gcc" "src/forecast/CMakeFiles/rpas_forecast.dir/backtest.cc.o.d"
+  "/root/repo/src/forecast/deepar.cc" "src/forecast/CMakeFiles/rpas_forecast.dir/deepar.cc.o" "gcc" "src/forecast/CMakeFiles/rpas_forecast.dir/deepar.cc.o.d"
+  "/root/repo/src/forecast/forecaster.cc" "src/forecast/CMakeFiles/rpas_forecast.dir/forecaster.cc.o" "gcc" "src/forecast/CMakeFiles/rpas_forecast.dir/forecaster.cc.o.d"
+  "/root/repo/src/forecast/holt_winters.cc" "src/forecast/CMakeFiles/rpas_forecast.dir/holt_winters.cc.o" "gcc" "src/forecast/CMakeFiles/rpas_forecast.dir/holt_winters.cc.o.d"
+  "/root/repo/src/forecast/mlp.cc" "src/forecast/CMakeFiles/rpas_forecast.dir/mlp.cc.o" "gcc" "src/forecast/CMakeFiles/rpas_forecast.dir/mlp.cc.o.d"
+  "/root/repo/src/forecast/qb5000.cc" "src/forecast/CMakeFiles/rpas_forecast.dir/qb5000.cc.o" "gcc" "src/forecast/CMakeFiles/rpas_forecast.dir/qb5000.cc.o.d"
+  "/root/repo/src/forecast/recalibrated.cc" "src/forecast/CMakeFiles/rpas_forecast.dir/recalibrated.cc.o" "gcc" "src/forecast/CMakeFiles/rpas_forecast.dir/recalibrated.cc.o.d"
+  "/root/repo/src/forecast/seasonal_naive.cc" "src/forecast/CMakeFiles/rpas_forecast.dir/seasonal_naive.cc.o" "gcc" "src/forecast/CMakeFiles/rpas_forecast.dir/seasonal_naive.cc.o.d"
+  "/root/repo/src/forecast/tft.cc" "src/forecast/CMakeFiles/rpas_forecast.dir/tft.cc.o" "gcc" "src/forecast/CMakeFiles/rpas_forecast.dir/tft.cc.o.d"
+  "/root/repo/src/forecast/time_features.cc" "src/forecast/CMakeFiles/rpas_forecast.dir/time_features.cc.o" "gcc" "src/forecast/CMakeFiles/rpas_forecast.dir/time_features.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rpas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/rpas_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rpas_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rpas_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/rpas_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/rpas_autodiff.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpas_forecast.dir/arima.cc.o"
+  "CMakeFiles/rpas_forecast.dir/arima.cc.o.d"
+  "CMakeFiles/rpas_forecast.dir/backtest.cc.o"
+  "CMakeFiles/rpas_forecast.dir/backtest.cc.o.d"
+  "CMakeFiles/rpas_forecast.dir/deepar.cc.o"
+  "CMakeFiles/rpas_forecast.dir/deepar.cc.o.d"
+  "CMakeFiles/rpas_forecast.dir/forecaster.cc.o"
+  "CMakeFiles/rpas_forecast.dir/forecaster.cc.o.d"
+  "CMakeFiles/rpas_forecast.dir/holt_winters.cc.o"
+  "CMakeFiles/rpas_forecast.dir/holt_winters.cc.o.d"
+  "CMakeFiles/rpas_forecast.dir/mlp.cc.o"
+  "CMakeFiles/rpas_forecast.dir/mlp.cc.o.d"
+  "CMakeFiles/rpas_forecast.dir/qb5000.cc.o"
+  "CMakeFiles/rpas_forecast.dir/qb5000.cc.o.d"
+  "CMakeFiles/rpas_forecast.dir/recalibrated.cc.o"
+  "CMakeFiles/rpas_forecast.dir/recalibrated.cc.o.d"
+  "CMakeFiles/rpas_forecast.dir/seasonal_naive.cc.o"
+  "CMakeFiles/rpas_forecast.dir/seasonal_naive.cc.o.d"
+  "CMakeFiles/rpas_forecast.dir/tft.cc.o"
+  "CMakeFiles/rpas_forecast.dir/tft.cc.o.d"
+  "CMakeFiles/rpas_forecast.dir/time_features.cc.o"
+  "CMakeFiles/rpas_forecast.dir/time_features.cc.o.d"
+  "librpas_forecast.a"
+  "librpas_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpas_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/checkpoint.cc" "src/nn/CMakeFiles/rpas_nn.dir/checkpoint.cc.o" "gcc" "src/nn/CMakeFiles/rpas_nn.dir/checkpoint.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/rpas_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/rpas_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/rpas_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/rpas_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/losses.cc" "src/nn/CMakeFiles/rpas_nn.dir/losses.cc.o" "gcc" "src/nn/CMakeFiles/rpas_nn.dir/losses.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/rpas_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/rpas_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/trainer.cc" "src/nn/CMakeFiles/rpas_nn.dir/trainer.cc.o" "gcc" "src/nn/CMakeFiles/rpas_nn.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autodiff/CMakeFiles/rpas_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rpas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rpas_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpas_nn.dir/checkpoint.cc.o"
+  "CMakeFiles/rpas_nn.dir/checkpoint.cc.o.d"
+  "CMakeFiles/rpas_nn.dir/init.cc.o"
+  "CMakeFiles/rpas_nn.dir/init.cc.o.d"
+  "CMakeFiles/rpas_nn.dir/layers.cc.o"
+  "CMakeFiles/rpas_nn.dir/layers.cc.o.d"
+  "CMakeFiles/rpas_nn.dir/losses.cc.o"
+  "CMakeFiles/rpas_nn.dir/losses.cc.o.d"
+  "CMakeFiles/rpas_nn.dir/optimizer.cc.o"
+  "CMakeFiles/rpas_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/rpas_nn.dir/trainer.cc.o"
+  "CMakeFiles/rpas_nn.dir/trainer.cc.o.d"
+  "librpas_nn.a"
+  "librpas_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpas_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

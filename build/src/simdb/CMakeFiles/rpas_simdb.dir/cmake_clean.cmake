@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpas_simdb.dir/cluster.cc.o"
+  "CMakeFiles/rpas_simdb.dir/cluster.cc.o.d"
+  "CMakeFiles/rpas_simdb.dir/replay.cc.o"
+  "CMakeFiles/rpas_simdb.dir/replay.cc.o.d"
+  "CMakeFiles/rpas_simdb.dir/warmup.cc.o"
+  "CMakeFiles/rpas_simdb.dir/warmup.cc.o.d"
+  "librpas_simdb.a"
+  "librpas_simdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpas_simdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/autoscaling.cc" "src/solver/CMakeFiles/rpas_solver.dir/autoscaling.cc.o" "gcc" "src/solver/CMakeFiles/rpas_solver.dir/autoscaling.cc.o.d"
+  "/root/repo/src/solver/simplex.cc" "src/solver/CMakeFiles/rpas_solver.dir/simplex.cc.o" "gcc" "src/solver/CMakeFiles/rpas_solver.dir/simplex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rpas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpas_solver.dir/autoscaling.cc.o"
+  "CMakeFiles/rpas_solver.dir/autoscaling.cc.o.d"
+  "CMakeFiles/rpas_solver.dir/simplex.cc.o"
+  "CMakeFiles/rpas_solver.dir/simplex.cc.o.d"
+  "librpas_solver.a"
+  "librpas_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpas_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpas_tensor.dir/matrix.cc.o"
+  "CMakeFiles/rpas_tensor.dir/matrix.cc.o.d"
+  "CMakeFiles/rpas_tensor.dir/ops.cc.o"
+  "CMakeFiles/rpas_tensor.dir/ops.cc.o.d"
+  "librpas_tensor.a"
+  "librpas_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpas_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

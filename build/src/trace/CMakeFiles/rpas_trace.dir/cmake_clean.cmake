@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpas_trace.dir/generator.cc.o"
+  "CMakeFiles/rpas_trace.dir/generator.cc.o.d"
+  "librpas_trace.a"
+  "librpas_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpas_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

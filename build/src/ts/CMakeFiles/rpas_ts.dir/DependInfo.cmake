@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ts/metrics.cc" "src/ts/CMakeFiles/rpas_ts.dir/metrics.cc.o" "gcc" "src/ts/CMakeFiles/rpas_ts.dir/metrics.cc.o.d"
+  "/root/repo/src/ts/quantile_forecast.cc" "src/ts/CMakeFiles/rpas_ts.dir/quantile_forecast.cc.o" "gcc" "src/ts/CMakeFiles/rpas_ts.dir/quantile_forecast.cc.o.d"
+  "/root/repo/src/ts/scaler.cc" "src/ts/CMakeFiles/rpas_ts.dir/scaler.cc.o" "gcc" "src/ts/CMakeFiles/rpas_ts.dir/scaler.cc.o.d"
+  "/root/repo/src/ts/time_series.cc" "src/ts/CMakeFiles/rpas_ts.dir/time_series.cc.o" "gcc" "src/ts/CMakeFiles/rpas_ts.dir/time_series.cc.o.d"
+  "/root/repo/src/ts/window.cc" "src/ts/CMakeFiles/rpas_ts.dir/window.cc.o" "gcc" "src/ts/CMakeFiles/rpas_ts.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rpas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rpas_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

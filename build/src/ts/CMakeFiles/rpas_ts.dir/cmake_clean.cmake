@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpas_ts.dir/metrics.cc.o"
+  "CMakeFiles/rpas_ts.dir/metrics.cc.o.d"
+  "CMakeFiles/rpas_ts.dir/quantile_forecast.cc.o"
+  "CMakeFiles/rpas_ts.dir/quantile_forecast.cc.o.d"
+  "CMakeFiles/rpas_ts.dir/scaler.cc.o"
+  "CMakeFiles/rpas_ts.dir/scaler.cc.o.d"
+  "CMakeFiles/rpas_ts.dir/time_series.cc.o"
+  "CMakeFiles/rpas_ts.dir/time_series.cc.o.d"
+  "CMakeFiles/rpas_ts.dir/window.cc.o"
+  "CMakeFiles/rpas_ts.dir/window.cc.o.d"
+  "librpas_ts.a"
+  "librpas_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpas_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

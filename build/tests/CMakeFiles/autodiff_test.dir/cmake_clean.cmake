@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autodiff_test.dir/autodiff_test.cc.o"
+  "CMakeFiles/autodiff_test.dir/autodiff_test.cc.o.d"
+  "autodiff_test"
+  "autodiff_test.pdb"
+  "autodiff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autodiff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/property_test.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rpas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdb/CMakeFiles/rpas_simdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rpas_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/rpas_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/rpas_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rpas_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/rpas_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/rpas_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/rpas_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rpas_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rpas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

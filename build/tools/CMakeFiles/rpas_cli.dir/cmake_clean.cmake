@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpas_cli.dir/rpas_cli.cc.o"
+  "CMakeFiles/rpas_cli.dir/rpas_cli.cc.o.d"
+  "rpas"
+  "rpas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpas_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
