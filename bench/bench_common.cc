@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/parallel.h"
 #include "common/strings.h"
 
 namespace rpas::bench {
@@ -133,6 +134,16 @@ core::ScalingConfig MakeScalingConfig(const Dataset& dataset) {
   config.theta = dataset.full.Mean() / 4.0;
   config.min_nodes = 1;
   return config;
+}
+
+void RunScenarios(size_t count, const std::function<void(size_t)>& fn) {
+  // Grain 1: scenario cells (full train/evaluate pipelines) are heavyweight
+  // and few, so each gets its own pool task.
+  ParallelFor(0, count, 1, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      fn(i);
+    }
+  });
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> header)

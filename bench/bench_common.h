@@ -1,6 +1,7 @@
 #ifndef RPAS_BENCH_BENCH_COMMON_H_
 #define RPAS_BENCH_BENCH_COMMON_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -71,6 +72,14 @@ std::unique_ptr<forecast::Forecaster> MakeQb5000(size_t horizon, bool quick,
 /// Scaling configuration used by the auto-scaling benches: theta chosen so
 /// the average trace demands ~4 compute nodes.
 core::ScalingConfig MakeScalingConfig(const Dataset& dataset);
+
+/// Parallel scenario runner: executes `fn(i)` for every i in [0, count),
+/// fanning the cells across the RPAS thread pool (RPAS_NUM_THREADS
+/// workers; 1 = serial). Cells must be independent: each writes only its
+/// own result slot and derives any randomness from its own index, so the
+/// emitted tables are identical at every thread count. Used by the bench
+/// binaries to sweep model x dataset x run grids concurrently.
+void RunScenarios(size_t count, const std::function<void(size_t)>& fn);
 
 // ---------------------------------------------------------------------------
 // Minimal aligned-text table printer (every bench prints the same rows the

@@ -18,39 +18,49 @@ namespace {
 
 void RunFig8(const BenchOptions& options) {
   const std::vector<size_t> horizons = {1, 6, 12, 36, 72};
+  const std::vector<std::string> models = {"ARIMA", "MLP", "DeepAR", "TFT"};
   const std::vector<double> levels = AccuracyLevels();
 
-  Dataset dataset = MakeDataset(trace::AlibabaProfile(), options.seed);
+  const Dataset dataset = MakeDataset(trace::AlibabaProfile(), options.seed);
+
+  // Flat horizon x model grid fanned across the thread pool; every cell
+  // builds and trains its own model and writes only its own wQL slot, so
+  // the table is identical at every RPAS_NUM_THREADS.
+  std::vector<double> wql(horizons.size() * models.size(), 0.0);
+  RunScenarios(wql.size(), [&](size_t i) {
+    const size_t horizon = horizons[i / models.size()];
+    const size_t model_index = i % models.size();
+    std::unique_ptr<forecast::Forecaster> model;
+    switch (model_index) {
+      case 0: model = MakeArima(horizon, levels); break;
+      case 1: model = MakeMlp(horizon, levels, options.quick, 0); break;
+      case 2: model = MakeDeepAr(horizon, levels, options.quick, 0); break;
+      default: model = MakeTft(horizon, levels, options.quick, 0); break;
+    }
+    RPAS_CHECK(model->Fit(dataset.train).ok())
+        << models[model_index] << " fit failed at horizon " << horizon;
+    // Stride chosen so every horizon scores a comparable number of
+    // points without rolling thousands of windows at horizon 1.
+    const size_t stride = horizon >= 12 ? horizon : 12;
+    auto rolled = forecast::RollForecasts(*model, dataset.train,
+                                          dataset.test, stride);
+    RPAS_CHECK(rolled.ok()) << rolled.status().ToString();
+    auto report =
+        ts::EvaluateForecasts(rolled->forecasts, rolled->actuals, levels);
+    wql[i] = report.mean_wql;
+    std::printf("[fig8] horizon %zu / %s done\n", horizon,
+                models[model_index].c_str());
+    std::fflush(stdout);
+  });
 
   TablePrinter table({"horizon_steps", "ARIMA", "MLP", "DeepAR", "TFT"});
-  for (size_t horizon : horizons) {
-    std::vector<std::string> row = {Num(static_cast<double>(horizon), 3)};
-    struct Spec {
-      std::string name;
-      std::unique_ptr<forecast::Forecaster> model;
-    };
-    std::vector<Spec> specs;
-    specs.push_back({"ARIMA", MakeArima(horizon, levels)});
-    specs.push_back({"MLP", MakeMlp(horizon, levels, options.quick, 0)});
-    specs.push_back(
-        {"DeepAR", MakeDeepAr(horizon, levels, options.quick, 0)});
-    specs.push_back({"TFT", MakeTft(horizon, levels, options.quick, 0)});
-    for (Spec& spec : specs) {
-      RPAS_CHECK(spec.model->Fit(dataset.train).ok())
-          << spec.name << " fit failed at horizon " << horizon;
-      // Stride chosen so every horizon scores a comparable number of
-      // points without rolling thousands of windows at horizon 1.
-      const size_t stride = horizon >= 12 ? horizon : 12;
-      auto rolled = forecast::RollForecasts(*spec.model, dataset.train,
-                                            dataset.test, stride);
-      RPAS_CHECK(rolled.ok()) << rolled.status().ToString();
-      auto report =
-          ts::EvaluateForecasts(rolled->forecasts, rolled->actuals, levels);
-      row.push_back(Num(report.mean_wql));
+  for (size_t h = 0; h < horizons.size(); ++h) {
+    std::vector<std::string> row = {
+        Num(static_cast<double>(horizons[h]), 3)};
+    for (size_t m = 0; m < models.size(); ++m) {
+      row.push_back(Num(wql[h * models.size() + m]));
     }
     table.AddRow(std::move(row));
-    std::printf("[fig8] horizon %zu done\n", horizon);
-    std::fflush(stdout);
   }
   table.Print("Fig. 8: mean_wQL vs prediction horizon (context 72 steps)");
   if (options.csv) {

@@ -1,0 +1,146 @@
+// Parallel execution layer scaling check: times the blocked GEMM
+// (512 x 512) and the rolling-origin backtest serial (RPAS_NUM_THREADS=1)
+// vs parallel (4 threads), reports the speedup, and verifies the results
+// are bit-identical — the determinism guarantee every later scaling PR
+// relies on. On a >= 4-core machine the parallel column should be >= 2x
+// faster; on fewer cores the speedup degrades toward 1x but the
+// bit-identical column must stay "yes" everywhere.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "forecast/backtest.h"
+#include "forecast/mlp.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+#include "trace/generator.h"
+
+namespace rpas::bench {
+namespace {
+
+constexpr int kParallelThreads = 4;
+
+tensor::Matrix RandomMatrix(size_t rows, size_t cols, Rng* rng) {
+  tensor::Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m[i] = rng->Normal();
+  }
+  return m;
+}
+
+bool BitIdentical(const tensor::Matrix& a, const tensor::Matrix& b) {
+  if (!a.SameShape(b)) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void RunParallelScaling(const BenchOptions& options) {
+  std::printf("hardware threads available: %d (RPAS_NUM_THREADS default)\n",
+              RpasThreads());
+
+  TablePrinter table({"workload", "serial_ms", "parallel_ms@4", "speedup",
+                      "bit_identical"});
+
+  // --- GEMM 512 x 512 -----------------------------------------------------
+  {
+    Rng rng(options.seed);
+    const size_t n = 512;
+    const tensor::Matrix a = RandomMatrix(n, n, &rng);
+    const tensor::Matrix b = RandomMatrix(n, n, &rng);
+    const int reps = options.quick ? 3 : 10;
+
+    SetRpasThreads(1);
+    tensor::Matrix serial = MatMul(a, b);  // warm-up + reference
+    Stopwatch sw;
+    for (int r = 0; r < reps; ++r) {
+      serial = MatMul(a, b);
+    }
+    const double serial_ms = sw.ElapsedMillis() / reps;
+
+    SetRpasThreads(kParallelThreads);
+    tensor::Matrix parallel = MatMul(a, b);  // warm-up (spawns the pool)
+    sw.Reset();
+    for (int r = 0; r < reps; ++r) {
+      parallel = MatMul(a, b);
+    }
+    const double parallel_ms = sw.ElapsedMillis() / reps;
+    SetRpasThreads(0);
+
+    table.AddRow({"gemm 512x512", Num(serial_ms), Num(parallel_ms),
+                  Num(serial_ms / parallel_ms, 3),
+                  BitIdentical(serial, parallel) ? "yes" : "NO"});
+  }
+
+  // --- Rolling-origin backtest -------------------------------------------
+  {
+    trace::SyntheticTraceGenerator gen(trace::AlibabaProfile(),
+                                       options.seed);
+    const ts::TimeSeries series = gen.GenerateCpu(12 * kStepsPerDay);
+
+    forecast::BacktestOptions bt;
+    bt.folds = 4;
+    bt.fold_steps = kStepsPerDay;
+    bt.base_seed = options.seed;
+    const forecast::SeededForecasterFactory factory =
+        [&](size_t, uint64_t seed) {
+          forecast::MlpForecaster::Options mlp;
+          mlp.context_length = 36;
+          mlp.horizon = 12;
+          mlp.hidden_dim = 16;
+          mlp.num_hidden_layers = 1;
+          mlp.batch_size = 16;
+          mlp.train.steps = options.quick ? 40 : 120;
+          mlp.train.lr = 1e-3;
+          mlp.use_time_features = false;
+          mlp.seed = seed;
+          return std::make_unique<forecast::MlpForecaster>(mlp);
+        };
+
+    SetRpasThreads(1);
+    bt.parallel = false;
+    Stopwatch sw;
+    auto serial = forecast::Backtest(factory, series, bt);
+    const double serial_ms = sw.ElapsedMillis();
+    RPAS_CHECK(serial.ok()) << serial.status().ToString();
+
+    SetRpasThreads(kParallelThreads);
+    bt.parallel = true;
+    sw.Reset();
+    auto parallel = forecast::Backtest(factory, series, bt);
+    const double parallel_ms = sw.ElapsedMillis();
+    SetRpasThreads(0);
+    RPAS_CHECK(parallel.ok()) << parallel.status().ToString();
+
+    const bool identical =
+        serial->mean_wql.mean == parallel->mean_wql.mean &&
+        serial->mean_wql.stddev == parallel->mean_wql.stddev &&
+        serial->mse.mean == parallel->mse.mean &&
+        serial->mae.mean == parallel->mae.mean;
+    table.AddRow({"backtest 4 folds", Num(serial_ms), Num(parallel_ms),
+                  Num(serial_ms / parallel_ms, 3),
+                  identical ? "yes" : "NO"});
+  }
+
+  table.Print("Parallel execution layer: serial vs 4-thread timings");
+  if (options.csv) {
+    table.PrintCsv();
+  }
+}
+
+}  // namespace
+}  // namespace rpas::bench
+
+int main(int argc, char** argv) {
+  rpas::bench::RunParallelScaling(rpas::bench::ParseArgs(argc, argv));
+  return 0;
+}

@@ -26,6 +26,14 @@ struct ModelSpec {
   bool stochastic = true;  // deterministic models get a single run
 };
 
+// One (dataset, model, run) cell of the Table I grid; cells are
+// independent, so the scenario runner can evaluate them concurrently.
+struct GridCell {
+  size_t dataset = 0;
+  size_t spec = 0;
+  int run = 0;
+};
+
 void RunTable1(const BenchOptions& options) {
   const int runs = options.quick ? 1 : 3;
   const std::vector<double> levels = AccuracyLevels();
@@ -45,11 +53,44 @@ void RunTable1(const BenchOptions& options) {
                      return MakeTft(kHorizon, levels, options.quick, run);
                    }});
 
+  const std::vector<Dataset> datasets = MakeBothDatasets(options.seed);
+  std::vector<GridCell> cells;
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    for (size_t s = 0; s < specs.size(); ++s) {
+      const int model_runs = specs[s].stochastic ? runs : 1;
+      for (int run = 0; run < model_runs; ++run) {
+        cells.push_back({d, s, run});
+      }
+    }
+  }
+
+  // Every cell trains a fresh model from its fixed run seed and writes only
+  // its own report slot, so the fan-out is deterministic: the aggregation
+  // below reads the slots in grid order regardless of RPAS_NUM_THREADS.
+  std::vector<ts::AccuracyReport> reports(cells.size());
+  RunScenarios(cells.size(), [&](size_t i) {
+    const GridCell& cell = cells[i];
+    const Dataset& dataset = datasets[cell.dataset];
+    const ModelSpec& spec = specs[cell.spec];
+    auto model = spec.make(cell.run);
+    RPAS_CHECK(model->Fit(dataset.train).ok())
+        << spec.name << " fit failed on " << dataset.name;
+    auto rolled = forecast::RollForecasts(*model, dataset.train,
+                                          dataset.test, kHorizon);
+    RPAS_CHECK(rolled.ok()) << rolled.status().ToString();
+    reports[i] = ts::EvaluateForecasts(rolled->forecasts, rolled->actuals,
+                                       levels);
+    std::printf("[table1] %s / %s run %d done\n", dataset.name.c_str(),
+                spec.name.c_str(), cell.run);
+    std::fflush(stdout);
+  });
+
   TablePrinter table({"Dataset", "Model", "mean_wQL", "wQL[0.7]", "wQL[0.8]",
                       "wQL[0.9]", "Cov[0.7]", "Cov[0.8]", "Cov[0.9]",
                       "MSE"});
 
-  for (const Dataset& dataset : MakeBothDatasets(options.seed)) {
+  size_t cell_index = 0;
+  for (const Dataset& dataset : datasets) {
     for (const ModelSpec& spec : specs) {
       const int model_runs = spec.stochastic ? runs : 1;
       double mean_wql = 0.0;
@@ -57,18 +98,11 @@ void RunTable1(const BenchOptions& options) {
       std::map<double, double> cov = wql;
       double mse = 0.0;
       for (int run = 0; run < model_runs; ++run) {
-        auto model = spec.make(run);
-        RPAS_CHECK(model->Fit(dataset.train).ok())
-            << spec.name << " fit failed on " << dataset.name;
-        auto rolled = forecast::RollForecasts(*model, dataset.train,
-                                              dataset.test, kHorizon);
-        RPAS_CHECK(rolled.ok()) << rolled.status().ToString();
-        auto report = ts::EvaluateForecasts(rolled->forecasts,
-                                            rolled->actuals, levels);
+        const ts::AccuracyReport& report = reports[cell_index++];
         mean_wql += report.mean_wql;
         for (double tau : report_levels) {
-          wql[tau] += report.wql.at(tau);
-          cov[tau] += report.coverage.at(tau);
+          wql.at(tau) += report.wql.at(tau);
+          cov.at(tau) += report.coverage.at(tau);
         }
         mse += report.mse;
       }
@@ -78,9 +112,6 @@ void RunTable1(const BenchOptions& options) {
                     Num(wql[0.9] * inv), Num(cov[0.7] * inv, 3),
                     Num(cov[0.8] * inv, 3), Num(cov[0.9] * inv, 3),
                     Num(mse * inv)});
-      std::printf("[table1] %s / %s done\n", dataset.name.c_str(),
-                  spec.name.c_str());
-      std::fflush(stdout);
     }
   }
 

@@ -1,0 +1,82 @@
+#ifndef RPAS_COMMON_PARALLEL_H_
+#define RPAS_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rpas {
+
+/// Number of worker threads RPAS parallel kernels may use. Resolution
+/// order: SetRpasThreads() override > RPAS_NUM_THREADS environment
+/// variable > hardware concurrency. Always >= 1; a value of 1 forces every
+/// parallel construct down its serial path.
+int RpasThreads();
+
+/// Process-wide thread-count override for tests and benchmarks that
+/// compare serial and parallel execution in one process. Pass 0 to restore
+/// the environment/hardware default. Values < 0 are treated as 0.
+void SetRpasThreads(int num_threads);
+
+/// Work-queue thread pool. Workers are started in the constructor and
+/// joined in the destructor after draining the queue. Tasks must not
+/// throw — ParallelFor wraps user callbacks and captures their exceptions
+/// before they reach the pool.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker thread.
+  void Submit(std::function<void()> task);
+
+  /// Grows the pool to at least `num_threads` workers (never shrinks).
+  void EnsureThreads(int num_threads);
+
+  int num_threads() const;
+
+  /// The process-wide pool used by ParallelFor. Created on first use and
+  /// resized on demand to serve RpasThreads() - 1 concurrent helpers (the
+  /// calling thread always participates in the work).
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+};
+
+/// Splits [begin, end) into consecutive chunks of at most `grain`
+/// iterations and runs `fn(chunk_begin, chunk_end)` for every chunk,
+/// fanning chunks across the shared thread pool. Blocks until all chunks
+/// have finished.
+///
+/// Determinism contract: the partition depends only on (begin, end,
+/// grain) — never on the thread count — so any kernel whose chunks write
+/// disjoint outputs produces bit-identical results for every value of
+/// RPAS_NUM_THREADS. Chunks are claimed dynamically, so `fn` must not
+/// depend on which thread runs a chunk or in which order chunks run.
+///
+/// The first exception thrown by `fn` is rethrown on the calling thread
+/// after all in-flight chunks have completed (remaining chunks are
+/// abandoned). An empty range returns immediately without invoking `fn`;
+/// `grain` >= the range size yields a single chunk. `grain` 0 is treated
+/// as 1. Nested calls (from inside a pool worker) and calls with
+/// RpasThreads() == 1 run serially on the calling thread.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace rpas
+
+#endif  // RPAS_COMMON_PARALLEL_H_

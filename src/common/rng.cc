@@ -19,6 +19,12 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t DeriveSeed(uint64_t base, uint64_t stream) {
+  uint64_t mix =
+      base ^ (0xA5A5A5A55A5A5A5Aull + stream * 0x2545F4914F6CDD1Dull);
+  return SplitMix64(&mix);
+}
+
 Rng::Rng(uint64_t seed) : seed_(seed) {
   uint64_t sm = seed;
   for (auto& s : state_) {
@@ -149,9 +155,7 @@ int Rng::Poisson(double mean) {
 }
 
 Rng Rng::Fork(uint64_t stream_id) const {
-  uint64_t mix = seed_ ^ (0xA5A5A5A55A5A5A5Aull + stream_id * 0x2545F4914F6CDD1Dull);
-  uint64_t sm = mix;
-  return Rng(SplitMix64(&sm));
+  return Rng(DeriveSeed(seed_, stream_id));
 }
 
 }  // namespace rpas

@@ -5,6 +5,12 @@
 
 namespace rpas {
 
+/// SplitMix-style deterministic seed derivation: maps (base, stream) to an
+/// independent 64-bit seed. Parallel tasks (backtest folds, scenario cells)
+/// derive their Rng seed from the base seed and their task index so the
+/// parallel schedule reproduces the serial one exactly.
+uint64_t DeriveSeed(uint64_t base, uint64_t stream);
+
 /// Deterministic pseudo-random number generator (xoshiro256++ seeded via
 /// splitmix64). All stochastic RPAS components draw from an explicitly
 /// seeded Rng so experiments are reproducible bit-for-bit across platforms;

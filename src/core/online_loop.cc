@@ -42,6 +42,12 @@ Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
       RPAS_ASSIGN_OR_RETURN(RobustAutoScalingManager::Plan plan,
                             manager.PlanNext(history, current_nodes));
       current_plan = std::move(plan.nodes);
+      if (current_plan.empty()) {
+        // Indexing an empty plan below would be out-of-bounds UB; a
+        // planner that yields no steps is a contract violation.
+        return Status::Internal(
+            "online loop: planner returned an empty plan");
+      }
       plan_cursor = 0;
       ++result.plans_made;
       for (double u : plan.uncertainty) {

@@ -1,8 +1,11 @@
 #include "forecast/backtest.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/parallel.h"
+#include "common/rng.h"
 
 namespace rpas::forecast {
 
@@ -29,9 +32,9 @@ MetricSummary Summarize(const std::vector<double>& values) {
 
 }  // namespace
 
-Result<BacktestResult> Backtest(
-    const std::function<std::unique_ptr<Forecaster>()>& factory,
-    const ts::TimeSeries& series, const BacktestOptions& options) {
+Result<BacktestResult> Backtest(const SeededForecasterFactory& factory,
+                                const ts::TimeSeries& series,
+                                const BacktestOptions& options) {
   if (options.folds == 0 || options.fold_steps == 0) {
     return Status::InvalidArgument("backtest needs folds and fold_steps");
   }
@@ -41,13 +44,12 @@ Result<BacktestResult> Backtest(
         "series too short for the requested folds");
   }
 
-  BacktestResult result;
-  std::vector<double> wqls;
-  std::vector<double> mses;
-  std::vector<double> maes;
-  std::map<double, std::vector<double>> coverages;
+  // Every fold writes only its own slot; aggregation below walks the slots
+  // in fold order, so the parallel schedule reproduces the serial one.
+  std::vector<Status> statuses(options.folds, Status());
+  std::vector<ts::AccuracyReport> reports(options.folds);
 
-  for (size_t fold = 0; fold < options.folds; ++fold) {
+  auto run_fold = [&](size_t fold) {
     // Expanding origin: fold 0 evaluates the oldest evaluation block.
     const size_t origin =
         series.size() - (options.folds - fold) * options.fold_steps;
@@ -55,19 +57,56 @@ Result<BacktestResult> Backtest(
     ts::TimeSeries eval =
         series.Slice(origin, origin + options.fold_steps);
 
-    std::unique_ptr<Forecaster> model = factory();
+    std::unique_ptr<Forecaster> model =
+        factory(fold, DeriveSeed(options.base_seed, fold));
     if (model == nullptr) {
-      return Status::InvalidArgument("backtest factory returned null");
+      statuses[fold] = Status::InvalidArgument(
+          "backtest factory returned null");
+      return;
     }
-    RPAS_RETURN_IF_ERROR(model->Fit(train));
+    Status fit = model->Fit(train);
+    if (!fit.ok()) {
+      statuses[fold] = std::move(fit);
+      return;
+    }
     const size_t stride =
         options.stride > 0 ? options.stride : model->Horizon();
-    RPAS_ASSIGN_OR_RETURN(RollingForecasts rolled,
-                          RollForecasts(*model, train, eval, stride));
+    Result<RollingForecasts> rolled =
+        RollForecasts(*model, train, eval, stride);
+    if (!rolled.ok()) {
+      statuses[fold] = rolled.status();
+      return;
+    }
     const std::vector<double> levels =
         options.levels.empty() ? model->Levels() : options.levels;
-    ts::AccuracyReport report =
-        ts::EvaluateForecasts(rolled.forecasts, rolled.actuals, levels);
+    reports[fold] =
+        ts::EvaluateForecasts(rolled->forecasts, rolled->actuals, levels);
+  };
+
+  if (options.parallel) {
+    ParallelFor(0, options.folds, 1, [&](size_t begin, size_t end) {
+      for (size_t fold = begin; fold < end; ++fold) {
+        run_fold(fold);
+      }
+    });
+  } else {
+    for (size_t fold = 0; fold < options.folds; ++fold) {
+      run_fold(fold);
+    }
+  }
+
+  for (size_t fold = 0; fold < options.folds; ++fold) {
+    if (!statuses[fold].ok()) {
+      return statuses[fold];
+    }
+  }
+
+  BacktestResult result;
+  std::vector<double> wqls;
+  std::vector<double> mses;
+  std::vector<double> maes;
+  std::map<double, std::vector<double>> coverages;
+  for (ts::AccuracyReport& report : reports) {
     wqls.push_back(report.mean_wql);
     mses.push_back(report.mse);
     maes.push_back(report.mae);
@@ -84,6 +123,13 @@ Result<BacktestResult> Backtest(
     result.coverage[tau] = Summarize(values);
   }
   return result;
+}
+
+Result<BacktestResult> Backtest(
+    const std::function<std::unique_ptr<Forecaster>()>& factory,
+    const ts::TimeSeries& series, const BacktestOptions& options) {
+  return Backtest(
+      [&factory](size_t, uint64_t) { return factory(); }, series, options);
 }
 
 }  // namespace rpas::forecast

@@ -22,6 +22,14 @@ struct BacktestOptions {
   size_t stride = 0;
   /// Quantile levels to score; empty = the model's own levels.
   std::vector<double> levels;
+  /// Evaluate the folds concurrently on the RPAS thread pool
+  /// (RPAS_NUM_THREADS workers). Results are bit-identical to the serial
+  /// path: every fold derives its model seed from `base_seed` and its fold
+  /// index via DeriveSeed, and aggregation always runs in fold order.
+  bool parallel = false;
+  /// Base seed handed to the seeded factory (per fold, after SplitMix
+  /// derivation). Ignored by the unseeded factory overload.
+  uint64_t base_seed = 2024;
 };
 
 /// Mean and standard deviation of a metric across folds.
@@ -39,11 +47,26 @@ struct BacktestResult {
   std::map<double, MetricSummary> coverage;  // per scored level
 };
 
+/// Builds the fresh model for one fold. `seed` is derived deterministically
+/// from BacktestOptions::base_seed and `fold` (SplitMix-style), so a
+/// stochastic model seeded with it trains identically whether the fold runs
+/// serially or on a pool worker.
+using SeededForecasterFactory =
+    std::function<std::unique_ptr<Forecaster>(size_t fold, uint64_t seed)>;
+
 /// Rolling-origin (expanding-window) backtest: for each fold a *fresh*
 /// model is built by `factory`, fitted on all data before the fold's
 /// origin, and scored on the fold's evaluation window. Reports cross-fold
 /// mean +/- stddev so model comparisons account for fit variance — the
 /// multi-run averaging of the paper's Table I, systematized.
+/// With `options.parallel` the independent folds are evaluated concurrently
+/// and the result is bit-identical to the serial schedule.
+Result<BacktestResult> Backtest(const SeededForecasterFactory& factory,
+                                const ts::TimeSeries& series,
+                                const BacktestOptions& options);
+
+/// Convenience overload for deterministic models (or models carrying their
+/// own fixed seed): the factory ignores the fold index and derived seed.
 Result<BacktestResult> Backtest(
     const std::function<std::unique_ptr<Forecaster>()>& factory,
     const ts::TimeSeries& series, const BacktestOptions& options);

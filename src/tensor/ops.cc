@@ -3,7 +3,22 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace rpas::tensor {
+
+namespace {
+
+// Cache blocking for MatMul: a kBlockK x kBlockJ panel of b (128 KiB) plus
+// the touched slices of a and out stay resident across the row sweep.
+constexpr size_t kBlockK = 64;
+constexpr size_t kBlockJ = 256;
+// Rows of `out` per ParallelFor chunk. Fixed (not derived from the thread
+// count) so the partition — and therefore the result — is identical for
+// every RPAS_NUM_THREADS value.
+constexpr size_t kRowGrain = 16;
+
+}  // namespace
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   RPAS_CHECK(a.cols() == b.rows())
@@ -13,21 +28,32 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   const size_t m = a.rows();
   const size_t k = a.cols();
   const size_t n = b.cols();
-  // ikj loop order: streams through b and out rows contiguously.
-  for (size_t i = 0; i < m; ++i) {
-    double* out_row = out.data() + i * n;
-    const double* a_row = a.data() + i * k;
-    for (size_t p = 0; p < k; ++p) {
-      const double a_ip = a_row[p];
-      if (a_ip == 0.0) {
-        continue;
-      }
-      const double* b_row = b.data() + p * n;
-      for (size_t j = 0; j < n; ++j) {
-        out_row[j] += a_ip * b_row[j];
+  const double* a_data = a.data();
+  const double* b_data = b.data();
+  double* out_data = out.data();
+  // Row-panel parallel, cache-blocked over k and j. Each output row is
+  // written by exactly one chunk and its k-accumulation order is fixed by
+  // the loop structure, so results are bit-identical to the serial path.
+  // No data-dependent skips: 0 * NaN must stay NaN (IEEE-754 propagation).
+  ParallelFor(0, m, kRowGrain, [&](size_t row_begin, size_t row_end) {
+    for (size_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const size_t p1 = std::min(p0 + kBlockK, k);
+      for (size_t j0 = 0; j0 < n; j0 += kBlockJ) {
+        const size_t j1 = std::min(j0 + kBlockJ, n);
+        for (size_t i = row_begin; i < row_end; ++i) {
+          double* out_row = out_data + i * n;
+          const double* a_row = a_data + i * k;
+          for (size_t p = p0; p < p1; ++p) {
+            const double a_ip = a_row[p];
+            const double* b_row = b_data + p * n;
+            for (size_t j = j0; j < j1; ++j) {
+              out_row[j] += a_ip * b_row[j];
+            }
+          }
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -226,6 +252,10 @@ Result<Matrix> SolveLinearSystem(Matrix a, Matrix b) {
         "SolveLinearSystem: b must be a column vector matching A");
   }
   const size_t n = a.rows();
+  // Singularity tolerance relative to the matrix magnitude: an absolute
+  // cutoff misclassifies well-conditioned but small-scaled systems (e.g.
+  // 1e-20 * I). An all-zero matrix has scale 0 and fails the first pivot.
+  const double tolerance = MaxAbs(a) * 1e-12;
   // Forward elimination with partial pivoting.
   for (size_t col = 0; col < n; ++col) {
     size_t pivot = col;
@@ -236,7 +266,7 @@ Result<Matrix> SolveLinearSystem(Matrix a, Matrix b) {
         pivot = r;
       }
     }
-    if (best < 1e-12) {
+    if (best <= tolerance) {
       return Status::FailedPrecondition(
           "SolveLinearSystem: matrix is singular");
     }

@@ -334,6 +334,28 @@ TEST_F(OnlineLoopFixture, RobustLoopMostlyAvoidsUnderProvisioning) {
   EXPECT_GT(result->total_node_steps, 0);
 }
 
+// Allocator stub that violates the planner contract by returning no steps.
+class EmptyPlanAllocator final : public core::QuantileAllocator {
+ public:
+  Result<std::vector<int>> Allocate(
+      const ts::QuantileForecast&,
+      const core::ScalingConfig&) const override {
+    return std::vector<int>{};
+  }
+  std::string Name() const override { return "EmptyPlan"; }
+};
+
+TEST_F(OnlineLoopFixture, EmptyPlanIsInternalErrorNotUb) {
+  // Regression: the loop used to index current_plan[0] on an empty plan —
+  // out-of-bounds UB. It must surface Internal instead.
+  core::RobustAutoScalingManager manager(
+      model_.get(), std::make_unique<EmptyPlanAllocator>(), config_);
+  auto result =
+      core::RunOnlineLoop(manager, series_, 6 * kDay, 10, LoopOptions());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
 TEST_F(OnlineLoopFixture, RejectsBadRanges) {
   EXPECT_FALSE(
       core::RunOnlineLoop(*manager_, series_, 6 * kDay, 0, LoopOptions())

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "tensor/matrix.h"
@@ -100,6 +101,47 @@ TEST(OpsTest, MatMulNonSquare) {
   Matrix b{{1}, {2}, {3}};    // 3x1
   Matrix c = MatMul(a, b);    // 1x1
   EXPECT_DOUBLE_EQ(c(0, 0), 14.0);
+}
+
+TEST(OpsTest, MatMulPropagatesNanInf) {
+  // Regression: the old zero-skip fast path dropped IEEE-754 propagation —
+  // 0 * NaN must be NaN and 0 * Inf must be NaN, not 0.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  Matrix a{{0.0, 1.0}, {2.0, 0.0}};
+  Matrix b{{nan, 1.0}, {2.0, inf}};
+  Matrix c = MatMul(a, b);
+  EXPECT_TRUE(std::isnan(c(0, 0)));  // 0*NaN + 1*2
+  EXPECT_TRUE(std::isinf(c(0, 1)));  // 0*1 + 1*Inf
+  EXPECT_TRUE(std::isnan(c(1, 0)));  // 2*NaN + 0*2
+  EXPECT_TRUE(std::isnan(c(1, 1)));  // 2*1 + 0*Inf
+}
+
+TEST(OpsTest, MatMulBlockedMatchesReferenceExactly) {
+  // The cache-blocked kernel keeps the k-accumulation order of the naive
+  // ikj loop, so results must be bit-identical, not just close. Shapes
+  // chosen to span multiple k-blocks and j-blocks with ragged remainders.
+  Rng rng(17);
+  Matrix a(37, 150);
+  Matrix b(150, 300);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Normal();
+  }
+  for (size_t i = 0; i < b.size(); ++i) {
+    b[i] = rng.Normal();
+  }
+  Matrix reference(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t p = 0; p < a.cols(); ++p) {
+      for (size_t j = 0; j < b.cols(); ++j) {
+        reference(i, j) += a(i, p) * b(p, j);
+      }
+    }
+  }
+  Matrix c = MatMul(a, b);
+  for (size_t i = 0; i < c.size(); ++i) {
+    ASSERT_EQ(c[i], reference[i]) << "mismatch at flat index " << i;
+  }
 }
 
 TEST(OpsTest, TransposeRoundTrip) {
@@ -213,6 +255,26 @@ TEST(OpsTest, SolveLinearSystemNeedsPivoting) {
 
 TEST(OpsTest, SolveLinearSystemSingular) {
   Matrix a{{1, 2}, {2, 4}};
+  Matrix b{{1}, {2}};
+  EXPECT_EQ(SolveLinearSystem(a, b).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(OpsTest, SolveLinearSystemTinyScaleWellConditioned) {
+  // Regression: the absolute 1e-12 pivot threshold misclassified
+  // well-conditioned but small-scaled systems as singular. The tolerance
+  // is now relative to the matrix's largest entry.
+  const double s = 1e-20;
+  Matrix a{{2.0 * s, 1.0 * s}, {1.0 * s, 3.0 * s}};
+  Matrix b{{3.0 * s}, {4.0 * s}};
+  auto x = SolveLinearSystem(a, b);
+  ASSERT_TRUE(x.ok()) << x.status().ToString();
+  EXPECT_NEAR((*x)(0, 0), 1.0, 1e-10);
+  EXPECT_NEAR((*x)(1, 0), 1.0, 1e-10);
+}
+
+TEST(OpsTest, SolveLinearSystemZeroMatrixSingular) {
+  Matrix a(2, 2);
   Matrix b{{1}, {2}};
   EXPECT_EQ(SolveLinearSystem(a, b).status().code(),
             StatusCode::kFailedPrecondition);
