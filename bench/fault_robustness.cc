@@ -1,0 +1,148 @@
+// Fault-robustness bench: sweeps the online scaling loop over a grid of
+// fault rates x allocation strategies and reports how gracefully each
+// strategy degrades. Every cell runs the same seed-deterministic FaultPlan
+// (actuation delay, partial scale-out, transient crashes, workload spikes,
+// forecaster timeout / NaN / stale), so rows are directly comparable and
+// the table reproduces bit-for-bit across runs and thread counts.
+//
+// Uses the SeasonalNaive forecaster: the bench measures the *scaling loop's*
+// robustness under injected faults, not forecast accuracy, and the cheap
+// forecaster keeps the 16-cell grid fast enough for CI-adjacent runs.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/logging.h"
+#include "core/manager.h"
+#include "core/online_loop.h"
+#include "core/strategies.h"
+#include "forecast/seasonal_naive.h"
+#include "simdb/faults.h"
+
+namespace rpas::bench {
+namespace {
+
+struct StrategyCell {
+  std::string name;
+  std::unique_ptr<core::QuantileAllocator> allocator;
+};
+
+struct CellResult {
+  std::string strategy;
+  double fault_rate = 0.0;
+  core::OnlineLoopResult loop;
+};
+
+std::vector<StrategyCell> MakeStrategies(double adaptive_rho) {
+  std::vector<StrategyCell> cells;
+  cells.push_back({"Point", std::make_unique<core::PointForecastAllocator>()});
+  cells.push_back(
+      {"Robust-0.75", std::make_unique<core::RobustQuantileAllocator>(0.75)});
+  cells.push_back(
+      {"Robust-0.9", std::make_unique<core::RobustQuantileAllocator>(0.9)});
+  cells.push_back({"Adaptive",
+                   std::make_unique<core::AdaptiveQuantileAllocator>(
+                       0.6, 0.95, adaptive_rho)});
+  return cells;
+}
+
+void RunFaultRobustness(const BenchOptions& options) {
+  Dataset dataset = MakeDataset(trace::AlibabaProfile(), options.seed);
+  const size_t eval_start = dataset.train.size();
+  const size_t eval_steps =
+      options.quick ? 2 * kStepsPerDay : dataset.test.size();
+
+  forecast::SeasonalNaiveForecaster::Options fc_options;
+  fc_options.context_length = kContext;
+  fc_options.horizon = kHorizon;
+  fc_options.season = kStepsPerDay;
+  fc_options.levels = ScalingLevels();
+  forecast::SeasonalNaiveForecaster model(fc_options);
+  RPAS_CHECK(model.Fit(dataset.train).ok());
+
+  const core::ScalingConfig config = MakeScalingConfig(dataset);
+
+  // Calibrate the adaptive strategy's uncertainty threshold from a clean
+  // probe run: rho = mean forecast uncertainty of the robust-0.9 plan, so
+  // roughly half the adaptive steps land on each side of the cut.
+  double adaptive_rho;
+  {
+    core::RobustAutoScalingManager probe(
+        &model, std::make_unique<core::RobustQuantileAllocator>(0.9), config);
+    core::OnlineLoopOptions loop;
+    loop.cluster.node_capacity = config.theta;
+    loop.cluster.initial_nodes = config.min_nodes;
+    auto result = core::RunOnlineLoop(probe, dataset.full, eval_start,
+                                      eval_steps, loop);
+    RPAS_CHECK(result.ok());
+    adaptive_rho = result->mean_uncertainty;
+  }
+  std::printf("[fault_robustness] adaptive rho = %s (probe mean "
+              "uncertainty)\n",
+              Num(adaptive_rho).c_str());
+  std::fflush(stdout);
+
+  const std::vector<double> fault_rates = {0.0, 0.05, 0.1, 0.2};
+  const size_t num_strategies = MakeStrategies(adaptive_rho).size();
+  const size_t cells = num_strategies * fault_rates.size();
+  std::vector<CellResult> results(cells);
+
+  RunScenarios(cells, [&](size_t i) {
+    const size_t strategy_idx = i / fault_rates.size();
+    const double rate = fault_rates[i % fault_rates.size()];
+    // Allocators are stateless across cells but cheap; each cell builds its
+    // own so the fan-out shares nothing mutable.
+    StrategyCell cell = std::move(MakeStrategies(adaptive_rho)[strategy_idx]);
+    core::RobustAutoScalingManager manager(&model, std::move(cell.allocator),
+                                           config);
+    core::OnlineLoopOptions loop;
+    loop.cluster.node_capacity = config.theta;
+    loop.cluster.initial_nodes = config.min_nodes;
+    // Same seed for every cell: each row faces the identical fault draw
+    // pattern, scaled by its rate.
+    loop.faults = simdb::FaultPlan::Uniform(rate, options.seed + 7);
+    auto result = core::RunOnlineLoop(manager, dataset.full, eval_start,
+                                      eval_steps, loop);
+    RPAS_CHECK(result.ok()) << result.status().ToString();
+    results[i] = {cell.name, rate, std::move(result).value()};
+    std::printf("[fault_robustness] %s @ rate %s done\n",
+                results[i].strategy.c_str(), Num(rate).c_str());
+    std::fflush(stdout);
+  });
+
+  TablePrinter table({"Strategy", "fault_rate", "slo_rate", "under_rate",
+                      "fallbacks", "retries", "stale", "faulted_steps",
+                      "node_steps"});
+  for (const CellResult& r : results) {
+    table.AddRow({r.strategy, Num(r.fault_rate, 3),
+                  Num(r.loop.slo_violation_rate, 3),
+                  Num(r.loop.under_provision_rate, 3),
+                  Num(static_cast<double>(r.loop.fallback_plans)),
+                  Num(static_cast<double>(r.loop.retried_plans)),
+                  Num(static_cast<double>(r.loop.stale_plans)),
+                  Num(static_cast<double>(r.loop.faulted_steps)),
+                  Num(static_cast<double>(r.loop.total_node_steps))});
+  }
+  table.Print(
+      "Fault robustness: graceful degradation of the online scaling loop "
+      "(fault rate x strategy, identical fault seed per row)");
+  if (options.csv) {
+    table.PrintCsv();
+  }
+  std::printf(
+      "\nExpected shape: slo_rate and under_rate grow with the fault rate\n"
+      "for every strategy, but the loop never aborts — forecaster faults\n"
+      "become retries/fallbacks/stale replays instead of errors. The robust\n"
+      "and adaptive strategies hold lower under_rate than Point at every\n"
+      "fault rate because their head-room also absorbs actuation delays and\n"
+      "crash-induced capacity dips.\n");
+}
+
+}  // namespace
+}  // namespace rpas::bench
+
+int main(int argc, char** argv) {
+  rpas::bench::RunFaultRobustness(rpas::bench::ParseArgs(argc, argv));
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "core/manager.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 #include "core/uncertainty.h"
@@ -56,6 +57,14 @@ void RobustAutoScalingManager::SetSmoother(ScalingSmoother::Options options) {
   smoother_ = std::make_unique<ScalingSmoother>(options);
 }
 
+size_t RobustAutoScalingManager::ContextLength() const {
+  return forecaster_->ContextLength();
+}
+
+size_t RobustAutoScalingManager::Horizon() const {
+  return forecaster_->Horizon();
+}
+
 Result<RobustAutoScalingManager::Plan> RobustAutoScalingManager::PlanNext(
     const ts::TimeSeries& history, int current_nodes) const {
   const size_t context = forecaster_->ContextLength();
@@ -72,6 +81,16 @@ Result<RobustAutoScalingManager::Plan> RobustAutoScalingManager::PlanNext(
 
   RPAS_ASSIGN_OR_RETURN(ts::QuantileForecast fc,
                         forecaster_->Predict(input));
+  // Validate before allocating: a faulted forecaster (NaN/Inf output) must
+  // surface as a detectable error, not propagate garbage into node counts.
+  for (size_t h = 0; h < fc.Horizon(); ++h) {
+    for (size_t q = 0; q < fc.Levels().size(); ++q) {
+      if (!std::isfinite(fc.ValueAtIndex(h, q))) {
+        return Status::Internal(
+            "forecaster produced a non-finite quantile value");
+      }
+    }
+  }
   RPAS_ASSIGN_OR_RETURN(std::vector<int> nodes,
                         allocator_->Allocate(fc, config_));
   if (smoother_) {

@@ -56,11 +56,18 @@ class RobustAutoScalingManager {
 
   /// Plans the next Horizon() steps given the observed history (must hold
   /// at least the forecaster's context length). `current_nodes` seeds the
-  /// smoother when enabled.
+  /// smoother when enabled. The forecast is validated before allocation: a
+  /// forecaster emitting non-finite values yields Internal rather than a
+  /// poisoned plan, so callers can detect and degrade (see online_loop.h).
   Result<Plan> PlanNext(const ts::TimeSeries& history,
                         int current_nodes = 1) const;
 
   const ScalingConfig& config() const { return config_; }
+
+  /// Context length required from history by the underlying forecaster.
+  size_t ContextLength() const;
+  /// Planning horizon of the underlying forecaster.
+  size_t Horizon() const;
 
  private:
   const forecast::Forecaster* forecaster_;  // not owned

@@ -7,6 +7,31 @@
 #include "core/evaluator.h"
 
 namespace rpas::core {
+namespace {
+
+/// Conservative plan used while the forecaster is unavailable: hold the
+/// larger of the last known-good allocation level and a reactive-max
+/// requirement from recently observed workload (with head-room), and never
+/// scale in below the current node count while running blind.
+std::vector<int> BuildFallbackPlan(const std::vector<double>& recent,
+                                   const std::vector<int>& last_good_plan,
+                                   int current_nodes,
+                                   const ScalingConfig& config,
+                                   const DegradationPolicy& policy) {
+  double peak = 0.0;
+  for (double w : recent) {
+    peak = std::max(peak, w);
+  }
+  int hold = RequiredNodes(peak * policy.reactive_safety_margin, config);
+  if (!last_good_plan.empty()) {
+    hold = std::max(hold, last_good_plan.back());
+  }
+  hold = std::max(hold, current_nodes);
+  const size_t steps = std::max<size_t>(policy.fallback_plan_steps, 1);
+  return std::vector<int>(steps, hold);
+}
+
+}  // namespace
 
 Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
                                        const ts::TimeSeries& series,
@@ -19,54 +44,180 @@ Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
     return Status::InvalidArgument(
         "evaluation range extends past the series");
   }
+  if (eval_start < manager.ContextLength()) {
+    return Status::InvalidArgument(
+        "eval_start leaves less history than the forecaster's context "
+        "length");
+  }
 
   OnlineLoopResult result;
   result.allocation.reserve(num_steps);
   result.steps.reserve(num_steps);
 
+  const bool inject = options.faults.Any();
+  const simdb::FaultInjector injector(options.faults);
+  const DegradationPolicy& policy = options.degradation;
+
   simdb::Cluster cluster(options.cluster);
   std::vector<int> current_plan;
+  std::vector<int> last_good_plan;
+  bool plan_is_fallback = false;
   size_t plan_cursor = 0;
   double uncertainty_sum = 0.0;
   size_t uncertainty_n = 0;
   int current_nodes = options.cluster.initial_nodes;
 
+  // Trailing realized workloads feeding the reactive fallback, seeded from
+  // the observed history so degradation works even on the very first round.
+  std::vector<double> recent;
+  const size_t window = std::max<size_t>(policy.reactive_window, 1);
+  for (size_t back = std::min(window, eval_start); back > 0; --back) {
+    recent.push_back(series.values[eval_start - back]);
+  }
+
   for (size_t i = 0; i < num_steps; ++i) {
     const size_t t = eval_start + i;
+    simdb::StepFaults faults;  // default: no fault
+    if (inject) {
+      faults = injector.FaultsForStep(i);
+    }
     const size_t replan =
         options.replan_every > 0 ? options.replan_every : SIZE_MAX;
     if (current_plan.empty() || plan_cursor >= current_plan.size() ||
         (options.replan_every > 0 && plan_cursor >= replan)) {
-      // Re-plan from everything observed so far.
-      ts::TimeSeries history = series.Slice(0, t);
-      RPAS_ASSIGN_OR_RETURN(RobustAutoScalingManager::Plan plan,
-                            manager.PlanNext(history, current_nodes));
-      current_plan = std::move(plan.nodes);
-      if (current_plan.empty()) {
-        // Indexing an empty plan below would be out-of-bounds UB; a
-        // planner that yields no steps is a contract violation.
-        return Status::Internal(
-            "online loop: planner returned an empty plan");
-      }
-      plan_cursor = 0;
+      // ---- Planning round, with graceful degradation under faults. ----
+      plan_is_fallback = false;
       ++result.plans_made;
-      for (double u : plan.uncertainty) {
-        uncertainty_sum += u;
-        ++uncertainty_n;
+      const int failed_attempts =
+          faults.forecaster_timeout_attempts + (faults.forecaster_nan ? 1 : 0);
+      if (inject && faults.stale_forecast && !last_good_plan.empty()) {
+        // The forecaster served its cached previous forecast; the round
+        // silently replays the last known-good plan from its start.
+        current_plan = last_good_plan;
+        plan_cursor = 0;
+        ++result.stale_plans;
+        result.fault_events.push_back(
+            {i, simdb::FaultType::kStaleForecast, simdb::FaultAction::kNone,
+             0, 0.0});
+      } else if (inject && failed_attempts > policy.max_retries) {
+        // Bounded retry exhausted: degrade instead of aborting.
+        ++result.forecaster_faults;
+        ++result.fallback_plans;
+        const simdb::FaultAction action =
+            last_good_plan.empty() ? simdb::FaultAction::kFallbackReactive
+                                   : simdb::FaultAction::kFallbackLastGood;
+        result.fault_events.push_back(
+            {i,
+             faults.forecaster_timeout_attempts > 0
+                 ? simdb::FaultType::kForecasterTimeout
+                 : simdb::FaultType::kForecasterNan,
+             action, failed_attempts, 0.0});
+        current_plan = BuildFallbackPlan(recent, last_good_plan,
+                                         current_nodes, manager.config(),
+                                         policy);
+        plan_cursor = 0;
+        plan_is_fallback = true;
+      } else {
+        // Either a clean round, or a faulted one whose
+        // (failed_attempts + 1)-th attempt lands within the retry budget —
+        // the successful attempt's output is what PlanNext returns.
+        ts::TimeSeries history = series.Slice(0, t);
+        auto plan_or = manager.PlanNext(history, current_nodes);
+        if (!plan_or.ok()) {
+          if (!inject) {
+            return plan_or.status();
+          }
+          // A genuine planner error under fault injection is handled by
+          // the same degradation path: record, fall back, keep serving.
+          ++result.fallback_plans;
+          const simdb::FaultAction action =
+              last_good_plan.empty() ? simdb::FaultAction::kFallbackReactive
+                                     : simdb::FaultAction::kFallbackLastGood;
+          result.fault_events.push_back({i, simdb::FaultType::kPlannerError,
+                                         action, failed_attempts, 0.0});
+          current_plan = BuildFallbackPlan(recent, last_good_plan,
+                                           current_nodes, manager.config(),
+                                           policy);
+          plan_cursor = 0;
+          plan_is_fallback = true;
+        } else {
+          RobustAutoScalingManager::Plan plan = std::move(plan_or).value();
+          current_plan = std::move(plan.nodes);
+          if (current_plan.empty()) {
+            // Indexing an empty plan below would be out-of-bounds UB; a
+            // planner that yields no steps is a contract violation.
+            return Status::Internal(
+                "online loop: planner returned an empty plan");
+          }
+          if (failed_attempts > 0) {
+            ++result.forecaster_faults;
+            ++result.retried_plans;
+            result.fault_events.push_back(
+                {i,
+                 faults.forecaster_timeout_attempts > 0
+                     ? simdb::FaultType::kForecasterTimeout
+                     : simdb::FaultType::kForecasterNan,
+                 simdb::FaultAction::kRetrySucceeded, failed_attempts, 0.0});
+          }
+          last_good_plan = current_plan;
+          plan_cursor = 0;
+          for (double u : plan.uncertainty) {
+            uncertainty_sum += u;
+            ++uncertainty_n;
+          }
+        }
       }
     }
     const int target = current_plan[plan_cursor++];
     const double realized = series.values[t];
-    simdb::StepStats stats = cluster.Step(target, realized);
+    simdb::StepStats stats = cluster.Step(target, realized, faults);
     current_nodes = cluster.NumNodes();
+    if (inject) {
+      if (stats.nodes_delayed > 0) {
+        result.fault_events.push_back(
+            {i, simdb::FaultType::kActuationDelay,
+             simdb::FaultAction::kNone, 0,
+             static_cast<double>(stats.nodes_delayed)});
+      }
+      if (stats.nodes_denied > 0) {
+        result.fault_events.push_back(
+            {i, simdb::FaultType::kPartialScaleOut,
+             simdb::FaultAction::kNone, 0,
+             static_cast<double>(stats.nodes_denied)});
+      }
+      if (faults.crash_nodes > 0 && stats.nodes_failed > 0) {
+        result.fault_events.push_back(
+            {i, simdb::FaultType::kNodeCrash, simdb::FaultAction::kNone, 0,
+             static_cast<double>(stats.nodes_failed)});
+      }
+      if (faults.workload_multiplier != 1.0) {
+        result.fault_events.push_back(
+            {i, simdb::FaultType::kWorkloadSpike, simdb::FaultAction::kNone,
+             0, faults.workload_multiplier});
+      }
+      if (faults.Any()) {
+        ++result.faulted_steps;
+      }
+      if (plan_is_fallback) {
+        ++result.degraded_steps;
+      }
+    }
+    recent.push_back(stats.workload);
+    if (recent.size() > window) {
+      recent.erase(recent.begin());
+    }
     result.allocation.push_back(target);
     result.steps.push_back(stats);
   }
 
-  // Aggregate outcomes.
-  std::vector<double> realized(
-      series.values.begin() + static_cast<long>(eval_start),
-      series.values.begin() + static_cast<long>(eval_start + num_steps));
+  // Aggregate outcomes. Under workload-spike faults the realized demand is
+  // what the cluster actually saw (stats.workload), so provisioning rates
+  // report performance against the faulted workload.
+  std::vector<double> realized;
+  realized.reserve(num_steps);
+  for (const simdb::StepStats& s : result.steps) {
+    realized.push_back(s.workload);
+  }
   ScalingConfig config = manager.config();
   const ProvisioningReport provisioning =
       EvaluateAllocation(realized, result.allocation, config);

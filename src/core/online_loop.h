@@ -6,9 +6,28 @@
 #include "common/result.h"
 #include "core/manager.h"
 #include "simdb/cluster.h"
+#include "simdb/faults.h"
 #include "ts/time_series.h"
 
 namespace rpas::core {
+
+/// Graceful-degradation policy for forecaster/planner faults inside the
+/// online loop (paper §IV-C robustness story, generalized): a faulted
+/// planning round is retried a bounded number of times; if the fault
+/// outlasts the retries the loop falls back to a conservative reactive
+/// plan derived from the last known-good allocation and recently observed
+/// workload, and re-attempts a fresh forecast a few steps later. The loop
+/// never aborts because of an injected fault.
+struct DegradationPolicy {
+  /// Failed planning attempts absorbed per round before falling back.
+  int max_retries = 2;
+  /// Steps a fallback plan covers before the next planning attempt.
+  size_t fallback_plan_steps = 6;
+  /// Trailing observed-workload window feeding the reactive fallback.
+  size_t reactive_window = 6;
+  /// Head-room multiplier on the observed peak while running blind.
+  double reactive_safety_margin = 1.2;
+};
 
 /// Configuration of the online auto-scaling loop.
 struct OnlineLoopOptions {
@@ -17,6 +36,11 @@ struct OnlineLoopOptions {
   /// Cluster simulator configuration (node capacity should equal the
   /// scaling config's theta so the simulator's threshold semantics match).
   simdb::Cluster::Options cluster;
+  /// Deterministic fault schedule. The default (all-zero) plan is inert:
+  /// the loop byte-for-byte reproduces its fault-free behavior.
+  simdb::FaultPlan faults;
+  /// Recovery behavior under forecaster/planner faults.
+  DegradationPolicy degradation;
 };
 
 /// Outcome of an online run.
@@ -34,10 +58,26 @@ struct OnlineLoopResult {
   int64_t total_node_steps = 0;
   int scale_events = 0;
   int direction_changes = 0;
-  /// Number of forecasting/planning rounds executed.
+  /// Number of forecasting/planning rounds executed (including degraded
+  /// rounds served by a stale or fallback plan).
   size_t plans_made = 0;
-  /// Mean per-step forecast uncertainty U across all plans.
+  /// Mean per-step forecast uncertainty U across all successful plans.
   double mean_uncertainty = 0.0;
+
+  /// Per-step fault/recovery event log (empty without a fault plan).
+  std::vector<simdb::FaultEvent> fault_events;
+  /// Planning rounds hit by a forecaster fault (timeout or NaN).
+  size_t forecaster_faults = 0;
+  /// Rounds recovered via bounded retry.
+  size_t retried_plans = 0;
+  /// Rounds degraded to a reactive / last-known-good fallback plan.
+  size_t fallback_plans = 0;
+  /// Rounds served a stale (cached previous) forecast.
+  size_t stale_plans = 0;
+  /// Steps with at least one active injected fault.
+  size_t faulted_steps = 0;
+  /// Steps executed under a fallback plan (degraded operation).
+  size_t degraded_steps = 0;
 };
 
 /// Runs the full deployment loop of paper Fig. 2 *online*: at every
@@ -46,8 +86,14 @@ struct OnlineLoopResult {
 /// cluster simulator step by step while realized workload arrives. This is
 /// the closed-loop counterpart of the open-loop evaluators in evaluator.h.
 ///
-/// `series` must contain at least `eval_start + num_steps` observations and
-/// `eval_start` must leave enough history for the forecaster's context.
+/// Validated up front: `series` must contain at least
+/// `eval_start + num_steps` observations and `eval_start` must leave at
+/// least the forecaster's context length of history; violations return
+/// InvalidArgument before any simulation work.
+///
+/// When `options.faults` is non-zero, scheduled faults are injected into
+/// actuation, the cluster, and the planning path; every fault and the
+/// recovery action taken is appended to `OnlineLoopResult::fault_events`.
 Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
                                        const ts::TimeSeries& series,
                                        size_t eval_start, size_t num_steps,

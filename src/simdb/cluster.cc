@@ -25,18 +25,35 @@ void Cluster::InjectNodeFailures(int count) {
   }
 }
 
-StepStats Cluster::Step(int target_nodes, double workload) {
+StepStats Cluster::Step(int target_nodes, double workload,
+                        const StepFaults& faults) {
   target_nodes =
       std::clamp(target_nodes, options_.min_nodes, options_.max_nodes);
+  workload *= faults.workload_multiplier;
   StepStats stats;
   stats.step = step_;
   stats.target_nodes = target_nodes;
   stats.workload = workload;
+  stats.spike_multiplier = faults.workload_multiplier;
 
   const int current = static_cast<int>(nodes_.size());
   if (target_nodes > current) {
-    stats.nodes_added = target_nodes - current;
-    for (int i = 0; i < stats.nodes_added; ++i) {
+    const int requested = target_nodes - current;
+    int granted = requested;
+    if (faults.actuation_delayed) {
+      // Actuation outage: no new capacity arrives this step. The
+      // autoscaler keeps re-requesting, so the nodes appear once the
+      // outage clears.
+      granted = 0;
+      stats.nodes_delayed = requested;
+    } else if (faults.partial_fraction < 1.0) {
+      granted = static_cast<int>(
+          std::floor(static_cast<double>(requested) *
+                     std::clamp(faults.partial_fraction, 0.0, 1.0)));
+      stats.nodes_denied = requested - granted;
+    }
+    stats.nodes_added = granted;
+    for (int i = 0; i < granted; ++i) {
       Node node;
       node.warmup_remaining_seconds =
           options_.warmup.WarmupSeconds(options_.checkpoint_gb, &rng_);
@@ -55,6 +72,15 @@ StepStats Cluster::Step(int target_nodes, double workload) {
       ++total_direction_changes_;
     }
     last_direction_ = direction;
+  }
+
+  // Scheduled transient crashes (FaultPlan): youngest nodes first, never
+  // below one survivor. Independent of the cluster's own RNG stream so a
+  // fault schedule does not perturb warm-up jitter draws.
+  for (int i = 0; i < faults.crash_nodes && nodes_.size() > 1; ++i) {
+    nodes_.pop_back();
+    ++stats.nodes_failed;
+    ++total_failures_;
   }
 
   // Failure injection: each node may crash this step, losing its capacity;

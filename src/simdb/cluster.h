@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "simdb/faults.h"
 #include "simdb/warmup.h"
 
 namespace rpas::simdb {
@@ -24,6 +25,9 @@ struct StepStats {
   int nodes_added = 0;
   int nodes_removed = 0;
   int nodes_failed = 0;  ///< involuntary losses this step (crash injection)
+  int nodes_delayed = 0; ///< requested adds suppressed by an actuation fault
+  int nodes_denied = 0;  ///< requested adds lost to a partial scale-out
+  double spike_multiplier = 1.0;  ///< workload fault applied this step
 };
 
 /// Storage-disaggregated database cluster simulator (paper Fig. 4): a pool
@@ -59,7 +63,16 @@ class Cluster {
   /// Sets the target node count for the coming step (the auto-scaling
   /// decision), provisioning warm-ups / removals, then processes
   /// `workload` for one step and returns the observation.
-  StepStats Step(int target_nodes, double workload);
+  StepStats Step(int target_nodes, double workload) {
+    return Step(target_nodes, workload, StepFaults{});
+  }
+
+  /// Step with injected faults: `faults` may defer or partially grant the
+  /// scale-out actuation, crash running nodes, or multiply the realized
+  /// workload. A default-constructed StepFaults makes this identical to the
+  /// two-argument overload (same RNG consumption, same observation).
+  StepStats Step(int target_nodes, double workload,
+                 const StepFaults& faults);
 
   /// Current node count (including warming nodes).
   int NumNodes() const { return static_cast<int>(nodes_.size()); }

@@ -1,0 +1,144 @@
+#include "simdb/faults.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rpas::simdb {
+namespace {
+
+// Per-fault-type stream salts; distinct constants keep the Bernoulli
+// schedules of different fault types independent of each other.
+constexpr uint64_t kDelaySalt = 0xD1;
+constexpr uint64_t kPartialSalt = 0xD2;
+constexpr uint64_t kCrashSalt = 0xD3;
+constexpr uint64_t kSpikeSalt = 0xD4;
+constexpr uint64_t kTimeoutSalt = 0xD5;
+constexpr uint64_t kNanSalt = 0xD6;
+constexpr uint64_t kStaleSalt = 0xD7;
+
+}  // namespace
+
+std::string_view FaultTypeToString(FaultType type) {
+  switch (type) {
+    case FaultType::kActuationDelay:
+      return "ActuationDelay";
+    case FaultType::kPartialScaleOut:
+      return "PartialScaleOut";
+    case FaultType::kNodeCrash:
+      return "NodeCrash";
+    case FaultType::kWorkloadSpike:
+      return "WorkloadSpike";
+    case FaultType::kForecasterTimeout:
+      return "ForecasterTimeout";
+    case FaultType::kForecasterNan:
+      return "ForecasterNan";
+    case FaultType::kStaleForecast:
+      return "StaleForecast";
+    case FaultType::kPlannerError:
+      return "PlannerError";
+  }
+  return "Unknown";
+}
+
+std::string_view FaultActionToString(FaultAction action) {
+  switch (action) {
+    case FaultAction::kNone:
+      return "None";
+    case FaultAction::kRetrySucceeded:
+      return "RetrySucceeded";
+    case FaultAction::kFallbackLastGood:
+      return "FallbackLastGood";
+    case FaultAction::kFallbackReactive:
+      return "FallbackReactive";
+  }
+  return "Unknown";
+}
+
+bool FaultPlan::Any() const {
+  return actuation_delay_rate > 0.0 || partial_scaleout_rate > 0.0 ||
+         crash_rate > 0.0 || spike_rate > 0.0 ||
+         forecaster_timeout_rate > 0.0 || forecaster_nan_rate > 0.0 ||
+         stale_forecast_rate > 0.0;
+}
+
+FaultPlan FaultPlan::Uniform(double rate, uint64_t seed) {
+  FaultPlan plan;
+  plan.actuation_delay_rate = rate;
+  plan.partial_scaleout_rate = rate;
+  plan.crash_rate = rate;
+  plan.spike_rate = rate;
+  plan.forecaster_timeout_rate = rate;
+  plan.forecaster_nan_rate = rate;
+  plan.stale_forecast_rate = rate;
+  plan.seed = seed;
+  return plan;
+}
+
+bool StepFaults::Any() const {
+  return actuation_delayed || partial_fraction < 1.0 || crash_nodes > 0 ||
+         workload_multiplier != 1.0 || forecaster_timeout_attempts > 0 ||
+         forecaster_nan || stale_forecast;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan) {
+  RPAS_CHECK(plan_.actuation_delay_steps >= 1);
+  RPAS_CHECK(plan_.partial_fraction >= 0.0 && plan_.partial_fraction <= 1.0);
+  RPAS_CHECK(plan_.crash_nodes >= 0);
+  RPAS_CHECK(plan_.spike_multiplier > 0.0);
+  RPAS_CHECK(plan_.forecaster_timeout_attempts >= 1);
+  for (double rate :
+       {plan_.actuation_delay_rate, plan_.partial_scaleout_rate,
+        plan_.crash_rate, plan_.spike_rate, plan_.forecaster_timeout_rate,
+        plan_.forecaster_nan_rate, plan_.stale_forecast_rate}) {
+    RPAS_CHECK(rate >= 0.0 && rate <= 1.0) << "fault rate outside [0,1]";
+  }
+}
+
+bool FaultInjector::Fires(uint64_t salt, size_t step, double rate) const {
+  if (rate <= 0.0) {
+    return false;
+  }
+  // One fresh generator per (type, step): purity is structural, not a
+  // matter of careful draw ordering.
+  Rng rng(DeriveSeed(DeriveSeed(plan_.seed, salt), step));
+  return rng.Bernoulli(rate);
+}
+
+StepFaults FaultInjector::FaultsForStep(size_t step) const {
+  StepFaults faults;
+  // A delay firing at step s suppresses scale-out for the next
+  // actuation_delay_steps steps; step is affected if any of the previous
+  // k steps (including itself) fired.
+  for (int back = 0; back < plan_.actuation_delay_steps; ++back) {
+    if (step < static_cast<size_t>(back)) {
+      break;
+    }
+    if (Fires(kDelaySalt, step - static_cast<size_t>(back),
+              plan_.actuation_delay_rate)) {
+      faults.actuation_delayed = true;
+      break;
+    }
+  }
+  if (Fires(kPartialSalt, step, plan_.partial_scaleout_rate)) {
+    faults.partial_fraction = plan_.partial_fraction;
+  }
+  if (Fires(kCrashSalt, step, plan_.crash_rate)) {
+    faults.crash_nodes = plan_.crash_nodes;
+  }
+  if (Fires(kSpikeSalt, step, plan_.spike_rate)) {
+    faults.workload_multiplier = plan_.spike_multiplier;
+  }
+  if (Fires(kTimeoutSalt, step, plan_.forecaster_timeout_rate)) {
+    faults.forecaster_timeout_attempts = plan_.forecaster_timeout_attempts;
+  }
+  if (Fires(kNanSalt, step, plan_.forecaster_nan_rate)) {
+    faults.forecaster_nan = true;
+  }
+  if (Fires(kStaleSalt, step, plan_.stale_forecast_rate)) {
+    faults.stale_forecast = true;
+  }
+  return faults;
+}
+
+}  // namespace rpas::simdb

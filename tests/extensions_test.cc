@@ -357,12 +357,35 @@ TEST_F(OnlineLoopFixture, EmptyPlanIsInternalErrorNotUb) {
 }
 
 TEST_F(OnlineLoopFixture, RejectsBadRanges) {
-  EXPECT_FALSE(
-      core::RunOnlineLoop(*manager_, series_, 6 * kDay, 0, LoopOptions())
-          .ok());
-  EXPECT_FALSE(core::RunOnlineLoop(*manager_, series_, series_.size(), 10,
-                                   LoopOptions())
-                   .ok());
+  auto empty =
+      core::RunOnlineLoop(*manager_, series_, 6 * kDay, 0, LoopOptions());
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+  auto past_end = core::RunOnlineLoop(*manager_, series_, series_.size(), 10,
+                                      LoopOptions());
+  ASSERT_FALSE(past_end.ok());
+  EXPECT_EQ(past_end.status().code(), StatusCode::kInvalidArgument);
+  // Off-by-one boundaries: one step past the end fails up front, the exact
+  // end is accepted.
+  auto one_past = core::RunOnlineLoop(*manager_, series_,
+                                      series_.size() - kDay, kDay + 1,
+                                      LoopOptions());
+  ASSERT_FALSE(one_past.ok());
+  EXPECT_EQ(one_past.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(core::RunOnlineLoop(*manager_, series_, series_.size() - kDay,
+                                  kDay, LoopOptions())
+                  .ok());
+}
+
+TEST_F(OnlineLoopFixture, RejectsEvalStartInsideForecasterContext) {
+  // eval_start must leave at least context_length points of history; the
+  // loop reports this up front instead of failing on the first PlanNext.
+  ASSERT_GT(manager_->ContextLength(), 0u);
+  auto result = core::RunOnlineLoop(*manager_, series_,
+                                    manager_->ContextLength() - 1, 10,
+                                    LoopOptions());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
 // ----------------------------------------------------------- MultiResource ---

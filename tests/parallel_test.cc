@@ -9,6 +9,7 @@
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <vector>
@@ -16,8 +17,13 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "core/manager.h"
+#include "core/online_loop.h"
+#include "core/strategies.h"
 #include "forecast/backtest.h"
 #include "forecast/mlp.h"
+#include "forecast/seasonal_naive.h"
+#include "simdb/faults.h"
 #include "tensor/matrix.h"
 #include "tensor/ops.h"
 #include "trace/generator.h"
@@ -234,6 +240,73 @@ TEST(DeterminismTest, BacktestSerialEqualsParallelBitwise) {
   EXPECT_EQ(serial->mean_wql.stddev, parallel->mean_wql.stddev);
   EXPECT_EQ(serial->mse.mean, parallel->mse.mean);
   EXPECT_EQ(serial->mae.mean, parallel->mae.mean);
+}
+
+TEST(DeterminismTest, FaultedOnlineLoopBitIdenticalAcrossThreadCounts) {
+  // The fault schedule is a pure function of (plan.seed, step), so a fixed
+  // FaultPlan must drive the online loop to bit-identical outputs whether
+  // the process-wide pool runs 1 thread or 4.
+  ThreadOverrideGuard guard;
+  constexpr size_t kDay = 144;
+  trace::SyntheticTraceGenerator gen(trace::AlibabaProfile(), 31);
+  const ts::TimeSeries series = gen.GenerateCpu(8 * kDay);
+
+  forecast::SeasonalNaiveForecaster::Options options;
+  options.context_length = kDay;
+  options.horizon = 36;
+  options.season = kDay;
+  forecast::SeasonalNaiveForecaster model(options);
+  ASSERT_TRUE(model.Fit(series.Slice(0, 6 * kDay)).ok());
+  core::ScalingConfig config;
+  config.theta = 2.0;
+  config.min_nodes = 1;
+  core::RobustAutoScalingManager manager(
+      &model, std::make_unique<core::RobustQuantileAllocator>(0.9), config);
+
+  core::OnlineLoopOptions loop;
+  loop.cluster.node_capacity = config.theta;
+  loop.cluster.utilization_threshold = 1.0;
+  loop.cluster.initial_nodes = 5;
+  loop.faults = simdb::FaultPlan::Uniform(0.15, 2024);
+
+  SetRpasThreads(1);
+  auto serial = core::RunOnlineLoop(manager, series, 6 * kDay, kDay, loop);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  SetRpasThreads(4);
+  auto parallel = core::RunOnlineLoop(manager, series, 6 * kDay, kDay, loop);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  EXPECT_EQ(serial->allocation, parallel->allocation);
+  ASSERT_EQ(serial->steps.size(), parallel->steps.size());
+  for (size_t i = 0; i < serial->steps.size(); ++i) {
+    ASSERT_EQ(serial->steps[i].workload, parallel->steps[i].workload)
+        << "step " << i;
+    ASSERT_EQ(serial->steps[i].effective_nodes,
+              parallel->steps[i].effective_nodes)
+        << "step " << i;
+    ASSERT_EQ(serial->steps[i].avg_utilization,
+              parallel->steps[i].avg_utilization)
+        << "step " << i;
+    ASSERT_EQ(serial->steps[i].nodes_failed, parallel->steps[i].nodes_failed)
+        << "step " << i;
+  }
+  ASSERT_EQ(serial->fault_events.size(), parallel->fault_events.size());
+  for (size_t i = 0; i < serial->fault_events.size(); ++i) {
+    EXPECT_EQ(serial->fault_events[i].step, parallel->fault_events[i].step);
+    EXPECT_EQ(serial->fault_events[i].type, parallel->fault_events[i].type);
+    EXPECT_EQ(serial->fault_events[i].action,
+              parallel->fault_events[i].action);
+    EXPECT_EQ(serial->fault_events[i].magnitude,
+              parallel->fault_events[i].magnitude);
+  }
+  EXPECT_EQ(serial->fallback_plans, parallel->fallback_plans);
+  EXPECT_EQ(serial->retried_plans, parallel->retried_plans);
+  EXPECT_EQ(serial->stale_plans, parallel->stale_plans);
+  EXPECT_EQ(serial->faulted_steps, parallel->faulted_steps);
+  EXPECT_EQ(serial->slo_violation_rate, parallel->slo_violation_rate);
+  EXPECT_EQ(serial->mean_utilization, parallel->mean_utilization);
+  EXPECT_EQ(serial->total_node_steps, parallel->total_node_steps);
 }
 
 TEST(DeterminismTest, BacktestFoldSeedsAreIndependent) {

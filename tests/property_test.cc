@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "core/manager.h"
+#include "dist/empirical.h"
 #include "core/strategies.h"
 #include "core/uncertainty.h"
 #include "simdb/warmup.h"
@@ -210,6 +211,54 @@ TEST_P(SeededProperty, SimplexSolutionFeasibleOnRandomCoveringPrograms) {
   }
   for (double x : solution->x) {
     EXPECT_GE(x, -1e-9);
+  }
+}
+
+TEST_P(SeededProperty, EmpiricalQuantileMonotoneInQ) {
+  Rng rng(GetParam() ^ 0xE0);
+  const size_t n = 20 + rng.UniformInt(200);
+  std::vector<double> samples(n);
+  for (double& v : samples) {
+    // Mix a continuous part with rounding so duplicates occur too.
+    v = rng.Bernoulli(0.3) ? std::round(rng.Normal(0.0, 2.0))
+                           : rng.Normal(0.0, 2.0);
+  }
+  dist::Empirical e(std::move(samples));
+  double prev = e.Quantile(0.001);
+  for (double q = 0.01; q < 1.0; q += 0.01) {
+    const double v = e.Quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST_P(SeededProperty, EmpiricalCdfQuantileRoundTrip) {
+  // The step ECDF evaluated at the interpolated (type-7) quantile can fall
+  // below q by at most one sample's probability mass — and is exact (>= q)
+  // whenever q sits on the interpolation grid k/(n-1).
+  Rng rng(GetParam() ^ 0xE1);
+  const size_t n = 10 + rng.UniformInt(150);
+  std::vector<double> samples(n);
+  for (double& v : samples) {
+    v = rng.Bernoulli(0.25) ? std::round(rng.Uniform(-3.0, 3.0))
+                            : rng.Normal(1.0, 4.0);
+  }
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  dist::Empirical e(std::move(samples));
+  const double nd = static_cast<double>(n);
+  for (int i = 0; i < 50; ++i) {
+    const double q = rng.Uniform(0.001, 0.999);
+    EXPECT_GE(e.Cdf(e.Quantile(q)) + 1.0 / nd, q) << "q=" << q;
+  }
+  // On the interpolation grid q = k/(n-1) the type-7 quantile is the k-th
+  // order statistic, where the ECDF covers at least (k+1)/n > q.  (Evaluating
+  // Cdf at Quantile(q) directly can shed one sample's mass when q*(n-1)
+  // rounds a hair below k.)
+  for (size_t k = 1; k + 1 < n; ++k) {
+    const double q = static_cast<double>(k) / (nd - 1.0);
+    EXPECT_NEAR(e.Quantile(q), sorted[k], 1e-9) << "grid q=" << q;
+    EXPECT_GE(e.Cdf(sorted[k]), q) << "grid q=" << q;
   }
 }
 

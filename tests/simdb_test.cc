@@ -52,6 +52,112 @@ TEST(WarmupTest, JitterBounded) {
   }
 }
 
+TEST(WarmupTest, ZeroLengthWarmupIsLegalAndInstant) {
+  WarmupModel model;
+  model.base_latency_seconds = 0.0;
+  model.replay_gbps = 2.0;
+  model.jitter_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(model.WarmupSeconds(0.0, nullptr), 0.0);
+  // Jitter on a zero nominal stays zero (multiplicative).
+  model.jitter_fraction = 0.5;
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(model.WarmupSeconds(0.0, &rng), 0.0);
+}
+
+TEST(WarmupTest, ZeroWarmupNodesContributeFullCapacityImmediately) {
+  Cluster::Options options;
+  options.step_seconds = 600.0;
+  options.node_capacity = 1.0;
+  options.checkpoint_gb = 0.0;
+  options.warmup.base_latency_seconds = 0.0;
+  options.warmup.jitter_fraction = 0.0;
+  Cluster cluster(options);
+  StepStats stats = cluster.Step(4, 2.0);
+  EXPECT_EQ(stats.nodes_added, 3);
+  EXPECT_EQ(stats.active_nodes, 4);
+  EXPECT_DOUBLE_EQ(stats.effective_nodes, 4.0);
+}
+
+TEST(WarmupTest, WarmupLongerThanStepSpansMultipleSteps) {
+  // Warm-up of 1500 s against 600 s steps: a joining node contributes
+  // nothing for two full steps, half a node on the third, full capacity on
+  // the fourth.
+  Cluster::Options options;
+  options.step_seconds = 600.0;
+  options.node_capacity = 1.0;
+  options.checkpoint_gb = 0.0;
+  options.warmup.base_latency_seconds = 1500.0;
+  options.warmup.jitter_fraction = 0.0;
+  Cluster cluster(options);
+  StepStats s1 = cluster.Step(2, 0.5);  // one old + one warming node
+  EXPECT_DOUBLE_EQ(s1.effective_nodes, 1.0);
+  EXPECT_EQ(s1.active_nodes, 1);
+  StepStats s2 = cluster.Step(2, 0.5);
+  EXPECT_DOUBLE_EQ(s2.effective_nodes, 1.0);
+  StepStats s3 = cluster.Step(2, 0.5);  // 300 s of warm-up remain
+  EXPECT_DOUBLE_EQ(s3.effective_nodes, 1.5);
+  EXPECT_EQ(s3.active_nodes, 1);
+  StepStats s4 = cluster.Step(2, 0.5);
+  EXPECT_DOUBLE_EQ(s4.effective_nodes, 2.0);
+  EXPECT_EQ(s4.active_nodes, 2);
+}
+
+TEST(WarmupTest, WarmupLongerThanRunNeverActivates) {
+  Cluster::Options options;
+  options.step_seconds = 600.0;
+  options.checkpoint_gb = 0.0;
+  options.warmup.base_latency_seconds = 1e6;  // outlasts any short run
+  options.warmup.jitter_fraction = 0.0;
+  Cluster cluster(options);
+  for (int i = 0; i < 5; ++i) {
+    StepStats stats = cluster.Step(3, 0.5);
+    EXPECT_EQ(stats.active_nodes, 1) << "step " << i;
+    EXPECT_DOUBLE_EQ(stats.effective_nodes, 1.0) << "step " << i;
+  }
+}
+
+TEST(WarmupTest, ScaleInDuringWarmupRemovesWarmingNodesFirst) {
+  // Scale out to 3 with a multi-step warm-up, then scale in to 2 while the
+  // two new nodes are still warming: the youngest (warming) node goes
+  // first, and the survivor's fractional capacity accounting continues
+  // where it left off.
+  Cluster::Options options;
+  options.step_seconds = 600.0;
+  options.checkpoint_gb = 0.0;
+  options.warmup.base_latency_seconds = 900.0;  // 1.5 steps
+  options.warmup.jitter_fraction = 0.0;
+  Cluster cluster(options);
+  StepStats s1 = cluster.Step(3, 0.5);
+  EXPECT_EQ(s1.nodes_added, 2);
+  // Both new nodes contribute 0 this step (900 > 600).
+  EXPECT_DOUBLE_EQ(s1.effective_nodes, 1.0);
+  StepStats s2 = cluster.Step(2, 0.5);
+  EXPECT_EQ(s2.nodes_removed, 1);
+  EXPECT_EQ(cluster.NumNodes(), 2);
+  // Survivor has 300 s of warm-up left: contributes 1 - 300/600 = 0.5.
+  EXPECT_DOUBLE_EQ(s2.effective_nodes, 1.5);
+  EXPECT_EQ(s2.active_nodes, 1);
+  StepStats s3 = cluster.Step(2, 0.5);
+  EXPECT_DOUBLE_EQ(s3.effective_nodes, 2.0);
+  EXPECT_EQ(s3.active_nodes, 2);
+}
+
+TEST(WarmupTest, ScaleInToOneDuringWarmupKeepsOldestNode) {
+  Cluster::Options options;
+  options.step_seconds = 600.0;
+  options.checkpoint_gb = 0.0;
+  options.warmup.base_latency_seconds = 1200.0;
+  options.warmup.jitter_fraction = 0.0;
+  Cluster cluster(options);
+  cluster.Step(4, 0.5);
+  StepStats stats = cluster.Step(1, 0.5);
+  EXPECT_EQ(stats.nodes_removed, 3);
+  EXPECT_EQ(cluster.NumNodes(), 1);
+  // The surviving node is the original, fully-warm one.
+  EXPECT_EQ(stats.active_nodes, 1);
+  EXPECT_DOUBLE_EQ(stats.effective_nodes, 1.0);
+}
+
 TEST(WarmupTest, ScaleOutIsSecondsNotMinutes) {
   // The paper's Fig. 5 claim: rebuilding in-memory components takes a few
   // seconds, negligible vs a 10-minute decision interval.
