@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <utility>
 
 #include "common/parallel.h"
+#include "common/stopwatch.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace rpas::bench {
 
@@ -27,9 +31,59 @@ BenchOptions ParseArgs(int argc, char** argv) {
     } else if (StartsWith(argv[i], "--seed=")) {
       options.seed = static_cast<uint64_t>(
           std::strtoull(argv[i] + 7, nullptr, 10));
+    } else if (StartsWith(argv[i], "--metrics-out=")) {
+      options.metrics_out = argv[i] + std::strlen("--metrics-out=");
     }
   }
   return options;
+}
+
+void EnableMetricsIfRequested(const BenchOptions& options) {
+  if (options.metrics_out.empty()) {
+    return;
+  }
+  obs::MetricsRegistry::Global().SetEnabled(true);
+  obs::TraceBuffer::Global().SetEnabled(true);
+}
+
+void WriteRunArtifacts(const BenchOptions& options,
+                       std::vector<obs::ScalingDecision> decisions) {
+  if (options.metrics_out.empty()) {
+    return;
+  }
+  obs::RunExport run_export(&obs::MetricsRegistry::Global(),
+                            &obs::TraceBuffer::Global(),
+                            std::move(decisions));
+  std::string csv_path = options.metrics_out;
+  const size_t dot = csv_path.find_last_of('.');
+  const size_t slash = csv_path.find_last_of('/');
+  if (dot != std::string::npos &&
+      (slash == std::string::npos || dot > slash)) {
+    csv_path.resize(dot);
+  }
+  csv_path += ".csv";
+  const Status jsonl = run_export.WriteJsonl(options.metrics_out);
+  const Status csv = run_export.WriteCsv(csv_path);
+  if (!jsonl.ok() || !csv.ok()) {
+    std::fprintf(stderr, "metrics export failed: %s\n",
+                 (!jsonl.ok() ? jsonl : csv).ToString().c_str());
+    return;
+  }
+  std::printf("metrics export: %s (+ %s)\n", options.metrics_out.c_str(),
+              csv_path.c_str());
+}
+
+double TimedMillis(const char* span_name, int reps,
+                   const std::function<void()>& fn) {
+  if (reps <= 0) {
+    return 0.0;
+  }
+  obs::Span span(span_name, reps);
+  Stopwatch watch;
+  for (int r = 0; r < reps; ++r) {
+    fn();
+  }
+  return watch.ElapsedMillis() / static_cast<double>(reps);
 }
 
 Dataset MakeDataset(const trace::TraceProfile& profile, uint64_t seed) {

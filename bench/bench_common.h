@@ -13,6 +13,7 @@
 #include "forecast/mlp.h"
 #include "forecast/qb5000.h"
 #include "forecast/tft.h"
+#include "obs/export.h"
 #include "trace/generator.h"
 #include "ts/time_series.h"
 
@@ -31,13 +32,35 @@ std::vector<double> ScalingLevels();
 
 /// Run-mode knobs shared by every bench binary. `--quick` shrinks training
 /// budgets for smoke runs; `--csv` emits machine-readable rows after the
-/// human-readable table.
+/// human-readable table; `--metrics-out=PATH` enables the global metrics
+/// registry + trace buffer for the run and writes a structured JSONL
+/// export to PATH (plus a flat CSV next to it) at exit.
 struct BenchOptions {
   bool quick = false;
   bool csv = false;
   uint64_t seed = 2024;
+  std::string metrics_out;
 };
 BenchOptions ParseArgs(int argc, char** argv);
+
+/// Turns on the global obs::MetricsRegistry and obs::TraceBuffer when
+/// `--metrics-out` was given (equivalent to running with RPAS_METRICS=1).
+/// Call once, before any instrumented work.
+void EnableMetricsIfRequested(const BenchOptions& options);
+
+/// Writes the run export (global registry + trace snapshot + `decisions`)
+/// as JSONL to `options.metrics_out` and as CSV to the same path with a
+/// ".csv" extension. No-op when `--metrics-out` was not given. Logs and
+/// continues on I/O failure — telemetry must never fail a bench.
+void WriteRunArtifacts(const BenchOptions& options,
+                       std::vector<obs::ScalingDecision> decisions = {});
+
+/// Times `reps` invocations of `fn` under an obs::Span named `span_name`
+/// and returns the mean wall-clock milliseconds per invocation. The single
+/// timing idiom for the bench binaries (common::Stopwatch underneath), so
+/// hand-rolled Stopwatch loops and span instrumentation cannot drift apart.
+double TimedMillis(const char* span_name, int reps,
+                   const std::function<void()>& fn);
 
 /// One benchmark dataset: the full trace plus its train/test split
 /// (test = last `test_days` days).

@@ -9,15 +9,19 @@
 // robustness under injected faults, not forecast accuracy, and the cheap
 // forecaster keeps the 16-cell grid fast enough for CI-adjacent runs.
 #include <cstdio>
+#include <iterator>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "common/logging.h"
+#include "common/strings.h"
 #include "core/manager.h"
 #include "core/online_loop.h"
 #include "core/strategies.h"
 #include "forecast/seasonal_naive.h"
+#include "obs/metrics.h"
 #include "simdb/faults.h"
 
 namespace rpas::bench {
@@ -137,12 +141,30 @@ void RunFaultRobustness(const BenchOptions& options) {
       "and adaptive strategies hold lower under_rate than Point at every\n"
       "fault rate because their head-room also absorbs actuation delays and\n"
       "crash-induced capacity dips.\n");
+
+  if (!options.metrics_out.empty()) {
+    // Per-step decision records, one labeled run per grid cell.
+    std::vector<obs::ScalingDecision> decisions;
+    for (const CellResult& r : results) {
+      const std::string label =
+          StrFormat("%s@%s", r.strategy.c_str(), Num(r.fault_rate, 3).c_str());
+      std::vector<obs::ScalingDecision> cell =
+          core::CollectDecisions(r.loop, label);
+      decisions.insert(decisions.end(),
+                       std::make_move_iterator(cell.begin()),
+                       std::make_move_iterator(cell.end()));
+    }
+    obs::RecordPoolStats();
+    WriteRunArtifacts(options, std::move(decisions));
+  }
 }
 
 }  // namespace
 }  // namespace rpas::bench
 
 int main(int argc, char** argv) {
-  rpas::bench::RunFaultRobustness(rpas::bench::ParseArgs(argc, argv));
+  rpas::bench::BenchOptions options = rpas::bench::ParseArgs(argc, argv);
+  rpas::bench::EnableMetricsIfRequested(options);
+  rpas::bench::RunFaultRobustness(options);
   return 0;
 }

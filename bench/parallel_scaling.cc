@@ -12,7 +12,6 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/rng.h"
-#include "common/stopwatch.h"
 #include "forecast/backtest.h"
 #include "forecast/mlp.h"
 #include "tensor/matrix.h"
@@ -61,19 +60,13 @@ void RunParallelScaling(const BenchOptions& options) {
 
     SetRpasThreads(1);
     tensor::Matrix serial = MatMul(a, b);  // warm-up + reference
-    Stopwatch sw;
-    for (int r = 0; r < reps; ++r) {
-      serial = MatMul(a, b);
-    }
-    const double serial_ms = sw.ElapsedMillis() / reps;
+    const double serial_ms =
+        TimedMillis("bench.gemm.serial", reps, [&] { serial = MatMul(a, b); });
 
     SetRpasThreads(kParallelThreads);
     tensor::Matrix parallel = MatMul(a, b);  // warm-up (spawns the pool)
-    sw.Reset();
-    for (int r = 0; r < reps; ++r) {
-      parallel = MatMul(a, b);
-    }
-    const double parallel_ms = sw.ElapsedMillis() / reps;
+    const double parallel_ms = TimedMillis(
+        "bench.gemm.parallel", reps, [&] { parallel = MatMul(a, b); });
     SetRpasThreads(0);
 
     table.AddRow({"gemm 512x512", Num(serial_ms), Num(parallel_ms),
@@ -108,16 +101,18 @@ void RunParallelScaling(const BenchOptions& options) {
 
     SetRpasThreads(1);
     bt.parallel = false;
-    Stopwatch sw;
-    auto serial = forecast::Backtest(factory, series, bt);
-    const double serial_ms = sw.ElapsedMillis();
+    Result<forecast::BacktestResult> serial = Status::Internal("unset");
+    const double serial_ms =
+        TimedMillis("bench.backtest.serial", 1,
+                    [&] { serial = forecast::Backtest(factory, series, bt); });
     RPAS_CHECK(serial.ok()) << serial.status().ToString();
 
     SetRpasThreads(kParallelThreads);
     bt.parallel = true;
-    sw.Reset();
-    auto parallel = forecast::Backtest(factory, series, bt);
-    const double parallel_ms = sw.ElapsedMillis();
+    Result<forecast::BacktestResult> parallel = Status::Internal("unset");
+    const double parallel_ms = TimedMillis(
+        "bench.backtest.parallel", 1,
+        [&] { parallel = forecast::Backtest(factory, series, bt); });
     SetRpasThreads(0);
     RPAS_CHECK(parallel.ok()) << parallel.status().ToString();
 

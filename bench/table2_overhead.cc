@@ -19,6 +19,7 @@
 #include "common/logging.h"
 #include "core/evaluator.h"
 #include "core/strategies.h"
+#include "obs/metrics.h"
 
 namespace rpas::bench {
 namespace {
@@ -120,6 +121,7 @@ BENCHMARK(BM_Tft)->Name("TFT")->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   rpas::bench::BenchOptions options = rpas::bench::ParseArgs(argc, argv);
+  rpas::bench::EnableMetricsIfRequested(options);
   rpas::bench::BuildSetup(options);
   ::benchmark::Initialize(&argc, argv);
   std::printf(
@@ -127,5 +129,7 @@ int main(int argc, char** argv) {
       "round per method (real_time column).\n");
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
+  rpas::obs::RecordPoolStats();
+  rpas::bench::WriteRunArtifacts(options);
   return 0;
 }

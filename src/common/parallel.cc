@@ -68,7 +68,9 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     RPAS_CHECK(!shutdown_) << "ThreadPool::Submit after shutdown";
     queue_.push_back(std::move(task));
+    max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
   }
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
   cv_.notify_one();
 }
 
@@ -103,7 +105,21 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     task();
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+ThreadPool::Stats ThreadPool::GetStats() const {
+  Stats stats;
+  stats.tasks_submitted = tasks_submitted_.load(std::memory_order_relaxed);
+  stats.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.queue_depth = queue_.size();
+    stats.max_queue_depth = max_queue_depth_;
+    stats.threads = static_cast<int>(workers_.size());
+  }
+  return stats;
 }
 
 namespace {

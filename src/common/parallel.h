@@ -1,8 +1,10 @@
 #ifndef RPAS_COMMON_PARALLEL_H_
 #define RPAS_COMMON_PARALLEL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -42,6 +44,19 @@ class ThreadPool {
 
   int num_threads() const;
 
+  /// Scheduling statistics, maintained with cheap atomics on the submit /
+  /// execute paths. These describe scheduling, not work semantics — task
+  /// counts and queue depths depend on the thread count, so observability
+  /// exports treat them as non-deterministic (see obs/metrics.h).
+  struct Stats {
+    uint64_t tasks_submitted = 0;
+    uint64_t tasks_executed = 0;
+    size_t queue_depth = 0;      ///< tasks currently waiting
+    size_t max_queue_depth = 0;  ///< high-water mark since construction
+    int threads = 0;
+  };
+  Stats GetStats() const;
+
   /// The process-wide pool used by ParallelFor. Created on first use and
   /// resized on demand to serve RpasThreads() - 1 concurrent helpers (the
   /// calling thread always participates in the work).
@@ -55,6 +70,9 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   bool shutdown_ = false;
+  std::atomic<uint64_t> tasks_submitted_{0};
+  std::atomic<uint64_t> tasks_executed_{0};
+  size_t max_queue_depth_ = 0;  // guarded by mu_
 };
 
 /// Splits [begin, end) into consecutive chunks of at most `grain`

@@ -57,6 +57,12 @@ void RobustAutoScalingManager::SetSmoother(ScalingSmoother::Options options) {
   smoother_ = std::make_unique<ScalingSmoother>(options);
 }
 
+void RobustAutoScalingManager::SetObservability(
+    obs::MetricsRegistry* metrics, obs::TraceBuffer* trace) {
+  metrics_ = metrics;
+  trace_ = trace;
+}
+
 size_t RobustAutoScalingManager::ContextLength() const {
   return forecaster_->ContextLength();
 }
@@ -79,8 +85,16 @@ Result<RobustAutoScalingManager::Plan> RobustAutoScalingManager::PlanNext(
       history.values.end() - static_cast<long>(context),
       history.values.end());
 
-  RPAS_ASSIGN_OR_RETURN(ts::QuantileForecast fc,
-                        forecaster_->Predict(input));
+  obs::MetricsRegistry* metrics = obs::ResolveRegistry(metrics_);
+  obs::TraceBuffer* trace = obs::ResolveTrace(trace_);
+  metrics->GetCounter("manager.plans")->Increment();
+  obs::Span plan_span(trace, "manager.plan");
+
+  Result<ts::QuantileForecast> predicted = [&] {
+    obs::Span forecast_span(trace, "manager.forecast");
+    return forecaster_->Predict(input);
+  }();
+  RPAS_ASSIGN_OR_RETURN(ts::QuantileForecast fc, std::move(predicted));
   // Validate before allocating: a faulted forecaster (NaN/Inf output) must
   // surface as a detectable error, not propagate garbage into node counts.
   for (size_t h = 0; h < fc.Horizon(); ++h) {
@@ -91,8 +105,11 @@ Result<RobustAutoScalingManager::Plan> RobustAutoScalingManager::PlanNext(
       }
     }
   }
-  RPAS_ASSIGN_OR_RETURN(std::vector<int> nodes,
-                        allocator_->Allocate(fc, config_));
+  Result<std::vector<int>> allocated = [&] {
+    obs::Span allocate_span(trace, "manager.allocate");
+    return allocator_->Allocate(fc, config_);
+  }();
+  RPAS_ASSIGN_OR_RETURN(std::vector<int> nodes, std::move(allocated));
   if (smoother_) {
     nodes = smoother_->Smooth(nodes, current_nodes);
   }

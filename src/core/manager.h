@@ -8,6 +8,8 @@
 #include "core/scaling_config.h"
 #include "core/strategies.h"
 #include "forecast/forecaster.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "ts/time_series.h"
 
 namespace rpas::core {
@@ -54,6 +56,13 @@ class RobustAutoScalingManager {
   /// Enables thrashing control.
   void SetSmoother(ScalingSmoother::Options options);
 
+  /// Routes planning telemetry (plan counter, "manager.forecast" /
+  /// "manager.allocate" spans) to the given sinks instead of the globals.
+  /// Either pointer may be null to keep the global for that sink. Both must
+  /// outlive the manager.
+  void SetObservability(obs::MetricsRegistry* metrics,
+                        obs::TraceBuffer* trace);
+
   /// Plans the next Horizon() steps given the observed history (must hold
   /// at least the forecaster's context length). `current_nodes` seeds the
   /// smoother when enabled. The forecast is validated before allocation: a
@@ -74,6 +83,8 @@ class RobustAutoScalingManager {
   std::unique_ptr<QuantileAllocator> allocator_;
   ScalingConfig config_;
   std::unique_ptr<ScalingSmoother> smoother_;
+  obs::MetricsRegistry* metrics_ = nullptr;  // not owned; null = global
+  obs::TraceBuffer* trace_ = nullptr;        // not owned; null = global
 };
 
 }  // namespace rpas::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 #include "common/logging.h"
 #include "core/evaluator.h"
@@ -50,6 +51,9 @@ Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
         "length");
   }
 
+  obs::TraceBuffer* trace = obs::ResolveTrace(options.trace);
+  obs::Span run_span(trace, "online.run", static_cast<int64_t>(num_steps));
+
   OnlineLoopResult result;
   result.allocation.reserve(num_steps);
   result.steps.reserve(num_steps);
@@ -86,6 +90,7 @@ Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
     if (current_plan.empty() || plan_cursor >= current_plan.size() ||
         (options.replan_every > 0 && plan_cursor >= replan)) {
       // ---- Planning round, with graceful degradation under faults. ----
+      obs::Span plan_span(trace, "online.plan", static_cast<int64_t>(i));
       plan_is_fallback = false;
       ++result.plans_made;
       const int failed_attempts =
@@ -241,7 +246,54 @@ Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
   result.mean_uncertainty =
       uncertainty_n > 0 ? uncertainty_sum / static_cast<double>(uncertainty_n)
                         : 0.0;
+
+  // Registry counters are bulk-incremented from the finished result, so
+  // they agree *exactly* with the OnlineLoopResult fields by construction
+  // (see tests/obs_test.cc) and stay deterministic across thread counts.
+  obs::MetricsRegistry* metrics = obs::ResolveRegistry(options.metrics);
+  metrics->GetCounter("online.steps")
+      ->Increment(static_cast<int64_t>(num_steps));
+  metrics->GetCounter("online.plans_made")
+      ->Increment(static_cast<int64_t>(result.plans_made));
+  metrics->GetCounter("online.forecaster_faults")
+      ->Increment(static_cast<int64_t>(result.forecaster_faults));
+  metrics->GetCounter("online.retried_plans")
+      ->Increment(static_cast<int64_t>(result.retried_plans));
+  metrics->GetCounter("online.fallback_plans")
+      ->Increment(static_cast<int64_t>(result.fallback_plans));
+  metrics->GetCounter("online.stale_plans")
+      ->Increment(static_cast<int64_t>(result.stale_plans));
+  metrics->GetCounter("online.faulted_steps")
+      ->Increment(static_cast<int64_t>(result.faulted_steps));
+  metrics->GetCounter("online.degraded_steps")
+      ->Increment(static_cast<int64_t>(result.degraded_steps));
+  metrics->GetCounter("online.fault_events")
+      ->Increment(static_cast<int64_t>(result.fault_events.size()));
   return result;
+}
+
+std::vector<obs::ScalingDecision> CollectDecisions(
+    const OnlineLoopResult& result, const std::string& run) {
+  std::unordered_set<size_t> faulted_steps;
+  for (const simdb::FaultEvent& event : result.fault_events) {
+    faulted_steps.insert(event.step);
+  }
+  std::vector<obs::ScalingDecision> decisions;
+  decisions.reserve(result.steps.size());
+  for (const simdb::StepStats& stats : result.steps) {
+    obs::ScalingDecision d;
+    d.run = run;
+    d.step = static_cast<uint64_t>(stats.step);
+    d.target_nodes = stats.target_nodes;
+    d.active_nodes = stats.active_nodes;
+    d.workload = stats.workload;
+    d.utilization = stats.avg_utilization;
+    d.under_provisioned = stats.under_provisioned;
+    d.slo_violated = stats.slo_violated;
+    d.faulted = faulted_steps.count(stats.step) > 0;
+    decisions.push_back(std::move(d));
+  }
+  return decisions;
 }
 
 }  // namespace rpas::core

@@ -1,10 +1,14 @@
 #ifndef RPAS_CORE_ONLINE_LOOP_H_
 #define RPAS_CORE_ONLINE_LOOP_H_
 
+#include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "core/manager.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "simdb/cluster.h"
 #include "simdb/faults.h"
 #include "ts/time_series.h"
@@ -41,6 +45,14 @@ struct OnlineLoopOptions {
   simdb::FaultPlan faults;
   /// Recovery behavior under forecaster/planner faults.
   DegradationPolicy degradation;
+  /// Metrics sink for the loop's `online.*` counters; null routes to
+  /// obs::MetricsRegistry::Global(). The counters are bulk-incremented from
+  /// the finished OnlineLoopResult, so registry values agree exactly with
+  /// the result fields — and, like them, are deterministic given seeds.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Trace sink for the "online.run" / "online.plan" spans; null routes to
+  /// obs::TraceBuffer::Global().
+  obs::TraceBuffer* trace = nullptr;
 };
 
 /// Outcome of an online run.
@@ -98,6 +110,13 @@ Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
                                        const ts::TimeSeries& series,
                                        size_t eval_start, size_t num_steps,
                                        const OnlineLoopOptions& options);
+
+/// Flattens a finished run into per-step obs::ScalingDecision records for
+/// the structured exporters (obs/export.h). `run` labels every record (use
+/// it to distinguish strategies or fault rates in one export). A step's
+/// `faulted` flag is true iff at least one fault event was logged for it.
+std::vector<obs::ScalingDecision> CollectDecisions(
+    const OnlineLoopResult& result, const std::string& run);
 
 }  // namespace rpas::core
 

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 
 namespace rpas::forecast {
 
@@ -49,7 +50,18 @@ Result<BacktestResult> Backtest(const SeededForecasterFactory& factory,
   std::vector<Status> statuses(options.folds, Status());
   std::vector<ts::AccuracyReport> reports(options.folds);
 
-  auto run_fold = [&](size_t fold) {
+  // Handles resolved once; per-fold updates are relaxed atomics. The fold
+  // count is a pure function of the options, so it is deterministic; the
+  // wall-clock timing histogram is not.
+  obs::MetricsRegistry* metrics = obs::ResolveRegistry(options.metrics);
+  obs::Counter* folds_counter = metrics->GetCounter("backtest.folds");
+  obs::Histogram* fold_ms = metrics->GetHistogram(
+      "backtest.fold_ms", /*bounds=*/{}, /*deterministic=*/false);
+  obs::TraceBuffer* trace = obs::ResolveTrace(options.trace);
+  obs::Span run_span(trace, "backtest",
+                     static_cast<int64_t>(options.folds));
+
+  auto fold_body = [&](size_t fold) {
     // Expanding origin: fold 0 evaluates the oldest evaluation block.
     const size_t origin =
         series.size() - (options.folds - fold) * options.fold_steps;
@@ -81,6 +93,14 @@ Result<BacktestResult> Backtest(const SeededForecasterFactory& factory,
         options.levels.empty() ? model->Levels() : options.levels;
     reports[fold] =
         ts::EvaluateForecasts(rolled->forecasts, rolled->actuals, levels);
+  };
+
+  auto run_fold = [&](size_t fold) {
+    obs::Span fold_span(trace, "backtest.fold", static_cast<int64_t>(fold));
+    Stopwatch watch;
+    fold_body(fold);
+    folds_counter->Increment();
+    fold_ms->Observe(watch.ElapsedMillis());
   };
 
   if (options.parallel) {

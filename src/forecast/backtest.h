@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "forecast/forecaster.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "ts/metrics.h"
 
 namespace rpas::forecast {
@@ -30,6 +32,12 @@ struct BacktestOptions {
   /// Base seed handed to the seeded factory (per fold, after SplitMix
   /// derivation). Ignored by the unseeded factory overload.
   uint64_t base_seed = 2024;
+  /// Metrics sink for fold counters and per-fold wall-clock timing; null
+  /// routes to obs::MetricsRegistry::Global().
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Trace sink for the "backtest" / "backtest.fold" spans; null routes to
+  /// obs::TraceBuffer::Global().
+  obs::TraceBuffer* trace = nullptr;
 };
 
 /// Mean and standard deviation of a metric across folds.

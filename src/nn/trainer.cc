@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "obs/span.h"
 
 namespace rpas::nn {
 
@@ -13,8 +14,20 @@ TrainSummary TrainLoop(
   Rng rng(config.seed);
   Adam optimizer(Adam::Options{.lr = config.lr});
 
+  // One handle lookup per training run; the per-step updates below are a
+  // few relaxed atomics (or a load + branch while metrics are disabled).
+  obs::MetricsRegistry* metrics = obs::ResolveRegistry(config.metrics);
+  obs::Counter* steps_counter = metrics->GetCounter("nn.train.steps");
+  obs::Counter* clip_counter = metrics->GetCounter("nn.train.clip_events");
+  obs::Histogram* loss_hist = metrics->GetHistogram("nn.train.loss");
+  obs::Histogram* grad_hist = metrics->GetHistogram("nn.train.grad_norm");
+  obs::Span span("nn.train", config.steps);
+
   TrainSummary summary;
   summary.best_loss = std::numeric_limits<double>::infinity();
+  if (config.record_loss) {
+    summary.loss_history.reserve(static_cast<size_t>(config.steps));
+  }
   for (Parameter* p : params) {
     p->ZeroGrad();
   }
@@ -24,15 +37,35 @@ TrainSummary TrainLoop(
     autodiff::Var loss = loss_fn(&tape, &rng);
     const double loss_value = loss.value()(0, 0);
     tape.Backward(loss);
-    ClipGradNorm(params, config.clip_norm);
+    const double grad_norm = ClipGradNorm(params, config.clip_norm);
     optimizer.Step(params);
 
     summary.final_loss = loss_value;
     summary.best_loss = std::min(summary.best_loss, loss_value);
+    summary.final_grad_norm = grad_norm;
+    const bool clipped = grad_norm > config.clip_norm;
+    if (clipped) {
+      ++summary.clip_events;
+    }
     ++summary.steps_run;
+    if (config.record_loss) {
+      summary.loss_history.push_back(loss_value);
+    }
+
+    steps_counter->Increment();
+    loss_hist->Observe(loss_value);
+    grad_hist->Observe(grad_norm);
+    if (clipped) {
+      clip_counter->Increment();
+    }
+
+    // Progress logging reads the same per-step values the metrics hooks
+    // record, so the two reporting paths cannot disagree.
     if (config.log_every > 0 && (step + 1) % config.log_every == 0) {
       RPAS_LOG(kInfo) << "train step " << (step + 1) << "/" << config.steps
-                      << " loss=" << loss_value;
+                      << " loss=" << summary.final_loss
+                      << " grad_norm=" << summary.final_grad_norm
+                      << " clipped=" << summary.clip_events;
     }
   }
   return summary;

@@ -7,6 +7,7 @@
 #include "autodiff/tape.h"
 #include "common/rng.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
 
 namespace rpas::nn {
 
@@ -17,6 +18,14 @@ struct TrainConfig {
   double clip_norm = 10.0;  ///< global gradient-norm clip
   uint64_t seed = 42;
   int log_every = 0;  ///< 0 disables progress logging
+  /// Capture the per-step loss trajectory in TrainSummary::loss_history
+  /// (off by default: a TFT run is hundreds of steps per fold and most
+  /// callers only need the summary scalars).
+  bool record_loss = false;
+  /// Metrics sink for per-step loss / grad-norm / clip-event telemetry;
+  /// null routes to obs::MetricsRegistry::Global() (a no-op unless
+  /// RPAS_METRICS or a bench's --metrics-out enabled it).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Result of a training run.
@@ -24,6 +33,12 @@ struct TrainSummary {
   double final_loss = 0.0;
   double best_loss = 0.0;
   int steps_run = 0;
+  /// Pre-clip global gradient norm of the last step.
+  double final_grad_norm = 0.0;
+  /// Steps whose gradient norm exceeded clip_norm and was rescaled.
+  int clip_events = 0;
+  /// Per-step losses; filled only when TrainConfig::record_loss is set.
+  std::vector<double> loss_history;
 };
 
 /// Generic define-by-run training loop: at each step builds a fresh tape via

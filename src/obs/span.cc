@@ -1,0 +1,130 @@
+#include "obs/span.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <utility>
+
+namespace rpas::obs {
+
+namespace {
+
+thread_local Span* tls_current_span = nullptr;
+
+uint64_t MonotonicNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool EnvTruthy(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) {
+    return false;
+  }
+  return std::strcmp(value, "") != 0 && std::strcmp(value, "0") != 0 &&
+         std::strcmp(value, "false") != 0 && std::strcmp(value, "off") != 0;
+}
+
+// Thread-index table shared by all buffers; indices are stable per
+// (buffer, thread) pair and assigned in first-use order.
+std::mutex g_thread_index_mu;
+std::map<std::pair<const TraceBuffer*, std::thread::id>, uint32_t>&
+ThreadIndexTable() {
+  static auto* table =
+      new std::map<std::pair<const TraceBuffer*, std::thread::id>, uint32_t>();
+  return *table;
+}
+
+}  // namespace
+
+TraceBuffer::TraceBuffer(size_t capacity, bool enabled)
+    : enabled_(enabled),
+      epoch_ns_(MonotonicNs()),
+      capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TraceBuffer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<TraceEvent>(events_.begin(), events_.end());
+}
+
+size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t TraceBuffer::NowNs() const { return MonotonicNs() - epoch_ns_; }
+
+uint32_t TraceBuffer::ThreadIndex() {
+  std::lock_guard<std::mutex> lock(g_thread_index_mu);
+  auto key = std::make_pair(static_cast<const TraceBuffer*>(this),
+                            std::this_thread::get_id());
+  auto [it, inserted] = ThreadIndexTable().emplace(key, 0);
+  if (inserted) {
+    std::lock_guard<std::mutex> self_lock(mu_);
+    it->second = next_thread_++;
+  }
+  return it->second;
+}
+
+TraceBuffer& TraceBuffer::Global() {
+  // Leaked: spans may be alive in static destructors.
+  static TraceBuffer* buffer =
+      new TraceBuffer(TraceBuffer::kDefaultCapacity,
+                      EnvTruthy("RPAS_METRICS"));
+  return *buffer;
+}
+
+Span::Span(TraceBuffer* buffer, const char* name, int64_t tag)
+    : buffer_(ResolveTrace(buffer)), name_(name), tag_(tag) {
+  if (!buffer_->enabled()) {
+    buffer_ = nullptr;  // disabled path: no clock, no stack
+    return;
+  }
+  start_ns_ = buffer_->NowNs();
+  id_ = buffer_->NextSpanId();
+  if (tls_current_span != nullptr &&
+      tls_current_span->buffer_ == buffer_) {
+    parent_ = tls_current_span->id_;
+    depth_ = tls_current_span->depth_ + 1;
+  }
+  prev_ = tls_current_span;
+  tls_current_span = this;
+}
+
+Span::~Span() {
+  if (buffer_ == nullptr) {
+    return;
+  }
+  tls_current_span = prev_;
+  TraceEvent event;
+  event.name = name_;
+  event.tag = tag_;
+  event.start_ns = start_ns_;
+  event.duration_ns = buffer_->NowNs() - start_ns_;
+  event.id = id_;
+  event.parent = parent_;
+  event.depth = depth_;
+  event.thread = buffer_->ThreadIndex();
+  buffer_->Record(std::move(event));
+}
+
+}  // namespace rpas::obs

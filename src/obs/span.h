@@ -1,0 +1,124 @@
+#ifndef RPAS_OBS_SPAN_H_
+#define RPAS_OBS_SPAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rpas::obs {
+
+/// One completed span: a named, monotonic-clock-timed section of work,
+/// optionally carrying a deterministic integer tag (fold index, step
+/// index, ...). `id`/`parent`/`depth` capture same-thread nesting;
+/// `thread` is a stable small index assigned per recording thread.
+///
+/// Deterministic subset: (name, tag) is a pure function of the
+/// instrumented logical operation. Everything else — times, ids, thread,
+/// depth — depends on scheduling (a span recorded on a pool worker has no
+/// same-thread parent that its serial-execution twin has), so
+/// deterministic exports emit only (name, tag); see export.h.
+struct TraceEvent {
+  std::string name;
+  int64_t tag = -1;
+  uint64_t start_ns = 0;  ///< monotonic, relative to buffer creation
+  uint64_t duration_ns = 0;
+  uint64_t id = 0;
+  uint64_t parent = 0;  ///< 0 = no same-thread enclosing span
+  uint32_t depth = 0;   ///< same-thread nesting depth (0 = root)
+  uint32_t thread = 0;
+};
+
+/// Bounded, thread-safe in-memory buffer of completed spans. When full,
+/// the newest events are dropped (and counted) rather than evicting older
+/// context — a run export should show how a run started even if it
+/// overflowed. Recording takes a mutex; spans sit on round/fold-level
+/// paths, not inner loops, so contention is negligible.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(size_t capacity = kDefaultCapacity,
+                       bool enabled = true);
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  void Record(TraceEvent event);
+
+  std::vector<TraceEvent> Snapshot() const;
+  size_t size() const;
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  void Clear();
+
+  /// Monotonic nanoseconds since this buffer was created.
+  uint64_t NowNs() const;
+  uint64_t NextSpanId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  /// Stable small index for the calling thread (first caller gets 0).
+  uint32_t ThreadIndex();
+
+  /// Process-wide buffer used when no explicit buffer is injected.
+  /// Enabled under the same RPAS_METRICS toggle as
+  /// MetricsRegistry::Global().
+  static TraceBuffer& Global();
+
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+ private:
+  std::atomic<bool> enabled_;
+  std::atomic<uint64_t> next_id_{0};
+  std::atomic<uint64_t> dropped_{0};
+  uint64_t epoch_ns_ = 0;
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<TraceEvent> events_;
+  uint32_t next_thread_ = 0;
+};
+
+/// RAII scoped span: construction notes the monotonic start time, the
+/// destructor records the completed TraceEvent. Nesting is tracked through
+/// a thread-local stack, so spans opened on ThreadPool workers are safe
+/// and simply start a fresh nesting root on that worker. `name` must be a
+/// string literal (or outlive the span). A span bound to a disabled (or
+/// null-resolved) buffer costs one relaxed load and touches no clock.
+class Span {
+ public:
+  /// Records into `buffer`, or into TraceBuffer::Global() when null.
+  Span(TraceBuffer* buffer, const char* name, int64_t tag = -1);
+  /// Records into the global buffer.
+  explicit Span(const char* name, int64_t tag = -1)
+      : Span(nullptr, name, tag) {}
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceBuffer* buffer_;  // null when disabled at construction
+  const char* name_;
+  int64_t tag_;
+  uint64_t start_ns_ = 0;
+  uint64_t id_ = 0;
+  uint64_t parent_ = 0;
+  uint32_t depth_ = 0;
+  Span* prev_ = nullptr;  // enclosing span on this thread
+};
+
+/// Resolves the effective trace buffer for an instrumentation site: the
+/// injected one if non-null, else the global buffer.
+inline TraceBuffer* ResolveTrace(TraceBuffer* injected) {
+  return injected != nullptr ? injected : &TraceBuffer::Global();
+}
+
+}  // namespace rpas::obs
+
+#endif  // RPAS_OBS_SPAN_H_

@@ -16,6 +16,19 @@ Cluster::Cluster(Options options)
   RPAS_CHECK(options_.initial_nodes >= options_.min_nodes);
   RPAS_CHECK(options_.min_nodes >= 1);
   nodes_.assign(static_cast<size_t>(options_.initial_nodes), Node{});
+
+  // One registry lookup per cluster; Step() touches only the cached
+  // handles. The simulation is seeded and single-threaded, so every
+  // counter value is a pure function of the inputs (deterministic).
+  obs::MetricsRegistry* metrics = obs::ResolveRegistry(options_.metrics);
+  steps_counter_ = metrics->GetCounter("simdb.steps");
+  nodes_added_counter_ = metrics->GetCounter("simdb.nodes_added");
+  nodes_removed_counter_ = metrics->GetCounter("simdb.nodes_removed");
+  nodes_failed_counter_ = metrics->GetCounter("simdb.nodes_failed");
+  slo_violations_counter_ = metrics->GetCounter("simdb.slo_violations");
+  under_provisioned_counter_ =
+      metrics->GetCounter("simdb.under_provisioned");
+  nodes_gauge_ = metrics->GetGauge("simdb.nodes");
 }
 
 void Cluster::InjectNodeFailures(int count) {
@@ -133,6 +146,18 @@ StepStats Cluster::Step(int target_nodes, double workload,
 
   total_node_steps_ += static_cast<int64_t>(nodes_.size());
   ++step_;
+
+  steps_counter_->Increment();
+  nodes_added_counter_->Increment(stats.nodes_added);
+  nodes_removed_counter_->Increment(stats.nodes_removed);
+  nodes_failed_counter_->Increment(stats.nodes_failed);
+  if (stats.slo_violated) {
+    slo_violations_counter_->Increment();
+  }
+  if (stats.under_provisioned) {
+    under_provisioned_counter_->Increment();
+  }
+  nodes_gauge_->Set(static_cast<double>(nodes_.size()));
   return stats;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "simdb/faults.h"
 #include "simdb/warmup.h"
 
@@ -56,6 +57,11 @@ class Cluster {
     /// stateless compute over shared storage recovers exactly this way.
     double failure_rate = 0.0;
     uint64_t seed = 1234;
+    /// Metrics sink for per-step counters (simdb.steps, simdb.nodes_added,
+    /// ...); null routes to obs::MetricsRegistry::Global(). Must outlive
+    /// the cluster. Handles are cached at construction, so Step() pays only
+    /// a few relaxed atomics (a load + branch while metrics are disabled).
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   explicit Cluster(Options options);
@@ -97,6 +103,14 @@ class Cluster {
 
   Options options_;
   std::vector<Node> nodes_;
+  // Cached metric handles (owned by the registry behind Options::metrics).
+  obs::Counter* steps_counter_ = nullptr;
+  obs::Counter* nodes_added_counter_ = nullptr;
+  obs::Counter* nodes_removed_counter_ = nullptr;
+  obs::Counter* nodes_failed_counter_ = nullptr;
+  obs::Counter* slo_violations_counter_ = nullptr;
+  obs::Counter* under_provisioned_counter_ = nullptr;
+  obs::Gauge* nodes_gauge_ = nullptr;
   size_t step_ = 0;
   Rng rng_;
   int64_t total_node_steps_ = 0;

@@ -11,11 +11,13 @@
 #include "common/rng.h"
 #include "core/multi_resource.h"
 #include "core/online_loop.h"
+#include "forecast/deepar.h"
 #include "forecast/holt_winters.h"
 #include "forecast/mlp.h"
 #include "forecast/seasonal_naive.h"
 #include "forecast/tft.h"
 #include "nn/checkpoint.h"
+#include "obs/metrics.h"
 #include "trace/generator.h"
 #include "ts/metrics.h"
 
@@ -266,6 +268,46 @@ TEST_F(CheckpointTest, MlpSaveLoadPreservesScalerAndWeights) {
     EXPECT_DOUBLE_EQ(d1->mean[h], d2->mean[h]);
     EXPECT_DOUBLE_EQ(d1->stddev[h], d2->stddev[h]);
   }
+}
+
+TEST_F(CheckpointTest, DeepArSaveLoadGivesBitIdenticalForecast) {
+  ts::TimeSeries s = SineSeries(3 * kDay, 0.3, 12);
+  forecast::DeepArForecaster::Options options;
+  options.context_length = 36;
+  options.horizon = 12;
+  options.hidden_dim = 8;
+  options.batch_size = 4;
+  options.num_samples = 25;
+  options.train.steps = 40;
+  options.levels = {0.1, 0.5, 0.9};
+  // Train through an explicitly disabled registry: the metrics-off fast
+  // path must leave the forecast untouched and record nothing.
+  obs::MetricsRegistry off(/*enabled=*/false);
+  options.train.metrics = &off;
+
+  forecast::DeepArForecaster original(options);
+  ASSERT_TRUE(original.Fit(s).ok());
+  ASSERT_TRUE(original.Save(path()).ok());
+
+  forecast::DeepArForecaster restored(options);
+  ASSERT_TRUE(restored.Load(path()).ok());
+
+  // DeepAR's sampling RNG is seeded at construction and untouched by Fit /
+  // Save / Load, so one Predict on each instance must agree bit-for-bit.
+  forecast::ForecastInput input;
+  input.start_index = s.size() - 36;
+  input.step_minutes = 10.0;
+  input.context.assign(s.values.end() - 36, s.values.end());
+  auto fc1 = original.Predict(input);
+  auto fc2 = restored.Predict(input);
+  ASSERT_TRUE(fc1.ok() && fc2.ok());
+  for (size_t h = 0; h < 12; ++h) {
+    for (size_t q = 0; q < 3; ++q) {
+      EXPECT_DOUBLE_EQ(fc1->ValueAtIndex(h, q), fc2->ValueAtIndex(h, q));
+    }
+  }
+  EXPECT_EQ(off.GetCounter("nn.train.steps")->value(), 0);
+  EXPECT_EQ(off.GetHistogram("nn.train.loss")->count(), 0u);
 }
 
 TEST_F(CheckpointTest, SaveUnfittedModelFails) {

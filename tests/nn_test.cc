@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "autodiff/tape.h"
@@ -542,6 +543,63 @@ TEST(TrainerTest, QuantileHeadsLearnDistinctQuantiles) {
   EXPECT_NEAR(heads.value(0, 0), -1.2816, 0.15);
   EXPECT_NEAR(heads.value(0, 1), 0.0, 0.15);
   EXPECT_NEAR(heads.value(0, 2), 1.2816, 0.15);
+}
+
+TEST(TrainerTest, RecordLossCapturesTrajectoryAndMetricsAgree) {
+  Rng data_rng(22);
+  Matrix x = RandomMatrix(64, 2, &data_rng);
+  Matrix y(64, 1);
+  for (size_t r = 0; r < 64; ++r) {
+    y(r, 0) = x(r, 0) - 0.5 * x(r, 1);
+  }
+  Rng init_rng(23);
+  Dense layer(2, 1, Dense::Activation::kNone, &init_rng);
+
+  obs::MetricsRegistry registry;
+  TrainConfig config;
+  config.steps = 50;
+  config.lr = 0.05;
+  config.record_loss = true;
+  config.metrics = &registry;
+  auto summary = TrainLoop(config, layer.Params(), [&](Tape* t, Rng*) {
+    Var pred = layer.Forward(t, t->Constant(x));
+    return MseLoss(t, pred, t->Constant(y));
+  });
+
+  // The recorded trajectory and the summary scalars are the same data.
+  ASSERT_EQ(summary.loss_history.size(), 50u);
+  EXPECT_DOUBLE_EQ(summary.loss_history.back(), summary.final_loss);
+  EXPECT_DOUBLE_EQ(*std::min_element(summary.loss_history.begin(),
+                                     summary.loss_history.end()),
+                   summary.best_loss);
+  EXPECT_GT(summary.final_grad_norm, 0.0);
+
+  // The metrics hooks observed exactly one sample per step, and the clip
+  // counter matches the summary's clip_events.
+  EXPECT_EQ(registry.GetCounter("nn.train.steps")->value(), 50);
+  EXPECT_EQ(registry.GetCounter("nn.train.clip_events")->value(),
+            summary.clip_events);
+  EXPECT_EQ(registry.GetHistogram("nn.train.loss")->count(), 50u);
+  EXPECT_EQ(registry.GetHistogram("nn.train.grad_norm")->count(), 50u);
+}
+
+TEST(TrainerTest, LossHistoryStaysEmptyByDefault) {
+  Rng data_rng(24);
+  Matrix x = RandomMatrix(16, 2, &data_rng);
+  Matrix y(16, 1);
+  for (size_t r = 0; r < 16; ++r) {
+    y(r, 0) = x(r, 0);
+  }
+  Rng init_rng(25);
+  Dense layer(2, 1, Dense::Activation::kNone, &init_rng);
+  TrainConfig config;
+  config.steps = 5;
+  auto summary = TrainLoop(config, layer.Params(), [&](Tape* t, Rng*) {
+    Var pred = layer.Forward(t, t->Constant(x));
+    return MseLoss(t, pred, t->Constant(y));
+  });
+  EXPECT_EQ(summary.steps_run, 5);
+  EXPECT_TRUE(summary.loss_history.empty());
 }
 
 }  // namespace
