@@ -134,6 +134,6 @@ void RunAblation(const BenchOptions& options) {
 }  // namespace rpas::bench
 
 int main(int argc, char** argv) {
-  rpas::bench::RunAblation(rpas::bench::ParseArgs(argc, argv));
+  rpas::bench::RunAblation(rpas::bench::ParseArgs(argc, argv, "Robust-allocation ablation under workload perturbations"));
   return 0;
 }

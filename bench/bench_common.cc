@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -21,18 +22,80 @@ std::vector<double> ScalingLevels() {
   return {0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99};
 }
 
-BenchOptions ParseArgs(int argc, char** argv) {
+namespace {
+
+void PrintUsage(std::FILE* out, const char* program,
+                const std::string& description,
+                const std::vector<BenchFlagSpec>& extra) {
+  std::fprintf(out, "usage: %s [flags]\n", program);
+  if (!description.empty()) {
+    std::fprintf(out, "%s\n", description.c_str());
+  }
+  std::fprintf(out, "\nflags:\n");
+  std::fprintf(out, "  --quick             shrink training budgets (smoke run)\n");
+  std::fprintf(out, "  --csv               emit machine-readable rows after the table\n");
+  std::fprintf(out, "  --seed=N            base seed for traces and models (default 2024)\n");
+  std::fprintf(out, "  --metrics-out=PATH  write a structured JSONL+CSV run export\n");
+  for (const BenchFlagSpec& spec : extra) {
+    std::fprintf(out, "  %-18s  %s\n",
+                 (spec.flag.back() == '=' ? spec.flag + "V" : spec.flag)
+                     .c_str(),
+                 spec.help.c_str());
+  }
+  std::fprintf(out, "  --help, -h          print this message and exit\n");
+}
+
+}  // namespace
+
+BenchOptions ParseArgs(int argc, char** argv, const std::string& description,
+                       const std::vector<BenchFlagSpec>& extra) {
   BenchOptions options;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      PrintUsage(stdout, argv[0], description, extra);
+      std::exit(0);
+    }
+    if (std::strcmp(arg, "--quick") == 0) {
       options.quick = true;
-    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      continue;
+    }
+    if (std::strcmp(arg, "--csv") == 0) {
       options.csv = true;
-    } else if (StartsWith(argv[i], "--seed=")) {
-      options.seed = static_cast<uint64_t>(
-          std::strtoull(argv[i] + 7, nullptr, 10));
-    } else if (StartsWith(argv[i], "--metrics-out=")) {
-      options.metrics_out = argv[i] + std::strlen("--metrics-out=");
+      continue;
+    }
+    if (StartsWith(arg, "--seed=")) {
+      options.seed =
+          static_cast<uint64_t>(std::strtoull(arg + 7, nullptr, 10));
+      continue;
+    }
+    if (StartsWith(arg, "--metrics-out=")) {
+      options.metrics_out = arg + std::strlen("--metrics-out=");
+      continue;
+    }
+    // Google Benchmark flags are parsed later by benchmark::Initialize in
+    // the binaries that use it.
+    if (StartsWith(arg, "--benchmark_")) {
+      continue;
+    }
+    bool matched = false;
+    for (const BenchFlagSpec& spec : extra) {
+      if (spec.flag.back() == '=') {
+        if (StartsWith(arg, spec.flag.c_str())) {
+          spec.handler(arg + spec.flag.size());
+          matched = true;
+          break;
+        }
+      } else if (spec.flag == arg) {
+        spec.handler("");
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n\n", argv[0], arg);
+      PrintUsage(stderr, argv[0], description, extra);
+      std::exit(2);
     }
   }
   return options;

@@ -41,7 +41,26 @@ struct BenchOptions {
   uint64_t seed = 2024;
   std::string metrics_out;
 };
-BenchOptions ParseArgs(int argc, char** argv);
+
+/// A bench-specific flag understood by ParseArgs in addition to the shared
+/// set. A `flag` ending in '=' takes a value (the handler receives the text
+/// after '='); otherwise it is boolean (the handler receives "").
+struct BenchFlagSpec {
+  std::string flag;  ///< e.g. "--tenants=" (value) or "--all-warm" (bool)
+  std::string help;  ///< one-line description for --help
+  std::function<void(const std::string& value)> handler;
+};
+
+/// Parses the shared flags (--quick, --csv, --seed=N, --metrics-out=PATH)
+/// plus any `extra` bench-specific flags. `--help`/`-h` prints a usage
+/// summary built from `description` and the flag table, then exits 0. Any
+/// other unknown argument is an error: usage goes to stderr and the
+/// process exits 2 — a typoed flag must never silently run the default
+/// configuration. `--benchmark_*` flags are passed through untouched for
+/// binaries that hand argv to Google Benchmark afterwards.
+BenchOptions ParseArgs(int argc, char** argv,
+                       const std::string& description = "",
+                       const std::vector<BenchFlagSpec>& extra = {});
 
 /// Turns on the global obs::MetricsRegistry and obs::TraceBuffer when
 /// `--metrics-out` was given (equivalent to running with RPAS_METRICS=1).

@@ -163,7 +163,7 @@ void RunFaultRobustness(const BenchOptions& options) {
 }  // namespace rpas::bench
 
 int main(int argc, char** argv) {
-  rpas::bench::BenchOptions options = rpas::bench::ParseArgs(argc, argv);
+  rpas::bench::BenchOptions options = rpas::bench::ParseArgs(argc, argv, "Online-loop robustness under injected fault schedules");
   rpas::bench::EnableMetricsIfRequested(options);
   rpas::bench::RunFaultRobustness(options);
   return 0;

@@ -64,6 +64,6 @@ void RunFig10(const BenchOptions& options) {
 }  // namespace rpas::bench
 
 int main(int argc, char** argv) {
-  rpas::bench::RunFig10(rpas::bench::ParseArgs(argc, argv));
+  rpas::bench::RunFig10(rpas::bench::ParseArgs(argc, argv, "Fig. 10: provisioning trade-offs across the quantile grid"));
   return 0;
 }

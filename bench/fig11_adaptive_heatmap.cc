@@ -119,6 +119,6 @@ void RunFig11(const BenchOptions& options) {
 }  // namespace rpas::bench
 
 int main(int argc, char** argv) {
-  rpas::bench::RunFig11(rpas::bench::ParseArgs(argc, argv));
+  rpas::bench::RunFig11(rpas::bench::ParseArgs(argc, argv, "Fig. 11: adaptive allocator level/threshold heatmap"));
   return 0;
 }

@@ -86,6 +86,6 @@ void RunFig12(const BenchOptions& options) {
 }  // namespace rpas::bench
 
 int main(int argc, char** argv) {
-  rpas::bench::RunFig12(rpas::bench::ParseArgs(argc, argv));
+  rpas::bench::RunFig12(rpas::bench::ParseArgs(argc, argv, "Fig. 12: utilization-threshold sensitivity of the scaling loop"));
   return 0;
 }

@@ -53,6 +53,6 @@ void RunFig5(const BenchOptions& options) {
 }  // namespace rpas::bench
 
 int main(int argc, char** argv) {
-  rpas::bench::RunFig5(rpas::bench::ParseArgs(argc, argv));
+  rpas::bench::RunFig5(rpas::bench::ParseArgs(argc, argv, "Fig. 5: scale-out warm-up overhead in the cluster simulator"));
   return 0;
 }

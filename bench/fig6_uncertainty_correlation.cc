@@ -121,6 +121,6 @@ void RunFig6(const BenchOptions& options) {
 }  // namespace rpas::bench
 
 int main(int argc, char** argv) {
-  rpas::bench::RunFig6(rpas::bench::ParseArgs(argc, argv));
+  rpas::bench::RunFig6(rpas::bench::ParseArgs(argc, argv, "Fig. 6: forecast uncertainty vs realized error correlation"));
   return 0;
 }

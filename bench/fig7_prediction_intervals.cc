@@ -93,6 +93,6 @@ void RunFig7(const BenchOptions& options) {
 }  // namespace rpas::bench
 
 int main(int argc, char** argv) {
-  rpas::bench::RunFig7(rpas::bench::ParseArgs(argc, argv));
+  rpas::bench::RunFig7(rpas::bench::ParseArgs(argc, argv, "Fig. 7: prediction-interval visualization data"));
   return 0;
 }

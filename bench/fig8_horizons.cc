@@ -72,6 +72,6 @@ void RunFig8(const BenchOptions& options) {
 }  // namespace rpas::bench
 
 int main(int argc, char** argv) {
-  rpas::bench::RunFig8(rpas::bench::ParseArgs(argc, argv));
+  rpas::bench::RunFig8(rpas::bench::ParseArgs(argc, argv, "Fig. 8: accuracy degradation across forecast horizons"));
   return 0;
 }

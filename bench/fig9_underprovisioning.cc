@@ -111,6 +111,6 @@ void RunFig9(const BenchOptions& options) {
 }  // namespace rpas::bench
 
 int main(int argc, char** argv) {
-  rpas::bench::RunFig9(rpas::bench::ParseArgs(argc, argv));
+  rpas::bench::RunFig9(rpas::bench::ParseArgs(argc, argv, "Fig. 9: under-provisioning rate vs allocation strategy"));
   return 0;
 }

@@ -136,6 +136,6 @@ void RunParallelScaling(const BenchOptions& options) {
 }  // namespace rpas::bench
 
 int main(int argc, char** argv) {
-  rpas::bench::RunParallelScaling(rpas::bench::ParseArgs(argc, argv));
+  rpas::bench::RunParallelScaling(rpas::bench::ParseArgs(argc, argv, "Thread-pool scaling of training and planning kernels"));
   return 0;
 }

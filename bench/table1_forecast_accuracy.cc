@@ -127,6 +127,6 @@ void RunTable1(const BenchOptions& options) {
 }  // namespace rpas::bench
 
 int main(int argc, char** argv) {
-  rpas::bench::RunTable1(rpas::bench::ParseArgs(argc, argv));
+  rpas::bench::RunTable1(rpas::bench::ParseArgs(argc, argv, "Table I: probabilistic forecast accuracy across models and traces"));
   return 0;
 }

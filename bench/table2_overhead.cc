@@ -120,7 +120,7 @@ BENCHMARK(BM_Tft)->Name("TFT")->Unit(benchmark::kMillisecond);
 }  // namespace rpas::bench
 
 int main(int argc, char** argv) {
-  rpas::bench::BenchOptions options = rpas::bench::ParseArgs(argc, argv);
+  rpas::bench::BenchOptions options = rpas::bench::ParseArgs(argc, argv, "Table II: planning-path overhead microbenchmarks (Google Benchmark)");
   rpas::bench::EnableMetricsIfRequested(options);
   rpas::bench::BuildSetup(options);
   ::benchmark::Initialize(&argc, argv);

@@ -130,7 +130,7 @@ BENCHMARK(BM_UncertaintyMetric)->Name("Optimize/UncertaintyMetric")
 }  // namespace rpas::bench
 
 int main(int argc, char** argv) {
-  rpas::bench::BenchOptions options = rpas::bench::ParseArgs(argc, argv);
+  rpas::bench::BenchOptions options = rpas::bench::ParseArgs(argc, argv, "Table III: per-stage latency breakdown (Google Benchmark)");
   rpas::bench::BuildSetup(options);
   ::benchmark::Initialize(&argc, argv);
   std::printf(

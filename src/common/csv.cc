@@ -16,6 +16,60 @@ int CsvTable::ColumnIndex(const std::string& name) const {
   return -1;
 }
 
+Result<std::vector<std::string>> SplitCsvRecord(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;       // inside "..." right now
+  bool was_quoted = false;   // this field used quoting (skip trimming)
+  size_t i = 0;
+  const size_t n = line.size();
+  while (i < n) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < n && line[i + 1] == '"') {
+          field.push_back('"');  // "" escape inside a quoted field
+          i += 2;
+          continue;
+        }
+        quoted = false;
+        ++i;
+        // Only a comma (or end of line) may follow a closing quote.
+        if (i < n && line[i] != ',') {
+          return Status::InvalidArgument(StrFormat(
+              "unexpected character '%c' after closing quote at column %zu",
+              line[i], i + 1));
+        }
+        continue;
+      }
+      field.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"' && StrTrim(field).empty()) {
+      quoted = true;
+      was_quoted = true;
+      field.clear();  // drop any whitespace before the opening quote
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(was_quoted ? field : std::string(StrTrim(field)));
+      field.clear();
+      was_quoted = false;
+      ++i;
+      continue;
+    }
+    field.push_back(c);
+    ++i;
+  }
+  if (quoted) {
+    return Status::InvalidArgument("unterminated quote in CSV record");
+  }
+  fields.push_back(was_quoted ? field : std::string(StrTrim(field)));
+  return fields;
+}
+
 Result<CsvTable> ReadCsv(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
@@ -33,10 +87,13 @@ Result<CsvTable> ReadCsv(const std::string& path) {
     if (StrTrim(line).empty()) {
       continue;
     }
-    std::vector<std::string> fields = StrSplit(line, ',');
-    for (auto& f : fields) {
-      f = std::string(StrTrim(f));
+    Result<std::vector<std::string>> parsed = SplitCsvRecord(line);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: %s", path.c_str(), line_number,
+                    parsed.status().message().c_str()));
     }
+    std::vector<std::string> fields = std::move(*parsed);
     if (first) {
       table.header = std::move(fields);
       first = false;
@@ -60,12 +117,29 @@ Status WriteCsv(const std::string& path, const CsvTable& table) {
   if (!out) {
     return Status::IoError("cannot open '" + path + "' for writing");
   }
-  auto write_row = [&out](const std::vector<std::string>& row) {
+  auto write_field = [&out](const std::string& field) {
+    const bool needs_quoting =
+        field.find_first_of(",\"\r\n") != std::string::npos ||
+        (!field.empty() && (StrTrim(field).size() != field.size()));
+    if (!needs_quoting) {
+      out << field;
+      return;
+    }
+    out << '"';
+    for (char c : field) {
+      if (c == '"') {
+        out << '"';
+      }
+      out << c;
+    }
+    out << '"';
+  };
+  auto write_row = [&write_field, &out](const std::vector<std::string>& row) {
     for (size_t i = 0; i < row.size(); ++i) {
       if (i > 0) {
         out << ',';
       }
-      out << row[i];
+      write_field(row[i]);
     }
     out << '\n';
   };

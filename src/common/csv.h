@@ -18,13 +18,25 @@ struct CsvTable {
   int ColumnIndex(const std::string& name) const;
 };
 
-/// Reads a comma-separated file with a mandatory header row. Fields are
-/// trimmed; quoting is not supported (RPAS traces are plain numeric CSV).
-/// Returns IoError when the file cannot be opened and InvalidArgument on
-/// ragged rows.
+/// Splits one CSV record into fields. Handles RFC 4180 quoting: a field
+/// wrapped in double quotes may contain commas, and a doubled quote ("")
+/// inside a quoted field decodes to one literal quote. Unquoted fields are
+/// trimmed; quoted fields keep their content verbatim. Returns
+/// InvalidArgument on an unterminated quote or on trailing characters
+/// after a closing quote.
+Result<std::vector<std::string>> SplitCsvRecord(const std::string& line);
+
+/// Reads a comma-separated file with a mandatory header row. Accepts both
+/// LF and CRLF line endings and RFC 4180 quoted fields (see
+/// SplitCsvRecord). Returns IoError when the file cannot be opened and
+/// InvalidArgument on ragged rows or malformed quoting.
 Result<CsvTable> ReadCsv(const std::string& path);
 
-/// Writes a table; returns IoError on failure.
+/// Writes a table, quoting any field that contains a comma, a quote, a
+/// newline, or leading/trailing whitespace; fields with commas or quotes
+/// round-trip through ReadCsv exactly. (Records stay one per line —
+/// ReadCsv rejects embedded newlines, which are quoted here only so the
+/// output is never structurally ambiguous.) Returns IoError on failure.
 Status WriteCsv(const std::string& path, const CsvTable& table);
 
 /// Convenience: extracts one numeric column by name.

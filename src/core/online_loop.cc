@@ -8,12 +8,7 @@
 #include "core/evaluator.h"
 
 namespace rpas::core {
-namespace {
 
-/// Conservative plan used while the forecaster is unavailable: hold the
-/// larger of the last known-good allocation level and a reactive-max
-/// requirement from recently observed workload (with head-room), and never
-/// scale in below the current node count while running blind.
 std::vector<int> BuildFallbackPlan(const std::vector<double>& recent,
                                    const std::vector<int>& last_good_plan,
                                    int current_nodes,
@@ -31,8 +26,6 @@ std::vector<int> BuildFallbackPlan(const std::vector<double>& recent,
   const size_t steps = std::max<size_t>(policy.fallback_plan_steps, 1);
   return std::vector<int>(steps, hold);
 }
-
-}  // namespace
 
 Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
                                        const ts::TimeSeries& series,

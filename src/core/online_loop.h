@@ -92,6 +92,17 @@ struct OnlineLoopResult {
   size_t degraded_steps = 0;
 };
 
+/// Conservative plan used while the forecaster is unavailable: hold the
+/// larger of the last known-good allocation level and a reactive-max
+/// requirement from recently observed workload (with head-room), and never
+/// scale in below the current node count while running blind. Shared by the
+/// online loop's degradation path and serve's deadline-shed fallback.
+std::vector<int> BuildFallbackPlan(const std::vector<double>& recent,
+                                   const std::vector<int>& last_good_plan,
+                                   int current_nodes,
+                                   const ScalingConfig& config,
+                                   const DegradationPolicy& policy);
+
 /// Runs the full deployment loop of paper Fig. 2 *online*: at every
 /// re-planning point the manager forecasts from the history observed so
 /// far and produces a node plan; the plan drives the disaggregated-database

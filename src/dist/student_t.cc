@@ -1,5 +1,6 @@
 #include "dist/student_t.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -33,7 +34,14 @@ double StudentT::Cdf(double x) const {
 }
 
 double StudentT::Quantile(double p) const {
-  return location_ + scale_ * StudentTQuantile(p, dof_);
+  // Callers sweep quantile grids that can legitimately touch the endpoints
+  // (e.g. tau = 1.0 meaning "the most conservative allocation we model").
+  // The exact endpoints have infinite quantiles, so clamp to a far tail
+  // instead of aborting in StudentTQuantile's (0,1) precondition check.
+  constexpr double kTailEps = 1e-12;
+  RPAS_CHECK(p >= 0.0 && p <= 1.0) << "StudentT::Quantile requires p in [0,1]";
+  const double clamped = std::min(1.0 - kTailEps, std::max(kTailEps, p));
+  return location_ + scale_ * StudentTQuantile(clamped, dof_);
 }
 
 double StudentT::Sample(Rng* rng) const {

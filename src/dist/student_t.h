@@ -21,6 +21,9 @@ class StudentT final : public Distribution {
   double Dof() const { return dof_; }
   double LogPdf(double x) const override;
   double Cdf(double x) const override;
+  /// Inverse CDF. Accepts the closed interval [0, 1]: the exact endpoints
+  /// are clamped to a far tail (p = 1e-12 / 1 - 1e-12) rather than
+  /// aborting, so quantile-grid sweeps that touch 0 or 1 stay finite.
   double Quantile(double p) const override;
   double Sample(Rng* rng) const override;
 

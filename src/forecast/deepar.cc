@@ -163,6 +163,15 @@ Status DeepArForecaster::Fit(const ts::TimeSeries& train) {
 
 Result<std::vector<std::vector<double>>> DeepArForecaster::SampleTrajectories(
     const ForecastInput& input, size_t num_samples) const {
+  return SampleWithRng(input, num_samples, &sample_rng_);
+}
+
+Rng DeepArForecaster::SamplingRng(uint64_t seed) {
+  return Rng(DeriveSeed(seed, 0xD1CEu));
+}
+
+Result<std::vector<std::vector<double>>> DeepArForecaster::SampleWithRng(
+    const ForecastInput& input, size_t num_samples, Rng* rng) const {
   if (!fitted_) {
     return Status::FailedPrecondition("DeepAR: Fit() not called");
   }
@@ -216,9 +225,9 @@ Result<std::vector<std::vector<double>>> DeepArForecaster::SampleTrajectories(
           SoftplusScalar(sigma_raw(r, 0)) + options_.min_sigma;
       double draw;
       if (options_.head == Head::kStudentT) {
-        draw = mu(r, 0) + sigma * sample_rng_.StudentT(options_.student_t_dof);
+        draw = mu(r, 0) + sigma * rng->StudentT(options_.student_t_dof);
       } else {
-        draw = mu(r, 0) + sigma * sample_rng_.Normal();
+        draw = mu(r, 0) + sigma * rng->Normal();
       }
       trajectories[r][step] = draw * scale;
       prev[r] = draw;
@@ -227,10 +236,8 @@ Result<std::vector<std::vector<double>>> DeepArForecaster::SampleTrajectories(
   return trajectories;
 }
 
-Result<ts::QuantileForecast> DeepArForecaster::Predict(
-    const ForecastInput& input) const {
-  RPAS_ASSIGN_OR_RETURN(std::vector<std::vector<double>> trajectories,
-                        SampleTrajectories(input, options_.num_samples));
+ts::QuantileForecast DeepArForecaster::ReduceToQuantiles(
+    const std::vector<std::vector<double>>& trajectories) const {
   const size_t h = options_.horizon;
   std::vector<std::vector<double>> values(h);
   std::vector<double> column(trajectories.size());
@@ -247,6 +254,140 @@ Result<ts::QuantileForecast> DeepArForecaster::Predict(
   ts::QuantileForecast forecast(options_.levels, std::move(values));
   forecast.SortQuantilesPerStep();
   return forecast;
+}
+
+Result<ts::QuantileForecast> DeepArForecaster::Predict(
+    const ForecastInput& input) const {
+  RPAS_ASSIGN_OR_RETURN(std::vector<std::vector<double>> trajectories,
+                        SampleTrajectories(input, options_.num_samples));
+  return ReduceToQuantiles(trajectories);
+}
+
+Result<ts::QuantileForecast> DeepArForecaster::PredictSeeded(
+    const ForecastInput& input, uint64_t seed) const {
+  Rng rng = SamplingRng(seed);
+  RPAS_ASSIGN_OR_RETURN(std::vector<std::vector<double>> trajectories,
+                        SampleWithRng(input, options_.num_samples, &rng));
+  return ReduceToQuantiles(trajectories);
+}
+
+Result<std::vector<ts::QuantileForecast>> DeepArForecaster::PredictBatch(
+    const std::vector<ForecastInput>& inputs,
+    const std::vector<uint64_t>& seeds) const {
+  if (inputs.size() != seeds.size()) {
+    return Status::InvalidArgument(
+        "DeepAR: inputs and seeds must have equal length");
+  }
+  if (inputs.empty()) {
+    return std::vector<ts::QuantileForecast>{};
+  }
+  if (!fitted_) {
+    return Status::FailedPrecondition("DeepAR: Fit() not called");
+  }
+  for (const ForecastInput& input : inputs) {
+    if (input.context.size() != options_.context_length) {
+      return Status::InvalidArgument("DeepAR: context length mismatch");
+    }
+  }
+  const size_t t_len = options_.context_length;
+  const size_t h = options_.horizon;
+  const size_t num_requests = inputs.size();
+  const size_t samples = options_.num_samples;
+
+  std::vector<double> scales(num_requests);
+  for (size_t r = 0; r < num_requests; ++r) {
+    scales[r] = WindowScale(inputs[r].context);
+  }
+
+  // Batched context encoding: one roll with one row per request. Every row
+  // of an LSTM step is an independent function of that row's input and
+  // state (MatMul accumulates each output element over k in a fixed order
+  // regardless of the row count), so row r here is bit-identical to the
+  // batch-of-1 encode PredictSeeded performs for the same request.
+  nn::LstmCell::RawState encoded = lstm_->ZeroRawState(num_requests);
+  for (size_t t = 1; t < t_len; ++t) {
+    Matrix x(num_requests, kInputDim);
+    for (size_t r = 0; r < num_requests; ++r) {
+      x(r, 0) = inputs[r].context[t - 1] / scales[r];
+      const auto tf =
+          TimeFeatures(inputs[r].start_index + t, inputs[r].step_minutes);
+      for (size_t j = 0; j < kNumTimeFeatures; ++j) {
+        x(r, 1 + j) = tf[j];
+      }
+    }
+    encoded = lstm_->Step(x, encoded);
+  }
+
+  // Stacked ancestral sampling: request r owns rows [r*S, (r+1)*S). Each
+  // request draws from its own seed-derived generator in the same order as
+  // the unbatched path (per step: its rows in sample order), so the draws —
+  // and therefore the trajectories — match PredictSeeded exactly.
+  const size_t rows = num_requests * samples;
+  nn::LstmCell::RawState state = lstm_->ZeroRawState(rows);
+  for (size_t r = 0; r < num_requests; ++r) {
+    for (size_t s = 0; s < samples; ++s) {
+      for (size_t c = 0; c < options_.hidden_dim; ++c) {
+        state.h(r * samples + s, c) = encoded.h(r, c);
+        state.c(r * samples + s, c) = encoded.c(r, c);
+      }
+    }
+  }
+  std::vector<Rng> rngs;
+  rngs.reserve(num_requests);
+  for (size_t r = 0; r < num_requests; ++r) {
+    rngs.push_back(SamplingRng(seeds[r]));
+  }
+  std::vector<double> prev(rows);
+  for (size_t r = 0; r < num_requests; ++r) {
+    for (size_t s = 0; s < samples; ++s) {
+      prev[r * samples + s] = inputs[r].context.back() / scales[r];
+    }
+  }
+  std::vector<std::vector<double>> trajectories(rows,
+                                                std::vector<double>(h, 0.0));
+  for (size_t step = 0; step < h; ++step) {
+    Matrix x(rows, kInputDim);
+    for (size_t r = 0; r < num_requests; ++r) {
+      const auto tf = TimeFeatures(inputs[r].forecast_start() + step,
+                                   inputs[r].step_minutes);
+      for (size_t s = 0; s < samples; ++s) {
+        const size_t row = r * samples + s;
+        x(row, 0) = prev[row];
+        for (size_t j = 0; j < kNumTimeFeatures; ++j) {
+          x(row, 1 + j) = tf[j];
+        }
+      }
+    }
+    state = lstm_->Step(x, state);
+    Matrix mu = mu_head_->Apply(state.h);
+    Matrix sigma_raw = sigma_head_->Apply(state.h);
+    for (size_t r = 0; r < num_requests; ++r) {
+      for (size_t s = 0; s < samples; ++s) {
+        const size_t row = r * samples + s;
+        const double sigma =
+            SoftplusScalar(sigma_raw(row, 0)) + options_.min_sigma;
+        double draw;
+        if (options_.head == Head::kStudentT) {
+          draw = mu(row, 0) + sigma * rngs[r].StudentT(options_.student_t_dof);
+        } else {
+          draw = mu(row, 0) + sigma * rngs[r].Normal();
+        }
+        trajectories[row][step] = draw * scales[r];
+        prev[row] = draw;
+      }
+    }
+  }
+
+  std::vector<ts::QuantileForecast> out;
+  out.reserve(num_requests);
+  std::vector<std::vector<double>> block(samples);
+  for (size_t r = 0; r < num_requests; ++r) {
+    for (size_t s = 0; s < samples; ++s) {
+      block[s] = std::move(trajectories[r * samples + s]);
+    }
+    out.push_back(ReduceToQuantiles(block));
+  }
+  return out;
 }
 
 }  // namespace rpas::forecast

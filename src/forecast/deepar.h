@@ -47,6 +47,31 @@ class DeepArForecaster final : public Forecaster {
   Result<ts::QuantileForecast> Predict(
       const ForecastInput& input) const override;
 
+  /// Seed-deterministic, thread-safe prediction: ancestral sampling draws
+  /// from a generator derived from `seed` alone, so the forecast is a pure
+  /// function of (weights, input, seed) — unlike Predict(), which advances
+  /// the model's internal sampling stream.
+  Result<ts::QuantileForecast> PredictSeeded(const ForecastInput& input,
+                                             uint64_t seed) const override;
+
+  /// Row-stacked batched inference: all requests share one context-encoding
+  /// roll (R rows) and one ancestral-sampling roll (R * num_samples rows).
+  /// Each request draws from its own seed-derived generator, so element i
+  /// is bit-identical to PredictSeeded(inputs[i], seeds[i]) for every batch
+  /// composition and thread count (MatMul row-independence contract).
+  Result<std::vector<ts::QuantileForecast>> PredictBatch(
+      const std::vector<ForecastInput>& inputs,
+      const std::vector<uint64_t>& seeds) const override;
+  bool SupportsBatchedInference() const override { return true; }
+
+  Status SaveCheckpoint(const std::string& path) const override {
+    return Save(path);
+  }
+  Status LoadCheckpoint(const std::string& path) override {
+    return Load(path);
+  }
+  bool SupportsCheckpoint() const override { return true; }
+
   size_t Horizon() const override { return options_.horizon; }
   size_t ContextLength() const override { return options_.context_length; }
   const std::vector<double>& Levels() const override {
@@ -68,6 +93,17 @@ class DeepArForecaster final : public Forecaster {
   void BuildModel();
   std::vector<autodiff::Parameter*> AllParams() const;
   std::string Signature() const;
+
+  /// Sampling core shared by every prediction path: draws noise from `rng`
+  /// (never from sample_rng_).
+  Result<std::vector<std::vector<double>>> SampleWithRng(
+      const ForecastInput& input, size_t num_samples, Rng* rng) const;
+  /// Reduces sampled trajectories to per-step quantiles at the configured
+  /// levels.
+  ts::QuantileForecast ReduceToQuantiles(
+      const std::vector<std::vector<double>>& trajectories) const;
+  /// The seed-derived generator used by PredictSeeded / PredictBatch.
+  static Rng SamplingRng(uint64_t seed);
 
   /// Input feature layout per step: [scaled y_prev, calendar features].
   static constexpr size_t kInputDim = 1 + kNumTimeFeatures;

@@ -10,6 +10,36 @@ Result<std::vector<double>> Forecaster::PredictPoint(
   return fc.Median();
 }
 
+Result<ts::QuantileForecast> Forecaster::PredictSeeded(
+    const ForecastInput& input, uint64_t /*seed*/) const {
+  return Predict(input);
+}
+
+Result<std::vector<ts::QuantileForecast>> Forecaster::PredictBatch(
+    const std::vector<ForecastInput>& inputs,
+    const std::vector<uint64_t>& seeds) const {
+  if (inputs.size() != seeds.size()) {
+    return Status::InvalidArgument(
+        "PredictBatch: inputs and seeds must have equal length");
+  }
+  std::vector<ts::QuantileForecast> forecasts;
+  forecasts.reserve(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    RPAS_ASSIGN_OR_RETURN(ts::QuantileForecast fc,
+                          PredictSeeded(inputs[i], seeds[i]));
+    forecasts.push_back(std::move(fc));
+  }
+  return forecasts;
+}
+
+Status Forecaster::SaveCheckpoint(const std::string& /*path*/) const {
+  return Status::Unimplemented(Name() + ": checkpointing not supported");
+}
+
+Status Forecaster::LoadCheckpoint(const std::string& /*path*/) {
+  return Status::Unimplemented(Name() + ": checkpointing not supported");
+}
+
 std::vector<double> DefaultQuantileLevels() {
   return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
 }

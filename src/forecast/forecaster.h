@@ -43,6 +43,42 @@ class Forecaster {
   virtual Result<std::vector<double>> PredictPoint(
       const ForecastInput& input) const;
 
+  // --- Serving interface (src/serve) -------------------------------------
+
+  /// Seed-deterministic prediction: like Predict(), but any sampling noise
+  /// is drawn from a generator derived from `seed` alone — never from
+  /// internal mutable state — so the result is a pure function of
+  /// (fitted weights, input, seed). Must be safe to call concurrently on
+  /// one fitted model; the default forwards to Predict(), which satisfies
+  /// both requirements for deterministic forecasters. Sampling-based models
+  /// (DeepAR) override it.
+  virtual Result<ts::QuantileForecast> PredictSeeded(
+      const ForecastInput& input, uint64_t seed) const;
+
+  /// Batched inference: serves `inputs[i]` with sampling seed `seeds[i]`
+  /// and returns the forecasts in the same order. Contract: element i is
+  /// bit-identical to PredictSeeded(inputs[i], seeds[i]) regardless of
+  /// batch composition, batch order, and thread count. The default loops
+  /// over PredictSeeded; models that can stack requests into one forward
+  /// pass override it and return true from SupportsBatchedInference().
+  virtual Result<std::vector<ts::QuantileForecast>> PredictBatch(
+      const std::vector<ForecastInput>& inputs,
+      const std::vector<uint64_t>& seeds) const;
+
+  /// True when PredictBatch() runs a genuinely batched (row-stacked)
+  /// forward pass rather than the default per-request loop.
+  virtual bool SupportsBatchedInference() const { return false; }
+
+  /// Common checkpoint interface (serve::ModelRegistry). Persists the
+  /// fitted state so an identically configured instance can serve without
+  /// re-training. Defaults return Unimplemented; models with a trained
+  /// state override and return true from SupportsCheckpoint().
+  virtual Status SaveCheckpoint(const std::string& path) const;
+  /// Restores state written by SaveCheckpoint() on an identically
+  /// configured model; the restored model is ready to predict.
+  virtual Status LoadCheckpoint(const std::string& path);
+  virtual bool SupportsCheckpoint() const { return false; }
+
   /// Forecast horizon H (steps).
   virtual size_t Horizon() const = 0;
   /// Expected context length T (steps).

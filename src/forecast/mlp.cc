@@ -208,4 +208,58 @@ Result<ts::QuantileForecast> MlpForecaster::Predict(
   return ts::QuantileForecast(options_.levels, std::move(values));
 }
 
+Result<std::vector<ts::QuantileForecast>> MlpForecaster::PredictBatch(
+    const std::vector<ForecastInput>& inputs,
+    const std::vector<uint64_t>& seeds) const {
+  if (inputs.size() != seeds.size()) {
+    return Status::InvalidArgument(
+        "MLP PredictBatch: inputs and seeds must have equal length");
+  }
+  if (!fitted_) {
+    return Status::FailedPrecondition("MLP: Fit() not called");
+  }
+  const size_t batch = inputs.size();
+  if (batch == 0) {
+    return std::vector<ts::QuantileForecast>{};
+  }
+  for (const ForecastInput& input : inputs) {
+    if (input.context.size() != options_.context_length) {
+      return Status::InvalidArgument("MLP: context length mismatch");
+    }
+  }
+  Matrix x(batch, InputDim());
+  for (size_t r = 0; r < batch; ++r) {
+    const std::vector<double> features = BuildFeatures(inputs[r]);
+    for (size_t j = 0; j < features.size(); ++j) {
+      x(r, j) = features[j];
+    }
+  }
+  Matrix hidden = fc1_->Apply(x);
+  if (fc2_) {
+    hidden = fc2_->Apply(hidden);
+  }
+  Matrix out = head_->Apply(hidden);
+  const size_t h = options_.horizon;
+  std::vector<ts::QuantileForecast> forecasts;
+  forecasts.reserve(batch);
+  for (size_t r = 0; r < batch; ++r) {
+    std::vector<std::vector<double>> values(h);
+    for (size_t step = 0; step < h; ++step) {
+      const double mu_scaled = out(r, step);
+      const double raw = out(r, h + step);
+      const double sigma_scaled =
+          (raw > 0.0 ? raw : 0.0) + std::log1p(std::exp(-std::fabs(raw))) +
+          options_.min_sigma;
+      const double mean = scaler_.Inverse(mu_scaled);
+      const double stddev = sigma_scaled * scaler_.scale();
+      values[step].reserve(options_.levels.size());
+      for (double tau : options_.levels) {
+        values[step].push_back(mean + stddev * dist::NormalQuantile(tau));
+      }
+    }
+    forecasts.emplace_back(options_.levels, std::move(values));
+  }
+  return forecasts;
+}
+
 }  // namespace rpas::forecast

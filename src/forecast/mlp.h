@@ -41,6 +41,23 @@ class MlpForecaster final : public Forecaster {
   Result<ts::QuantileForecast> Predict(
       const ForecastInput& input) const override;
 
+  /// Row-stacked batched inference: the whole batch runs as one forward
+  /// pass (one row per request). Each output row depends only on its own
+  /// input row, so element i is bit-identical to Predict(inputs[i]) for
+  /// every batch composition and thread count.
+  Result<std::vector<ts::QuantileForecast>> PredictBatch(
+      const std::vector<ForecastInput>& inputs,
+      const std::vector<uint64_t>& seeds) const override;
+  bool SupportsBatchedInference() const override { return true; }
+
+  Status SaveCheckpoint(const std::string& path) const override {
+    return Save(path);
+  }
+  Status LoadCheckpoint(const std::string& path) override {
+    return Load(path);
+  }
+  bool SupportsCheckpoint() const override { return true; }
+
   size_t Horizon() const override { return options_.horizon; }
   size_t ContextLength() const override { return options_.context_length; }
   const std::vector<double>& Levels() const override {

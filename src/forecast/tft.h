@@ -54,6 +54,14 @@ class TftForecaster final : public Forecaster {
   /// restored model is ready to Predict without calling Fit.
   Status Load(const std::string& path);
 
+  Status SaveCheckpoint(const std::string& path) const override {
+    return Save(path);
+  }
+  Status LoadCheckpoint(const std::string& path) override {
+    return Load(path);
+  }
+  bool SupportsCheckpoint() const override { return true; }
+
   size_t Horizon() const override { return options_.horizon; }
   size_t ContextLength() const override { return options_.context_length; }
   const std::vector<double>& Levels() const override {

@@ -1,0 +1,88 @@
+#ifndef RPAS_SERVE_BATCHING_H_
+#define RPAS_SERVE_BATCHING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "forecast/forecaster.h"
+#include "obs/metrics.h"
+#include "serve/registry.h"
+#include "ts/quantile_forecast.h"
+
+namespace rpas::serve {
+
+/// One tenant's forecast request against a specific model version.
+struct ForecastRequest {
+  uint64_t tenant_id = 0;
+  ModelId model;
+  forecast::ForecastInput input;
+  /// Sampling seed for this request. Part of the request identity: the
+  /// response is a pure function of (model version, input, seed), which is
+  /// what makes batched and unbatched serving comparable bit-for-bit.
+  uint64_t seed = 0;
+};
+
+/// Per-request outcome. Default-constructed status is OK, so responses can
+/// be scatter-written by index from grouped execution.
+struct ForecastResponse {
+  Status status;
+  ts::QuantileForecast forecast;  ///< valid only when status.ok()
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Cross-tenant batched inference engine.
+///
+/// Execute() answers a slate of requests, one response per request in
+/// request order. In batched mode, requests naming the same model version
+/// are coalesced: the version is acquired from the registry once and all
+/// its requests run as one PredictBatch forward pass (tenants share the
+/// pass — this is the cross-tenant batching of the serving tier). In
+/// unbatched mode every request is served independently in arrival order,
+/// acquiring its model each time — the baseline a multi-tenant serving
+/// tier without coalescing would run.
+///
+/// Determinism contract: responses are bit-identical between the two modes
+/// and across thread counts, because PredictBatch guarantees element-wise
+/// bit-identity with PredictSeeded and request seeds are part of the
+/// request, not the execution schedule.
+class BatchEngine {
+ public:
+  struct Options {
+    /// Coalesce same-version requests into one forward pass (the point of
+    /// the engine); false serves strictly per-request, in request order.
+    bool batch_across_tenants = true;
+    /// Metrics sink for serve.engine.* instruments; null routes to
+    /// obs::MetricsRegistry::Global(). Must outlive the engine.
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  /// `registry` must outlive the engine.
+  BatchEngine(ModelRegistry* registry, Options options);
+
+  /// Serves all requests; never fails as a whole — per-request errors
+  /// (unknown version, load failure, malformed input) land in the
+  /// corresponding response's status.
+  std::vector<ForecastResponse> Execute(
+      const std::vector<ForecastRequest>& requests);
+
+  const Options& options() const { return options_; }
+
+ private:
+  void ExecuteBatched(const std::vector<ForecastRequest>& requests,
+                      std::vector<ForecastResponse>* responses);
+  void ExecuteUnbatched(const std::vector<ForecastRequest>& requests,
+                        std::vector<ForecastResponse>* responses);
+
+  ModelRegistry* registry_;  // not owned
+  Options options_;
+  obs::Counter* requests_counter_ = nullptr;
+  obs::Counter* batches_counter_ = nullptr;
+  obs::Counter* errors_counter_ = nullptr;
+  obs::Histogram* batch_size_hist_ = nullptr;
+};
+
+}  // namespace rpas::serve
+
+#endif  // RPAS_SERVE_BATCHING_H_

@@ -1,0 +1,346 @@
+#include "serve/fleet.h"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/evaluator.h"
+#include "core/scaling_config.h"
+#include "core/strategies.h"
+#include "simdb/cluster.h"
+
+namespace rpas::serve {
+namespace {
+
+// Seed-stream salts for the independent per-tenant randomness sources.
+constexpr uint64_t kTraceStream = 0x51AE;
+constexpr uint64_t kClusterStream = 0xC105;
+constexpr uint64_t kFaultStream = 0xFA17;
+constexpr uint64_t kRequestStream = 0x5EED;
+
+/// Everything one simulated tenant carries across rounds.
+struct TenantState {
+  ModelId model;
+  size_t context_length = 0;
+  ts::TimeSeries series;  ///< history_steps + num_steps observations
+  core::ScalingConfig config;
+  std::unique_ptr<simdb::Cluster> cluster;
+  std::unique_ptr<simdb::FaultInjector> injector;  ///< null when inert
+  std::vector<int> plan;
+  std::vector<int> last_good_plan;
+  std::vector<double> recent;  ///< trailing realized workloads
+  int current_nodes = 1;
+  // Per-step records for final provisioning evaluation.
+  std::vector<double> realized;
+  std::vector<int> allocation;
+  double utilization_sum = 0.0;
+  size_t slo_violations = 0;
+  TenantSummary summary;
+};
+
+void PushRecent(TenantState* tenant, double workload, size_t window) {
+  tenant->recent.push_back(workload);
+  if (tenant->recent.size() > window) {
+    tenant->recent.erase(tenant->recent.begin());
+  }
+}
+
+}  // namespace
+
+Result<FleetResult> RunFleet(ModelRegistry* registry,
+                             const std::vector<ModelId>& models,
+                             const FleetOptions& options) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument("fleet needs a model registry");
+  }
+  if (models.empty()) {
+    return Status::InvalidArgument("fleet needs at least one model version");
+  }
+  if (options.num_tenants == 0 || options.num_steps == 0) {
+    return Status::InvalidArgument("fleet needs tenants and steps");
+  }
+  if (options.replan_every == 0) {
+    return Status::InvalidArgument("replan_every must be at least 1");
+  }
+  if (options.theta_divisor <= 0.0) {
+    return Status::InvalidArgument("theta_divisor must be positive");
+  }
+
+  const core::DegradationPolicy& policy = options.degradation;
+  const size_t window = std::max<size_t>(policy.reactive_window, 1);
+
+  // Warm-up pass: verify every referenced version loads and note its
+  // context length (the request window size). One Acquire per distinct
+  // model; these land in the cache stats as the setup cost of the fleet.
+  std::vector<size_t> model_context(models.size(), 0);
+  for (size_t m = 0; m < models.size(); ++m) {
+    RPAS_ASSIGN_OR_RETURN(std::shared_ptr<const forecast::Forecaster> fc,
+                          registry->Acquire(models[m]));
+    model_context[m] = fc->ContextLength();
+    if (model_context[m] > options.history_steps) {
+      return Status::InvalidArgument(StrFormat(
+          "%s: context length %zu exceeds history_steps %zu",
+          models[m].ToString().c_str(), model_context[m],
+          options.history_steps));
+    }
+  }
+
+  // Per-tenant setup: independent synthetic workload, a cluster sized so
+  // the trace's swings move the node count, and an independent fault
+  // schedule.
+  std::vector<TenantState> tenants(options.num_tenants);
+  const bool inject = options.faults.Any();
+  for (size_t t = 0; t < options.num_tenants; ++t) {
+    TenantState& tenant = tenants[t];
+    tenant.summary.tenant_id = t;
+    tenant.model = models[t % models.size()];
+    tenant.summary.model = tenant.model;
+    tenant.context_length = model_context[t % models.size()];
+
+    trace::SyntheticTraceGenerator generator(
+        options.profile, DeriveSeed(options.seed, kTraceStream + t));
+    tenant.series =
+        generator.GenerateCpu(options.history_steps + options.num_steps);
+
+    const double mean_history =
+        std::accumulate(tenant.series.values.begin(),
+                        tenant.series.values.begin() +
+                            static_cast<long>(options.history_steps),
+                        0.0) /
+        static_cast<double>(options.history_steps);
+    tenant.config.theta = std::max(mean_history / options.theta_divisor,
+                                   1e-9);
+
+    simdb::Cluster::Options cluster_options;
+    cluster_options.node_capacity = tenant.config.theta;
+    cluster_options.seed = DeriveSeed(options.seed, kClusterStream + t);
+    cluster_options.metrics = options.metrics;
+    cluster_options.initial_nodes = core::RequiredNodes(
+        tenant.series.values[options.history_steps - 1], tenant.config);
+    tenant.cluster = std::make_unique<simdb::Cluster>(cluster_options);
+    tenant.current_nodes = cluster_options.initial_nodes;
+
+    if (inject) {
+      simdb::FaultPlan plan = options.faults;
+      plan.seed = DeriveSeed(options.faults.seed, kFaultStream + t);
+      tenant.injector = std::make_unique<simdb::FaultInjector>(plan);
+    }
+
+    for (size_t back = std::min(window, options.history_steps); back > 0;
+         --back) {
+      tenant.recent.push_back(
+          tenant.series.values[options.history_steps - back]);
+    }
+  }
+
+  core::RobustQuantileAllocator allocator(options.tau);
+  AdmissionController::Options admission_options = options.admission;
+  admission_options.metrics = options.metrics;
+  AdmissionController admission(admission_options, options.num_tenants);
+  BatchEngine::Options engine_options;
+  engine_options.batch_across_tenants = options.batched;
+  engine_options.metrics = options.metrics;
+  BatchEngine engine(registry, engine_options);
+
+  FleetResult result;
+  result.tenants.resize(options.num_tenants);
+
+  enum class RoundPlan { kFresh, kStale, kFallback };
+
+  for (size_t step = 0; step < options.num_steps;
+       step += options.replan_every) {
+    const size_t round = step / options.replan_every;
+    ++result.rounds;
+    admission.BeginRound();
+
+    // Phase 1: decide each tenant's round disposition (injected forecaster
+    // faults first — a tenant whose forecaster is down does not compete
+    // for the round's inference budget).
+    std::vector<RoundPlan> disposition(options.num_tenants,
+                                       RoundPlan::kFresh);
+    std::vector<uint64_t> requesting;
+    for (size_t t = 0; t < options.num_tenants; ++t) {
+      TenantState& tenant = tenants[t];
+      ++tenant.summary.rounds;
+      if (tenant.injector != nullptr) {
+        const simdb::StepFaults faults =
+            tenant.injector->FaultsForStep(step);
+        const int attempts = faults.forecaster_timeout_attempts +
+                             (faults.forecaster_nan ? 1 : 0);
+        if (faults.stale_forecast && !tenant.last_good_plan.empty()) {
+          disposition[t] = RoundPlan::kStale;
+          continue;
+        }
+        if (attempts > policy.max_retries) {
+          disposition[t] = RoundPlan::kFallback;
+          ++tenant.summary.fault_rounds;
+          continue;
+        }
+      }
+      requesting.push_back(t);
+    }
+
+    // Phase 2: admission. Throttled and shed tenants degrade to the
+    // reactive fallback — their round is served, just not with a fresh
+    // forecast.
+    const std::vector<AdmissionVerdict> verdicts =
+        admission.AdmitRound(requesting);
+    result.requests_submitted += requesting.size();
+    std::vector<ForecastRequest> requests;
+    std::vector<size_t> request_tenant;
+    for (size_t k = 0; k < requesting.size(); ++k) {
+      const size_t t = requesting[k];
+      TenantState& tenant = tenants[t];
+      switch (verdicts[k]) {
+        case AdmissionVerdict::kAdmitted: {
+          ++result.requests_admitted;
+          ForecastRequest request;
+          request.tenant_id = t;
+          request.model = tenant.model;
+          const size_t end = options.history_steps + step;
+          request.input.context.assign(
+              tenant.series.values.begin() +
+                  static_cast<long>(end - tenant.context_length),
+              tenant.series.values.begin() + static_cast<long>(end));
+          request.input.start_index = end - tenant.context_length;
+          request.input.step_minutes = tenant.series.step_minutes;
+          request.seed =
+              DeriveSeed(DeriveSeed(options.seed, kRequestStream + t), round);
+          requests.push_back(std::move(request));
+          request_tenant.push_back(t);
+          break;
+        }
+        case AdmissionVerdict::kThrottled:
+          ++result.requests_throttled;
+          ++tenant.summary.throttled_rounds;
+          disposition[t] = RoundPlan::kFallback;
+          break;
+        case AdmissionVerdict::kDeadlineShed:
+          ++result.requests_shed;
+          ++tenant.summary.shed_rounds;
+          disposition[t] = RoundPlan::kFallback;
+          break;
+      }
+    }
+
+    // Phase 3: serve the admitted requests through the engine and map
+    // forecasts to plans. Any per-request error degrades that tenant to
+    // the fallback — never the whole round.
+    const std::vector<ForecastResponse> responses = engine.Execute(requests);
+    for (size_t k = 0; k < responses.size(); ++k) {
+      const size_t t = request_tenant[k];
+      TenantState& tenant = tenants[t];
+      if (!responses[k].ok()) {
+        ++tenant.summary.error_rounds;
+        disposition[t] = RoundPlan::kFallback;
+        continue;
+      }
+      auto plan = allocator.Allocate(responses[k].forecast, tenant.config);
+      if (!plan.ok()) {
+        ++tenant.summary.error_rounds;
+        disposition[t] = RoundPlan::kFallback;
+        continue;
+      }
+      tenant.plan = std::move(*plan);
+      tenant.last_good_plan = tenant.plan;
+      ++tenant.summary.fresh_rounds;
+    }
+    for (size_t t = 0; t < options.num_tenants; ++t) {
+      TenantState& tenant = tenants[t];
+      switch (disposition[t]) {
+        case RoundPlan::kFresh:
+          break;  // plan already installed (or errored into fallback)
+        case RoundPlan::kStale:
+          tenant.plan = tenant.last_good_plan;
+          ++tenant.summary.stale_rounds;
+          break;
+        case RoundPlan::kFallback:
+          tenant.plan = core::BuildFallbackPlan(
+              tenant.recent, tenant.last_good_plan, tenant.current_nodes,
+              tenant.config, policy);
+          ++tenant.summary.fallback_rounds;
+          break;
+      }
+      if (tenant.plan.empty()) {
+        // First round shed before any good plan existed: hold current.
+        tenant.plan.assign(1, tenant.current_nodes);
+      }
+    }
+
+    // Phase 4: drive every cluster to the next planning round.
+    const size_t round_end =
+        std::min(step + options.replan_every, options.num_steps);
+    for (size_t t = 0; t < options.num_tenants; ++t) {
+      TenantState& tenant = tenants[t];
+      for (size_t s = step; s < round_end; ++s) {
+        simdb::StepFaults faults;
+        if (tenant.injector != nullptr) {
+          faults = tenant.injector->FaultsForStep(s);
+          if (faults.Any()) {
+            ++tenant.summary.faulted_steps;
+          }
+        }
+        const size_t cursor = s - step;
+        const int target =
+            tenant.plan[std::min(cursor, tenant.plan.size() - 1)];
+        const double workload =
+            tenant.series.values[options.history_steps + s];
+        const simdb::StepStats stats =
+            tenant.cluster->Step(target, workload, faults);
+        tenant.realized.push_back(stats.workload);
+        tenant.allocation.push_back(target);
+        tenant.utilization_sum += stats.avg_utilization;
+        if (stats.slo_violated) {
+          ++tenant.slo_violations;
+        }
+        PushRecent(&tenant, stats.workload, window);
+        tenant.current_nodes = tenant.cluster->NumNodes();
+        if (options.collect_decisions) {
+          obs::ScalingDecision decision;
+          decision.run = StrFormat("tenant%zu", t);
+          decision.step = s;
+          decision.target_nodes = stats.target_nodes;
+          decision.active_nodes = stats.active_nodes;
+          decision.workload = stats.workload;
+          decision.utilization = stats.avg_utilization;
+          decision.under_provisioned = stats.under_provisioned;
+          decision.slo_violated = stats.slo_violated;
+          decision.faulted = faults.Any();
+          result.decisions.push_back(std::move(decision));
+        }
+      }
+    }
+  }
+
+  // Final accounting.
+  for (size_t t = 0; t < options.num_tenants; ++t) {
+    TenantState& tenant = tenants[t];
+    const core::ProvisioningReport report = core::EvaluateAllocation(
+        tenant.realized, tenant.allocation, tenant.config);
+    tenant.summary.under_provision_rate = report.under_provision_rate;
+    tenant.summary.over_provision_rate = report.over_provision_rate;
+    tenant.summary.mean_utilization =
+        tenant.utilization_sum / static_cast<double>(options.num_steps);
+    tenant.summary.slo_violation_rate =
+        static_cast<double>(tenant.slo_violations) /
+        static_cast<double>(options.num_steps);
+    result.tenants[t] = tenant.summary;
+    result.mean_under_provision_rate += tenant.summary.under_provision_rate;
+    result.mean_over_provision_rate += tenant.summary.over_provision_rate;
+    result.mean_utilization += tenant.summary.mean_utilization;
+    result.mean_slo_violation_rate += tenant.summary.slo_violation_rate;
+  }
+  const double n = static_cast<double>(options.num_tenants);
+  result.mean_under_provision_rate /= n;
+  result.mean_over_provision_rate /= n;
+  result.mean_utilization /= n;
+  result.mean_slo_violation_rate /= n;
+  result.cache = registry->GetCacheStats();
+  return result;
+}
+
+}  // namespace rpas::serve

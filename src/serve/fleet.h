@@ -1,0 +1,117 @@
+#ifndef RPAS_SERVE_FLEET_H_
+#define RPAS_SERVE_FLEET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/online_loop.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "serve/admission.h"
+#include "serve/batching.h"
+#include "serve/registry.h"
+#include "simdb/faults.h"
+#include "trace/generator.h"
+
+namespace rpas::serve {
+
+/// Per-tenant outcome of a fleet run.
+struct TenantSummary {
+  uint64_t tenant_id = 0;
+  ModelId model;
+  /// Provisioning quality against realized workload (paper §IV-C metrics).
+  double under_provision_rate = 0.0;
+  double over_provision_rate = 0.0;
+  double mean_utilization = 0.0;
+  double slo_violation_rate = 0.0;
+  /// Planning-round accounting. Every round is served: rounds ==
+  /// fresh_rounds + stale_rounds + fallback_rounds.
+  size_t rounds = 0;
+  size_t fresh_rounds = 0;     ///< fresh forecast from the engine
+  size_t stale_rounds = 0;     ///< injected stale fault: replayed last plan
+  size_t fallback_rounds = 0;  ///< reactive fallback (any cause below)
+  size_t shed_rounds = 0;      ///< deadline-shed by admission control
+  size_t throttled_rounds = 0; ///< token bucket exhausted
+  size_t fault_rounds = 0;     ///< forecaster fault outlasted retries
+  size_t error_rounds = 0;     ///< engine/allocator returned an error
+  size_t faulted_steps = 0;    ///< simulated steps with an active fault
+};
+
+/// Aggregate outcome of a fleet run.
+struct FleetResult {
+  std::vector<TenantSummary> tenants;
+  size_t rounds = 0;  ///< planning rounds executed (shared by all tenants)
+  size_t requests_submitted = 0;  ///< fresh-forecast requests made
+  size_t requests_admitted = 0;
+  size_t requests_throttled = 0;
+  size_t requests_shed = 0;
+  /// Tenant means of the per-tenant rates.
+  double mean_under_provision_rate = 0.0;
+  double mean_over_provision_rate = 0.0;
+  double mean_utilization = 0.0;
+  double mean_slo_violation_rate = 0.0;
+  /// Registry cache effectiveness over the whole run (includes the warm-up
+  /// Acquire() per distinct model at fleet setup).
+  ModelRegistry::CacheStats cache;
+  /// Per-step records for the structured exporters (schema rpas_obs.v1);
+  /// filled when FleetOptions::collect_decisions is set, run label
+  /// "tenant<id>".
+  std::vector<obs::ScalingDecision> decisions;
+};
+
+/// Configuration of a multi-tenant fleet serving run.
+struct FleetOptions {
+  size_t num_tenants = 8;
+  /// Simulated scaling steps per tenant.
+  size_t num_steps = 144;
+  /// Observed history available before serving starts; must cover every
+  /// model's context length.
+  size_t history_steps = 96;
+  /// Steps between planning rounds (every tenant replans each round).
+  size_t replan_every = 6;
+  uint64_t seed = 42;
+  /// Workload shape; per-tenant traces draw tenant-derived seeds from it.
+  trace::TraceProfile profile = trace::AlibabaProfile();
+  /// Robust allocation quantile (paper Definition 4).
+  double tau = 0.95;
+  /// Per-tenant capacity threshold theta = mean(history) / theta_divisor,
+  /// sizing each cluster so workload swings move the node count.
+  double theta_divisor = 4.0;
+  core::DegradationPolicy degradation;
+  /// Fault schedule; each tenant runs an injector with a tenant-derived
+  /// seed, so faults are independent across tenants. Inert by default.
+  simdb::FaultPlan faults;
+  AdmissionController::Options admission;
+  /// Serve rounds through cross-tenant batching (BatchEngine); false runs
+  /// the per-request baseline. The FleetResult is bit-identical either
+  /// way — batching changes cost, never answers.
+  bool batched = true;
+  bool collect_decisions = false;
+  /// Metrics sink threaded through registry consumers created by the run
+  /// (engine, admission, clusters); null routes to the global registry.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Steps `num_tenants` simulated database clusters through the online
+/// scaling loop against a shared serving tier: each planning round, every
+/// tenant requests a fresh quantile forecast for its own synthetic
+/// workload from its assigned model version (`models[tenant % models]`),
+/// the admission controller applies rate limits and the round's deadline
+/// budget, admitted requests run through the batch engine, and each
+/// tenant's RobustQuantileAllocator plan drives its cluster until the next
+/// round. Tenants that are throttled, shed, or hit by an injected
+/// forecaster fault degrade to the reactive fallback plan of PR 2
+/// (core::BuildFallbackPlan) — a tenant's round is never dropped and the
+/// fleet never aborts on a fault.
+///
+/// Determinism: the result is a pure function of `options` and the
+/// registered model weights — independent of thread count and of
+/// `options.batched` (see BatchEngine's contract).
+Result<FleetResult> RunFleet(ModelRegistry* registry,
+                             const std::vector<ModelId>& models,
+                             const FleetOptions& options);
+
+}  // namespace rpas::serve
+
+#endif  // RPAS_SERVE_FLEET_H_

@@ -1,0 +1,166 @@
+#include "serve/registry.h"
+
+#include <fstream>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace rpas::serve {
+namespace {
+
+/// Size of the file at `path` in bytes, or 0 when missing/unreadable.
+size_t FileSizeBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.is_open()) {
+    return 0;
+  }
+  const std::streamoff size = in.tellg();
+  return size > 0 ? static_cast<size_t>(size) : 0;
+}
+
+}  // namespace
+
+std::string ModelId::ToString() const {
+  return StrFormat("%s@v%llu", name.c_str(),
+                   static_cast<unsigned long long>(version));
+}
+
+ModelRegistry::ModelRegistry(Options options) : options_(options) {
+  obs::MetricsRegistry* metrics = obs::ResolveRegistry(options_.metrics);
+  hits_ = metrics->GetCounter("serve.registry.hits");
+  misses_ = metrics->GetCounter("serve.registry.misses");
+  evictions_ = metrics->GetCounter("serve.registry.evictions");
+  loads_ = metrics->GetCounter("serve.registry.loads");
+  resident_bytes_gauge_ = metrics->GetGauge("serve.registry.resident_bytes");
+}
+
+Status ModelRegistry::RegisterVersion(const ModelId& id,
+                                      const std::string& path,
+                                      ForecasterFactory factory) {
+  if (id.name.empty()) {
+    return Status::InvalidArgument("model name must be non-empty");
+  }
+  if (factory == nullptr) {
+    return Status::InvalidArgument("model factory must be non-null");
+  }
+  const size_t bytes = FileSizeBytes(path);
+  if (bytes == 0) {
+    return Status::InvalidArgument(
+        StrFormat("%s: checkpoint missing or empty: %s",
+                  id.ToString().c_str(), path.c_str()));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.count(id) > 0) {
+    return Status::FailedPrecondition(id.ToString() +
+                                      ": version already registered");
+  }
+  Entry entry;
+  entry.path = path;
+  entry.factory = std::move(factory);
+  entry.bytes = bytes;
+  entries_.emplace(id, std::move(entry));
+  return Status::OK();
+}
+
+Status ModelRegistry::RegisterTrained(const ModelId& id,
+                                      const std::string& path,
+                                      const forecast::Forecaster& fitted,
+                                      ForecasterFactory factory) {
+  if (!fitted.SupportsCheckpoint()) {
+    return Status::InvalidArgument(fitted.Name() +
+                                   ": model does not support checkpointing");
+  }
+  RPAS_RETURN_IF_ERROR(fitted.SaveCheckpoint(path));
+  return RegisterVersion(id, path, std::move(factory));
+}
+
+Result<std::shared_ptr<const forecast::Forecaster>> ModelRegistry::Acquire(
+    const ModelId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return Status::NotFound(id.ToString() + ": version not registered");
+  }
+  Entry& entry = it->second;
+  entry.last_used = ++tick_;
+  if (entry.resident != nullptr) {
+    ++stats_.hits;
+    hits_->Increment();
+    return entry.resident;
+  }
+
+  ++stats_.misses;
+  ++stats_.loads;
+  misses_->Increment();
+  loads_->Increment();
+  std::unique_ptr<forecast::Forecaster> model = entry.factory();
+  if (model == nullptr) {
+    return Status::Internal(id.ToString() + ": factory returned null");
+  }
+  RPAS_RETURN_IF_ERROR(model->LoadCheckpoint(entry.path));
+  std::shared_ptr<const forecast::Forecaster> shared = std::move(model);
+  entry.resident = shared;
+  resident_bytes_ += entry.bytes;
+  EvictToBudgetLocked();
+  stats_.resident_bytes = resident_bytes_;
+  resident_bytes_gauge_->Set(static_cast<double>(resident_bytes_));
+  return shared;
+}
+
+void ModelRegistry::EvictToBudgetLocked() {
+  // LRU scan over the (small) version map; the just-loaded entry carries
+  // the newest tick, so it is evicted only when it alone exceeds the
+  // budget — the bound holds unconditionally.
+  while (resident_bytes_ > options_.cache_budget_bytes) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.resident == nullptr) {
+        continue;
+      }
+      if (victim == entries_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) {
+      break;  // nothing resident; budget of 0 with no cache
+    }
+    victim->second.resident.reset();
+    resident_bytes_ -= victim->second.bytes;
+    ++stats_.evictions;
+    evictions_->Increment();
+  }
+}
+
+Result<ModelId> ModelRegistry::Latest(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Map order is (name asc, version asc): the last entry with a matching
+  // name is the highest version.
+  Result<ModelId> latest = Status::NotFound(name + ": no versions registered");
+  for (const auto& [id, entry] : entries_) {
+    if (id.name == name) {
+      latest = id;
+    }
+  }
+  return latest;
+}
+
+size_t ModelRegistry::NumRegistered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+ModelRegistry::CacheStats ModelRegistry::GetCacheStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats stats = stats_;
+  stats.resident_bytes = resident_bytes_;
+  stats.resident_models = 0;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.resident != nullptr) {
+      ++stats.resident_models;
+    }
+  }
+  return stats;
+}
+
+}  // namespace rpas::serve

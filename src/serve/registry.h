@@ -1,0 +1,141 @@
+#ifndef RPAS_SERVE_REGISTRY_H_
+#define RPAS_SERVE_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "forecast/forecaster.h"
+#include "obs/metrics.h"
+
+namespace rpas::serve {
+
+/// Identity of one immutable model version in the registry. Versions are
+/// append-only: retraining a tenant's forecaster registers a new version
+/// under the same name rather than mutating the old one, so an in-flight
+/// request always serves against exactly the weights it asked for.
+struct ModelId {
+  std::string name;
+  uint64_t version = 1;
+
+  bool operator==(const ModelId& other) const {
+    return version == other.version && name == other.name;
+  }
+  bool operator<(const ModelId& other) const {
+    if (name != other.name) {
+      return name < other.name;
+    }
+    return version < other.version;
+  }
+  /// "name@v<version>", used in errors and logs.
+  std::string ToString() const;
+};
+
+/// Creates an unfitted forecaster configured identically to the one that
+/// wrote the version's checkpoint (LoadCheckpoint verifies the
+/// architecture signature, so a mismatched factory fails loudly).
+using ForecasterFactory =
+    std::function<std::unique_ptr<forecast::Forecaster>()>;
+
+/// Versioned checkpoint store with a bounded warm-model cache.
+///
+/// Registration records where a version's checkpoint lives and how to
+/// rebuild its architecture; Acquire() returns a ready-to-serve model,
+/// loading the checkpoint on a cache miss and keeping recently used models
+/// warm under an LRU policy bounded by a byte budget (checkpoint file
+/// size is the accounting unit). Eviction only drops the registry's
+/// reference — callers holding a shared_ptr keep serving the evicted
+/// model; it is freed when the last request finishes.
+///
+/// Thread-safe; Acquire() holds the registry mutex across a cache-miss
+/// load, serializing loads (the model cache exists precisely because
+/// checkpoint parsing is the expensive step of a version switch).
+class ModelRegistry {
+ public:
+  struct Options {
+    /// Upper bound on the summed checkpoint bytes of warm (resident)
+    /// models. The bound always holds after Acquire() returns — a version
+    /// larger than the whole budget is served but never kept resident.
+    size_t cache_budget_bytes = 1 << 20;
+    /// Metrics sink for the serve.registry.* instruments; null routes to
+    /// obs::MetricsRegistry::Global(). Must outlive the registry.
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  /// Cache effectiveness counters; values agree exactly with the
+  /// serve.registry.* metrics when a dedicated registry is injected.
+  struct CacheStats {
+    int64_t hits = 0;        ///< Acquire() served from the warm cache
+    int64_t misses = 0;      ///< Acquire() had to load a checkpoint
+    int64_t evictions = 0;   ///< warm models dropped to respect the budget
+    int64_t loads = 0;       ///< checkpoint parses (== misses)
+    size_t resident_bytes = 0;
+    size_t resident_models = 0;
+  };
+
+  explicit ModelRegistry(Options options);
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Registers a version whose checkpoint already exists at `path`.
+  /// The factory must produce a model whose SupportsCheckpoint() is true
+  /// and whose configuration matches the checkpoint. Fails with
+  /// FailedPrecondition on a duplicate id and InvalidArgument when the
+  /// checkpoint file is missing or empty.
+  Status RegisterVersion(const ModelId& id, const std::string& path,
+                         ForecasterFactory factory);
+
+  /// Persists `fitted` to `path` via SaveCheckpoint(), then registers the
+  /// version. The fitted model itself is NOT cached — the first Acquire()
+  /// round-trips through the checkpoint, proving the version is servable
+  /// from disk alone.
+  Status RegisterTrained(const ModelId& id, const std::string& path,
+                         const forecast::Forecaster& fitted,
+                         ForecasterFactory factory);
+
+  /// Returns a ready-to-serve model for the version, loading and caching
+  /// it if cold. NotFound for unregistered ids; load errors propagate.
+  Result<std::shared_ptr<const forecast::Forecaster>> Acquire(
+      const ModelId& id);
+
+  /// Highest registered version for `name`; NotFound when absent.
+  Result<ModelId> Latest(const std::string& name) const;
+
+  size_t NumRegistered() const;
+  CacheStats GetCacheStats() const;
+  const Options& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::string path;
+    ForecasterFactory factory;
+    size_t bytes = 0;  ///< checkpoint file size (cache accounting unit)
+    std::shared_ptr<const forecast::Forecaster> resident;  ///< null = cold
+    uint64_t last_used = 0;  ///< logical clock for LRU ordering
+  };
+
+  /// Drops least-recently-used warm models until the budget holds.
+  /// Call with mu_ held.
+  void EvictToBudgetLocked();
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<ModelId, Entry> entries_;
+  size_t resident_bytes_ = 0;
+  uint64_t tick_ = 0;
+  CacheStats stats_;
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
+  obs::Counter* loads_ = nullptr;
+  obs::Gauge* resident_bytes_gauge_ = nullptr;
+};
+
+}  // namespace rpas::serve
+
+#endif  // RPAS_SERVE_REGISTRY_H_

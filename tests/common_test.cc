@@ -415,6 +415,101 @@ TEST_F(CsvTest, ColumnIndexLookup) {
   EXPECT_EQ(table.ColumnIndex("nope"), -1);
 }
 
+TEST_F(CsvTest, CrlfLineEndingsAccepted) {
+  {
+    std::FILE* f = std::fopen(path_str().c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("a,b\r\n1,2\r\n3,4\r\n", f);
+    std::fclose(f);
+  }
+  auto loaded = ReadCsv(path_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(loaded->rows.size(), 2u);
+  EXPECT_EQ(loaded->rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST_F(CsvTest, QuotedFieldMayContainCommas) {
+  {
+    std::FILE* f = std::fopen(path_str().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("name,value\n\"cpu,max\",3.5\nplain,4\n", f);
+    std::fclose(f);
+  }
+  auto loaded = ReadCsv(path_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->rows.size(), 2u);
+  EXPECT_EQ(loaded->rows[0][0], "cpu,max");
+  EXPECT_EQ(loaded->rows[0][1], "3.5");
+  EXPECT_EQ(loaded->rows[1][0], "plain");
+}
+
+TEST_F(CsvTest, DoubledQuoteDecodesToLiteralQuote) {
+  {
+    std::FILE* f = std::fopen(path_str().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("msg\n\"say \"\"hi\"\", then leave\"\n", f);
+    std::fclose(f);
+  }
+  auto loaded = ReadCsv(path_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->rows.size(), 1u);
+  EXPECT_EQ(loaded->rows[0][0], "say \"hi\", then leave");
+}
+
+TEST_F(CsvTest, QuotedFieldsPreserveWhitespaceUnquotedAreTrimmed) {
+  {
+    std::FILE* f = std::fopen(path_str().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("a,b\n\"  padded  \",  trimmed  \n", f);
+    std::fclose(f);
+  }
+  auto loaded = ReadCsv(path_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->rows[0][0], "  padded  ");
+  EXPECT_EQ(loaded->rows[0][1], "trimmed");
+}
+
+TEST_F(CsvTest, UnterminatedQuoteRejected) {
+  {
+    std::FILE* f = std::fopen(path_str().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("a\n\"never closed\n", f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(ReadCsv(path_str()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, TextAfterClosingQuoteRejected) {
+  {
+    std::FILE* f = std::fopen(path_str().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("a\n\"x\"junk\n", f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(ReadCsv(path_str()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, WriterQuotesFieldsThatNeedIt) {
+  CsvTable table;
+  table.header = {"name", "note"};
+  table.rows = {{"cpu,max", "has \"quotes\""}, {"plain", "  padded  "}};
+  ASSERT_TRUE(WriteCsv(path_str(), table).ok());
+  auto loaded = ReadCsv(path_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->header, table.header);
+  EXPECT_EQ(loaded->rows, table.rows);
+}
+
+TEST(CsvRecordTest, SplitHandlesEmptyAndQuotedEmptyFields) {
+  auto fields = SplitCsvRecord("a,,\"\",d");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields,
+            (std::vector<std::string>{"a", "", "", "d"}));
+}
+
 TEST(RngTest, PoissonZeroMean) {
   Rng rng(61);
   for (int i = 0; i < 100; ++i) {

@@ -317,6 +317,64 @@ TEST(DeterminismTest, BacktestFoldSeedsAreIndependent) {
   EXPECT_EQ(DeriveSeed(2024, 3), DeriveSeed(2024, 3));
 }
 
+TEST(DeterminismTest, TraceGeneratorBitIdenticalAcrossThreadCounts) {
+  // Trace synthesis feeds every bench and the serving fleet; its output
+  // must be a pure function of (profile, seed) no matter how many pool
+  // threads happen to be configured when it runs.
+  ThreadOverrideGuard guard;
+  for (const trace::TraceProfile& profile :
+       {trace::AlibabaProfile(), trace::GoogleProfile()}) {
+    SetRpasThreads(1);
+    const ts::TimeSeries serial =
+        trace::SyntheticTraceGenerator(profile, 2024).GenerateCpu(576);
+    for (int threads : {2, 4, 8}) {
+      SetRpasThreads(threads);
+      const ts::TimeSeries parallel =
+          trace::SyntheticTraceGenerator(profile, 2024).GenerateCpu(576);
+      ASSERT_EQ(serial.size(), parallel.size()) << profile.name;
+      for (size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_EQ(serial.values[i], parallel.values[i])
+            << profile.name << " step " << i << " at " << threads
+            << " threads";
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, TraceGeneratorRepeatableAndSeedSensitive) {
+  const trace::TraceProfile profile = trace::AlibabaProfile();
+  const ts::TimeSeries a =
+      trace::SyntheticTraceGenerator(profile, 7).GenerateCpu(288);
+  const ts::TimeSeries b =
+      trace::SyntheticTraceGenerator(profile, 7).GenerateCpu(288);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.values[i], b.values[i]) << "step " << i;
+  }
+  // A different seed must actually change the trace.
+  const ts::TimeSeries c =
+      trace::SyntheticTraceGenerator(profile, 8).GenerateCpu(288);
+  size_t diffs = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    diffs += a.values[i] != c.values[i] ? 1 : 0;
+  }
+  EXPECT_GT(diffs, a.size() / 2);
+}
+
+TEST(DeterminismTest, TraceGeneratorCpuViewMatchesFullTrace) {
+  // GenerateCpu is documented as a view of Generate's CPU series; the two
+  // entry points must never drift apart (the generator is stateless, so a
+  // second call replays the same streams).
+  const trace::TraceProfile profile = trace::GoogleProfile();
+  const trace::SyntheticTraceGenerator generator(profile, 11);
+  const ts::TimeSeries cpu_only = generator.GenerateCpu(288);
+  const trace::ResourceTrace full = generator.Generate(288);
+  ASSERT_EQ(cpu_only.size(), full.cpu.size());
+  for (size_t i = 0; i < cpu_only.size(); ++i) {
+    ASSERT_EQ(cpu_only.values[i], full.cpu.values[i]) << "step " << i;
+  }
+}
+
 // Timing report for the acceptance criterion (>= 2x at 4 threads on >= 4
 // cores). Informational on smaller machines: the determinism assertions
 // above are the hard guarantee; wall-clock depends on the hardware the

@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "core/manager.h"
 #include "dist/empirical.h"
+#include "dist/student_t.h"
 #include "core/strategies.h"
 #include "core/uncertainty.h"
 #include "simdb/warmup.h"
@@ -274,6 +275,38 @@ TEST_P(SeededProperty, AggregateBlocksPreservesTotalMean) {
   const ts::TimeSeries agg = AggregateBlocks(s, block);
   ASSERT_EQ(agg.size(), blocks);
   EXPECT_NEAR(agg.Mean(), s.Mean(), 1e-9);
+}
+
+TEST_P(SeededProperty, StudentTQuantileFiniteOnClosedUnitInterval) {
+  Rng rng(GetParam() ^ 0x57);
+  const double location = rng.Uniform(-10.0, 10.0);
+  const double scale = rng.Uniform(0.1, 5.0);
+  const double dof = rng.Uniform(1.0, 30.0);
+  const dist::StudentT t(location, scale, dof);
+  // The exact endpoints are the satellite case: they must clamp to a far
+  // tail instead of aborting, and stay ordered against interior quantiles.
+  const double q0 = t.Quantile(0.0);
+  const double q1 = t.Quantile(1.0);
+  EXPECT_TRUE(std::isfinite(q0));
+  EXPECT_TRUE(std::isfinite(q1));
+  EXPECT_LT(q0, t.Quantile(0.01));
+  EXPECT_GT(q1, t.Quantile(0.99));
+  double prev = q0;
+  for (double p : {0.001, 0.1, 0.5, 0.9, 0.999, 1.0}) {
+    const double q = t.Quantile(p);
+    EXPECT_TRUE(std::isfinite(q)) << "p=" << p;
+    EXPECT_GE(q, prev) << "p=" << p;
+    prev = q;
+  }
+}
+
+TEST_P(SeededProperty, StudentTQuantileCdfRoundTrip) {
+  Rng rng(GetParam() ^ 0x58);
+  const dist::StudentT t(rng.Uniform(-5.0, 5.0), rng.Uniform(0.5, 3.0),
+                         rng.Uniform(2.0, 20.0));
+  for (double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    EXPECT_NEAR(t.Cdf(t.Quantile(p)), p, 1e-6) << "p=" << p;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,

@@ -1,0 +1,570 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "forecast/deepar.h"
+#include "forecast/mlp.h"
+#include "serve/admission.h"
+#include "serve/batching.h"
+#include "serve/fleet.h"
+#include "serve/registry.h"
+
+namespace rpas::serve {
+namespace {
+
+using forecast::DeepArForecaster;
+using forecast::ForecastInput;
+using forecast::MlpForecaster;
+
+constexpr size_t kContext = 12;
+constexpr size_t kHorizon = 6;
+
+ts::TimeSeries SineSeries(size_t num_steps, uint64_t seed) {
+  ts::TimeSeries s;
+  s.step_minutes = 10.0;
+  s.name = "sine";
+  Rng rng(seed);
+  for (size_t i = 0; i < num_steps; ++i) {
+    const double phase =
+        2.0 * M_PI * static_cast<double>(i % 144) / 144.0;
+    s.values.push_back(10.0 + 4.0 * std::sin(phase) + 0.3 * rng.Normal());
+  }
+  return s;
+}
+
+MlpForecaster::Options SmallMlpOptions() {
+  MlpForecaster::Options options;
+  options.context_length = kContext;
+  options.horizon = kHorizon;
+  options.hidden_dim = 8;
+  options.num_hidden_layers = 1;
+  options.batch_size = 16;
+  options.train.steps = 40;
+  options.train.lr = 2e-3;
+  return options;
+}
+
+DeepArForecaster::Options SmallDeepArOptions() {
+  DeepArForecaster::Options options;
+  options.context_length = kContext;
+  options.horizon = kHorizon;
+  options.hidden_dim = 8;
+  options.batch_size = 8;
+  options.num_samples = 16;
+  options.train.steps = 30;
+  options.train.lr = 5e-3;
+  return options;
+}
+
+/// Checkpoints of one tiny trained MLP and one tiny trained DeepAR,
+/// written once per test binary (training dominates the suite's runtime).
+struct TrainedCheckpoints {
+  std::string mlp_path;
+  std::string deepar_path;
+};
+
+const TrainedCheckpoints& Checkpoints() {
+  static const TrainedCheckpoints* checkpoints = [] {
+    auto* c = new TrainedCheckpoints;
+    c->mlp_path = "/tmp/rpas_serve_test_mlp.ckpt";
+    c->deepar_path = "/tmp/rpas_serve_test_deepar.ckpt";
+    const ts::TimeSeries train = SineSeries(400, 7);
+    MlpForecaster mlp(SmallMlpOptions());
+    RPAS_CHECK(mlp.Fit(train).ok());
+    RPAS_CHECK(mlp.SaveCheckpoint(c->mlp_path).ok());
+    DeepArForecaster deepar(SmallDeepArOptions());
+    RPAS_CHECK(deepar.Fit(train).ok());
+    RPAS_CHECK(deepar.SaveCheckpoint(c->deepar_path).ok());
+    return c;
+  }();
+  return *checkpoints;
+}
+
+ForecasterFactory MlpFactory() {
+  return [] { return std::make_unique<MlpForecaster>(SmallMlpOptions()); };
+}
+
+ForecasterFactory DeepArFactory() {
+  return [] {
+    return std::make_unique<DeepArForecaster>(SmallDeepArOptions());
+  };
+}
+
+/// Registry with `versions` MLP versions named "mlp" (all sharing one
+/// checkpoint file's content, copied so each version has its own path)
+/// plus one DeepAR version "deepar@v1".
+struct TestRegistry {
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::unique_ptr<ModelRegistry> registry;
+};
+
+TestRegistry MakeRegistry(size_t cache_budget_bytes) {
+  TestRegistry r;
+  r.metrics = std::make_unique<obs::MetricsRegistry>(true);
+  ModelRegistry::Options options;
+  options.cache_budget_bytes = cache_budget_bytes;
+  options.metrics = r.metrics.get();
+  r.registry = std::make_unique<ModelRegistry>(options);
+  RPAS_CHECK(r.registry
+                 ->RegisterVersion({"mlp", 1}, Checkpoints().mlp_path,
+                                   MlpFactory())
+                 .ok());
+  RPAS_CHECK(r.registry
+                 ->RegisterVersion({"deepar", 1}, Checkpoints().deepar_path,
+                                   DeepArFactory())
+                 .ok());
+  return r;
+}
+
+ForecastInput MakeInput(uint64_t variant) {
+  const ts::TimeSeries s = SineSeries(kContext + 40, 100 + variant);
+  ForecastInput input;
+  input.start_index = s.size() - kContext;
+  input.step_minutes = s.step_minutes;
+  input.context.assign(s.values.end() - static_cast<long>(kContext),
+                       s.values.end());
+  return input;
+}
+
+void ExpectForecastsBitIdentical(const ts::QuantileForecast& a,
+                                 const ts::QuantileForecast& b) {
+  ASSERT_EQ(a.Horizon(), b.Horizon());
+  ASSERT_EQ(a.Levels(), b.Levels());
+  for (size_t h = 0; h < a.Horizon(); ++h) {
+    for (size_t q = 0; q < a.Levels().size(); ++q) {
+      EXPECT_EQ(a.ValueAtIndex(h, q), b.ValueAtIndex(h, q))
+          << "mismatch at step " << h << " level " << q;
+    }
+  }
+}
+
+// --------------------------------------------------------------- Registry ---
+
+TEST(ModelRegistryTest, AcquireLoadsAndServesCheckpoint) {
+  TestRegistry r = MakeRegistry(1 << 20);
+  auto model = r.registry->Acquire({"mlp", 1});
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  auto forecast = (*model)->PredictSeeded(MakeInput(0), 1);
+  ASSERT_TRUE(forecast.ok()) << forecast.status().ToString();
+  EXPECT_EQ(forecast->Horizon(), kHorizon);
+
+  // The checkpoint round-trip serves the same function as the fitted
+  // model: an identically configured instance loaded from disk predicts
+  // bit-identically.
+  MlpForecaster fresh(SmallMlpOptions());
+  ASSERT_TRUE(fresh.LoadCheckpoint(Checkpoints().mlp_path).ok());
+  auto direct = fresh.PredictSeeded(MakeInput(0), 1);
+  ASSERT_TRUE(direct.ok());
+  ExpectForecastsBitIdentical(*forecast, *direct);
+}
+
+TEST(ModelRegistryTest, UnknownVersionIsNotFound) {
+  TestRegistry r = MakeRegistry(1 << 20);
+  EXPECT_EQ(r.registry->Acquire({"mlp", 99}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(r.registry->Acquire({"nope", 1}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ModelRegistryTest, DuplicateAndMissingRegistrationsRejected) {
+  TestRegistry r = MakeRegistry(1 << 20);
+  EXPECT_EQ(r.registry
+                ->RegisterVersion({"mlp", 1}, Checkpoints().mlp_path,
+                                  MlpFactory())
+                .code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(r.registry
+                ->RegisterVersion({"mlp", 2}, "/tmp/does_not_exist.ckpt",
+                                  MlpFactory())
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ModelRegistryTest, LatestReturnsHighestVersion) {
+  TestRegistry r = MakeRegistry(1 << 20);
+  ASSERT_TRUE(r.registry
+                  ->RegisterVersion({"mlp", 7}, Checkpoints().mlp_path,
+                                    MlpFactory())
+                  .ok());
+  auto latest = r.registry->Latest("mlp");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->version, 7u);
+  EXPECT_EQ(r.registry->Latest("absent").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ModelRegistryTest, LruRespectsByteBudgetAndCountsEvictions) {
+  // Budget fits exactly one model: every alternation evicts.
+  TestRegistry r = MakeRegistry(1 << 20);
+  ASSERT_TRUE(r.registry->Acquire({"mlp", 1}).ok());
+  const size_t one_model_bytes = r.registry->GetCacheStats().resident_bytes;
+  ASSERT_GT(one_model_bytes, 0u);
+
+  TestRegistry tight = MakeRegistry(one_model_bytes);
+  ASSERT_TRUE(tight.registry->Acquire({"mlp", 1}).ok());     // miss
+  ASSERT_TRUE(tight.registry->Acquire({"mlp", 1}).ok());     // hit
+  ASSERT_TRUE(tight.registry->Acquire({"deepar", 1}).ok());  // miss + evict
+  ASSERT_TRUE(tight.registry->Acquire({"mlp", 1}).ok());     // miss + evict
+
+  const ModelRegistry::CacheStats stats = tight.registry->GetCacheStats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 3);
+  EXPECT_EQ(stats.loads, 3);
+  EXPECT_GE(stats.evictions, 2);
+  EXPECT_LE(stats.resident_bytes, one_model_bytes);
+  EXPECT_EQ(stats.resident_models, 1u);
+
+  // The stats agree exactly with the injected metrics registry.
+  EXPECT_EQ(tight.metrics->GetCounter("serve.registry.hits")->value(),
+            stats.hits);
+  EXPECT_EQ(tight.metrics->GetCounter("serve.registry.misses")->value(),
+            stats.misses);
+  EXPECT_EQ(tight.metrics->GetCounter("serve.registry.evictions")->value(),
+            stats.evictions);
+  EXPECT_EQ(tight.metrics->GetCounter("serve.registry.loads")->value(),
+            stats.loads);
+}
+
+TEST(ModelRegistryTest, EvictedModelStaysAliveForHolders) {
+  TestRegistry r = MakeRegistry(1 << 20);
+  ASSERT_TRUE(r.registry->Acquire({"mlp", 1}).ok());
+  const size_t one_model_bytes = r.registry->GetCacheStats().resident_bytes;
+
+  TestRegistry tight = MakeRegistry(one_model_bytes);
+  auto held = tight.registry->Acquire({"mlp", 1});
+  ASSERT_TRUE(held.ok());
+  ASSERT_TRUE(tight.registry->Acquire({"deepar", 1}).ok());  // evicts mlp
+  // The holder's reference still serves.
+  auto forecast = (*held)->PredictSeeded(MakeInput(1), 3);
+  ASSERT_TRUE(forecast.ok()) << forecast.status().ToString();
+}
+
+TEST(ModelRegistryTest, OversizedModelServedButNotCached) {
+  TestRegistry tiny = MakeRegistry(/*cache_budget_bytes=*/1);
+  auto model = tiny.registry->Acquire({"mlp", 1});
+  ASSERT_TRUE(model.ok());
+  const ModelRegistry::CacheStats stats = tiny.registry->GetCacheStats();
+  EXPECT_EQ(stats.resident_models, 0u);
+  EXPECT_LE(stats.resident_bytes, 1u);
+  auto forecast = (*model)->PredictSeeded(MakeInput(2), 5);
+  EXPECT_TRUE(forecast.ok());
+}
+
+// ------------------------------------------------------------ PredictSeeded ---
+
+TEST(PredictSeededTest, DeepArIsPureFunctionOfSeed) {
+  DeepArForecaster model(SmallDeepArOptions());
+  ASSERT_TRUE(model.LoadCheckpoint(Checkpoints().deepar_path).ok());
+  const ForecastInput input = MakeInput(3);
+  auto a = model.PredictSeeded(input, 17);
+  auto b = model.PredictSeeded(input, 17);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectForecastsBitIdentical(*a, *b);
+  // A different seed samples different trajectories.
+  auto c = model.PredictSeeded(input, 18);
+  ASSERT_TRUE(c.ok());
+  bool any_diff = false;
+  for (size_t h = 0; h < a->Horizon() && !any_diff; ++h) {
+    for (size_t q = 0; q < a->Levels().size() && !any_diff; ++q) {
+      any_diff = a->ValueAtIndex(h, q) != c->ValueAtIndex(h, q);
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// ------------------------------------------------------------- BatchEngine ---
+
+std::vector<ForecastRequest> MixedSlate(size_t n) {
+  std::vector<ForecastRequest> requests;
+  for (size_t i = 0; i < n; ++i) {
+    ForecastRequest request;
+    request.tenant_id = i;
+    request.model =
+        (i % 3 == 0) ? ModelId{"deepar", 1} : ModelId{"mlp", 1};
+    request.input = MakeInput(i);
+    request.seed = 1000 + i;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+std::vector<ForecastResponse> RunEngine(bool batched, int threads,
+                                        const std::vector<ForecastRequest>& slate) {
+  SetRpasThreads(threads);
+  TestRegistry r = MakeRegistry(1 << 20);
+  BatchEngine::Options options;
+  options.batch_across_tenants = batched;
+  options.metrics = r.metrics.get();
+  BatchEngine engine(r.registry.get(), options);
+  std::vector<ForecastResponse> responses = engine.Execute(slate);
+  SetRpasThreads(0);
+  return responses;
+}
+
+TEST(BatchEngineTest, BatchedMatchesUnbatchedBitIdenticallyAcrossThreads) {
+  const std::vector<ForecastRequest> slate = MixedSlate(9);
+  const std::vector<ForecastResponse> unbatched_1 =
+      RunEngine(/*batched=*/false, /*threads=*/1, slate);
+  const std::vector<ForecastResponse> batched_1 =
+      RunEngine(/*batched=*/true, /*threads=*/1, slate);
+  const std::vector<ForecastResponse> batched_8 =
+      RunEngine(/*batched=*/true, /*threads=*/8, slate);
+  ASSERT_EQ(unbatched_1.size(), slate.size());
+  for (size_t i = 0; i < slate.size(); ++i) {
+    ASSERT_TRUE(unbatched_1[i].ok());
+    ASSERT_TRUE(batched_1[i].ok());
+    ASSERT_TRUE(batched_8[i].ok());
+    ExpectForecastsBitIdentical(unbatched_1[i].forecast,
+                                batched_1[i].forecast);
+    ExpectForecastsBitIdentical(batched_1[i].forecast, batched_8[i].forecast);
+  }
+}
+
+TEST(BatchEngineTest, ResponseIndependentOfBatchComposition) {
+  // The same (model, input, seed) request must get a bit-identical answer
+  // whether it is served alone or embedded in a larger mixed slate.
+  const std::vector<ForecastRequest> big = MixedSlate(9);
+  const std::vector<ForecastResponse> big_responses =
+      RunEngine(/*batched=*/true, /*threads=*/2, big);
+  for (size_t i : {0u, 4u, 8u}) {
+    const std::vector<ForecastRequest> alone{big[i]};
+    const std::vector<ForecastResponse> alone_response =
+        RunEngine(/*batched=*/true, /*threads=*/2, alone);
+    ASSERT_TRUE(alone_response[0].ok());
+    ExpectForecastsBitIdentical(alone_response[0].forecast,
+                                big_responses[i].forecast);
+  }
+}
+
+TEST(BatchEngineTest, PerRequestErrorsDoNotPoisonTheBatch) {
+  TestRegistry r = MakeRegistry(1 << 20);
+  BatchEngine engine(r.registry.get(), {true, r.metrics.get()});
+  std::vector<ForecastRequest> slate = MixedSlate(3);
+  slate[1].model = ModelId{"unknown", 1};       // unregistered version
+  slate[2].input.context.resize(kContext - 2);  // malformed context
+  const std::vector<ForecastResponse> responses = engine.Execute(slate);
+  EXPECT_TRUE(responses[0].ok());
+  EXPECT_EQ(responses[1].status.code(), StatusCode::kNotFound);
+  EXPECT_FALSE(responses[2].ok());
+  EXPECT_EQ(r.metrics->GetCounter("serve.engine.request_errors")->value(), 2);
+}
+
+// --------------------------------------------------------------- Admission ---
+
+TEST(AdmissionTest, TokenBucketThrottlesAndRecovers) {
+  AdmissionController::Options options;
+  options.bucket_capacity = 1.0;
+  options.refill_per_round = 0.25;
+  options.cost_per_request = 1.0;
+  auto metrics = std::make_unique<obs::MetricsRegistry>(true);
+  options.metrics = metrics.get();
+  AdmissionController admission(options, 1);
+
+  admission.BeginRound();
+  EXPECT_EQ(admission.AdmitRound({0})[0], AdmissionVerdict::kAdmitted);
+  // Bucket empty; 0.25/round refill needs three more rounds.
+  for (int round = 0; round < 3; ++round) {
+    admission.BeginRound();
+    EXPECT_EQ(admission.AdmitRound({0})[0], AdmissionVerdict::kThrottled);
+  }
+  admission.BeginRound();
+  EXPECT_EQ(admission.AdmitRound({0})[0], AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(metrics->GetCounter("serve.admission.admitted")->value(), 2);
+  EXPECT_EQ(metrics->GetCounter("serve.admission.throttled")->value(), 3);
+}
+
+TEST(AdmissionTest, DeadlineShedRotatesFairly) {
+  AdmissionController::Options options;
+  options.bucket_capacity = 100.0;
+  options.refill_per_round = 100.0;
+  options.round_budget = 2;
+  AdmissionController admission(options, 4);
+
+  std::vector<int> admitted_count(4, 0);
+  const std::vector<uint64_t> all{0, 1, 2, 3};
+  for (int round = 0; round < 8; ++round) {
+    admission.BeginRound();
+    const std::vector<AdmissionVerdict> verdicts = admission.AdmitRound(all);
+    int admitted = 0;
+    for (size_t t = 0; t < all.size(); ++t) {
+      if (verdicts[t] == AdmissionVerdict::kAdmitted) {
+        ++admitted_count[t];
+        ++admitted;
+      } else {
+        EXPECT_EQ(verdicts[t], AdmissionVerdict::kDeadlineShed);
+      }
+    }
+    EXPECT_EQ(admitted, 2);
+  }
+  // Rotation shares the budget evenly: 8 rounds x 2 slots / 4 tenants.
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(admitted_count[t], 4) << "tenant " << t;
+  }
+}
+
+TEST(AdmissionTest, UnboundedBudgetAdmitsAllWithTokens) {
+  AdmissionController admission({}, 8);
+  admission.BeginRound();
+  const std::vector<AdmissionVerdict> verdicts =
+      admission.AdmitRound({0, 1, 2, 3, 4, 5, 6, 7});
+  for (AdmissionVerdict v : verdicts) {
+    EXPECT_EQ(v, AdmissionVerdict::kAdmitted);
+  }
+}
+
+// ------------------------------------------------------------------- Fleet ---
+
+FleetOptions SmallFleetOptions() {
+  FleetOptions options;
+  options.num_tenants = 4;
+  options.num_steps = 24;
+  options.history_steps = 24;
+  options.replan_every = 6;
+  options.seed = 99;
+  options.collect_decisions = true;
+  return options;
+}
+
+TEST(FleetTest, ServesEveryTenantEveryRound) {
+  TestRegistry r = MakeRegistry(1 << 20);
+  FleetOptions options = SmallFleetOptions();
+  options.metrics = r.metrics.get();
+  auto result = RunFleet(r.registry.get(),
+                         {{"mlp", 1}, {"deepar", 1}}, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rounds, 4u);
+  ASSERT_EQ(result->tenants.size(), 4u);
+  for (const TenantSummary& tenant : result->tenants) {
+    EXPECT_EQ(tenant.rounds, 4u);
+    // Every round is served by exactly one disposition.
+    EXPECT_EQ(tenant.rounds, tenant.fresh_rounds + tenant.stale_rounds +
+                                 tenant.fallback_rounds);
+    EXPECT_GE(tenant.mean_utilization, 0.0);
+  }
+  // One decision record per tenant per step.
+  EXPECT_EQ(result->decisions.size(), 4u * 24u);
+}
+
+TEST(FleetTest, ResultIdenticalAcrossBatchingModeAndThreadCount) {
+  auto run = [](bool batched, int threads) {
+    SetRpasThreads(threads);
+    TestRegistry r = MakeRegistry(1 << 20);
+    FleetOptions options = SmallFleetOptions();
+    options.batched = batched;
+    options.metrics = r.metrics.get();
+    auto result = RunFleet(r.registry.get(),
+                           {{"mlp", 1}, {"deepar", 1}}, options);
+    SetRpasThreads(0);
+    RPAS_CHECK(result.ok());
+    return std::move(*result);
+  };
+  const FleetResult batched_1 = run(true, 1);
+  const FleetResult batched_8 = run(true, 8);
+  const FleetResult unbatched = run(false, 1);
+  for (const FleetResult* other : {&batched_8, &unbatched}) {
+    ASSERT_EQ(batched_1.tenants.size(), other->tenants.size());
+    for (size_t t = 0; t < batched_1.tenants.size(); ++t) {
+      EXPECT_EQ(batched_1.tenants[t].under_provision_rate,
+                other->tenants[t].under_provision_rate);
+      EXPECT_EQ(batched_1.tenants[t].over_provision_rate,
+                other->tenants[t].over_provision_rate);
+      EXPECT_EQ(batched_1.tenants[t].mean_utilization,
+                other->tenants[t].mean_utilization);
+      EXPECT_EQ(batched_1.tenants[t].fresh_rounds,
+                other->tenants[t].fresh_rounds);
+    }
+    ASSERT_EQ(batched_1.decisions.size(), other->decisions.size());
+    for (size_t i = 0; i < batched_1.decisions.size(); ++i) {
+      EXPECT_EQ(batched_1.decisions[i].target_nodes,
+                other->decisions[i].target_nodes);
+      EXPECT_EQ(batched_1.decisions[i].workload, other->decisions[i].workload);
+      EXPECT_EQ(batched_1.decisions[i].utilization,
+                other->decisions[i].utilization);
+    }
+  }
+}
+
+TEST(FleetTest, DeadlineShedTenantsFallBackAndAreCounted) {
+  TestRegistry r = MakeRegistry(1 << 20);
+  FleetOptions options = SmallFleetOptions();
+  options.metrics = r.metrics.get();
+  options.admission.round_budget = 2;  // 4 tenants want in: 2 shed per round
+  auto result = RunFleet(r.registry.get(),
+                         {{"mlp", 1}, {"deepar", 1}}, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->requests_shed, result->rounds * 2);
+  size_t total_shed = 0;
+  for (const TenantSummary& tenant : result->tenants) {
+    total_shed += tenant.shed_rounds;
+    // Shed rounds were served by the fallback, never dropped.
+    EXPECT_EQ(tenant.rounds, tenant.fresh_rounds + tenant.stale_rounds +
+                                 tenant.fallback_rounds);
+    EXPECT_GE(tenant.fallback_rounds, tenant.shed_rounds);
+  }
+  EXPECT_EQ(total_shed, result->requests_shed);
+  EXPECT_EQ(r.metrics->GetCounter("serve.admission.shed")->value(),
+            static_cast<int64_t>(result->requests_shed));
+}
+
+TEST(FleetTest, InjectedFaultsDegradeGracefully) {
+  TestRegistry r = MakeRegistry(1 << 20);
+  FleetOptions options = SmallFleetOptions();
+  options.num_steps = 36;
+  options.metrics = r.metrics.get();
+  options.faults = simdb::FaultPlan::Uniform(0.3, 77);
+  auto result = RunFleet(r.registry.get(),
+                         {{"mlp", 1}, {"deepar", 1}}, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  size_t fault_rounds = 0;
+  size_t faulted_steps = 0;
+  for (const TenantSummary& tenant : result->tenants) {
+    fault_rounds += tenant.fault_rounds + tenant.stale_rounds;
+    faulted_steps += tenant.faulted_steps;
+    EXPECT_EQ(tenant.rounds, tenant.fresh_rounds + tenant.stale_rounds +
+                                 tenant.fallback_rounds);
+  }
+  // At a 30% per-type rate some rounds and steps must be affected.
+  EXPECT_GT(fault_rounds + faulted_steps, 0u);
+}
+
+TEST(FleetTest, CacheThrashUnderTightBudgetStillServes) {
+  TestRegistry sized = MakeRegistry(1 << 20);
+  ASSERT_TRUE(sized.registry->Acquire({"mlp", 1}).ok());
+  const size_t one_model = sized.registry->GetCacheStats().resident_bytes;
+
+  TestRegistry tight = MakeRegistry(one_model);
+  FleetOptions options = SmallFleetOptions();
+  options.batched = false;  // arrival-order serving alternates versions
+  options.metrics = tight.metrics.get();
+  auto result = RunFleet(tight.registry.get(),
+                         {{"mlp", 1}, {"deepar", 1}}, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->cache.evictions, 0);
+  EXPECT_GT(result->cache.misses, result->cache.hits);
+  EXPECT_LE(result->cache.resident_bytes, one_model);
+}
+
+TEST(FleetTest, InvalidOptionsRejected) {
+  TestRegistry r = MakeRegistry(1 << 20);
+  FleetOptions options = SmallFleetOptions();
+  options.history_steps = kContext - 1;  // cannot cover the context
+  EXPECT_EQ(RunFleet(r.registry.get(), {{"mlp", 1}}, options).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunFleet(r.registry.get(), {}, SmallFleetOptions())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunFleet(nullptr, {{"mlp", 1}}, SmallFleetOptions())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace rpas::serve
