@@ -1,0 +1,316 @@
+// Kernel-layer microbenchmarks: GEMM, vector primitives, elementwise
+// transcendentals, the fused LSTM cell step, and a DeepAR-shaped training
+// step, each swept across every SIMD dispatch level this machine supports.
+//
+// Besides the human-readable table, the run is written as JSON (default
+// BENCH_kernels.json, override with --json-out=PATH) with one record per
+// (op, shape, dispatch level): {op, shape, dispatch, ns_per_iter, gflops}.
+// CI uploads the file as an artifact so kernel regressions are visible per
+// commit. GFLOP/s uses nominal flop counts (2mnk for GEMM, n-ish for the
+// transcendentals); 0 marks ops where a flop rate is not meaningful.
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "nn/layers.h"
+#include "nn/losses.h"
+#include "nn/trainer.h"
+#include "tensor/kernels.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+
+namespace rpas::bench {
+namespace {
+
+namespace kernels = ::rpas::tensor::kernels;
+using kernels::SimdLevel;
+using tensor::Matrix;
+
+struct Record {
+  std::string op;
+  std::string shape;
+  std::string dispatch;
+  double ns_per_iter;
+  double gflops;  // 0 when a flop rate is not meaningful for the op
+};
+
+std::vector<SimdLevel> SupportedLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  for (SimdLevel l : {SimdLevel::kSse2, SimdLevel::kAvx2}) {
+    if (kernels::LevelSupported(l)) {
+      levels.push_back(l);
+    }
+  }
+  return levels;
+}
+
+/// Mean ns per invocation of `fn`, with automatic rep calibration: repeats
+/// until the timed block is long enough for the Stopwatch resolution to be
+/// noise (quick mode accepts a shorter block).
+double NsPerIter(bool quick, const std::function<void()>& fn) {
+  fn();  // warmup (first-touch, lazy allocations)
+  const double target_ms = quick ? 15.0 : 80.0;
+  long reps = 1;
+  for (;;) {
+    Stopwatch w;
+    for (long i = 0; i < reps; ++i) {
+      fn();
+    }
+    const double ms = w.ElapsedMillis();
+    if (ms >= target_ms || reps >= (1l << 24)) {
+      return ms * 1e6 / static_cast<double>(reps);
+    }
+    reps = ms < target_ms / 16.0
+               ? reps * 16
+               : static_cast<long>(static_cast<double>(reps) *
+                                   (1.2 * target_ms / ms)) +
+                     1;
+  }
+}
+
+void FillUniform(Matrix* m, Rng* rng) {
+  for (size_t i = 0; i < m->size(); ++i) {
+    (*m)[i] = rng->Uniform() - 0.5;
+  }
+}
+
+// --------------------------------------------------------------- GEMM ---
+
+void BenchGemm(bool quick, std::vector<Record>* out) {
+  struct Shape {
+    size_t m, k, n;
+  };
+  const std::vector<Shape> shapes = quick
+                                        ? std::vector<Shape>{{64, 64, 64},
+                                                             {8, 32, 128}}
+                                        : std::vector<Shape>{{64, 64, 64},
+                                                             {128, 128, 128},
+                                                             {256, 256, 256},
+                                                             {8, 32, 128}};
+  Rng rng(1);
+  for (const Shape& s : shapes) {
+    Matrix a(s.m, s.k), b(s.k, s.n), c(s.m, s.n);
+    FillUniform(&a, &rng);
+    FillUniform(&b, &rng);
+    const double flops = 2.0 * static_cast<double>(s.m) *
+                         static_cast<double>(s.k) * static_cast<double>(s.n);
+    for (SimdLevel level : SupportedLevels()) {
+      kernels::ScopedSimdLevel scoped(level);
+      const double ns = NsPerIter(quick, [&] {
+        c.Fill(0.0);
+        tensor::MatMulInto(a, b, &c);
+      });
+      out->push_back({"gemm",
+                      StrFormat("%zux%zux%zu", s.m, s.k, s.n),
+                      kernels::LevelName(level), ns, flops / ns});
+    }
+  }
+  // Transposed variants at the autodiff-backward shape (dW = x^T g).
+  Matrix x(128, 64), g(128, 96), dw(64, 96);
+  FillUniform(&x, &rng);
+  FillUniform(&g, &rng);
+  const double flops_tn = 2.0 * 64 * 128 * 96;
+  for (SimdLevel level : SupportedLevels()) {
+    kernels::ScopedSimdLevel scoped(level);
+    const double ns = NsPerIter(quick, [&] {
+      dw.Fill(0.0);
+      tensor::MatMulTNInto(x, g, &dw);
+    });
+    out->push_back({"gemm_tn", "64x128x96", kernels::LevelName(level), ns,
+                    flops_tn / ns});
+  }
+}
+
+// -------------------------------------------- vector + elementwise ops ---
+
+void BenchVectorOps(bool quick, std::vector<Record>* out) {
+  const size_t n = 65536;
+  std::vector<double> xs(n), ys(n), dst(n);
+  Rng rng(2);
+  for (size_t i = 0; i < n; ++i) {
+    xs[i] = rng.Uniform(-3.0, 3.0);
+    ys[i] = rng.Uniform(-3.0, 3.0);
+  }
+  const std::string shape = StrFormat("n=%zu", n);
+  double sink = 0.0;
+  for (SimdLevel level : SupportedLevels()) {
+    const char* name = kernels::LevelName(level);
+    out->push_back({"axpy", shape, name, NsPerIter(quick, [&] {
+                      kernels::Axpy(level, n, 1e-9, xs.data(), ys.data());
+                    }),
+                    0.0});
+    out->back().gflops = 2.0 * static_cast<double>(n) / out->back().ns_per_iter;
+    out->push_back({"dot", shape, name, NsPerIter(quick, [&] {
+                      sink += kernels::Dot(level, n, xs.data(), ys.data());
+                    }),
+                    0.0});
+    out->back().gflops = 2.0 * static_cast<double>(n) / out->back().ns_per_iter;
+    out->push_back({"ew_tanh", shape, name, NsPerIter(quick, [&] {
+                      kernels::EwTanh(level, n, xs.data(), dst.data());
+                    }),
+                    0.0});
+    out->back().gflops = static_cast<double>(n) / out->back().ns_per_iter;
+    out->push_back({"ew_sigmoid", shape, name, NsPerIter(quick, [&] {
+                      kernels::EwSigmoid(level, n, xs.data(), dst.data());
+                    }),
+                    0.0});
+    out->back().gflops = static_cast<double>(n) / out->back().ns_per_iter;
+  }
+  RPAS_CHECK(sink == sink);  // keep the reductions observable
+}
+
+// ---------------------------------------------------- fused LSTM cell ---
+
+void BenchLstmCell(bool quick, std::vector<Record>* out) {
+  const size_t batch = 8, hidden = 32;
+  Matrix gates(batch, 4 * hidden), act(batch, 4 * hidden);
+  Matrix cp(batch, hidden), h(batch, hidden), c(batch, hidden);
+  Matrix tc(batch, hidden), dh(batch, hidden), dc(batch, hidden);
+  Matrix dgates(batch, 4 * hidden), dcp(batch, hidden);
+  Rng rng(3);
+  FillUniform(&gates, &rng);
+  FillUniform(&cp, &rng);
+  FillUniform(&dh, &rng);
+  FillUniform(&dc, &rng);
+  const std::string shape = StrFormat("b=%zu h=%zu", batch, hidden);
+  // Nominal per-element flop counts: forward ~= 4 activations + 4 mul/add,
+  // backward ~= 23 mul/add/sub.
+  const double fwd_flops = 8.0 * static_cast<double>(batch * hidden);
+  const double bwd_flops = 23.0 * static_cast<double>(batch * hidden);
+  for (SimdLevel level : SupportedLevels()) {
+    const char* name = kernels::LevelName(level);
+    out->push_back({"lstm_cell_fwd", shape, name, NsPerIter(quick, [&] {
+                      act = gates;
+                      kernels::LstmCellForward(level, batch, hidden,
+                                               act.data(), cp.data(), hidden,
+                                               h.data(), hidden, c.data(),
+                                               hidden, tc.data());
+                    }),
+                    0.0});
+    out->back().gflops = fwd_flops / out->back().ns_per_iter;
+    out->push_back({"lstm_cell_bwd", shape, name, NsPerIter(quick, [&] {
+                      kernels::LstmCellBackward(
+                          level, batch, hidden, act.data(), cp.data(), hidden,
+                          tc.data(), dh.data(), hidden, dc.data(), hidden,
+                          dgates.data(), dcp.data());
+                    }),
+                    0.0});
+    out->back().gflops = bwd_flops / out->back().ns_per_iter;
+  }
+}
+
+// ------------------------------------------------- DeepAR train step ---
+
+/// One optimizer step of a DeepAR-shaped model: LSTM(14->32), mu/sigma
+/// heads, 143 unroll steps, batch 8, Student-t NLL — the end-to-end number
+/// the kernel layer exists to improve.
+void BenchTrainStep(bool quick, std::vector<Record>* out) {
+  for (SimdLevel level : SupportedLevels()) {
+    kernels::ScopedSimdLevel scoped(level);
+    Rng init(7);
+    nn::LstmCell lstm(14, 32, &init);
+    nn::Dense mu_head(32, 1, nn::Dense::Activation::kNone, &init);
+    nn::Dense sigma_head(32, 1, nn::Dense::Activation::kNone, &init);
+    std::vector<autodiff::Parameter*> params;
+    for (auto* p : lstm.Params()) params.push_back(p);
+    for (auto* p : mu_head.Params()) params.push_back(p);
+    for (auto* p : sigma_head.Params()) params.push_back(p);
+    auto loss_fn = [&](autodiff::Tape* tape, Rng* r) -> autodiff::Var {
+      const size_t batch = 8, total = 144;
+      nn::LstmCell::State state = lstm.ZeroState(tape, batch);
+      autodiff::Var total_nll;
+      for (size_t t = 1; t < total; ++t) {
+        autodiff::Var xv = tape->Input(batch, 14);
+        autodiff::Var yv = tape->Input(batch, 1);
+        Matrix& x = *tape->MutableValue(xv);
+        Matrix& y = *tape->MutableValue(yv);
+        for (size_t i = 0; i < x.size(); ++i) x[i] = r->Uniform() - 0.5;
+        for (size_t i = 0; i < y.size(); ++i) y[i] = r->Uniform();
+        state = lstm.Step(tape, xv, state);
+        autodiff::Var m = mu_head.Forward(tape, state.h);
+        autodiff::Var s = tape->AddScalar(
+            tape->Softplus(sigma_head.Forward(tape, state.h)), 1e-3);
+        autodiff::Var nll = nn::StudentTNllLoss(tape, m, s, yv, 3.0);
+        total_nll = t == 1 ? nll : tape->Add(total_nll, nll);
+      }
+      return tape->Scale(total_nll, 1.0 / 143.0);
+    };
+    nn::TrainConfig config;
+    config.steps = quick ? 1 : 3;
+    nn::TrainLoop(config, params, loss_fn);  // warmup
+    const int steps = quick ? 5 : 20;
+    config.steps = steps;
+    Stopwatch w;
+    const nn::TrainSummary summary = nn::TrainLoop(config, params, loss_fn);
+    const double ns = w.ElapsedMillis() * 1e6 / steps;
+    RPAS_CHECK(summary.arena_allocs_after_warmup == summary.arena_allocs_final)
+        << "train step is expected to be allocation-free in steady state";
+    out->push_back({"deepar_train_step", "lstm14->32 b=8 u=143",
+                    kernels::LevelName(level), ns, 0.0});
+  }
+}
+
+// ----------------------------------------------------------- reporting ---
+
+void WriteJson(const std::string& path, const std::vector<Record>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "kernel_bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"active_level\": \"%s\",\n  \"results\": [\n",
+               kernels::LevelName(kernels::ActiveLevel()));
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::fprintf(f,
+                 "    {\"op\": \"%s\", \"shape\": \"%s\", \"dispatch\": "
+                 "\"%s\", \"ns_per_iter\": %.1f, \"gflops\": %.3f}%s\n",
+                 r.op.c_str(), r.shape.c_str(), r.dispatch.c_str(),
+                 r.ns_per_iter, r.gflops, i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu records)\n", path.c_str(), records.size());
+}
+
+int Run(const BenchOptions& options, const std::string& json_out) {
+  std::vector<Record> records;
+  BenchGemm(options.quick, &records);
+  BenchVectorOps(options.quick, &records);
+  BenchLstmCell(options.quick, &records);
+  BenchTrainStep(options.quick, &records);
+
+  TablePrinter table({"op", "shape", "dispatch", "ns/iter", "GFLOP/s"});
+  for (const Record& r : records) {
+    table.AddRow({r.op, r.shape, r.dispatch, Num(r.ns_per_iter),
+                  r.gflops > 0.0 ? Num(r.gflops) : "-"});
+  }
+  table.Print(StrFormat("Kernel-layer microbenchmarks (active level: %s)",
+                        kernels::LevelName(kernels::ActiveLevel())));
+  if (options.csv) {
+    table.PrintCsv();
+  }
+  WriteJson(json_out, records);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rpas::bench
+
+int main(int argc, char** argv) {
+  std::string json_out = "BENCH_kernels.json";
+  std::vector<rpas::bench::BenchFlagSpec> extra = {
+      {"--json-out=", "output path for the JSON report",
+       [&json_out](const std::string& value) { json_out = value; }},
+  };
+  rpas::bench::BenchOptions options = rpas::bench::ParseArgs(
+      argc, argv,
+      "Kernel-layer microbenchmarks across SIMD dispatch levels", extra);
+  return rpas::bench::Run(options, json_out);
+}

@@ -1,0 +1,78 @@
+#ifndef RPAS_AUTODIFF_ARENA_H_
+#define RPAS_AUTODIFF_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace rpas::autodiff {
+
+/// Bump arena of recycled tensor::Matrix buffers backing a Tape's node
+/// values, gradients, and fused-op scratch.
+///
+/// Lifecycle: Acquire() hands out zero-filled matrices in bump order;
+/// Reset() rewinds the cursor without releasing anything, so the next tape
+/// build reuses the same heap blocks (steady-state training performs no
+/// allocation — the acceptance metric tracked by Stats::heap_allocs).
+///
+/// Aliasing invariants (see DESIGN.md §10):
+///  * Returned pointers are stable until the arena is destroyed — slots are
+///    individually heap-owned, so growing the slot table never moves a
+///    matrix another node already points at.
+///  * A matrix acquired before Reset() must never be read after Reset():
+///    the slot is re-issued, possibly reshaped, to the next acquirer.
+class MatrixArena {
+ public:
+  struct Stats {
+    /// Heap allocations attributed to the arena: new slots plus buffer
+    /// growth when a recycled slot's capacity was insufficient. Flat across
+    /// steady-state training steps.
+    size_t heap_allocs = 0;
+    /// Total slots ever created.
+    size_t slots = 0;
+    /// Slots handed out since the last Reset().
+    size_t live = 0;
+  };
+
+  MatrixArena() = default;
+  MatrixArena(const MatrixArena&) = delete;
+  MatrixArena& operator=(const MatrixArena&) = delete;
+
+  /// Zero-filled rows x cols matrix, recycled from the pool when possible.
+  tensor::Matrix* Acquire(size_t rows, size_t cols) {
+    if (cursor_ == slots_.size()) {
+      slots_.push_back(std::make_unique<tensor::Matrix>(rows, cols));
+      ++stats_.slots;
+      // One alloc for the slot object, one for its buffer (if non-empty).
+      stats_.heap_allocs += rows * cols > 0 ? 2 : 1;
+    } else {
+      tensor::Matrix* m = slots_[cursor_].get();
+      const size_t before = m->capacity();
+      m->ResizeZero(rows, cols);
+      if (m->capacity() != before) {
+        ++stats_.heap_allocs;
+      }
+    }
+    stats_.live = ++cursor_;
+    return slots_[cursor_ - 1].get();
+  }
+
+  /// Rewinds the cursor; capacity is retained for the next tape build.
+  void Reset() {
+    cursor_ = 0;
+    stats_.live = 0;
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::vector<std::unique_ptr<tensor::Matrix>> slots_;
+  size_t cursor_ = 0;
+  Stats stats_;
+};
+
+}  // namespace rpas::autodiff
+
+#endif  // RPAS_AUTODIFF_ARENA_H_

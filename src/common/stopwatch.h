@@ -25,6 +25,9 @@ class Stopwatch {
 
  private:
   using Clock = std::chrono::steady_clock;
+  // Timing must never go backwards under NTP adjustments; keep the clock
+  // monotonic even if the alias above is ever changed.
+  static_assert(Clock::is_steady, "Stopwatch requires a monotonic clock");
   Clock::time_point start_;
 };
 

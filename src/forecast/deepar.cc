@@ -128,8 +128,12 @@ Status DeepArForecaster::Fit(const ts::TimeSeries& train) {
     Var total_nll;
     size_t terms = 0;
     for (size_t t = 1; t < total; ++t) {
-      Matrix x(batch, kInputDim);
-      Matrix target(batch, 1);
+      // Arena-backed leaves filled in place: the steady-state unroll reuses
+      // the previous step's buffers instead of allocating fresh matrices.
+      Var xv = tape->Input(batch, kInputDim);
+      Var y = tape->Input(batch, 1);
+      Matrix& x = *tape->MutableValue(xv);
+      Matrix& target = *tape->MutableValue(y);
       for (size_t r = 0; r < batch; ++r) {
         x(r, 0) = scaled[r][t - 1];
         const auto tf = TimeFeatures(begins[r] + t, step_minutes);
@@ -138,12 +142,11 @@ Status DeepArForecaster::Fit(const ts::TimeSeries& train) {
         }
         target(r, 0) = scaled[r][t];
       }
-      state = lstm_->Step(tape, tape->Constant(std::move(x)), state);
+      state = lstm_->Step(tape, xv, state);
       Var mu = mu_head_->Forward(tape, state.h);
       Var sigma = tape->AddScalar(
           tape->Softplus(sigma_head_->Forward(tape, state.h)),
           options_.min_sigma);
-      Var y = tape->Constant(std::move(target));
       Var nll = options_.head == Head::kStudentT
                     ? nn::StudentTNllLoss(tape, mu, sigma, y,
                                           options_.student_t_dof)

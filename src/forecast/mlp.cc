@@ -126,8 +126,11 @@ Status MlpForecaster::Fit(const ts::TimeSeries& train) {
     const std::vector<size_t> indices =
         dataset.SampleIndices(options_.batch_size, rng);
     const size_t batch = indices.size();
-    Matrix features(batch, InputDim());
-    Matrix targets(batch, h);
+    // Arena-backed leaves filled in place (no per-step matrix allocation).
+    Var x = tape->Input(batch, InputDim());
+    Var y = tape->Input(batch, h);
+    Matrix& features = *tape->MutableValue(x);
+    Matrix& targets = *tape->MutableValue(y);
     for (size_t r = 0; r < batch; ++r) {
       const ts::Window& w = dataset[indices[r]];
       for (size_t j = 0; j < t_len; ++j) {
@@ -143,8 +146,6 @@ Status MlpForecaster::Fit(const ts::TimeSeries& train) {
         targets(r, j) = scaler_.Transform(w.target[j]);
       }
     }
-    Var x = tape->Constant(std::move(features));
-    Var y = tape->Constant(std::move(targets));
     Var hidden = fc1_->Forward(tape, x);
     if (fc2_) {
       hidden = fc2_->Forward(tape, hidden);

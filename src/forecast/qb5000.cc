@@ -102,8 +102,10 @@ Status Qb5000Forecaster::Fit(const ts::TimeSeries& train) {
       Var loss;
       size_t terms = 0;
       for (size_t t = 1; t < total; ++t) {
-        Matrix x(batch, 1 + kNumTimeFeatures);
-        Matrix target(batch, 1);
+        Var xv = tape->Input(batch, 1 + kNumTimeFeatures);
+        Var yv = tape->Input(batch, 1);
+        Matrix& x = *tape->MutableValue(xv);
+        Matrix& target = *tape->MutableValue(yv);
         for (size_t r = 0; r < batch; ++r) {
           const ts::Window& w = dataset[indices[r]];
           const double prev =
@@ -116,10 +118,9 @@ Status Qb5000Forecaster::Fit(const ts::TimeSeries& train) {
           }
           target(r, 0) = scaler_.Transform(cur);
         }
-        state = lstm_->Step(tape, tape->Constant(std::move(x)), state);
+        state = lstm_->Step(tape, xv, state);
         Var pred = lstm_head_->Forward(tape, state.h);
-        Var mse =
-            nn::MseLoss(tape, pred, tape->Constant(std::move(target)));
+        Var mse = nn::MseLoss(tape, pred, yv);
         loss = terms == 0 ? mse : tape->Add(loss, mse);
         ++terms;
       }

@@ -48,7 +48,8 @@ Var TftForecaster::ForwardWindow(Tape* tape,
 
   // Encoder: embed [y_t, calendar] per step and run the LSTM, stacking
   // hidden states into the attention memory E (T x d).
-  Matrix enc_in(t_len, kEncInDim);
+  Var enc_v = tape->Input(t_len, kEncInDim);
+  Matrix& enc_in = *tape->MutableValue(enc_v);
   for (size_t t = 0; t < t_len; ++t) {
     enc_in(t, 0) = scaled_context[t];
     const auto tf = TimeFeatures(begin_index + t, step_minutes);
@@ -56,7 +57,7 @@ Var TftForecaster::ForwardWindow(Tape* tape,
       enc_in(t, 1 + j) = tf[j];
     }
   }
-  Var enc_embedded = enc_embed_->Forward(tape, tape->Constant(enc_in));
+  Var enc_embedded = enc_embed_->Forward(tape, enc_v);
   nn::LstmCell::State state = lstm_->ZeroState(tape, 1);
   Var memory;  // grows to T x d
   for (size_t t = 0; t < t_len; ++t) {
@@ -67,14 +68,15 @@ Var TftForecaster::ForwardWindow(Tape* tape,
 
   // Decoder: embed future calendar features, continue the LSTM, stack
   // decoder states D (H x d).
-  Matrix dec_in(h, kDecInDim);
+  Var dec_v = tape->Input(h, kDecInDim);
+  Matrix& dec_in = *tape->MutableValue(dec_v);
   for (size_t step = 0; step < h; ++step) {
     const auto tf = TimeFeatures(begin_index + t_len + step, step_minutes);
     for (size_t j = 0; j < kNumTimeFeatures; ++j) {
       dec_in(step, j) = tf[j];
     }
   }
-  Var dec_embedded = dec_embed_->Forward(tape, tape->Constant(dec_in));
+  Var dec_embedded = dec_embed_->Forward(tape, dec_v);
   Var decoded;
   for (size_t step = 0; step < h; ++step) {
     Var x_t = tape->SliceRows(dec_embedded, step, step + 1);
@@ -213,13 +215,12 @@ Status TftForecaster::Fit(const ts::TimeSeries& train) {
         scaled_context[t] = w.context[t] / scale;
       }
       Var pred = ForwardWindow(tape, scaled_context, w.begin, step_minutes);
-      Matrix target(h, 1);
+      Var yv = tape->Input(h, 1);
+      Matrix& target = *tape->MutableValue(yv);
       for (size_t step = 0; step < h; ++step) {
         target(step, 0) = w.target[step] / scale;
       }
-      Var loss = nn::QuantileGridLoss(tape, pred,
-                                      tape->Constant(std::move(target)),
-                                      options_.levels);
+      Var loss = nn::QuantileGridLoss(tape, pred, yv, options_.levels);
       total = b == 0 ? loss : tape->Add(total, loss);
     }
     return tape->Scale(total, 1.0 / static_cast<double>(indices.size()));

@@ -3,11 +3,13 @@
 #include <cmath>
 
 #include "nn/init.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 namespace rpas::nn {
 
 namespace ops = ::rpas::tensor;
+namespace kernels = ::rpas::tensor::kernels;
 
 size_t Module::NumParams() {
   size_t n = 0;
@@ -52,25 +54,23 @@ Var Dense::Forward(Tape* tape, Var x) {
 
 Matrix Dense::Apply(const Matrix& x) const {
   Matrix y = ops::AddRowBroadcast(ops::MatMul(x, w_.value), b_.value);
+  // In-place vectorized activations (the Ew* kernels read and write
+  // sequentially, so src == dst is safe).
+  const kernels::SimdLevel level = kernels::ActiveLevel();
   switch (act_) {
     case Activation::kNone:
       break;
     case Activation::kRelu:
-      y = ops::Map(y, [](double v) { return v > 0.0 ? v : 0.0; });
+      kernels::EwRelu(level, y.size(), y.data(), y.data());
       break;
     case Activation::kTanh:
-      y = ops::Map(y, [](double v) { return std::tanh(v); });
+      kernels::EwTanh(level, y.size(), y.data(), y.data());
       break;
     case Activation::kSigmoid:
-      y = ops::Map(y, [](double v) {
-        return v >= 0.0 ? 1.0 / (1.0 + std::exp(-v))
-                        : std::exp(v) / (1.0 + std::exp(v));
-      });
+      kernels::EwSigmoid(level, y.size(), y.data(), y.data());
       break;
     case Activation::kSoftplus:
-      y = ops::Map(y, [](double v) {
-        return (v > 0.0 ? v : 0.0) + std::log1p(std::exp(-std::fabs(v)));
-      });
+      kernels::EwSoftplus(level, y.size(), y.data(), y.data());
       break;
   }
   return y;
@@ -93,53 +93,130 @@ LstmCell::LstmCell(size_t in_dim, size_t hidden_dim, Rng* rng)
 }
 
 LstmCell::State LstmCell::ZeroState(Tape* tape, size_t batch) const {
-  return {tape->Constant(Matrix(batch, hidden_dim_)),
-          tape->Constant(Matrix(batch, hidden_dim_))};
+  return {tape->Zeros(batch, hidden_dim_), tape->Zeros(batch, hidden_dim_)};
 }
 
 LstmCell::RawState LstmCell::ZeroRawState(size_t batch) const {
   return {Matrix(batch, hidden_dim_), Matrix(batch, hidden_dim_)};
 }
 
+// Fused step: one node carries [h | c] (batch x 2H). Pre-activations come
+// from two packed GEMMs plus a fused bias pass, the activation/cell update
+// runs in kernels::LstmCellForward, and the backward replays the whole chain
+// through kernels::LstmCellBackward + GEMM kernels. At the scalar dispatch
+// level every intermediate rounding matches the old 14-node-per-step graph,
+// so parameter gradients are bit-identical to the unfused implementation.
 LstmCell::State LstmCell::Step(Tape* tape, Var x, const State& state) {
   const size_t h = hidden_dim_;
-  Var gates = tape->AddRowBroadcast(
-      tape->Add(tape->MatMul(x, tape->Bind(&w_x_)),
-                tape->MatMul(state.h, tape->Bind(&w_h_))),
-      tape->Bind(&b_));
-  Var i = tape->Sigmoid(tape->SliceCols(gates, 0, h));
-  Var f = tape->Sigmoid(tape->SliceCols(gates, h, 2 * h));
-  Var g = tape->Tanh(tape->SliceCols(gates, 2 * h, 3 * h));
-  Var o = tape->Sigmoid(tape->SliceCols(gates, 3 * h, 4 * h));
-  Var c = tape->Add(tape->Mul(f, state.c), tape->Mul(i, g));
-  Var new_h = tape->Mul(o, tape->Tanh(c));
-  return {new_h, c};
+  const Matrix& xv = x.value();
+  const Matrix& hv = state.h.value();
+  const Matrix& cv = state.c.value();
+  const size_t batch = xv.rows();
+  RPAS_CHECK(xv.cols() == in_dim_ && hv.cols() == h && cv.cols() == h)
+      << "LstmCell::Step shape mismatch";
+
+  Var wx = tape->Bind(&w_x_);
+  Var wh = tape->Bind(&w_h_);
+  Var b = tape->Bind(&b_);
+
+  // act starts as x*Wx; t2 holds h*Wh. The bias pass keeps the historical
+  // rounding order: (xWx + hWh) + b, two roundings per element.
+  Matrix* act = tape->Scratch(batch, 4 * h);
+  Matrix* t2 = tape->Scratch(batch, 4 * h);
+  ops::MatMulInto(xv, w_x_.value, act);
+  ops::MatMulInto(hv, w_h_.value, t2);
+  const Matrix& bv = b_.value;
+  for (size_t r = 0; r < batch; ++r) {
+    for (size_t c = 0; c < 4 * h; ++c) {
+      (*act)(r, c) = ((*act)(r, c) + (*t2)(r, c)) + bv(0, c);
+    }
+  }
+
+  Matrix* tanh_c = tape->Scratch(batch, h);
+  const size_t xi = x.id();
+  const size_t hi = state.h.id();
+  const size_t ci = state.c.id();
+  const size_t wxi = wx.id();
+  const size_t whi = wh.id();
+  const size_t bi = b.id();
+  Matrix* value = nullptr;
+  Var fused = tape->AllocNode(
+      batch, 2 * h, /*requires_grad=*/true,
+      [xi, hi, ci, wxi, whi, bi, act, tanh_c](const Matrix& g, Tape* t) {
+        const Matrix& cpv = t->ValueOf(ci);
+        const size_t batch2 = g.rows();
+        const size_t h2 = cpv.cols();
+        const kernels::SimdLevel level = kernels::ActiveLevel();
+        // g packs [dh | dc] with leading dimension 2H.
+        Matrix* dgates = t->Scratch(batch2, 4 * h2);
+        Matrix* dcp = t->Scratch(batch2, h2);
+        kernels::LstmCellBackward(level, batch2, h2, act->data(), cpv.data(),
+                                  h2, tanh_c->data(), g.data(), 2 * h2,
+                                  g.data() + h2, 2 * h2, dgates->data(),
+                                  dcp->data());
+        t->AccumulateGrad(ci, *dcp);
+        // db = column sums of dgates (same r-outer order as ops::ColSums).
+        Matrix* db = t->Scratch(1, 4 * h2);
+        for (size_t r = 0; r < batch2; ++r) {
+          for (size_t c = 0; c < 4 * h2; ++c) {
+            (*db)(0, c) += (*dgates)(r, c);
+          }
+        }
+        t->AccumulateGrad(bi, *db);
+        const Matrix& whv = t->ValueOf(whi);
+        if (t->RequiresGrad(Var(t, hi))) {
+          Matrix* s = t->Scratch(batch2, h2);
+          ops::MatMulNTInto(*dgates, whv, s);  // dh_prev = dgates * Wh^T
+          t->AccumulateGrad(hi, *s);
+        }
+        {
+          Matrix* s = t->Scratch(h2, 4 * h2);
+          ops::MatMulTNInto(t->ValueOf(hi), *dgates, s);  // dWh = h^T dgates
+          t->AccumulateGrad(whi, *s);
+        }
+        const Matrix& wxv = t->ValueOf(wxi);
+        if (t->RequiresGrad(Var(t, xi))) {
+          Matrix* s = t->Scratch(batch2, wxv.rows());
+          ops::MatMulNTInto(*dgates, wxv, s);  // dx = dgates * Wx^T
+          t->AccumulateGrad(xi, *s);
+        }
+        {
+          Matrix* s = t->Scratch(wxv.rows(), 4 * h2);
+          ops::MatMulTNInto(t->ValueOf(xi), *dgates, s);  // dWx = x^T dgates
+          t->AccumulateGrad(wxi, *s);
+        }
+      },
+      &value);
+  // Activates `act` in place (saved for the backward) and writes h into
+  // columns [0, H), c into [H, 2H) of the fused value.
+  kernels::LstmCellForward(kernels::ActiveLevel(), batch, h, act->data(),
+                           cv.data(), h, value->data(), 2 * h,
+                           value->data() + h, 2 * h, tanh_c->data());
+  Var new_h = tape->SliceCols(fused, 0, h);
+  Var new_c = tape->SliceCols(fused, h, 2 * h);
+  return {new_h, new_c};
 }
 
 LstmCell::RawState LstmCell::Step(const Matrix& x,
                                   const RawState& state) const {
   const size_t h = hidden_dim_;
-  Matrix gates = ops::AddRowBroadcast(
-      ops::Add(ops::MatMul(x, w_x_.value), ops::MatMul(state.h, w_h_.value)),
-      b_.value);
-  auto sigmoid = [](double v) {
-    return v >= 0.0 ? 1.0 / (1.0 + std::exp(-v))
-                    : std::exp(v) / (1.0 + std::exp(v));
-  };
-  RawState out;
-  out.h = Matrix(x.rows(), h);
-  out.c = Matrix(x.rows(), h);
-  for (size_t r = 0; r < x.rows(); ++r) {
-    for (size_t j = 0; j < h; ++j) {
-      const double i = sigmoid(gates(r, j));
-      const double f = sigmoid(gates(r, h + j));
-      const double g = std::tanh(gates(r, 2 * h + j));
-      const double o = sigmoid(gates(r, 3 * h + j));
-      const double c = f * state.c(r, j) + i * g;
-      out.c(r, j) = c;
-      out.h(r, j) = o * std::tanh(c);
+  const size_t batch = x.rows();
+  Matrix gates(batch, 4 * h);
+  Matrix t2(batch, 4 * h);
+  ops::MatMulInto(x, w_x_.value, &gates);
+  ops::MatMulInto(state.h, w_h_.value, &t2);
+  const Matrix& bv = b_.value;
+  for (size_t r = 0; r < batch; ++r) {
+    for (size_t c = 0; c < 4 * h; ++c) {
+      gates(r, c) = (gates(r, c) + t2(r, c)) + bv(0, c);
     }
   }
+  RawState out;
+  out.h = Matrix(batch, h);
+  out.c = Matrix(batch, h);
+  kernels::LstmCellForward(kernels::ActiveLevel(), batch, h, gates.data(),
+                           state.c.data(), h, out.h.data(), h, out.c.data(),
+                           h, /*tanh_c=*/nullptr);
   return out;
 }
 

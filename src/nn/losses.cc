@@ -41,25 +41,26 @@ Var QuantileGridLoss(Tape* tape, Var pred, Var target,
       << "target must be N x 1 aligned with pred";
 
   // Tile the target across Q columns (constant — no gradient flows to it).
+  // Arena-backed Input leaves keep the per-step loss build allocation-free.
   const Matrix& tv = target.value();
-  Matrix tiled(tv.rows(), taus.size());
+  Var y = tape->Input(tv.rows(), taus.size());
+  Matrix& tiled = *tape->MutableValue(y);
   for (size_t r = 0; r < tv.rows(); ++r) {
     for (size_t q = 0; q < taus.size(); ++q) {
       tiled(r, q) = tv(r, 0);
     }
   }
-  Var y = tape->Constant(std::move(tiled));
 
   // rho_tau(y, yhat) = max(tau * (y - yhat), (tau - 1) * (y - yhat)).
   Var diff = tape->Sub(y, pred);
-  Matrix tau_row(1, taus.size());
-  Matrix tau_m1_row(1, taus.size());
+  Var tau_row = tape->Input(1, taus.size());
+  Var tau_m1_row = tape->Input(1, taus.size());
   for (size_t q = 0; q < taus.size(); ++q) {
-    tau_row(0, q) = taus[q];
-    tau_m1_row(0, q) = taus[q] - 1.0;
+    (*tape->MutableValue(tau_row))(0, q) = taus[q];
+    (*tape->MutableValue(tau_m1_row))(0, q) = taus[q] - 1.0;
   }
-  Var upper = tape->MulRowBroadcast(diff, tape->Constant(tau_row));
-  Var lower = tape->MulRowBroadcast(diff, tape->Constant(tau_m1_row));
+  Var upper = tape->MulRowBroadcast(diff, tau_row);
+  Var lower = tape->MulRowBroadcast(diff, tau_m1_row);
   Var pinball = tape->Max(upper, lower);
   // Sum over quantiles, average over rows.
   return tape->Scale(tape->Sum(pinball),

@@ -32,8 +32,11 @@ TrainSummary TrainLoop(
     p->ZeroGrad();
   }
 
+  // One tape for the whole run: Reset() rewinds node slots and the matrix
+  // arena, so steady-state steps reuse the first step's heap blocks.
+  autodiff::Tape tape;
   for (int step = 0; step < config.steps; ++step) {
-    autodiff::Tape tape;
+    tape.Reset();
     autodiff::Var loss = loss_fn(&tape, &rng);
     const double loss_value = loss.value()(0, 0);
     tape.Backward(loss);
@@ -51,6 +54,10 @@ TrainSummary TrainLoop(
     if (config.record_loss) {
       summary.loss_history.push_back(loss_value);
     }
+    if (step == 0) {
+      summary.arena_allocs_after_warmup = tape.ArenaStats().heap_allocs;
+    }
+    summary.arena_allocs_final = tape.ArenaStats().heap_allocs;
 
     steps_counter->Increment();
     loss_hist->Observe(loss_value);

@@ -39,6 +39,11 @@ struct TrainSummary {
   int clip_events = 0;
   /// Per-step losses; filled only when TrainConfig::record_loss is set.
   std::vector<double> loss_history;
+  /// Tape-arena heap allocations after the first step (warmup) and at the
+  /// end of the run. Equal values mean the steady-state loop allocated
+  /// nothing per step — the O(1)-allocation property the arena exists for.
+  size_t arena_allocs_after_warmup = 0;
+  size_t arena_allocs_final = 0;
 };
 
 /// Generic define-by-run training loop: at each step builds a fresh tape via

@@ -1,0 +1,167 @@
+#ifndef RPAS_TENSOR_KERNELS_H_
+#define RPAS_TENSOR_KERNELS_H_
+
+#include <cstddef>
+
+namespace rpas::tensor::kernels {
+
+/// Runtime CPU dispatch levels for the vectorized kernel layer.
+///
+/// Contract (see DESIGN.md §10):
+///  * kScalar is the bit-exact reference: it reproduces the pre-kernel-layer
+///    loops operation for operation, so `RPAS_SIMD=scalar` reproduces
+///    historical outputs bit-identically.
+///  * kSse2 speeds up the linear-algebra kernels with 2-wide SSE2 mul/add in
+///    the same per-element accumulation order and rounding as the scalar
+///    path, so it is bit-identical to kScalar by construction.
+///    Transcendentals route to the scalar implementations.
+///  * kAvx2 uses 4-wide AVX2 with FMA plus polynomial vector
+///    exp/log/tanh/sigmoid/softplus. Values may differ from the scalar
+///    reference by a few ULP (property-tested bound); within the level every
+///    kernel applies an identical per-element operation sequence regardless
+///    of the batch row count, preserving the serve layer's
+///    batched-vs-unbatched bit-identity.
+enum class SimdLevel : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+/// Dispatch level every kernel call uses by default. Resolved once on first
+/// use: the highest level that is both compiled in and supported by the CPU,
+/// capped by the RPAS_SIMD environment variable ("scalar" | "sse2" | "avx2")
+/// for reproducibility. An RPAS_SIMD request above what the machine supports
+/// falls back (with a warning) rather than crashing, so pinned configs stay
+/// portable to older hardware.
+SimdLevel ActiveLevel();
+
+/// "scalar" | "sse2" | "avx2".
+const char* LevelName(SimdLevel level);
+
+/// True when the level's kernels are compiled into this binary.
+bool LevelCompiled(SimdLevel level);
+
+/// True when the level is compiled in and the CPU can execute it.
+bool LevelSupported(SimdLevel level);
+
+/// Forces the active dispatch level for the current process until restored.
+/// Used by parity tests and kernel_bench to sweep levels; requests above
+/// LevelSupported() are clamped. Thread-safe (atomic), but sweeping levels
+/// while compute threads are mid-kernel gives mixed-level results — tests
+/// switch levels only between operations.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level);
+  ~ScopedSimdLevel();
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+
+ private:
+  SimdLevel previous_;
+};
+
+// ---------------------------------------------------------------------------
+// GEMM: C (m x n, row-major) += A (m x k, row-major) * B (k x n).
+//
+// Every variant accumulates each output element over p = 0..k-1 in strictly
+// increasing order, so a row's result depends only on that row's inputs —
+// never on m — which is what makes batched and unbatched forwards
+// bit-identical at any fixed dispatch level.
+// ---------------------------------------------------------------------------
+
+/// Doubles required for a packed copy of B (k x n): column panels of width
+/// kPanelWidth, zero-padded in the column tail.
+size_t PackedSize(size_t k, size_t n);
+inline constexpr size_t kPanelWidth = 8;
+
+/// Packs row-major B (k x n, leading dimension ldb) into panel-major layout:
+/// panel j0 holds columns [j0, j0+8) contiguously per p. Shared read-only by
+/// all worker threads of one GEMM call.
+void PackB(size_t k, size_t n, const double* b, size_t ldb, double* packed);
+
+/// C rows [r0, r1) += A * B using a packed B. Serial — callers parallelize
+/// over row ranges. `level` must not be kScalar (the scalar reference path
+/// uses GemmRowsScalar on the unpacked B).
+void GemmPackedRows(SimdLevel level, size_t r0, size_t r1, size_t n, size_t k,
+                    const double* a, size_t lda, const double* packed,
+                    double* c, size_t ldc);
+
+/// The pre-kernel-layer cache-blocked scalar reference (bit-exact legacy
+/// MatMul inner loops) over C rows [r0, r1).
+void GemmRowsScalar(size_t r0, size_t r1, size_t n, size_t k, const double* a,
+                    size_t lda, const double* b, size_t ldb, double* c,
+                    size_t ldc);
+
+/// C (m x n) += A^T * B where A is (k x m) and B is (k x n), both row-major.
+/// Accumulation order over p matches materializing A^T and running the
+/// reference GEMM, so the scalar level is bit-identical to the old
+/// Transpose+MatMul composition. Used by SolveLeastSquares (A^T A without the
+/// O(n^2) transposed copy) and the autodiff MatMul backward (dB = A^T g).
+void GemmTN(SimdLevel level, size_t m, size_t n, size_t k, const double* a,
+            size_t lda, const double* b, size_t ldb, double* c, size_t ldc);
+
+/// C (m x n) += A * B^T where A is (m x k) and B is (n x k), both row-major.
+/// Used by the autodiff MatMul backward (dA = g B^T) without materializing
+/// the transpose.
+void GemmNT(SimdLevel level, size_t m, size_t n, size_t k, const double* a,
+            size_t lda, const double* b, size_t ldb, double* c, size_t ldc);
+
+// ---------------------------------------------------------------------------
+// Vector primitives.
+// ---------------------------------------------------------------------------
+
+/// y += alpha * x.
+void Axpy(SimdLevel level, size_t n, double alpha, const double* x, double* y);
+
+/// Sum of x[i] * y[i]. The AVX2 level reduces with four partial accumulators;
+/// parity with the scalar order is bounded by the standard forward-error
+/// envelope (see kernel parity tests), not bit equality.
+double Dot(SimdLevel level, size_t n, const double* x, const double* y);
+
+/// Sum of x[i] (same reduction-order caveat as Dot).
+double Sum(SimdLevel level, size_t n, const double* x);
+
+// Elementwise transcendentals, out[i] = f(x[i]); out may alias x. The scalar
+// implementations are the exact formulas the tape and Dense::Apply used
+// before the kernel layer (std::tanh, the sign-split sigmoid, the stable
+// softplus), so the scalar level stays bit-identical to history.
+void EwTanh(SimdLevel level, size_t n, const double* x, double* out);
+void EwSigmoid(SimdLevel level, size_t n, const double* x, double* out);
+void EwSoftplus(SimdLevel level, size_t n, const double* x, double* out);
+void EwRelu(SimdLevel level, size_t n, const double* x, double* out);
+
+// ---------------------------------------------------------------------------
+// Fused LSTM cell step (batch-major, gate order i, f, g, o — matching
+// nn::LstmCell's fused 4H weight layout).
+// ---------------------------------------------------------------------------
+
+/// Forward: `gates` (batch x 4H, row-major, contiguous) holds pre-activations
+/// on entry and activated gates (sigmoid i/f/o, tanh g) on exit.
+/// For each row r, column j:
+///   c_out = f * c_prev + i * g
+///   h_out = o * tanh(c_out)
+/// `tanh_c` (batch x hidden, contiguous) receives tanh(c_out) when non-null
+/// (the training path saves it for the backward); pass nullptr in inference.
+/// h_out/c_out/c_prev use explicit leading dimensions so the training path
+/// can write straight into a [h | c] node value.
+void LstmCellForward(SimdLevel level, size_t batch, size_t hidden,
+                     double* gates, const double* c_prev, size_t ldcp,
+                     double* h_out, size_t ldh, double* c_out, size_t ldc,
+                     double* tanh_c);
+
+/// Backward through one cell step. Inputs: activated gates `act`
+/// (batch x 4H), previous cell state, saved tanh(c_new), and incoming
+/// gradients dh (w.r.t. h_out) and dc (w.r.t. c_out, the contribution flowing
+/// in from step t+1). Outputs: `dgates` (batch x 4H pre-activation grads,
+/// overwritten) and `dc_prev` (batch x hidden, overwritten).
+/// Uses plain mul/add in the exact expression shapes of the old per-node
+/// backward chain, so the SIMD levels agree with scalar bit-for-bit here.
+void LstmCellBackward(SimdLevel level, size_t batch, size_t hidden,
+                      const double* act, const double* c_prev, size_t ldcp,
+                      const double* tanh_c, const double* dh, size_t ldh,
+                      const double* dc, size_t ldc, double* dgates,
+                      double* dc_prev);
+
+}  // namespace rpas::tensor::kernels
+
+#endif  // RPAS_TENSOR_KERNELS_H_

@@ -78,6 +78,18 @@ class Matrix {
   /// Sets every element to `value`.
   void Fill(double value);
 
+  /// Reshapes to rows x cols and zero-fills, reusing the existing heap
+  /// allocation when capacity suffices (the autodiff arena's recycling
+  /// primitive — no new allocation on the steady-state training path).
+  void ResizeZero(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+  }
+
+  /// Heap capacity in doubles (used by arena stats to detect reallocation).
+  size_t capacity() const { return data_.capacity(); }
+
   /// Reshape preserving element order; new shape must have equal size.
   Matrix Reshaped(size_t rows, size_t cols) const;
 

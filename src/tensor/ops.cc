@@ -2,58 +2,105 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/parallel.h"
+#include "tensor/kernels.h"
 
 namespace rpas::tensor {
 
 namespace {
 
-// Cache blocking for MatMul: a kBlockK x kBlockJ panel of b (128 KiB) plus
-// the touched slices of a and out stay resident across the row sweep.
-constexpr size_t kBlockK = 64;
-constexpr size_t kBlockJ = 256;
 // Rows of `out` per ParallelFor chunk. Fixed (not derived from the thread
 // count) so the partition — and therefore the result — is identical for
-// every RPAS_NUM_THREADS value.
+// every RPAS_NUM_THREADS value. Divisible by the micro-kernel row tile (4),
+// so chunk boundaries never change which kernel variant covers a row.
 constexpr size_t kRowGrain = 16;
 
 }  // namespace
 
-Matrix MatMul(const Matrix& a, const Matrix& b) {
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out) {
   RPAS_CHECK(a.cols() == b.rows())
       << "matmul shape mismatch: " << a.rows() << "x" << a.cols() << " * "
       << b.rows() << "x" << b.cols();
-  Matrix out(a.rows(), b.cols());
+  RPAS_CHECK(out != nullptr && out->rows() == a.rows() &&
+             out->cols() == b.cols())
+      << "matmul output shape mismatch";
   const size_t m = a.rows();
   const size_t k = a.cols();
   const size_t n = b.cols();
   const double* a_data = a.data();
   const double* b_data = b.data();
-  double* out_data = out.data();
-  // Row-panel parallel, cache-blocked over k and j. Each output row is
-  // written by exactly one chunk and its k-accumulation order is fixed by
-  // the loop structure, so results are bit-identical to the serial path.
+  double* out_data = out->data();
+  const kernels::SimdLevel level = kernels::ActiveLevel();
+  // Row-panel parallel. Each output row is written by exactly one chunk and
+  // its k-accumulation runs in ascending order at every level, so results
+  // are bit-identical to the serial path and independent of the row count.
   // No data-dependent skips: 0 * NaN must stay NaN (IEEE-754 propagation).
+  if (level == kernels::SimdLevel::kScalar || n < kernels::kPanelWidth) {
+    // Scalar reference path (also used for very skinny outputs such as
+    // head projections, where packing overhead dominates). The narrow-n
+    // cutoff depends only on the operand shapes, never on the batch row
+    // count, preserving batched-vs-unbatched bit-identity.
+    ParallelFor(0, m, kRowGrain, [&](size_t row_begin, size_t row_end) {
+      kernels::GemmRowsScalar(row_begin, row_end, n, k, a_data, k, b_data, n,
+                              out_data, n);
+    });
+    return;
+  }
+  // Pack B once into zero-padded column panels; every worker reads the same
+  // packed image. The buffer is thread_local to the *calling* thread so
+  // concurrent MatMuls (serve batching, parallel backtest folds) never
+  // contend, and its capacity is recycled across calls.
+  thread_local std::vector<double> pack_buffer;
+  pack_buffer.resize(kernels::PackedSize(k, n));
+  kernels::PackB(k, n, b_data, n, pack_buffer.data());
+  const double* packed = pack_buffer.data();
   ParallelFor(0, m, kRowGrain, [&](size_t row_begin, size_t row_end) {
-    for (size_t p0 = 0; p0 < k; p0 += kBlockK) {
-      const size_t p1 = std::min(p0 + kBlockK, k);
-      for (size_t j0 = 0; j0 < n; j0 += kBlockJ) {
-        const size_t j1 = std::min(j0 + kBlockJ, n);
-        for (size_t i = row_begin; i < row_end; ++i) {
-          double* out_row = out_data + i * n;
-          const double* a_row = a_data + i * k;
-          for (size_t p = p0; p < p1; ++p) {
-            const double a_ip = a_row[p];
-            const double* b_row = b_data + p * n;
-            for (size_t j = j0; j < j1; ++j) {
-              out_row[j] += a_ip * b_row[j];
-            }
-          }
-        }
-      }
-    }
+    kernels::GemmPackedRows(level, row_begin, row_end, n, k, a_data, k, packed,
+                            out_data, n);
   });
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  MatMulInto(a, b, &out);
+  return out;
+}
+
+void MatMulTNInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  RPAS_CHECK(a.rows() == b.rows())
+      << "matmul-tn shape mismatch: " << a.rows() << "x" << a.cols()
+      << " ^T * " << b.rows() << "x" << b.cols();
+  RPAS_CHECK(out != nullptr && out->rows() == a.cols() &&
+             out->cols() == b.cols())
+      << "matmul-tn output shape mismatch";
+  kernels::GemmTN(kernels::ActiveLevel(), a.cols(), b.cols(), a.rows(),
+                  a.data(), a.cols(), b.data(), b.cols(), out->data(),
+                  out->cols());
+}
+
+Matrix MatMulTN(const Matrix& a, const Matrix& b) {
+  Matrix out(a.cols(), b.cols());
+  MatMulTNInto(a, b, &out);
+  return out;
+}
+
+void MatMulNTInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  RPAS_CHECK(a.cols() == b.cols())
+      << "matmul-nt shape mismatch: " << a.rows() << "x" << a.cols() << " * "
+      << b.rows() << "x" << b.cols() << "^T";
+  RPAS_CHECK(out != nullptr && out->rows() == a.rows() &&
+             out->cols() == b.rows())
+      << "matmul-nt output shape mismatch";
+  kernels::GemmNT(kernels::ActiveLevel(), a.rows(), b.rows(), a.cols(),
+                  a.data(), a.cols(), b.data(), b.cols(), out->data(),
+                  out->cols());
+}
+
+Matrix MatMulNT(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.rows());
+  MatMulNTInto(a, b, &out);
   return out;
 }
 
@@ -132,17 +179,11 @@ Matrix Map(const Matrix& a, const std::function<double(double)>& f) {
 
 void Axpy(double alpha, const Matrix& x, Matrix* y) {
   RPAS_CHECK(y != nullptr && x.SameShape(*y)) << "axpy shape mismatch";
-  for (size_t i = 0; i < x.size(); ++i) {
-    (*y)[i] += alpha * x[i];
-  }
+  kernels::Axpy(kernels::ActiveLevel(), x.size(), alpha, x.data(), y->data());
 }
 
 double Sum(const Matrix& a) {
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    s += a[i];
-  }
-  return s;
+  return kernels::Sum(kernels::ActiveLevel(), a.size(), a.data());
 }
 
 double Mean(const Matrix& a) {
@@ -162,11 +203,7 @@ double Norm(const Matrix& a) { return std::sqrt(Dot(a, a)); }
 
 double Dot(const Matrix& a, const Matrix& b) {
   RPAS_CHECK(a.size() == b.size()) << "dot size mismatch";
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    s += a[i] * b[i];
-  }
-  return s;
+  return kernels::Dot(kernels::ActiveLevel(), a.size(), a.data(), b.data());
 }
 
 Matrix ColSums(const Matrix& a) {
@@ -308,12 +345,13 @@ Result<Matrix> SolveLeastSquares(const Matrix& a, const Matrix& b,
   if (ridge < 0.0) {
     return Status::InvalidArgument("SolveLeastSquares: ridge must be >= 0");
   }
-  Matrix at = Transpose(a);
-  Matrix ata = MatMul(at, a);
+  // Transposed-operand GEMM: no O(rows * cols) copy of A per solver call,
+  // and the scalar level matches the old Transpose+MatMul bit-for-bit.
+  Matrix ata = MatMulTN(a, a);
   for (size_t i = 0; i < ata.rows(); ++i) {
     ata(i, i) += ridge;
   }
-  Matrix atb = MatMul(at, b);
+  Matrix atb = MatMulTN(a, b);
   return SolveLinearSystem(std::move(ata), std::move(atb));
 }
 

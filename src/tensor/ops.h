@@ -11,6 +11,23 @@ namespace rpas::tensor {
 /// a * b (standard matrix product). Requires a.cols() == b.rows().
 Matrix MatMul(const Matrix& a, const Matrix& b);
 
+/// Accumulates a * b into `*out` (shape a.rows x b.cols; callers normally
+/// pass a zeroed target, e.g. an arena matrix). SIMD-dispatched; the scalar
+/// level reproduces the historical MatMul bit-for-bit.
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// a^T * b without materializing the transpose. Requires a.rows() ==
+/// b.rows(); result is a.cols x b.cols. At the scalar level this is
+/// bit-identical to MatMul(Transpose(a), b).
+Matrix MatMulTN(const Matrix& a, const Matrix& b);
+void MatMulTNInto(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// a * b^T without materializing the transpose. Requires a.cols() ==
+/// b.cols(); result is a.rows x b.rows. At the scalar level this is
+/// bit-identical to MatMul(a, Transpose(b)).
+Matrix MatMulNT(const Matrix& a, const Matrix& b);
+void MatMulNTInto(const Matrix& a, const Matrix& b, Matrix* out);
+
 /// a^T.
 Matrix Transpose(const Matrix& a);
 

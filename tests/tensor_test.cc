@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/rng.h"
+#include "tensor/kernels.h"
 #include "tensor/matrix.h"
 #include "tensor/ops.h"
 
@@ -118,9 +119,12 @@ TEST(OpsTest, MatMulPropagatesNanInf) {
 }
 
 TEST(OpsTest, MatMulBlockedMatchesReferenceExactly) {
-  // The cache-blocked kernel keeps the k-accumulation order of the naive
-  // ikj loop, so results must be bit-identical, not just close. Shapes
+  // The cache-blocked scalar kernel keeps the k-accumulation order of the
+  // naive ikj loop, so results must be bit-identical, not just close. Shapes
   // chosen to span multiple k-blocks and j-blocks with ragged remainders.
+  // Pinned to the scalar dispatch level: that level is the bit-exact
+  // reference contract; SIMD levels are parity-bounded in kernel_test.
+  kernels::ScopedSimdLevel scalar_only(kernels::SimdLevel::kScalar);
   Rng rng(17);
   Matrix a(37, 150);
   Matrix b(150, 300);
