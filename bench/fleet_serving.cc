@@ -143,7 +143,8 @@ struct CellResult {
 };
 
 CellResult RunCell(const VersionSet& set, size_t tenants, int threads,
-                   bool batched, size_t budget_bytes, size_t rounds) {
+                   bool batched, size_t budget_bytes, size_t rounds,
+                   size_t shards = 1, bool per_shard_registries = false) {
   // Single-shot wall timings are noisy on small machines, so time the cell
   // a few times and keep the fastest run. Each repetition rebuilds the
   // registry so the warm cache starts cold every time; the FleetResult is
@@ -158,6 +159,15 @@ CellResult RunCell(const VersionSet& set, size_t tenants, int threads,
   fleet_options.replan_every = kReplanEvery;
   fleet_options.seed = set.bench.seed;
   fleet_options.batched = batched;
+  fleet_options.num_shards = shards;
+  if (per_shard_registries && shards > 1) {
+    // Each shard owns its own registry (same version universe, same
+    // budget), so shards never contend on one registry mutex.
+    const VersionSet* set_ptr = &set;
+    fleet_options.shard_registry_factory = [set_ptr, budget_bytes] {
+      return MakeRegistry(*set_ptr, budget_bytes);
+    };
+  }
   CellResult cell;
   cell.millis = 0.0;
   for (int rep = 0; rep < kTimingReps; ++rep) {
@@ -176,7 +186,7 @@ CellResult RunCell(const VersionSet& set, size_t tenants, int threads,
 
 void RunFleetServing(const BenchOptions& options, size_t only_tenants,
                      int only_threads, size_t rounds_flag,
-                     size_t num_versions) {
+                     size_t num_versions, size_t only_shards) {
   const size_t rounds = rounds_flag > 0 ? rounds_flag
                         : options.quick ? 3
                                         : 6;
@@ -264,11 +274,63 @@ void RunFleetServing(const BenchOptions& options, size_t only_tenants,
       "budget %zu KiB of %zu KiB)",
       set.models.size(), rounds, tight_budget >> 10,
       set.total_bytes >> 10));
-  std::printf("batched == unbatched results: %s\n",
-              all_identical ? "identical" : "MISMATCH");
   if (options.csv) {
     table.PrintCsv();
   }
+
+  // Shard scaling: batched serving at the largest tenant count with one
+  // registry per shard, swept over a shards x threads grid. The speedup
+  // column is measured against the 1-shard serial run of the same
+  // configuration — the thread-scaling numbers EXPERIMENTS.md reports.
+  // Results must be bit-identical to the serial run in every cell
+  // (sharding changes scheduling, never verdicts or forecasts).
+  {
+    const size_t tenants = tenant_counts.back();
+    std::vector<size_t> shard_counts{1, 2, 4};
+    if (only_shards > 0) {
+      shard_counts = {only_shards};
+    }
+    std::vector<int> scale_threads = thread_counts;
+    const CellResult serial =
+        RunCell(set, tenants, /*threads=*/1, /*batched=*/true, tight_budget,
+                rounds, /*shards=*/1);
+    TablePrinter scaling({"tenants", "shards", "threads", "ms/run", "req/s",
+                          "speedup_vs_serial"});
+    for (size_t shards : shard_counts) {
+      for (int threads : scale_threads) {
+        const CellResult cell =
+            (shards == 1 && threads == 1)
+                ? serial
+                : RunCell(set, tenants, threads, /*batched=*/true,
+                          tight_budget, rounds, shards,
+                          /*per_shard_registries=*/true);
+        all_identical =
+            all_identical &&
+            cell.fleet.mean_under_provision_rate ==
+                serial.fleet.mean_under_provision_rate &&
+            cell.fleet.mean_utilization == serial.fleet.mean_utilization &&
+            cell.fleet.requests_admitted == serial.fleet.requests_admitted;
+        const double seconds = cell.millis / 1000.0;
+        const double rate =
+            seconds > 0.0
+                ? static_cast<double>(cell.fleet.requests_admitted) / seconds
+                : 0.0;
+        scaling.AddRow(
+            {StrFormat("%zu", tenants), StrFormat("%zu", shards),
+             StrFormat("%d", threads), Num(cell.millis), Num(rate),
+             cell.millis > 0.0 ? Num(serial.millis / cell.millis)
+                               : std::string("-")});
+      }
+    }
+    scaling.Print(StrFormat(
+        "Sharded fleet scaling (batched, per-shard registries, %zu rounds)",
+        rounds));
+    if (options.csv) {
+      scaling.PrintCsv();
+    }
+  }
+  std::printf("sharded == batched == unbatched results: %s\n",
+              all_identical ? "identical" : "MISMATCH");
 
   // Export one instrumented run for the artifact pipeline (metrics are
   // global; the timed grid above ran with the same registry sinks).
@@ -299,6 +361,7 @@ int main(int argc, char** argv) {
   int only_threads = 0;
   size_t rounds = 0;
   size_t versions = 12;
+  size_t only_shards = 0;
   const std::vector<rpas::bench::BenchFlagSpec> extra{
       {"--tenants=", "run only this tenant count (default grid 8,16,64)",
        [&](const std::string& v) {
@@ -318,6 +381,13 @@ int main(int argc, char** argv) {
          versions = static_cast<size_t>(std::strtoull(v.c_str(), nullptr,
                                                       10));
        }},
+      {"--shards=",
+       "run only this shard count in the scaling section (default grid "
+       "1,2,4)",
+       [&](const std::string& v) {
+         only_shards = static_cast<size_t>(std::strtoull(v.c_str(), nullptr,
+                                                         10));
+       }},
   };
   const rpas::bench::BenchOptions options = rpas::bench::ParseArgs(
       argc, argv,
@@ -325,6 +395,6 @@ int main(int argc, char** argv) {
       extra);
   rpas::bench::EnableMetricsIfRequested(options);
   rpas::bench::RunFleetServing(options, only_tenants, only_threads, rounds,
-                               versions);
+                               versions, only_shards);
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 #include <memory>
@@ -19,18 +20,45 @@ thread_local bool tls_in_pool_worker = false;
 
 std::atomic<int> g_thread_override{0};
 
-int DefaultThreads() {
-  if (const char* env = std::getenv("RPAS_NUM_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed >= 1) {
-      return static_cast<int>(parsed);
-    }
-  }
+int HardwareThreads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+int DefaultThreads() {
+  const int fallback = HardwareThreads();
+  if (const char* env = std::getenv("RPAS_NUM_THREADS")) {
+    const int parsed = ParseThreadCount(env, -1);
+    if (parsed < 0) {
+      RPAS_LOG(kWarning) << "ignoring invalid RPAS_NUM_THREADS=\"" << env
+                         << "\" (want an integer in [1, " << kMaxRpasThreads
+                         << "]); using hardware concurrency " << fallback;
+      return fallback;
+    }
+    return parsed;
+  }
+  return fallback;
+}
+
 }  // namespace
+
+int ParseThreadCount(const char* text, int fallback) {
+  if (text == nullptr || *text == '\0') {
+    return fallback;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(text, &end, 10);
+  // The whole token must be the number: "8x" or "2,4" silently becoming 8
+  // or 2 hides a misconfigured deployment. Range errors (errno == ERANGE)
+  // and non-positive counts are rejected the same way; values above the
+  // cap are clamped rather than rejected (the intent — "as many threads as
+  // possible" — is clear).
+  if (end == text || *end != '\0' || errno == ERANGE || parsed < 1) {
+    return fallback;
+  }
+  return static_cast<int>(std::min<long>(parsed, kMaxRpasThreads));
+}
 
 int RpasThreads() {
   const int override_threads = g_thread_override.load(std::memory_order_relaxed);
@@ -67,10 +95,14 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     RPAS_CHECK(!shutdown_) << "ThreadPool::Submit after shutdown";
+    // Counted before the task becomes visible to workers: a task can only
+    // execute after the push below, so tasks_executed <= tasks_submitted
+    // holds in every GetStats() snapshot (the monotonic invariant the
+    // rpas_obs pool gauges export).
+    tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
     queue_.push_back(std::move(task));
     max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
   }
-  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
   cv_.notify_one();
 }
 
@@ -105,14 +137,22 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     task();
-    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    // Release pairs with GetStats()'s acquire load: a reader that sees
+    // this increment also sees the submission increment that preceded it
+    // (ordered by the queue mutex), keeping executed <= submitted in
+    // every snapshot.
+    tasks_executed_.fetch_add(1, std::memory_order_release);
   }
 }
 
 ThreadPool::Stats ThreadPool::GetStats() const {
   Stats stats;
+  // Executed is read before submitted: every execution is preceded by its
+  // submission, so this order (with acquire pairing the worker's release
+  // increment) can never observe tasks_executed > tasks_submitted even
+  // while tasks are in flight between the two loads.
+  stats.tasks_executed = tasks_executed_.load(std::memory_order_acquire);
   stats.tasks_submitted = tasks_submitted_.load(std::memory_order_relaxed);
-  stats.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats.queue_depth = queue_.size();

@@ -19,6 +19,19 @@ namespace rpas {
 /// parallel construct down its serial path.
 int RpasThreads();
 
+/// Largest thread count RPAS_NUM_THREADS / ParseThreadCount will yield.
+/// Oversubscription beyond this is never useful and huge values would
+/// make the shared pool spawn unbounded workers.
+inline constexpr int kMaxRpasThreads = 256;
+
+/// Strict parser for thread-count configuration strings (the
+/// RPAS_NUM_THREADS format). Accepts a base-10 integer that consumes the
+/// whole token and is >= 1, clamping to kMaxRpasThreads; anything else —
+/// empty string, trailing garbage ("8x"), zero/negative values, numbers
+/// that overflow long — returns `fallback`. Pure function, no logging;
+/// DefaultThreads() adds the warning when it rejects an environment value.
+int ParseThreadCount(const char* text, int fallback);
+
 /// Process-wide thread-count override for tests and benchmarks that
 /// compare serial and parallel execution in one process. Pass 0 to restore
 /// the environment/hardware default. Values < 0 are treated as 0.

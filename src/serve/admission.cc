@@ -41,49 +41,72 @@ void AdmissionController::BeginRound() {
 
 std::vector<AdmissionVerdict> AdmissionController::AdmitRound(
     const std::vector<uint64_t>& tenants) {
-  const size_t num_tenants = tokens_.size();
-  std::vector<AdmissionVerdict> verdicts(tenants.size(),
-                                         AdmissionVerdict::kThrottled);
-  // Pass 1: token buckets. A throttled tenant is out of the running before
-  // the deadline budget is allocated (its bucket is left untouched — it
-  // pays nothing for a round it did not get).
+  std::vector<AdmissionVerdict> verdicts;
   std::vector<size_t> candidates;
-  candidates.reserve(tenants.size());
+  TokenScreen(tenants, &verdicts, &candidates);
+  SelectWithinBudget(round_, tokens_.size(), options_.round_budget, tenants,
+                     &candidates, &verdicts);
+  Commit(tenants, candidates, &verdicts);
+  return verdicts;
+}
+
+void AdmissionController::TokenScreen(
+    const std::vector<uint64_t>& tenants,
+    std::vector<AdmissionVerdict>* verdicts,
+    std::vector<size_t>* candidates) const {
+  const size_t num_tenants = tokens_.size();
+  verdicts->assign(tenants.size(), AdmissionVerdict::kThrottled);
+  // A throttled tenant is out of the running before the deadline budget is
+  // allocated (its bucket is left untouched — it pays nothing for a round
+  // it did not get).
+  candidates->reserve(candidates->size() + tenants.size());
   std::vector<double> pending_cost(num_tenants, 0.0);
   for (size_t i = 0; i < tenants.size(); ++i) {
     RPAS_CHECK(tenants[i] < num_tenants) << "tenant id out of range";
     const size_t t = tenants[i];
     if (tokens_[t] - pending_cost[t] >= options_.cost_per_request) {
       pending_cost[t] += options_.cost_per_request;
-      candidates.push_back(i);
+      candidates->push_back(i);
     }
   }
-  // Pass 2: deadline budget with rotated priority. offset advances one
-  // tenant per round, so the shed set cycles instead of always hitting the
-  // same tenants.
-  if (options_.round_budget > 0 && candidates.size() > options_.round_budget) {
-    const uint64_t offset = round_ % num_tenants;
-    std::stable_sort(candidates.begin(), candidates.end(),
-                     [&](size_t a, size_t b) {
-                       const uint64_t pa =
-                           (tenants[a] + num_tenants - offset) % num_tenants;
-                       const uint64_t pb =
-                           (tenants[b] + num_tenants - offset) % num_tenants;
-                       return pa < pb;
-                     });
-    for (size_t k = options_.round_budget; k < candidates.size(); ++k) {
-      verdicts[candidates[k]] = AdmissionVerdict::kDeadlineShed;
-    }
-    candidates.resize(options_.round_budget);
+}
+
+void AdmissionController::SelectWithinBudget(
+    uint64_t round, size_t num_tenants, size_t round_budget,
+    const std::vector<uint64_t>& tenants, std::vector<size_t>* candidates,
+    std::vector<AdmissionVerdict>* verdicts) {
+  // Deadline budget with rotated priority. offset advances one tenant per
+  // round, so the shed set cycles instead of always hitting the same
+  // tenants.
+  if (round_budget == 0 || candidates->size() <= round_budget) {
+    return;
   }
+  const uint64_t offset = round % num_tenants;
+  std::stable_sort(candidates->begin(), candidates->end(),
+                   [&](size_t a, size_t b) {
+                     const uint64_t pa =
+                         (tenants[a] + num_tenants - offset) % num_tenants;
+                     const uint64_t pb =
+                         (tenants[b] + num_tenants - offset) % num_tenants;
+                     return pa < pb;
+                   });
+  for (size_t k = round_budget; k < candidates->size(); ++k) {
+    (*verdicts)[(*candidates)[k]] = AdmissionVerdict::kDeadlineShed;
+  }
+  candidates->resize(round_budget);
+}
+
+void AdmissionController::Commit(const std::vector<uint64_t>& tenants,
+                                 const std::vector<size_t>& candidates,
+                                 std::vector<AdmissionVerdict>* verdicts) {
   for (size_t i : candidates) {
-    verdicts[i] = AdmissionVerdict::kAdmitted;
+    (*verdicts)[i] = AdmissionVerdict::kAdmitted;
     tokens_[tenants[i]] -= options_.cost_per_request;
   }
   int64_t admitted = 0;
   int64_t throttled = 0;
   int64_t shed = 0;
-  for (AdmissionVerdict v : verdicts) {
+  for (AdmissionVerdict v : *verdicts) {
     switch (v) {
       case AdmissionVerdict::kAdmitted:
         ++admitted;
@@ -99,7 +122,6 @@ std::vector<AdmissionVerdict> AdmissionController::AdmitRound(
   admitted_counter_->Increment(admitted);
   throttled_counter_->Increment(throttled);
   shed_counter_->Increment(shed);
-  return verdicts;
 }
 
 double AdmissionController::TokensAvailable(uint64_t tenant_id) const {

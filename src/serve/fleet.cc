@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "core/evaluator.h"
@@ -42,6 +43,19 @@ struct TenantState {
   TenantSummary summary;
 };
 
+/// One serving shard: its own inference engine and admission controller,
+/// plus its own model registry when the fleet provides a factory. Tenant
+/// state itself is partitioned by the shard map, so everything a shard
+/// touches during a round is disjoint from every other shard — rounds fan
+/// shards across the thread pool with no locking beyond the metrics
+/// sink's atomics.
+struct Shard {
+  std::unique_ptr<ModelRegistry> owned_registry;  ///< null = shares main
+  ModelRegistry* registry = nullptr;
+  std::unique_ptr<AdmissionController> admission;
+  std::unique_ptr<BatchEngine> engine;
+};
+
 void PushRecent(TenantState* tenant, double workload, size_t window) {
   tenant->recent.push_back(workload);
   if (tenant->recent.size() > window) {
@@ -49,7 +63,33 @@ void PushRecent(TenantState* tenant, double workload, size_t window) {
   }
 }
 
+void AccumulateCacheStats(const ModelRegistry::CacheStats& from,
+                          ModelRegistry::CacheStats* into) {
+  into->hits += from.hits;
+  into->misses += from.misses;
+  into->evictions += from.evictions;
+  into->loads += from.loads;
+  into->resident_bytes += from.resident_bytes;
+  into->resident_models += from.resident_models;
+  into->pinned_models += from.pinned_models;
+  into->pinned_bytes += from.pinned_bytes;
+}
+
 }  // namespace
+
+size_t ShardOfTenant(uint64_t tenant_id, size_t num_shards) {
+  if (num_shards <= 1) {
+    return 0;
+  }
+  // SplitMix64 finalizer: avalanches the id so consecutive tenants spread
+  // across shards instead of striping, and the assignment depends on
+  // nothing but (id, num_shards).
+  uint64_t x = tenant_id + 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return static_cast<size_t>(x % num_shards);
+}
 
 Result<FleetResult> RunFleet(ModelRegistry* registry,
                              const std::vector<ModelId>& models,
@@ -89,115 +129,248 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
     }
   }
 
-  // Per-tenant setup: independent synthetic workload, a cluster sized so
-  // the trace's swings move the node count, and an independent fault
-  // schedule.
-  std::vector<TenantState> tenants(options.num_tenants);
-  const bool inject = options.faults.Any();
+  // Shard topology: stable-hash tenant assignment, per-shard serving tier.
+  const size_t num_shards = std::max<size_t>(options.num_shards, 1);
+  std::vector<size_t> shard_of(options.num_tenants);
+  std::vector<std::vector<size_t>> shard_tenants(num_shards);
   for (size_t t = 0; t < options.num_tenants; ++t) {
-    TenantState& tenant = tenants[t];
-    tenant.summary.tenant_id = t;
-    tenant.model = models[t % models.size()];
-    tenant.summary.model = tenant.model;
-    tenant.context_length = model_context[t % models.size()];
-
-    trace::SyntheticTraceGenerator generator(
-        options.profile, DeriveSeed(options.seed, kTraceStream + t));
-    tenant.series =
-        generator.GenerateCpu(options.history_steps + options.num_steps);
-
-    const double mean_history =
-        std::accumulate(tenant.series.values.begin(),
-                        tenant.series.values.begin() +
-                            static_cast<long>(options.history_steps),
-                        0.0) /
-        static_cast<double>(options.history_steps);
-    tenant.config.theta = std::max(mean_history / options.theta_divisor,
-                                   1e-9);
-
-    simdb::Cluster::Options cluster_options;
-    cluster_options.node_capacity = tenant.config.theta;
-    cluster_options.seed = DeriveSeed(options.seed, kClusterStream + t);
-    cluster_options.metrics = options.metrics;
-    cluster_options.initial_nodes = core::RequiredNodes(
-        tenant.series.values[options.history_steps - 1], tenant.config);
-    tenant.cluster = std::make_unique<simdb::Cluster>(cluster_options);
-    tenant.current_nodes = cluster_options.initial_nodes;
-
-    if (inject) {
-      simdb::FaultPlan plan = options.faults;
-      plan.seed = DeriveSeed(options.faults.seed, kFaultStream + t);
-      tenant.injector = std::make_unique<simdb::FaultInjector>(plan);
-    }
-
-    for (size_t back = std::min(window, options.history_steps); back > 0;
-         --back) {
-      tenant.recent.push_back(
-          tenant.series.values[options.history_steps - back]);
-    }
+    shard_of[t] = ShardOfTenant(t, num_shards);
+    shard_tenants[shard_of[t]].push_back(t);
   }
 
-  core::RobustQuantileAllocator allocator(options.tau);
   AdmissionController::Options admission_options = options.admission;
   admission_options.metrics = options.metrics;
-  AdmissionController admission(admission_options, options.num_tenants);
   BatchEngine::Options engine_options;
   engine_options.batch_across_tenants = options.batched;
   engine_options.metrics = options.metrics;
-  BatchEngine engine(registry, engine_options);
+
+  std::vector<Shard> shards(num_shards);
+  for (Shard& shard : shards) {
+    if (options.shard_registry_factory != nullptr) {
+      shard.owned_registry = options.shard_registry_factory();
+      if (shard.owned_registry == nullptr) {
+        return Status::InvalidArgument(
+            "shard_registry_factory returned null");
+      }
+    }
+    shard.registry =
+        shard.owned_registry != nullptr ? shard.owned_registry.get()
+                                        : registry;
+    // Every shard's controller is sized to the whole fleet: token buckets
+    // are indexed by global tenant id, and the deadline-shed rotation
+    // period must be the fleet-wide tenant count on every shard.
+    shard.admission = std::make_unique<AdmissionController>(
+        admission_options, options.num_tenants);
+    shard.engine =
+        std::make_unique<BatchEngine>(shard.registry, engine_options);
+  }
+
+  // Per-tenant setup: independent synthetic workload, a cluster sized so
+  // the trace's swings move the node count, and an independent fault
+  // schedule. Every seed derives from the *global* tenant id, so the
+  // tenant's trajectory is independent of the shard topology. Setup is
+  // embarrassingly parallel across tenants.
+  std::vector<TenantState> tenants(options.num_tenants);
+  const bool inject = options.faults.Any();
+  ParallelFor(0, options.num_tenants, 1, [&](size_t t0, size_t t1) {
+    for (size_t t = t0; t < t1; ++t) {
+      TenantState& tenant = tenants[t];
+      tenant.summary.tenant_id = t;
+      tenant.model = models[t % models.size()];
+      tenant.summary.model = tenant.model;
+      tenant.context_length = model_context[t % models.size()];
+
+      trace::SyntheticTraceGenerator generator(
+          options.profile, DeriveSeed(options.seed, kTraceStream + t));
+      tenant.series =
+          generator.GenerateCpu(options.history_steps + options.num_steps);
+
+      const double mean_history =
+          std::accumulate(tenant.series.values.begin(),
+                          tenant.series.values.begin() +
+                              static_cast<long>(options.history_steps),
+                          0.0) /
+          static_cast<double>(options.history_steps);
+      tenant.config.theta = std::max(mean_history / options.theta_divisor,
+                                     1e-9);
+
+      simdb::Cluster::Options cluster_options;
+      cluster_options.node_capacity = tenant.config.theta;
+      cluster_options.seed = DeriveSeed(options.seed, kClusterStream + t);
+      cluster_options.metrics = options.metrics;
+      cluster_options.initial_nodes = core::RequiredNodes(
+          tenant.series.values[options.history_steps - 1], tenant.config);
+      tenant.cluster = std::make_unique<simdb::Cluster>(cluster_options);
+      tenant.current_nodes = cluster_options.initial_nodes;
+
+      if (inject) {
+        simdb::FaultPlan plan = options.faults;
+        plan.seed = DeriveSeed(options.faults.seed, kFaultStream + t);
+        tenant.injector = std::make_unique<simdb::FaultInjector>(plan);
+      }
+
+      for (size_t back = std::min(window, options.history_steps); back > 0;
+           --back) {
+        tenant.recent.push_back(
+            tenant.series.values[options.history_steps - back]);
+      }
+    }
+  });
+
+  const core::RobustQuantileAllocator allocator(options.tau);
 
   FleetResult result;
   result.tenants.resize(options.num_tenants);
 
   enum class RoundPlan { kFresh, kStale, kFallback };
 
+  // Per-round scratch, hoisted so round iterations recycle capacity.
+  std::vector<RoundPlan> disposition;
+  std::vector<uint8_t> wants_fresh;
+  std::vector<std::vector<obs::ScalingDecision>> round_decisions(
+      options.collect_decisions ? options.num_tenants : 0);
+
   for (size_t step = 0; step < options.num_steps;
        step += options.replan_every) {
     const size_t round = step / options.replan_every;
     ++result.rounds;
-    admission.BeginRound();
+    for (Shard& shard : shards) {
+      shard.admission->BeginRound();
+    }
 
     // Phase 1: decide each tenant's round disposition (injected forecaster
     // faults first — a tenant whose forecaster is down does not compete
-    // for the round's inference budget).
-    std::vector<RoundPlan> disposition(options.num_tenants,
-                                       RoundPlan::kFresh);
-    std::vector<uint64_t> requesting;
-    for (size_t t = 0; t < options.num_tenants; ++t) {
-      TenantState& tenant = tenants[t];
-      ++tenant.summary.rounds;
-      if (tenant.injector != nullptr) {
-        const simdb::StepFaults faults =
-            tenant.injector->FaultsForStep(step);
-        const int attempts = faults.forecaster_timeout_attempts +
-                             (faults.forecaster_nan ? 1 : 0);
-        if (faults.stale_forecast && !tenant.last_good_plan.empty()) {
-          disposition[t] = RoundPlan::kStale;
-          continue;
-        }
-        if (attempts > policy.max_retries) {
-          disposition[t] = RoundPlan::kFallback;
-          ++tenant.summary.fault_rounds;
-          continue;
+    // for the round's inference budget). Per-tenant work; shards fan out.
+    disposition.assign(options.num_tenants, RoundPlan::kFresh);
+    wants_fresh.assign(options.num_tenants, 0);
+    ParallelFor(0, num_shards, 1, [&](size_t s0, size_t s1) {
+      for (size_t s = s0; s < s1; ++s) {
+        for (size_t t : shard_tenants[s]) {
+          TenantState& tenant = tenants[t];
+          ++tenant.summary.rounds;
+          if (tenant.injector != nullptr) {
+            const simdb::StepFaults faults =
+                tenant.injector->FaultsForStep(step);
+            const int attempts = faults.forecaster_timeout_attempts +
+                                 (faults.forecaster_nan ? 1 : 0);
+            if (faults.stale_forecast && !tenant.last_good_plan.empty()) {
+              disposition[t] = RoundPlan::kStale;
+              continue;
+            }
+            if (attempts > policy.max_retries) {
+              disposition[t] = RoundPlan::kFallback;
+              ++tenant.summary.fault_rounds;
+              continue;
+            }
+          }
+          wants_fresh[t] = 1;
         }
       }
-      requesting.push_back(t);
+    });
+
+    // The global requesting list, ascending by tenant id — the exact order
+    // the unsharded fleet submits, which the deadline shed ranks against.
+    std::vector<uint64_t> requesting;
+    for (size_t t = 0; t < options.num_tenants; ++t) {
+      if (wants_fresh[t] != 0) {
+        requesting.push_back(t);
+      }
+    }
+    result.requests_submitted += requesting.size();
+
+    // Phase 2: admission. Token buckets are per-tenant, so each shard
+    // screens and charges its own tenants on its own controller; the
+    // deadline shed runs once, globally, over the merged candidate list —
+    // that split is what keeps S-shard verdicts bit-identical to one
+    // controller seeing the whole fleet.
+    std::vector<std::vector<uint64_t>> sub_tenants(num_shards);
+    std::vector<std::vector<size_t>> sub_to_global(num_shards);
+    std::vector<size_t> sub_index(requesting.size(), 0);
+    for (size_t i = 0; i < requesting.size(); ++i) {
+      const size_t s = shard_of[requesting[i]];
+      sub_index[i] = sub_tenants[s].size();
+      sub_tenants[s].push_back(requesting[i]);
+      sub_to_global[s].push_back(i);
     }
 
-    // Phase 2: admission. Throttled and shed tenants degrade to the
-    // reactive fallback — their round is served, just not with a fresh
-    // forecast.
-    const std::vector<AdmissionVerdict> verdicts =
-        admission.AdmitRound(requesting);
-    result.requests_submitted += requesting.size();
-    std::vector<ForecastRequest> requests;
-    std::vector<size_t> request_tenant;
-    for (size_t k = 0; k < requesting.size(); ++k) {
-      const size_t t = requesting[k];
+    std::vector<AdmissionVerdict> verdicts(requesting.size(),
+                                           AdmissionVerdict::kThrottled);
+    std::vector<std::vector<AdmissionVerdict>> sub_verdicts(num_shards);
+    std::vector<std::vector<size_t>> sub_candidates(num_shards);
+    std::vector<size_t> global_candidates;
+    for (size_t s = 0; s < num_shards; ++s) {
+      shards[s].admission->TokenScreen(sub_tenants[s], &sub_verdicts[s],
+                                       &sub_candidates[s]);
+      for (size_t c : sub_candidates[s]) {
+        global_candidates.push_back(sub_to_global[s][c]);
+      }
+    }
+    // Ascending entry order — what one controller screening the merged
+    // list would have produced.
+    std::sort(global_candidates.begin(), global_candidates.end());
+    AdmissionController::SelectWithinBudget(
+        shards[0].admission->round(), options.num_tenants,
+        admission_options.round_budget, requesting, &global_candidates,
+        &verdicts);
+    // Push the shed marks down to the shard-local verdict slates, commit
+    // each shard (charges buckets, counts metrics), and lift the admitted
+    // marks back up.
+    std::vector<std::vector<size_t>> sub_survivors(num_shards);
+    for (size_t i : global_candidates) {
+      sub_survivors[shard_of[requesting[i]]].push_back(sub_index[i]);
+    }
+    for (size_t i = 0; i < requesting.size(); ++i) {
+      sub_verdicts[shard_of[requesting[i]]][sub_index[i]] = verdicts[i];
+    }
+    for (size_t s = 0; s < num_shards; ++s) {
+      shards[s].admission->Commit(sub_tenants[s], sub_survivors[s],
+                                  &sub_verdicts[s]);
+    }
+    for (size_t i = 0; i < requesting.size(); ++i) {
+      verdicts[i] = sub_verdicts[shard_of[requesting[i]]][sub_index[i]];
+    }
+
+    // Throttled and shed tenants degrade to the reactive fallback — their
+    // round is served, just not with a fresh forecast.
+    std::vector<std::vector<size_t>> shard_admitted(num_shards);
+    for (size_t i = 0; i < requesting.size(); ++i) {
+      const size_t t = requesting[i];
       TenantState& tenant = tenants[t];
-      switch (verdicts[k]) {
-        case AdmissionVerdict::kAdmitted: {
+      switch (verdicts[i]) {
+        case AdmissionVerdict::kAdmitted:
           ++result.requests_admitted;
+          shard_admitted[shard_of[t]].push_back(t);
+          break;
+        case AdmissionVerdict::kThrottled:
+          ++result.requests_throttled;
+          ++tenant.summary.throttled_rounds;
+          disposition[t] = RoundPlan::kFallback;
+          break;
+        case AdmissionVerdict::kDeadlineShed:
+          ++result.requests_shed;
+          ++tenant.summary.shed_rounds;
+          disposition[t] = RoundPlan::kFallback;
+          break;
+      }
+    }
+
+    // Phases 3+4, fused per shard and fanned across the pool. ParallelFor
+    // claims shard indices dynamically, so a thread that finishes a cheap
+    // shard steals the next unstarted one. Everything inside is disjoint
+    // per shard: requests, engine, tenant state, decision buffers.
+    const size_t round_end =
+        std::min(step + options.replan_every, options.num_steps);
+    ParallelFor(0, num_shards, 1, [&](size_t s0, size_t s1) {
+      for (size_t s = s0; s < s1; ++s) {
+        // Phase 3: serve the admitted requests through the shard's engine
+        // and map forecasts to plans. Any per-request error degrades that
+        // tenant to the fallback — never the whole round.
+        std::vector<ForecastRequest> requests;
+        std::vector<size_t> request_tenant;
+        requests.reserve(shard_admitted[s].size());
+        request_tenant.reserve(shard_admitted[s].size());
+        for (size_t t : shard_admitted[s]) {
+          TenantState& tenant = tenants[t];
           ForecastRequest request;
           request.tenant_id = t;
           request.model = tenant.model;
@@ -212,106 +385,103 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
               DeriveSeed(DeriveSeed(options.seed, kRequestStream + t), round);
           requests.push_back(std::move(request));
           request_tenant.push_back(t);
-          break;
         }
-        case AdmissionVerdict::kThrottled:
-          ++result.requests_throttled;
-          ++tenant.summary.throttled_rounds;
-          disposition[t] = RoundPlan::kFallback;
-          break;
-        case AdmissionVerdict::kDeadlineShed:
-          ++result.requests_shed;
-          ++tenant.summary.shed_rounds;
-          disposition[t] = RoundPlan::kFallback;
-          break;
-      }
-    }
-
-    // Phase 3: serve the admitted requests through the engine and map
-    // forecasts to plans. Any per-request error degrades that tenant to
-    // the fallback — never the whole round.
-    const std::vector<ForecastResponse> responses = engine.Execute(requests);
-    for (size_t k = 0; k < responses.size(); ++k) {
-      const size_t t = request_tenant[k];
-      TenantState& tenant = tenants[t];
-      if (!responses[k].ok()) {
-        ++tenant.summary.error_rounds;
-        disposition[t] = RoundPlan::kFallback;
-        continue;
-      }
-      auto plan = allocator.Allocate(responses[k].forecast, tenant.config);
-      if (!plan.ok()) {
-        ++tenant.summary.error_rounds;
-        disposition[t] = RoundPlan::kFallback;
-        continue;
-      }
-      tenant.plan = std::move(*plan);
-      tenant.last_good_plan = tenant.plan;
-      ++tenant.summary.fresh_rounds;
-    }
-    for (size_t t = 0; t < options.num_tenants; ++t) {
-      TenantState& tenant = tenants[t];
-      switch (disposition[t]) {
-        case RoundPlan::kFresh:
-          break;  // plan already installed (or errored into fallback)
-        case RoundPlan::kStale:
-          tenant.plan = tenant.last_good_plan;
-          ++tenant.summary.stale_rounds;
-          break;
-        case RoundPlan::kFallback:
-          tenant.plan = core::BuildFallbackPlan(
-              tenant.recent, tenant.last_good_plan, tenant.current_nodes,
-              tenant.config, policy);
-          ++tenant.summary.fallback_rounds;
-          break;
-      }
-      if (tenant.plan.empty()) {
-        // First round shed before any good plan existed: hold current.
-        tenant.plan.assign(1, tenant.current_nodes);
-      }
-    }
-
-    // Phase 4: drive every cluster to the next planning round.
-    const size_t round_end =
-        std::min(step + options.replan_every, options.num_steps);
-    for (size_t t = 0; t < options.num_tenants; ++t) {
-      TenantState& tenant = tenants[t];
-      for (size_t s = step; s < round_end; ++s) {
-        simdb::StepFaults faults;
-        if (tenant.injector != nullptr) {
-          faults = tenant.injector->FaultsForStep(s);
-          if (faults.Any()) {
-            ++tenant.summary.faulted_steps;
+        const std::vector<ForecastResponse> responses =
+            shards[s].engine->Execute(requests);
+        for (size_t k = 0; k < responses.size(); ++k) {
+          const size_t t = request_tenant[k];
+          TenantState& tenant = tenants[t];
+          if (!responses[k].ok()) {
+            ++tenant.summary.error_rounds;
+            disposition[t] = RoundPlan::kFallback;
+            continue;
+          }
+          auto plan =
+              allocator.Allocate(responses[k].forecast, tenant.config);
+          if (!plan.ok()) {
+            ++tenant.summary.error_rounds;
+            disposition[t] = RoundPlan::kFallback;
+            continue;
+          }
+          tenant.plan = std::move(*plan);
+          tenant.last_good_plan = tenant.plan;
+          ++tenant.summary.fresh_rounds;
+        }
+        for (size_t t : shard_tenants[s]) {
+          TenantState& tenant = tenants[t];
+          switch (disposition[t]) {
+            case RoundPlan::kFresh:
+              break;  // plan already installed (or errored into fallback)
+            case RoundPlan::kStale:
+              tenant.plan = tenant.last_good_plan;
+              ++tenant.summary.stale_rounds;
+              break;
+            case RoundPlan::kFallback:
+              tenant.plan = core::BuildFallbackPlan(
+                  tenant.recent, tenant.last_good_plan, tenant.current_nodes,
+                  tenant.config, policy);
+              ++tenant.summary.fallback_rounds;
+              break;
+          }
+          if (tenant.plan.empty()) {
+            // First round shed before any good plan existed: hold current.
+            tenant.plan.assign(1, tenant.current_nodes);
           }
         }
-        const size_t cursor = s - step;
-        const int target =
-            tenant.plan[std::min(cursor, tenant.plan.size() - 1)];
-        const double workload =
-            tenant.series.values[options.history_steps + s];
-        const simdb::StepStats stats =
-            tenant.cluster->Step(target, workload, faults);
-        tenant.realized.push_back(stats.workload);
-        tenant.allocation.push_back(target);
-        tenant.utilization_sum += stats.avg_utilization;
-        if (stats.slo_violated) {
-          ++tenant.slo_violations;
+
+        // Phase 4: drive the shard's clusters to the next planning round.
+        for (size_t t : shard_tenants[s]) {
+          TenantState& tenant = tenants[t];
+          for (size_t st = step; st < round_end; ++st) {
+            simdb::StepFaults faults;
+            if (tenant.injector != nullptr) {
+              faults = tenant.injector->FaultsForStep(st);
+              if (faults.Any()) {
+                ++tenant.summary.faulted_steps;
+              }
+            }
+            const size_t cursor = st - step;
+            const int target =
+                tenant.plan[std::min(cursor, tenant.plan.size() - 1)];
+            const double workload =
+                tenant.series.values[options.history_steps + st];
+            const simdb::StepStats stats =
+                tenant.cluster->Step(target, workload, faults);
+            tenant.realized.push_back(stats.workload);
+            tenant.allocation.push_back(target);
+            tenant.utilization_sum += stats.avg_utilization;
+            if (stats.slo_violated) {
+              ++tenant.slo_violations;
+            }
+            PushRecent(&tenant, stats.workload, window);
+            tenant.current_nodes = tenant.cluster->NumNodes();
+            if (options.collect_decisions) {
+              obs::ScalingDecision decision;
+              decision.run = StrFormat("tenant%zu", t);
+              decision.step = st;
+              decision.target_nodes = stats.target_nodes;
+              decision.active_nodes = stats.active_nodes;
+              decision.workload = stats.workload;
+              decision.utilization = stats.avg_utilization;
+              decision.under_provisioned = stats.under_provisioned;
+              decision.slo_violated = stats.slo_violated;
+              round_decisions[t].push_back(std::move(decision));
+              round_decisions[t].back().faulted = faults.Any();
+            }
+          }
         }
-        PushRecent(&tenant, stats.workload, window);
-        tenant.current_nodes = tenant.cluster->NumNodes();
-        if (options.collect_decisions) {
-          obs::ScalingDecision decision;
-          decision.run = StrFormat("tenant%zu", t);
-          decision.step = s;
-          decision.target_nodes = stats.target_nodes;
-          decision.active_nodes = stats.active_nodes;
-          decision.workload = stats.workload;
-          decision.utilization = stats.avg_utilization;
-          decision.under_provisioned = stats.under_provisioned;
-          decision.slo_violated = stats.slo_violated;
-          decision.faulted = faults.Any();
+      }
+    });
+
+    // Merge the round's decision records in the legacy order (tenant
+    // ascending, step ascending) regardless of which thread ran which
+    // shard, keeping the export stream deterministic.
+    if (options.collect_decisions) {
+      for (size_t t = 0; t < options.num_tenants; ++t) {
+        for (obs::ScalingDecision& decision : round_decisions[t]) {
           result.decisions.push_back(std::move(decision));
         }
+        round_decisions[t].clear();
       }
     }
   }
@@ -340,6 +510,12 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
   result.mean_utilization /= n;
   result.mean_slo_violation_rate /= n;
   result.cache = registry->GetCacheStats();
+  for (const Shard& shard : shards) {
+    if (shard.owned_registry != nullptr) {
+      AccumulateCacheStats(shard.owned_registry->GetCacheStats(),
+                           &result.cache);
+    }
+  }
   return result;
 }
 

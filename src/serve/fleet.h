@@ -2,6 +2,8 @@
 #define RPAS_SERVE_FLEET_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
@@ -52,7 +54,9 @@ struct FleetResult {
   double mean_utilization = 0.0;
   double mean_slo_violation_rate = 0.0;
   /// Registry cache effectiveness over the whole run (includes the warm-up
-  /// Acquire() per distinct model at fleet setup).
+  /// Acquire() per distinct model at fleet setup). With per-shard
+  /// registries this sums every registry the run touched, so loads/misses
+  /// grow with the shard count even though serving results do not.
   ModelRegistry::CacheStats cache;
   /// Per-step records for the structured exporters (schema rpas_obs.v1);
   /// filled when FleetOptions::collect_decisions is set, run label
@@ -91,7 +95,30 @@ struct FleetOptions {
   /// Metrics sink threaded through registry consumers created by the run
   /// (engine, admission, clusters); null routes to the global registry.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Serving shards. Tenants are assigned to shards by a stable hash of
+  /// their id; each shard owns a BatchEngine and an AdmissionController
+  /// (and a ModelRegistry when `shard_registry_factory` is set), and the
+  /// shards of a round execute in parallel on the RpasThreads() pool with
+  /// dynamic work-stealing (an idle thread claims the next unstarted
+  /// shard). 0 is treated as 1 (the unsharded single-tier fleet). The
+  /// FleetResult is bit-identical across every (num_shards, thread count)
+  /// combination — admission's deadline shed is computed globally over the
+  /// merged per-shard candidate lists and token buckets are per-tenant, so
+  /// sharding changes scheduling, never verdicts (see DESIGN.md).
+  size_t num_shards = 1;
+  /// Builds one model registry per shard with every referenced version
+  /// registered against the same checkpoints as the registry passed to
+  /// RunFleet. When null, all shards share that registry — correct, but
+  /// its internal mutex stays the cross-shard serialization point, which
+  /// defeats most of the sharding speedup. FleetResult::cache aggregates
+  /// over every registry the run touched.
+  std::function<std::unique_ptr<ModelRegistry>()> shard_registry_factory;
 };
+
+/// Stable tenant→shard assignment (SplitMix64 finalizer on the id). Pure
+/// and platform-independent, so a tenant's shard — and with it the
+/// composition of every per-shard cache — never changes across runs.
+size_t ShardOfTenant(uint64_t tenant_id, size_t num_shards);
 
 /// Steps `num_tenants` simulated database clusters through the online
 /// scaling loop against a shared serving tier: each planning round, every

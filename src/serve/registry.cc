@@ -32,6 +32,7 @@ ModelRegistry::ModelRegistry(Options options) : options_(options) {
   evictions_ = metrics->GetCounter("serve.registry.evictions");
   loads_ = metrics->GetCounter("serve.registry.loads");
   resident_bytes_gauge_ = metrics->GetGauge("serve.registry.resident_bytes");
+  pinned_bytes_gauge_ = metrics->GetGauge("serve.registry.pinned_bytes");
 }
 
 Status ModelRegistry::RegisterVersion(const ModelId& id,
@@ -100,21 +101,37 @@ Result<std::shared_ptr<const forecast::Forecaster>> ModelRegistry::Acquire(
   RPAS_RETURN_IF_ERROR(model->LoadCheckpoint(entry.path));
   std::shared_ptr<const forecast::Forecaster> shared = std::move(model);
   entry.resident = shared;
+  entry.alive = shared;
   resident_bytes_ += entry.bytes;
   EvictToBudgetLocked();
   stats_.resident_bytes = resident_bytes_;
   resident_bytes_gauge_->Set(static_cast<double>(resident_bytes_));
+  CacheStats pinned;
+  FillPinnedLocked(&pinned);
+  pinned_bytes_gauge_->Set(static_cast<double>(pinned.pinned_bytes));
   return shared;
 }
 
 void ModelRegistry::EvictToBudgetLocked() {
   // LRU scan over the (small) version map; the just-loaded entry carries
   // the newest tick, so it is evicted only when it alone exceeds the
-  // budget — the bound holds unconditionally.
+  // budget — the bound holds unconditionally. Two-tier victim choice:
+  // evicting a pinned model drops only the registry's reference while
+  // in-flight holders keep the weights alive, so the bytes are not really
+  // freed — prefer the LRU *unpinned* victim and fall back to a pinned one
+  // only when every resident model is pinned.
   while (resident_bytes_ > options_.cache_budget_bytes) {
     auto victim = entries_.end();
+    auto pinned_victim = entries_.end();
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
       if (it->second.resident == nullptr) {
+        continue;
+      }
+      if (it->second.PinnedLocked()) {
+        if (pinned_victim == entries_.end() ||
+            it->second.last_used < pinned_victim->second.last_used) {
+          pinned_victim = it;
+        }
         continue;
       }
       if (victim == entries_.end() ||
@@ -123,12 +140,26 @@ void ModelRegistry::EvictToBudgetLocked() {
       }
     }
     if (victim == entries_.end()) {
+      victim = pinned_victim;
+    }
+    if (victim == entries_.end()) {
       break;  // nothing resident; budget of 0 with no cache
     }
     victim->second.resident.reset();
     resident_bytes_ -= victim->second.bytes;
     ++stats_.evictions;
     evictions_->Increment();
+  }
+}
+
+void ModelRegistry::FillPinnedLocked(CacheStats* stats) const {
+  stats->pinned_models = 0;
+  stats->pinned_bytes = 0;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.PinnedLocked()) {
+      ++stats->pinned_models;
+      stats->pinned_bytes += entry.bytes;
+    }
   }
 }
 
@@ -160,6 +191,7 @@ ModelRegistry::CacheStats ModelRegistry::GetCacheStats() const {
       ++stats.resident_models;
     }
   }
+  FillPinnedLocked(&stats);
   return stats;
 }
 

@@ -75,6 +75,13 @@ class ModelRegistry {
     int64_t loads = 0;       ///< checkpoint parses (== misses)
     size_t resident_bytes = 0;
     size_t resident_models = 0;
+    /// Models whose weights are still alive because a caller holds a
+    /// shared_ptr — warm entries with outstanding references plus evicted
+    /// entries whose last holder has not finished. Eviction cannot free
+    /// these, so real memory use is resident_bytes + the bytes of evicted
+    /// pinned models, not resident_bytes alone.
+    size_t pinned_models = 0;
+    size_t pinned_bytes = 0;  ///< summed checkpoint bytes of pinned models
   };
 
   explicit ModelRegistry(Options options);
@@ -116,12 +123,31 @@ class ModelRegistry {
     ForecasterFactory factory;
     size_t bytes = 0;  ///< checkpoint file size (cache accounting unit)
     std::shared_ptr<const forecast::Forecaster> resident;  ///< null = cold
+    /// Observes the model after eviction: while callers still hold the
+    /// shared_ptr the weights stay in memory even though `resident` is
+    /// null, and this entry counts toward pinned_bytes until it expires.
+    std::weak_ptr<const forecast::Forecaster> alive;
     uint64_t last_used = 0;  ///< logical clock for LRU ordering
+
+    /// True when callers outside the registry keep the weights alive.
+    /// Call with mu_ held.
+    bool PinnedLocked() const {
+      if (resident != nullptr) {
+        return resident.use_count() > 1;  // the registry's own reference
+      }
+      return !alive.expired();
+    }
   };
 
-  /// Drops least-recently-used warm models until the budget holds.
+  /// Drops least-recently-used warm models until the budget holds,
+  /// preferring unpinned victims (evicting a pinned model cannot free its
+  /// bytes until the last in-flight request drops the shared_ptr).
   /// Call with mu_ held.
   void EvictToBudgetLocked();
+
+  /// Fills `pinned_models` / `pinned_bytes` on `stats` from the current
+  /// entry table. Call with mu_ held.
+  void FillPinnedLocked(CacheStats* stats) const;
 
   Options options_;
   mutable std::mutex mu_;
@@ -134,6 +160,7 @@ class ModelRegistry {
   obs::Counter* evictions_ = nullptr;
   obs::Counter* loads_ = nullptr;
   obs::Gauge* resident_bytes_gauge_ = nullptr;
+  obs::Gauge* pinned_bytes_gauge_ = nullptr;
 };
 
 }  // namespace rpas::serve

@@ -6,7 +6,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
+#include "common/parallel.h"
 #include "tensor/kernels_internal.h"
 
 #if RPAS_KERNELS_HAVE_SSE2
@@ -285,6 +287,21 @@ void LstmCellBackwardScalar(size_t batch, size_t hidden, const double* act,
   }
 }
 
+// Cost model for the parallel drivers. Forking the shared pool costs on the
+// order of microseconds, so products below the flop threshold run as one
+// chunk on the calling thread (ParallelFor's serial path) — the tiny GEMMs
+// of a single decision round never pay scheduling overhead. Thresholds and
+// grains depend only on operand shapes, never the thread count, keeping the
+// partition (and the result) reproducible across RPAS_NUM_THREADS values.
+constexpr double kMinParallelFlops = 256.0 * 1024.0;
+// Rows per chunk once a product clears the threshold. Even, so chunk
+// boundaries preserve the SIMD kernels' 2-row register tiling.
+constexpr size_t kGemmRowGrainRows = 16;
+// The fused cell step is transcendental-bound; one tanh/sigmoid costs tens
+// of flops, and each batch element evaluates 4*hidden of them.
+constexpr double kLstmFlopsPerGate = 16.0;
+constexpr size_t kLstmRowGrainRows = 8;
+
 #if RPAS_KERNELS_HAVE_SSE2
 
 // SSE2 GEMM: 2-wide mul-then-add in the same per-element accumulation order
@@ -480,28 +497,93 @@ void GemmRowsScalar(size_t r0, size_t r1, size_t n, size_t k, const double* a,
   }
 }
 
-void GemmTN(SimdLevel level, size_t m, size_t n, size_t k, const double* a,
-            size_t lda, const double* b, size_t ldb, double* c, size_t ldc) {
-#if RPAS_KERNELS_HAVE_AVX2
-  if (level == SimdLevel::kAvx2) {
-    avx2::GemmTN(m, n, k, a, lda, b, ldb, c, ldc);
+size_t GemmRowGrain(size_t m, size_t n, size_t k) {
+  if (m == 0) {
+    return 1;
+  }
+  const double flops = 2.0 * static_cast<double>(m) *
+                       static_cast<double>(n) * static_cast<double>(k);
+  return flops < kMinParallelFlops ? m : kGemmRowGrainRows;
+}
+
+size_t LstmRowGrain(size_t batch, size_t hidden) {
+  if (batch == 0) {
+    return 1;
+  }
+  const double flops = kLstmFlopsPerGate * 4.0 *
+                       static_cast<double>(batch) *
+                       static_cast<double>(hidden);
+  return flops < kMinParallelFlops ? batch : kLstmRowGrainRows;
+}
+
+void Gemm(SimdLevel level, size_t m, size_t n, size_t k, const double* a,
+          size_t lda, const double* b, size_t ldb, double* c, size_t ldc) {
+  if (m == 0 || n == 0) {
     return;
   }
+  const size_t grain = GemmRowGrain(m, n, k);
+  if (level == SimdLevel::kScalar || n < kPanelWidth) {
+    // Scalar reference path (also used for very skinny outputs such as
+    // head projections, where packing overhead dominates). The narrow-n
+    // cutoff depends only on the operand shapes, never on the batch row
+    // count, preserving batched-vs-unbatched bit-identity.
+    ParallelFor(0, m, grain, [&](size_t r0, size_t r1) {
+      GemmRowsScalar(r0, r1, n, k, a, lda, b, ldb, c, ldc);
+    });
+    return;
+  }
+  // Pack B once into zero-padded column panels; every worker reads the same
+  // packed image. The buffer is thread_local to the *calling* thread so
+  // concurrent GEMMs (serve batching, parallel backtest folds, fleet
+  // shards) never contend, and its capacity is recycled across calls.
+  thread_local std::vector<double> pack_buffer;
+  pack_buffer.resize(PackedSize(k, n));
+  PackB(k, n, b, ldb, pack_buffer.data());
+  const double* packed = pack_buffer.data();
+  ParallelFor(0, m, grain, [&](size_t r0, size_t r1) {
+    GemmPackedRows(level, r0, r1, n, k, a, lda, packed, c, ldc);
+  });
+}
+
+void GemmTN(SimdLevel level, size_t m, size_t n, size_t k, const double* a,
+            size_t lda, const double* b, size_t ldb, double* c, size_t ldc) {
+  if (m == 0 || n == 0) {
+    return;
+  }
+  // Partition over output rows (columns of A). Within a chunk the p loop
+  // still visits every k index in ascending order per element, so the
+  // split changes nothing about any element's accumulation sequence.
+  ParallelFor(0, m, GemmRowGrain(m, n, k), [&](size_t i0, size_t i1) {
+    const size_t rows = i1 - i0;
+#if RPAS_KERNELS_HAVE_AVX2
+    if (level == SimdLevel::kAvx2) {
+      avx2::GemmTN(rows, n, k, a + i0, lda, b, ldb, c + i0 * ldc, ldc);
+      return;
+    }
 #endif
-  (void)level;
-  GemmTNScalar(m, n, k, a, lda, b, ldb, c, ldc);
+    (void)level;
+    GemmTNScalar(rows, n, k, a + i0, lda, b, ldb, c + i0 * ldc, ldc);
+  });
 }
 
 void GemmNT(SimdLevel level, size_t m, size_t n, size_t k, const double* a,
             size_t lda, const double* b, size_t ldb, double* c, size_t ldc) {
-#if RPAS_KERNELS_HAVE_AVX2
-  if (level == SimdLevel::kAvx2) {
-    avx2::GemmNT(m, n, k, a, lda, b, ldb, c, ldc);
+  if (m == 0 || n == 0) {
     return;
   }
+  // Rows of C are independent dot products — trivially bit-stable under
+  // any row partition.
+  ParallelFor(0, m, GemmRowGrain(m, n, k), [&](size_t i0, size_t i1) {
+    const size_t rows = i1 - i0;
+#if RPAS_KERNELS_HAVE_AVX2
+    if (level == SimdLevel::kAvx2) {
+      avx2::GemmNT(rows, n, k, a + i0 * lda, lda, b, ldb, c + i0 * ldc, ldc);
+      return;
+    }
 #endif
-  (void)level;
-  GemmNTScalar(m, n, k, a, lda, b, ldb, c, ldc);
+    (void)level;
+    GemmNTScalar(rows, n, k, a + i0 * lda, lda, b, ldb, c + i0 * ldc, ldc);
+  });
 }
 
 void Axpy(SimdLevel level, size_t n, double alpha, const double* x,
@@ -599,18 +681,30 @@ void LstmCellForward(SimdLevel level, size_t batch, size_t hidden,
                      double* gates, const double* c_prev, size_t ldcp,
                      double* h_out, size_t ldh, double* c_out, size_t ldc,
                      double* tanh_c) {
-#if RPAS_KERNELS_HAVE_AVX2
-  if (level == SimdLevel::kAvx2) {
-    avx2::LstmCellForward(batch, hidden, gates, c_prev, ldcp, h_out, ldh,
-                          c_out, ldc, tanh_c);
+  if (batch == 0 || hidden == 0) {
     return;
   }
+  // Batch rows are independent; the explicit leading dimensions let each
+  // chunk address its row block with plain pointer offsets.
+  ParallelFor(0, batch, LstmRowGrain(batch, hidden),
+              [&](size_t r0, size_t r1) {
+    const size_t rows = r1 - r0;
+    double* g = gates + r0 * 4 * hidden;
+    const double* cp = c_prev + r0 * ldcp;
+    double* h = h_out + r0 * ldh;
+    double* co = c_out + r0 * ldc;
+    double* tc = tanh_c != nullptr ? tanh_c + r0 * hidden : nullptr;
+#if RPAS_KERNELS_HAVE_AVX2
+    if (level == SimdLevel::kAvx2) {
+      avx2::LstmCellForward(rows, hidden, g, cp, ldcp, h, ldh, co, ldc, tc);
+      return;
+    }
 #endif
-  // SSE2 routes here too: the step is transcendental-bound and the scalar
-  // formulas are the bit-identity reference.
-  (void)level;
-  LstmCellForwardScalar(batch, hidden, gates, c_prev, ldcp, h_out, ldh, c_out,
-                        ldc, tanh_c);
+    // SSE2 routes here too: the step is transcendental-bound and the scalar
+    // formulas are the bit-identity reference.
+    (void)level;
+    LstmCellForwardScalar(rows, hidden, g, cp, ldcp, h, ldh, co, ldc, tc);
+  });
 }
 
 void LstmCellBackward(SimdLevel level, size_t batch, size_t hidden,
@@ -618,16 +712,30 @@ void LstmCellBackward(SimdLevel level, size_t batch, size_t hidden,
                       const double* tanh_c, const double* dh, size_t ldh,
                       const double* dc, size_t ldc, double* dgates,
                       double* dc_prev) {
-#if RPAS_KERNELS_HAVE_AVX2
-  if (level == SimdLevel::kAvx2) {
-    avx2::LstmCellBackward(batch, hidden, act, c_prev, ldcp, tanh_c, dh, ldh,
-                           dc, ldc, dgates, dc_prev);
+  if (batch == 0 || hidden == 0) {
     return;
   }
+  ParallelFor(0, batch, LstmRowGrain(batch, hidden),
+              [&](size_t r0, size_t r1) {
+    const size_t rows = r1 - r0;
+    const double* a = act + r0 * 4 * hidden;
+    const double* cp = c_prev + r0 * ldcp;
+    const double* tc = tanh_c + r0 * hidden;
+    const double* dh_p = dh + r0 * ldh;
+    const double* dc_p = dc + r0 * ldc;
+    double* dg = dgates + r0 * 4 * hidden;
+    double* dcp = dc_prev + r0 * hidden;
+#if RPAS_KERNELS_HAVE_AVX2
+    if (level == SimdLevel::kAvx2) {
+      avx2::LstmCellBackward(rows, hidden, a, cp, ldcp, tc, dh_p, ldh, dc_p,
+                             ldc, dg, dcp);
+      return;
+    }
 #endif
-  (void)level;
-  LstmCellBackwardScalar(batch, hidden, act, c_prev, ldcp, tanh_c, dh, ldh, dc,
-                         ldc, dgates, dc_prev);
+    (void)level;
+    LstmCellBackwardScalar(rows, hidden, a, cp, ldcp, tc, dh_p, ldh, dc_p,
+                           ldc, dg, dcp);
+  });
 }
 
 }  // namespace rpas::tensor::kernels

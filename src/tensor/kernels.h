@@ -86,6 +86,31 @@ void GemmPackedRows(SimdLevel level, size_t r0, size_t r1, size_t n, size_t k,
                     const double* a, size_t lda, const double* packed,
                     double* c, size_t ldc);
 
+/// Row grain the parallel GEMM drivers hand to ParallelFor: the whole row
+/// range (one chunk -> ParallelFor's serial path) when the product's
+/// 2*m*n*k flop count is below the parallelization threshold, a fixed
+/// 16-row grain otherwise. Depends only on the operand shape — never the
+/// thread count — so the partition, and with it the result, is identical
+/// for every RPAS_NUM_THREADS value. The fixed grain is even, so chunk
+/// boundaries preserve the 2-row register tiling of the SIMD kernels.
+size_t GemmRowGrain(size_t m, size_t n, size_t k);
+
+/// Batch-row grain for the fused LSTM cell kernels. Same contract as
+/// GemmRowGrain; the per-element cost weight is much higher because the
+/// cell step is transcendental-bound, so smaller batches still fan out.
+size_t LstmRowGrain(size_t batch, size_t hidden);
+
+/// Full parallel GEMM driver: C (m x n, ldc) += A (m x k, lda) * B (k x n,
+/// ldb), all row-major. Packs B into column panels once (non-scalar levels
+/// with n >= kPanelWidth; the scalar level and skinny outputs use the
+/// unpacked reference rows) and fans GemmRowGrain()-sized row chunks
+/// across the shared thread pool. Each output row is written by exactly
+/// one chunk with its k-accumulation in ascending order, so the result is
+/// bit-identical to the serial row kernels at any thread count and any
+/// dispatch level. Small products run on the calling thread.
+void Gemm(SimdLevel level, size_t m, size_t n, size_t k, const double* a,
+          size_t lda, const double* b, size_t ldb, double* c, size_t ldc);
+
 /// The pre-kernel-layer cache-blocked scalar reference (bit-exact legacy
 /// MatMul inner loops) over C rows [r0, r1).
 void GemmRowsScalar(size_t r0, size_t r1, size_t n, size_t k, const double* a,
@@ -97,12 +122,15 @@ void GemmRowsScalar(size_t r0, size_t r1, size_t n, size_t k, const double* a,
 /// reference GEMM, so the scalar level is bit-identical to the old
 /// Transpose+MatMul composition. Used by SolveLeastSquares (A^T A without the
 /// O(n^2) transposed copy) and the autodiff MatMul backward (dB = A^T g).
+/// Parallel over m (GemmRowGrain cost model); each output row keeps its
+/// ascending-p accumulation, so results match the serial kernel bit-for-bit.
 void GemmTN(SimdLevel level, size_t m, size_t n, size_t k, const double* a,
             size_t lda, const double* b, size_t ldb, double* c, size_t ldc);
 
 /// C (m x n) += A * B^T where A is (m x k) and B is (n x k), both row-major.
 /// Used by the autodiff MatMul backward (dA = g B^T) without materializing
-/// the transpose.
+/// the transpose. Parallel over m (GemmRowGrain cost model); rows are
+/// independent dot products, so results match the serial kernel bit-for-bit.
 void GemmNT(SimdLevel level, size_t m, size_t n, size_t k, const double* a,
             size_t lda, const double* b, size_t ldb, double* c, size_t ldc);
 
@@ -144,6 +172,8 @@ void EwRelu(SimdLevel level, size_t n, const double* x, double* out);
 /// (the training path saves it for the backward); pass nullptr in inference.
 /// h_out/c_out/c_prev use explicit leading dimensions so the training path
 /// can write straight into a [h | c] node value.
+/// Parallel over the batch dimension (LstmRowGrain cost model): rows are
+/// fully independent, so the fan-out is bit-identical to the serial step.
 void LstmCellForward(SimdLevel level, size_t batch, size_t hidden,
                      double* gates, const double* c_prev, size_t ldcp,
                      double* h_out, size_t ldh, double* c_out, size_t ldc,
@@ -156,6 +186,7 @@ void LstmCellForward(SimdLevel level, size_t batch, size_t hidden,
 /// overwritten) and `dc_prev` (batch x hidden, overwritten).
 /// Uses plain mul/add in the exact expression shapes of the old per-node
 /// backward chain, so the SIMD levels agree with scalar bit-for-bit here.
+/// Parallel over the batch dimension like the forward.
 void LstmCellBackward(SimdLevel level, size_t batch, size_t hidden,
                       const double* act, const double* c_prev, size_t ldcp,
                       const double* tanh_c, const double* dh, size_t ldh,

@@ -4,20 +4,9 @@
 #include <cmath>
 #include <vector>
 
-#include "common/parallel.h"
 #include "tensor/kernels.h"
 
 namespace rpas::tensor {
-
-namespace {
-
-// Rows of `out` per ParallelFor chunk. Fixed (not derived from the thread
-// count) so the partition — and therefore the result — is identical for
-// every RPAS_NUM_THREADS value. Divisible by the micro-kernel row tile (4),
-// so chunk boundaries never change which kernel variant covers a row.
-constexpr size_t kRowGrain = 16;
-
-}  // namespace
 
 void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out) {
   RPAS_CHECK(a.cols() == b.rows())
@@ -26,40 +15,15 @@ void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out) {
   RPAS_CHECK(out != nullptr && out->rows() == a.rows() &&
              out->cols() == b.cols())
       << "matmul output shape mismatch";
-  const size_t m = a.rows();
-  const size_t k = a.cols();
-  const size_t n = b.cols();
-  const double* a_data = a.data();
-  const double* b_data = b.data();
-  double* out_data = out->data();
-  const kernels::SimdLevel level = kernels::ActiveLevel();
-  // Row-panel parallel. Each output row is written by exactly one chunk and
-  // its k-accumulation runs in ascending order at every level, so results
-  // are bit-identical to the serial path and independent of the row count.
-  // No data-dependent skips: 0 * NaN must stay NaN (IEEE-754 propagation).
-  if (level == kernels::SimdLevel::kScalar || n < kernels::kPanelWidth) {
-    // Scalar reference path (also used for very skinny outputs such as
-    // head projections, where packing overhead dominates). The narrow-n
-    // cutoff depends only on the operand shapes, never on the batch row
-    // count, preserving batched-vs-unbatched bit-identity.
-    ParallelFor(0, m, kRowGrain, [&](size_t row_begin, size_t row_end) {
-      kernels::GemmRowsScalar(row_begin, row_end, n, k, a_data, k, b_data, n,
-                              out_data, n);
-    });
-    return;
-  }
-  // Pack B once into zero-padded column panels; every worker reads the same
-  // packed image. The buffer is thread_local to the *calling* thread so
-  // concurrent MatMuls (serve batching, parallel backtest folds) never
-  // contend, and its capacity is recycled across calls.
-  thread_local std::vector<double> pack_buffer;
-  pack_buffer.resize(kernels::PackedSize(k, n));
-  kernels::PackB(k, n, b_data, n, pack_buffer.data());
-  const double* packed = pack_buffer.data();
-  ParallelFor(0, m, kRowGrain, [&](size_t row_begin, size_t row_end) {
-    kernels::GemmPackedRows(level, row_begin, row_end, n, k, a_data, k, packed,
-                            out_data, n);
-  });
+  // The kernels::Gemm driver packs B and row-panel-parallelizes with a
+  // shape-only cost model. Each output row is written by exactly one chunk
+  // and its k-accumulation runs in ascending order at every level, so
+  // results are bit-identical to the serial path and independent of the
+  // row count. No data-dependent skips: 0 * NaN must stay NaN (IEEE-754
+  // propagation).
+  kernels::Gemm(kernels::ActiveLevel(), a.rows(), b.cols(), a.cols(),
+                a.data(), a.cols(), b.data(), b.cols(), out->data(),
+                out->cols());
 }
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "autodiff/tape.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "nn/layers.h"
 #include "nn/losses.h"
@@ -673,6 +674,153 @@ TEST(TrainLoopParityTest, FinalLossAgreesAcrossLevelsAndArenaStaysFlat) {
         << "final loss diverged at level " << LevelName(level);
     EXPECT_EQ(run.arena_allocs_after_warmup, run.arena_allocs_final)
         << "steady-state allocation at level " << LevelName(level);
+  }
+}
+
+// ---------------------------------------------------- parallel drivers ---
+
+/// Restores the environment/hardware thread default on scope exit.
+class ThreadOverrideGuard {
+ public:
+  ~ThreadOverrideGuard() { SetRpasThreads(0); }
+};
+
+TEST(ParallelKernelTest, GrainCostModelIsShapeOnly) {
+  ThreadOverrideGuard guard;
+  // Below the flop threshold: one chunk covering the whole range, which
+  // ParallelFor runs serially on the calling thread.
+  EXPECT_EQ(8u, GemmRowGrain(8, 8, 8));
+  EXPECT_EQ(1u, GemmRowGrain(1, 1, 1));
+  EXPECT_EQ(4u, LstmRowGrain(4, 8));
+  // Above it: the fixed row grain, never derived from the thread count.
+  EXPECT_EQ(16u, GemmRowGrain(512, 64, 64));
+  EXPECT_EQ(8u, LstmRowGrain(512, 64));
+  for (int threads : {1, 2, 8}) {
+    SetRpasThreads(threads);
+    EXPECT_EQ(16u, GemmRowGrain(512, 64, 64)) << threads << " threads";
+    EXPECT_EQ(8u, GemmRowGrain(8, 8, 8)) << threads << " threads";
+    EXPECT_EQ(8u, LstmRowGrain(512, 64)) << threads << " threads";
+  }
+}
+
+TEST(ParallelKernelTest, GemmBitIdenticalAcrossThreadCountsAtEveryLevel) {
+  ThreadOverrideGuard guard;
+  Rng rng(0xFEED);
+  // Big enough that 2*m*n*k clears the cost-model threshold, so the
+  // parallel row-panel path genuinely engages; ragged in every dimension.
+  Matrix a(130, 70);
+  Matrix b(70, 91);
+  FillUniform(&a, &rng, -2.0, 2.0);
+  FillUniform(&b, &rng, -2.0, 2.0);
+  ASSERT_EQ(16u, GemmRowGrain(a.rows(), b.cols(), a.cols()));
+  for (SimdLevel level : SupportedLevels()) {
+    ScopedSimdLevel scoped(level);
+    SetRpasThreads(1);
+    Matrix ref(a.rows(), b.cols());
+    MatMulInto(a, b, &ref);
+    for (int threads : {2, 8}) {
+      SetRpasThreads(threads);
+      Matrix c(a.rows(), b.cols());
+      MatMulInto(a, b, &c);
+      for (size_t i = 0; i < c.size(); ++i) {
+        ASSERT_EQ(ref[i], c[i])
+            << LevelName(level) << " gemm diverged at flat index " << i
+            << " with " << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(ParallelKernelTest, TransposedGemmsBitIdenticalAcrossThreadCounts) {
+  ThreadOverrideGuard guard;
+  Rng rng(0xD1CE);
+  const size_t m = 128, n = 66, k = 97;
+  Matrix a_tn(k, m);  // GemmTN reads A as (k x m)
+  Matrix a_nt(m, k);
+  Matrix b_tn(k, n);
+  Matrix b_nt(n, k);  // GemmNT reads B as (n x k)
+  FillUniform(&a_tn, &rng, -2.0, 2.0);
+  FillUniform(&a_nt, &rng, -2.0, 2.0);
+  FillUniform(&b_tn, &rng, -2.0, 2.0);
+  FillUniform(&b_nt, &rng, -2.0, 2.0);
+  ASSERT_EQ(16u, GemmRowGrain(m, n, k));
+  for (SimdLevel level : SupportedLevels()) {
+    ScopedSimdLevel scoped(level);
+    SetRpasThreads(1);
+    Matrix tn_ref(m, n), nt_ref(m, n);
+    GemmTN(ActiveLevel(), m, n, k, a_tn.data(), m, b_tn.data(), n,
+           tn_ref.data(), n);
+    GemmNT(ActiveLevel(), m, n, k, a_nt.data(), k, b_nt.data(), k,
+           nt_ref.data(), n);
+    for (int threads : {2, 8}) {
+      SetRpasThreads(threads);
+      Matrix tn(m, n), nt(m, n);
+      GemmTN(ActiveLevel(), m, n, k, a_tn.data(), m, b_tn.data(), n,
+             tn.data(), n);
+      GemmNT(ActiveLevel(), m, n, k, a_nt.data(), k, b_nt.data(), k,
+             nt.data(), n);
+      for (size_t i = 0; i < tn.size(); ++i) {
+        ASSERT_EQ(tn_ref[i], tn[i])
+            << LevelName(level) << " GemmTN diverged at " << i << " with "
+            << threads << " threads";
+        ASSERT_EQ(nt_ref[i], nt[i])
+            << LevelName(level) << " GemmNT diverged at " << i << " with "
+            << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(ParallelKernelTest, LstmCellBitIdenticalAcrossThreadCounts) {
+  ThreadOverrideGuard guard;
+  Rng rng(0x1234);
+  const size_t batch = 96, hidden = 64;
+  ASSERT_EQ(8u, LstmRowGrain(batch, hidden));
+  std::vector<double> gates0(batch * 4 * hidden);
+  std::vector<double> c_prev(batch * hidden);
+  std::vector<double> dh(batch * hidden), dc(batch * hidden);
+  for (double& v : gates0) v = rng.Uniform(-2.0, 2.0);
+  for (double& v : c_prev) v = rng.Uniform(-1.0, 1.0);
+  for (double& v : dh) v = rng.Uniform(-1.0, 1.0);
+  for (double& v : dc) v = rng.Uniform(-1.0, 1.0);
+  for (SimdLevel level : SupportedLevels()) {
+    ScopedSimdLevel scoped(level);
+    struct Run {
+      std::vector<double> act, h, c, tanh_c, dgates, dc_prev;
+    };
+    auto run_at = [&](int threads) {
+      SetRpasThreads(threads);
+      Run r;
+      r.act = gates0;
+      r.h.assign(batch * hidden, 0.0);
+      r.c.assign(batch * hidden, 0.0);
+      r.tanh_c.assign(batch * hidden, 0.0);
+      r.dgates.assign(batch * 4 * hidden, 0.0);
+      r.dc_prev.assign(batch * hidden, 0.0);
+      LstmCellForward(ActiveLevel(), batch, hidden, r.act.data(),
+                      c_prev.data(), hidden, r.h.data(), hidden, r.c.data(),
+                      hidden, r.tanh_c.data());
+      LstmCellBackward(ActiveLevel(), batch, hidden, r.act.data(),
+                       c_prev.data(), hidden, r.tanh_c.data(), dh.data(),
+                       hidden, dc.data(), hidden, r.dgates.data(),
+                       r.dc_prev.data());
+      return r;
+    };
+    const Run ref = run_at(1);
+    for (int threads : {2, 8}) {
+      const Run got = run_at(threads);
+      for (size_t i = 0; i < ref.h.size(); ++i) {
+        ASSERT_EQ(ref.h[i], got.h[i]) << LevelName(level) << " h @ " << i;
+        ASSERT_EQ(ref.c[i], got.c[i]) << LevelName(level) << " c @ " << i;
+        ASSERT_EQ(ref.dc_prev[i], got.dc_prev[i])
+            << LevelName(level) << " dc_prev @ " << i;
+      }
+      for (size_t i = 0; i < ref.dgates.size(); ++i) {
+        ASSERT_EQ(ref.act[i], got.act[i]) << LevelName(level) << " act @ " << i;
+        ASSERT_EQ(ref.dgates[i], got.dgates[i])
+            << LevelName(level) << " dgates @ " << i;
+      }
+    }
   }
 }
 

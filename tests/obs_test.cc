@@ -505,5 +505,34 @@ TEST(ObsPoolTest, RecordPoolStatsSnapshotsGauges) {
             registry.GetGauge("pool.tasks_executed")->value());
 }
 
+TEST(ObsPoolTest, StatsNeverObserveExecutedAheadOfSubmitted) {
+  // Regression: ThreadPool::Submit used to bump tasks_submitted after
+  // releasing the queue lock, so a worker could run the task — and count
+  // it executed — before the submission was counted, letting a concurrent
+  // GetStats() observe executed > submitted and breaking the monotonic
+  // invariant the rpas_obs pool gauges export.
+  ThreadPool pool(3);
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> violations{0};
+  std::thread checker([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const ThreadPool::Stats stats = pool.GetStats();
+      if (stats.tasks_executed > stats.tasks_submitted) {
+        violations.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  constexpr uint64_t kTasks = 20000;
+  for (uint64_t i = 0; i < kTasks; ++i) {
+    pool.Submit([] {});
+  }
+  done.store(true, std::memory_order_release);
+  checker.join();
+  EXPECT_EQ(violations.load(), 0u);
+  const ThreadPool::Stats stats = pool.GetStats();
+  EXPECT_EQ(stats.tasks_submitted, kTasks);
+  EXPECT_LE(stats.tasks_executed, stats.tasks_submitted);
+}
+
 }  // namespace
 }  // namespace rpas::obs

@@ -37,6 +37,34 @@ class ThreadOverrideGuard {
   ~ThreadOverrideGuard() { SetRpasThreads(0); }
 };
 
+// ------------------------------------------------------- thread config ---
+
+TEST(ThreadConfigTest, ParseThreadCountAcceptsOnlyWholeValidTokens) {
+  // Valid counts parse.
+  EXPECT_EQ(1, ParseThreadCount("1", -1));
+  EXPECT_EQ(8, ParseThreadCount("8", -1));
+  EXPECT_EQ(kMaxRpasThreads, ParseThreadCount("256", -1));
+  // Regression: "8x" used to silently parse as 8 because the endptr was
+  // never checked. Any trailing garbage must reject the whole token.
+  EXPECT_EQ(-1, ParseThreadCount("8x", -1));
+  EXPECT_EQ(-1, ParseThreadCount("2,4", -1));
+  EXPECT_EQ(-1, ParseThreadCount("8 threads", -1));
+  EXPECT_EQ(-1, ParseThreadCount("threads", -1));
+  EXPECT_EQ(-1, ParseThreadCount("", -1));
+  EXPECT_EQ(-1, ParseThreadCount(nullptr, -1));
+  // Non-positive counts are meaningless for a pool size.
+  EXPECT_EQ(-1, ParseThreadCount("0", -1));
+  EXPECT_EQ(-1, ParseThreadCount("-3", -1));
+  // Regression: values above INT_MAX used to be truncated by the cast.
+  // Overflow of strtol itself rejects; merely-huge values clamp (the
+  // intent — as many threads as possible — is clear).
+  EXPECT_EQ(-1, ParseThreadCount("99999999999999999999999", -1));
+  EXPECT_EQ(kMaxRpasThreads, ParseThreadCount("4096", -1));
+  EXPECT_EQ(kMaxRpasThreads, ParseThreadCount("2147483647", -1));
+  // The fallback is caller-chosen.
+  EXPECT_EQ(7, ParseThreadCount("garbage", 7));
+}
+
 // ------------------------------------------------------------- ThreadPool ---
 
 TEST(ThreadPoolTest, SubmitRunsEveryTask) {

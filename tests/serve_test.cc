@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cmath>
 #include <cstdio>
@@ -69,6 +70,21 @@ struct TrainedCheckpoints {
   std::string deepar_path;
 };
 
+/// SaveCheckpoint truncates and rewrites `path` in place, and ctest runs
+/// this binary's cases as separate concurrent processes that all lazily
+/// rebuild these shared /tmp checkpoints — a sibling reading a
+/// half-written file would fail its registry setup and abort. Writing a
+/// pid-suffixed temp and renaming it into place keeps the shared path
+/// complete at every instant (rename(2) is atomic on one filesystem, and
+/// training is deterministic, so every process produces identical bytes).
+void SaveCheckpointAtomically(const forecast::Forecaster& model,
+                              const std::string& path) {
+  const std::string tmp =
+      path + "." + std::to_string(static_cast<long>(getpid())) + ".tmp";
+  RPAS_CHECK(model.SaveCheckpoint(tmp).ok());
+  RPAS_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0);
+}
+
 const TrainedCheckpoints& Checkpoints() {
   static const TrainedCheckpoints* checkpoints = [] {
     auto* c = new TrainedCheckpoints;
@@ -77,10 +93,10 @@ const TrainedCheckpoints& Checkpoints() {
     const ts::TimeSeries train = SineSeries(400, 7);
     MlpForecaster mlp(SmallMlpOptions());
     RPAS_CHECK(mlp.Fit(train).ok());
-    RPAS_CHECK(mlp.SaveCheckpoint(c->mlp_path).ok());
+    SaveCheckpointAtomically(mlp, c->mlp_path);
     DeepArForecaster deepar(SmallDeepArOptions());
     RPAS_CHECK(deepar.Fit(train).ok());
-    RPAS_CHECK(deepar.SaveCheckpoint(c->deepar_path).ok());
+    SaveCheckpointAtomically(deepar, c->deepar_path);
     return c;
   }();
   return *checkpoints;
@@ -243,6 +259,51 @@ TEST(ModelRegistryTest, EvictedModelStaysAliveForHolders) {
   // The holder's reference still serves.
   auto forecast = (*held)->PredictSeeded(MakeInput(1), 3);
   ASSERT_TRUE(forecast.ok()) << forecast.status().ToString();
+}
+
+TEST(ModelRegistryTest, EvictionPrefersUnpinnedVictimsAndReportsPinned) {
+  // Regression: eviction used to pick the plain LRU victim even when that
+  // model was pinned by in-flight requests, which dropped the registry's
+  // reference without freeing a byte while an unpinned (truly freeable)
+  // model stayed resident. Budget fits exactly two MLP versions; mlp@1 is
+  // the LRU-oldest resident but pinned by `held`, so loading mlp@3 must
+  // evict the unpinned mlp@2 instead.
+  TestRegistry sized = MakeRegistry(1 << 20);
+  ASSERT_TRUE(sized.registry->Acquire({"mlp", 1}).ok());
+  const size_t mlp_bytes = sized.registry->GetCacheStats().resident_bytes;
+  ASSERT_GT(mlp_bytes, 0u);
+
+  TestRegistry r = MakeRegistry(2 * mlp_bytes);
+  for (uint64_t version : {2, 3}) {
+    ASSERT_TRUE(r.registry
+                    ->RegisterVersion({"mlp", version}, Checkpoints().mlp_path,
+                                      MlpFactory())
+                    .ok());
+  }
+  auto held = r.registry->Acquire({"mlp", 1});
+  ASSERT_TRUE(held.ok());
+  ASSERT_TRUE(r.registry->Acquire({"mlp", 2}).ok());  // resident, unpinned
+
+  ModelRegistry::CacheStats stats = r.registry->GetCacheStats();
+  EXPECT_EQ(stats.resident_models, 2u);
+  EXPECT_EQ(stats.pinned_models, 1u);
+  EXPECT_EQ(stats.pinned_bytes, mlp_bytes);
+
+  auto also_held = r.registry->Acquire({"mlp", 3});  // over budget: evict one
+  ASSERT_TRUE(also_held.ok());
+  stats = r.registry->GetCacheStats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.resident_models, 2u);
+  EXPECT_EQ(stats.pinned_models, 2u);
+  EXPECT_EQ(stats.pinned_bytes, 2 * mlp_bytes);
+  // The pinned mlp@1 survived the eviction pass: acquiring it again is a
+  // warm-cache hit (pre-fix it was the victim and this was a miss).
+  const int64_t hits_before = stats.hits;
+  ASSERT_TRUE(r.registry->Acquire({"mlp", 1}).ok());
+  EXPECT_EQ(r.registry->GetCacheStats().hits, hits_before + 1);
+  // The injected metrics registry tracks the pinned footprint.
+  EXPECT_EQ(r.metrics->GetGauge("serve.registry.pinned_bytes")->value(),
+            static_cast<double>(2 * mlp_bytes));
 }
 
 TEST(ModelRegistryTest, OversizedModelServedButNotCached) {
@@ -490,6 +551,122 @@ TEST(FleetTest, ResultIdenticalAcrossBatchingModeAndThreadCount) {
   }
 }
 
+TEST(FleetTest, ShardAssignmentIsStableAndSpreadsTenants) {
+  // Pure function of the id: one shard maps everything to 0, and repeated
+  // calls agree (a tenant's shard — and so the composition of every
+  // per-shard cache — never changes across runs).
+  std::vector<size_t> counts(4, 0);
+  for (uint64_t t = 0; t < 100; ++t) {
+    EXPECT_EQ(ShardOfTenant(t, 1), 0u);
+    const size_t shard = ShardOfTenant(t, 4);
+    ASSERT_LT(shard, 4u);
+    EXPECT_EQ(shard, ShardOfTenant(t, 4));
+    ++counts[shard];
+  }
+  // The SplitMix64 finalizer spreads consecutive ids: no empty shards.
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_GT(counts[s], 0u) << "shard " << s;
+  }
+}
+
+void ExpectSameFleetResult(const FleetResult& a, const FleetResult& b) {
+  ASSERT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.requests_submitted, b.requests_submitted);
+  EXPECT_EQ(a.requests_admitted, b.requests_admitted);
+  EXPECT_EQ(a.requests_throttled, b.requests_throttled);
+  EXPECT_EQ(a.requests_shed, b.requests_shed);
+  EXPECT_EQ(a.mean_under_provision_rate, b.mean_under_provision_rate);
+  EXPECT_EQ(a.mean_over_provision_rate, b.mean_over_provision_rate);
+  EXPECT_EQ(a.mean_utilization, b.mean_utilization);
+  EXPECT_EQ(a.mean_slo_violation_rate, b.mean_slo_violation_rate);
+  ASSERT_EQ(a.tenants.size(), b.tenants.size());
+  for (size_t t = 0; t < a.tenants.size(); ++t) {
+    SCOPED_TRACE(::testing::Message() << "tenant " << t);
+    EXPECT_EQ(a.tenants[t].tenant_id, b.tenants[t].tenant_id);
+    EXPECT_EQ(a.tenants[t].under_provision_rate,
+              b.tenants[t].under_provision_rate);
+    EXPECT_EQ(a.tenants[t].over_provision_rate,
+              b.tenants[t].over_provision_rate);
+    EXPECT_EQ(a.tenants[t].mean_utilization, b.tenants[t].mean_utilization);
+    EXPECT_EQ(a.tenants[t].slo_violation_rate,
+              b.tenants[t].slo_violation_rate);
+    EXPECT_EQ(a.tenants[t].rounds, b.tenants[t].rounds);
+    EXPECT_EQ(a.tenants[t].fresh_rounds, b.tenants[t].fresh_rounds);
+    EXPECT_EQ(a.tenants[t].stale_rounds, b.tenants[t].stale_rounds);
+    EXPECT_EQ(a.tenants[t].fallback_rounds, b.tenants[t].fallback_rounds);
+    EXPECT_EQ(a.tenants[t].shed_rounds, b.tenants[t].shed_rounds);
+    EXPECT_EQ(a.tenants[t].throttled_rounds, b.tenants[t].throttled_rounds);
+    EXPECT_EQ(a.tenants[t].fault_rounds, b.tenants[t].fault_rounds);
+    EXPECT_EQ(a.tenants[t].error_rounds, b.tenants[t].error_rounds);
+    EXPECT_EQ(a.tenants[t].faulted_steps, b.tenants[t].faulted_steps);
+  }
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (size_t i = 0; i < a.decisions.size(); ++i) {
+    EXPECT_EQ(a.decisions[i].target_nodes, b.decisions[i].target_nodes);
+    EXPECT_EQ(a.decisions[i].workload, b.decisions[i].workload);
+    EXPECT_EQ(a.decisions[i].utilization, b.decisions[i].utilization);
+  }
+}
+
+TEST(FleetTest, ResultIdenticalAcrossShardAndThreadCounts) {
+  // Sharding changes scheduling, never results: the deadline shed runs
+  // globally over the merged per-shard candidate lists and token buckets
+  // are per-tenant, so every (num_shards, threads, registry topology)
+  // combination must reproduce the unsharded serial run bit-for-bit. A
+  // finite round budget forces sheds every round so the cross-shard
+  // admission merge is actually exercised.
+  auto run = [](size_t shards, int threads, bool sharded_registries) {
+    SetRpasThreads(threads);
+    TestRegistry r = MakeRegistry(1 << 20);
+    FleetOptions options = SmallFleetOptions();
+    options.num_tenants = 6;
+    options.admission.round_budget = 4;  // 6 tenants want in: 2 shed
+    options.metrics = r.metrics.get();
+    options.num_shards = shards;
+    if (sharded_registries) {
+      obs::MetricsRegistry* metrics = r.metrics.get();
+      options.shard_registry_factory = [metrics] {
+        ModelRegistry::Options shard_options;
+        shard_options.cache_budget_bytes = 1 << 20;
+        shard_options.metrics = metrics;
+        auto shard = std::make_unique<ModelRegistry>(shard_options);
+        RPAS_CHECK(shard
+                       ->RegisterVersion({"mlp", 1}, Checkpoints().mlp_path,
+                                         MlpFactory())
+                       .ok());
+        RPAS_CHECK(shard
+                       ->RegisterVersion({"deepar", 1},
+                                         Checkpoints().deepar_path,
+                                         DeepArFactory())
+                       .ok());
+        return shard;
+      };
+    }
+    auto result = RunFleet(r.registry.get(),
+                           {{"mlp", 1}, {"deepar", 1}}, options);
+    SetRpasThreads(0);
+    RPAS_CHECK(result.ok());
+    return std::move(*result);
+  };
+  const FleetResult baseline = run(1, 1, false);
+  EXPECT_GT(baseline.requests_shed, 0u);
+
+  struct Case {
+    size_t shards;
+    int threads;
+    bool sharded_registries;
+  };
+  for (const Case c : {Case{2, 1, false}, Case{3, 8, false},
+                       Case{2, 8, true}, Case{3, 2, true},
+                       Case{6, 4, true}}) {
+    SCOPED_TRACE(::testing::Message()
+                 << "shards=" << c.shards << " threads=" << c.threads
+                 << " sharded_registries=" << c.sharded_registries);
+    ExpectSameFleetResult(baseline,
+                          run(c.shards, c.threads, c.sharded_registries));
+  }
+}
+
 TEST(FleetTest, DeadlineShedTenantsFallBackAndAreCounted) {
   TestRegistry r = MakeRegistry(1 << 20);
   FleetOptions options = SmallFleetOptions();
@@ -561,6 +738,17 @@ TEST(FleetTest, InvalidOptionsRejected) {
                 .code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(RunFleet(nullptr, {{"mlp", 1}}, SmallFleetOptions())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // A shard registry factory that produces no registry is a configuration
+  // error, not a crash.
+  FleetOptions null_factory = SmallFleetOptions();
+  null_factory.num_shards = 2;
+  null_factory.shard_registry_factory = [] {
+    return std::unique_ptr<ModelRegistry>();
+  };
+  EXPECT_EQ(RunFleet(r.registry.get(), {{"mlp", 1}}, null_factory)
                 .status()
                 .code(),
             StatusCode::kInvalidArgument);
