@@ -1,0 +1,34 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace rpas {
+namespace {
+
+/// Byte-at-a-time table for the reflected IEEE polynomial 0xEDB88320,
+/// generated once at static-init time (256 * 8 shift/xor steps — cheap).
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t byte = 0; byte < 256; ++byte) {
+    uint32_t crc = byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[byte] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  static const std::array<uint32_t, 256> kTable = BuildTable();
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace rpas

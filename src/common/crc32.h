@@ -1,0 +1,19 @@
+#ifndef RPAS_COMMON_CRC32_H_
+#define RPAS_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rpas {
+
+/// CRC-32/IEEE (the zlib/PNG polynomial, reflected form). Used by the
+/// rpasq.v1 checkpoint format to detect bit-flipped headers and payloads.
+///
+/// `seed` chains incremental computation: Crc32(b, nb, Crc32(a, na)) equals
+/// Crc32 over the concatenation a||b, so large payloads can be checksummed
+/// section by section.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace rpas
+
+#endif  // RPAS_COMMON_CRC32_H_

@@ -88,6 +88,41 @@ Status DeepArForecaster::Load(const std::string& path) {
   return Status::OK();
 }
 
+Status DeepArForecaster::LoadQuantizedCheckpoint(
+    std::shared_ptr<const nn::QuantizedCheckpoint> checkpoint) {
+  if (checkpoint == nullptr) {
+    return Status::InvalidArgument("DeepAR: null quantized checkpoint");
+  }
+  if (checkpoint->signature() != Signature()) {
+    return Status::InvalidArgument(
+        StrFormat("DeepAR: checkpoint signature '%s' does not match '%s'",
+                  checkpoint->signature().c_str(), Signature().c_str()));
+  }
+  BuildModel();
+  // Tensor order mirrors Save()/AllParams(): lstm (w_x, w_h, b), then
+  // (weight, bias) for each head.
+  constexpr size_t kExpected = 7;
+  if (checkpoint->num_tensors() != kExpected) {
+    return Status::InvalidArgument(
+        StrFormat("DeepAR: checkpoint holds %zu tensors, expected %zu",
+                  checkpoint->num_tensors(), kExpected));
+  }
+  RPAS_RETURN_IF_ERROR(lstm_->SetQuantizedWeights(
+      checkpoint->tensor(0).view, checkpoint->tensor(1).view));
+  RPAS_RETURN_IF_ERROR(
+      nn::AssignDequantized(checkpoint->tensor(2), lstm_->Params()[2]));
+  size_t idx = 3;
+  for (nn::Dense* head : {mu_head_.get(), sigma_head_.get()}) {
+    RPAS_RETURN_IF_ERROR(
+        head->SetQuantizedWeights(checkpoint->tensor(idx++).view));
+    RPAS_RETURN_IF_ERROR(
+        nn::AssignDequantized(checkpoint->tensor(idx++), head->Params()[1]));
+  }
+  qckpt_ = std::move(checkpoint);
+  fitted_ = true;
+  return Status::OK();
+}
+
 Status DeepArForecaster::Fit(const ts::TimeSeries& train) {
   const size_t t_len = options_.context_length;
   const size_t h = options_.horizon;

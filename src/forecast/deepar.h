@@ -72,6 +72,14 @@ class DeepArForecaster final : public Forecaster {
   }
   bool SupportsCheckpoint() const override { return true; }
 
+  /// Serves from an rpasq.v1 checkpoint: the LSTM recurrence matrices and
+  /// head weights stay in the mapped file (dequant-on-the-fly GEMM), biases
+  /// decode to fp64. The model keeps `checkpoint` alive and becomes
+  /// inference-only.
+  Status LoadQuantizedCheckpoint(
+      std::shared_ptr<const nn::QuantizedCheckpoint> checkpoint) override;
+  bool SupportsQuantizedCheckpoint() const override { return true; }
+
   size_t Horizon() const override { return options_.horizon; }
   size_t ContextLength() const override { return options_.context_length; }
   const std::vector<double>& Levels() const override {
@@ -114,6 +122,8 @@ class DeepArForecaster final : public Forecaster {
   std::unique_ptr<nn::Dense> mu_head_;
   std::unique_ptr<nn::Dense> sigma_head_;
   mutable Rng sample_rng_;
+  /// Keeps the mapped checkpoint alive while layers hold views into it.
+  std::shared_ptr<const nn::QuantizedCheckpoint> qckpt_;
 };
 
 }  // namespace rpas::forecast

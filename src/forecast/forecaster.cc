@@ -40,6 +40,12 @@ Status Forecaster::LoadCheckpoint(const std::string& /*path*/) {
   return Status::Unimplemented(Name() + ": checkpointing not supported");
 }
 
+Status Forecaster::LoadQuantizedCheckpoint(
+    std::shared_ptr<const nn::QuantizedCheckpoint> /*checkpoint*/) {
+  return Status::Unimplemented(Name() +
+                               ": quantized checkpoints not supported");
+}
+
 std::vector<double> DefaultQuantileLevels() {
   return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
 }

@@ -1,10 +1,12 @@
 #ifndef RPAS_FORECAST_FORECASTER_H_
 #define RPAS_FORECAST_FORECASTER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "nn/qcheckpoint.h"
 #include "ts/quantile_forecast.h"
 #include "ts/time_series.h"
 
@@ -78,6 +80,17 @@ class Forecaster {
   /// configured model; the restored model is ready to predict.
   virtual Status LoadCheckpoint(const std::string& path);
   virtual bool SupportsCheckpoint() const { return false; }
+
+  /// Restores serving state from a validated rpasq.v1 checkpoint
+  /// (nn/qcheckpoint.h). Large weight matrices stay in the mapped file and
+  /// are dequantized on the fly inside the GEMM kernels; the model retains
+  /// `checkpoint` so the mapping outlives every view. The restored model
+  /// serves predictions but cannot be trained further. Defaults to
+  /// Unimplemented; models override and return true from
+  /// SupportsQuantizedCheckpoint().
+  virtual Status LoadQuantizedCheckpoint(
+      std::shared_ptr<const nn::QuantizedCheckpoint> checkpoint);
+  virtual bool SupportsQuantizedCheckpoint() const { return false; }
 
   /// Forecast horizon H (steps).
   virtual size_t Horizon() const = 0;

@@ -109,6 +109,48 @@ Status MlpForecaster::Load(const std::string& path) {
   return Status::OK();
 }
 
+Status MlpForecaster::LoadQuantizedCheckpoint(
+    std::shared_ptr<const nn::QuantizedCheckpoint> checkpoint) {
+  if (checkpoint == nullptr) {
+    return Status::InvalidArgument("MLP: null quantized checkpoint");
+  }
+  if (checkpoint->signature() != Signature()) {
+    return Status::InvalidArgument(
+        StrFormat("MLP: checkpoint signature '%s' does not match '%s'",
+                  checkpoint->signature().c_str(), Signature().c_str()));
+  }
+  BuildModel();
+  // Tensor order mirrors Save(): per layer (weight, bias), then the 1x2
+  // scaler [shift, scale].
+  const size_t expected = AllParams().size() + 1;
+  if (checkpoint->num_tensors() != expected) {
+    return Status::InvalidArgument(
+        StrFormat("MLP: checkpoint holds %zu tensors, expected %zu",
+                  checkpoint->num_tensors(), expected));
+  }
+  size_t idx = 0;
+  for (nn::Dense* layer : {fc1_.get(), fc2_.get(), head_.get()}) {
+    if (layer == nullptr) {
+      continue;
+    }
+    RPAS_RETURN_IF_ERROR(
+        layer->SetQuantizedWeights(checkpoint->tensor(idx++).view));
+    RPAS_RETURN_IF_ERROR(
+        nn::AssignDequantized(checkpoint->tensor(idx++), layer->Params()[1]));
+  }
+  autodiff::Parameter scaler_tensor(Matrix(1, 2));
+  RPAS_RETURN_IF_ERROR(
+      nn::AssignDequantized(checkpoint->tensor(idx), &scaler_tensor));
+  if (scaler_tensor.value(0, 1) <= 0.0) {
+    return Status::InvalidArgument("checkpoint holds a non-positive scale");
+  }
+  scaler_ = ts::AffineScaler(scaler_tensor.value(0, 0),
+                             scaler_tensor.value(0, 1));
+  qckpt_ = std::move(checkpoint);
+  fitted_ = true;
+  return Status::OK();
+}
+
 Status MlpForecaster::Fit(const ts::TimeSeries& train) {
   const size_t t_len = options_.context_length;
   const size_t h = options_.horizon;

@@ -58,6 +58,13 @@ class MlpForecaster final : public Forecaster {
   }
   bool SupportsCheckpoint() const override { return true; }
 
+  /// Serves from an rpasq.v1 checkpoint: layer weights stay in the mapped
+  /// file (dequant-on-the-fly GEMM), biases and the scaler decode to fp64.
+  /// The model keeps `checkpoint` alive and becomes inference-only.
+  Status LoadQuantizedCheckpoint(
+      std::shared_ptr<const nn::QuantizedCheckpoint> checkpoint) override;
+  bool SupportsQuantizedCheckpoint() const override { return true; }
+
   size_t Horizon() const override { return options_.horizon; }
   size_t ContextLength() const override { return options_.context_length; }
   const std::vector<double>& Levels() const override {
@@ -96,6 +103,8 @@ class MlpForecaster final : public Forecaster {
   std::unique_ptr<nn::Dense> fc1_;
   std::unique_ptr<nn::Dense> fc2_;
   std::unique_ptr<nn::Dense> head_;  // emits 2*horizon (mu, raw sigma)
+  /// Keeps the mapped checkpoint alive while layers hold views into it.
+  std::shared_ptr<const nn::QuantizedCheckpoint> qckpt_;
 };
 
 }  // namespace rpas::forecast

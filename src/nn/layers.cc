@@ -6,10 +6,39 @@
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 
+#include "common/strings.h"
+
 namespace rpas::nn {
 
 namespace ops = ::rpas::tensor;
 namespace kernels = ::rpas::tensor::kernels;
+
+namespace {
+
+/// Shared validation for the serving-only quantized weight views.
+Status CheckQuantView(const tensor::QTensorView& v, size_t rows, size_t cols,
+                      const char* what) {
+  if (!v.valid()) {
+    return Status::InvalidArgument(
+        StrFormat("%s: null quantized weight view", what));
+  }
+  if (v.rows != rows || v.cols != cols) {
+    return Status::InvalidArgument(
+        StrFormat("%s: quantized weights are %zu x %zu, layer needs %zu x "
+                  "%zu",
+                  what, v.rows, v.cols, rows, cols));
+  }
+  if (v.payload_bytes != tensor::PayloadBytes(v.dtype, v.size())) {
+    return Status::InvalidArgument(
+        StrFormat("%s: %s payload of %zu bytes does not match the %zu x %zu "
+                  "shape",
+                  what, tensor::DTypeName(v.dtype), v.payload_bytes, v.rows,
+                  v.cols));
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 size_t Module::NumParams() {
   size_t n = 0;
@@ -35,6 +64,8 @@ Dense::Dense(size_t in_dim, size_t out_dim, Activation act, Rng* rng)
       b_(Zeros(1, out_dim)) {}
 
 Var Dense::Forward(Tape* tape, Var x) {
+  RPAS_CHECK(!qw_.valid())
+      << "Dense::Forward: training through quantized weights is unsupported";
   Var y = tape->AddRowBroadcast(tape->MatMul(x, tape->Bind(&w_)),
                                 tape->Bind(&b_));
   switch (act_) {
@@ -52,8 +83,24 @@ Var Dense::Forward(Tape* tape, Var x) {
   return y;
 }
 
+Status Dense::SetQuantizedWeights(const tensor::QTensorView& w) {
+  RPAS_RETURN_IF_ERROR(CheckQuantView(w, in_dim_, out_dim_, "Dense"));
+  qw_ = w;
+  return Status::OK();
+}
+
 Matrix Dense::Apply(const Matrix& x) const {
-  Matrix y = ops::AddRowBroadcast(ops::MatMul(x, w_.value), b_.value);
+  Matrix product;
+  if (qw_.valid()) {
+    RPAS_CHECK(x.cols() == in_dim_) << "Dense::Apply input dim mismatch";
+    product = Matrix(x.rows(), out_dim_);  // zeroed; GemmQuant accumulates
+    kernels::GemmQuant(kernels::ActiveLevel(), x.rows(), out_dim_, in_dim_,
+                       x.data(), x.cols(), qw_.dtype, qw_.payload,
+                       product.data(), out_dim_);
+  } else {
+    product = ops::MatMul(x, w_.value);
+  }
+  Matrix y = ops::AddRowBroadcast(product, b_.value);
   // In-place vectorized activations (the Ew* kernels read and write
   // sequentially, so src == dst is safe).
   const kernels::SimdLevel level = kernels::ActiveLevel();
@@ -106,7 +153,20 @@ LstmCell::RawState LstmCell::ZeroRawState(size_t batch) const {
 // through kernels::LstmCellBackward + GEMM kernels. At the scalar dispatch
 // level every intermediate rounding matches the old 14-node-per-step graph,
 // so parameter gradients are bit-identical to the unfused implementation.
+Status LstmCell::SetQuantizedWeights(const tensor::QTensorView& wx,
+                                     const tensor::QTensorView& wh) {
+  RPAS_RETURN_IF_ERROR(
+      CheckQuantView(wx, in_dim_, 4 * hidden_dim_, "LstmCell w_x"));
+  RPAS_RETURN_IF_ERROR(
+      CheckQuantView(wh, hidden_dim_, 4 * hidden_dim_, "LstmCell w_h"));
+  qwx_ = wx;
+  qwh_ = wh;
+  return Status::OK();
+}
+
 LstmCell::State LstmCell::Step(Tape* tape, Var x, const State& state) {
+  RPAS_CHECK(!qwx_.valid())
+      << "LstmCell::Step: training through quantized weights is unsupported";
   const size_t h = hidden_dim_;
   const Matrix& xv = x.value();
   const Matrix& hv = state.h.value();
@@ -203,8 +263,22 @@ LstmCell::RawState LstmCell::Step(const Matrix& x,
   const size_t batch = x.rows();
   Matrix gates(batch, 4 * h);
   Matrix t2(batch, 4 * h);
-  ops::MatMulInto(x, w_x_.value, &gates);
-  ops::MatMulInto(state.h, w_h_.value, &t2);
+  if (qwx_.valid()) {
+    // Quantized serving path: both recurrence GEMMs dequantize the stored
+    // payloads on the fly. gates/t2 are zero-initialized, so the
+    // accumulating GemmQuant computes exactly the products MatMulInto
+    // would.
+    RPAS_CHECK(x.cols() == in_dim_ && state.h.cols() == h);
+    const kernels::SimdLevel level = kernels::ActiveLevel();
+    kernels::GemmQuant(level, batch, 4 * h, in_dim_, x.data(), x.cols(),
+                       qwx_.dtype, qwx_.payload, gates.data(), 4 * h);
+    kernels::GemmQuant(level, batch, 4 * h, h, state.h.data(),
+                       state.h.cols(), qwh_.dtype, qwh_.payload, t2.data(),
+                       4 * h);
+  } else {
+    ops::MatMulInto(x, w_x_.value, &gates);
+    ops::MatMulInto(state.h, w_h_.value, &t2);
+  }
   const Matrix& bv = b_.value;
   for (size_t r = 0; r < batch; ++r) {
     for (size_t c = 0; c < 4 * h; ++c) {

@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "autodiff/tape.h"
+#include "common/result.h"
 #include "common/rng.h"
+#include "tensor/quant.h"
 
 namespace rpas::nn {
 
@@ -39,10 +41,22 @@ class Dense final : public Module {
 
   Dense(size_t in_dim, size_t out_dim, Activation act, Rng* rng);
 
-  /// Training path: x is B x in, result B x out.
+  /// Training path: x is B x in, result B x out. CHECK-fails on a layer
+  /// serving quantized weights — quantized models are inference-only.
   Var Forward(Tape* tape, Var x);
-  /// Inference path (no tape, no gradients).
+  /// Inference path (no tape, no gradients). With quantized weights the
+  /// GEMM runs kernels::GemmQuant against the stored payload
+  /// (dequant-on-the-fly); bias add and activation are unchanged, so the
+  /// batched-vs-unbatched bit-identity contract holds within a dtype.
   Matrix Apply(const Matrix& x) const;
+
+  /// Serving-only weight replacement: Apply() multiplies against the
+  /// serialized rpasq payload view `w` (in x out) instead of the fp64
+  /// parameter. The bytes behind the view are NOT owned — the caller (a
+  /// forecaster holding its mapped checkpoint) must keep them alive for
+  /// this layer's lifetime. InvalidArgument on a shape/payload mismatch.
+  Status SetQuantizedWeights(const tensor::QTensorView& w);
+  bool has_quantized_weights() const { return qw_.valid(); }
 
   std::vector<Parameter*> Params() override;
 
@@ -55,6 +69,7 @@ class Dense final : public Module {
   Activation act_;
   Parameter w_;
   Parameter b_;
+  tensor::QTensorView qw_;  ///< serving-only quantized weight view
 };
 
 /// Single LSTM cell (batched over rows). State tensors are B x hidden.
@@ -77,10 +92,19 @@ class LstmCell final : public Module {
   State ZeroState(Tape* tape, size_t batch) const;
   RawState ZeroRawState(size_t batch) const;
 
-  /// One step of the recurrence on the tape (training).
+  /// One step of the recurrence on the tape (training). CHECK-fails on a
+  /// cell serving quantized weights — quantized models are inference-only.
   State Step(Tape* tape, Var x, const State& state);
   /// One step, tape-free (inference; used by DeepAR ancestral sampling).
+  /// With quantized weights both recurrence GEMMs dequantize on the fly.
   RawState Step(const Matrix& x, const RawState& state) const;
+
+  /// Serving-only weight replacement for the two recurrence matrices
+  /// (in x 4H and H x 4H); same ownership contract as
+  /// Dense::SetQuantizedWeights. The bias stays a fp64 parameter.
+  Status SetQuantizedWeights(const tensor::QTensorView& wx,
+                             const tensor::QTensorView& wh);
+  bool has_quantized_weights() const { return qwx_.valid(); }
 
   std::vector<Parameter*> Params() override;
 
@@ -93,6 +117,8 @@ class LstmCell final : public Module {
   Parameter w_x_;  // in x 4H
   Parameter w_h_;  // H x 4H
   Parameter b_;    // 1 x 4H
+  tensor::QTensorView qwx_;  ///< serving-only quantized w_x view
+  tensor::QTensorView qwh_;  ///< serving-only quantized w_h view
 };
 
 /// Row-wise layer normalization with learned gain/bias

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "nn/qcheckpoint.h"
 
 namespace rpas::serve {
 namespace {
@@ -32,6 +33,8 @@ ModelRegistry::ModelRegistry(Options options) : options_(options) {
   evictions_ = metrics->GetCounter("serve.registry.evictions");
   loads_ = metrics->GetCounter("serve.registry.loads");
   resident_bytes_gauge_ = metrics->GetGauge("serve.registry.resident_bytes");
+  mapped_bytes_gauge_ = metrics->GetGauge("serve.registry.mapped_bytes");
+  heap_bytes_gauge_ = metrics->GetGauge("serve.registry.heap_bytes");
   pinned_bytes_gauge_ = metrics->GetGauge("serve.registry.pinned_bytes");
 }
 
@@ -94,22 +97,77 @@ Result<std::shared_ptr<const forecast::Forecaster>> ModelRegistry::Acquire(
   ++stats_.loads;
   misses_->Increment();
   loads_->Increment();
-  std::unique_ptr<forecast::Forecaster> model = entry.factory();
+  std::shared_ptr<const forecast::Forecaster> shared;
+  RPAS_RETURN_IF_ERROR(LoadColdLocked(id, &entry, &shared));
+  EvictToBudgetLocked();
+  PublishBytesLocked();
+  return shared;
+}
+
+Status ModelRegistry::LoadColdLocked(
+    const ModelId& id, Entry* entry,
+    std::shared_ptr<const forecast::Forecaster>* out) {
+  std::unique_ptr<forecast::Forecaster> model = entry->factory();
   if (model == nullptr) {
     return Status::Internal(id.ToString() + ": factory returned null");
   }
-  RPAS_RETURN_IF_ERROR(model->LoadCheckpoint(entry.path));
+  // Everything below builds into locals; entry/accounting mutate only at
+  // the commit block, so any failure leaves the registry unchanged.
+  //
+  // Probe before sniffing the format: IsQuantizedCheckpointFile() returns
+  // false for a file it cannot open, and routing a *missing* file to the
+  // text parser turns "checkpoint temporarily absent" (a retryable
+  // IoError — it happens while a checkpoint is being atomically replaced)
+  // into a misleading parse error once the file reappears in the other
+  // format.
+  if (!std::ifstream(entry->path, std::ios::binary).is_open()) {
+    return Status::IoError(
+        StrFormat("%s: cannot open checkpoint '%s'", id.ToString().c_str(),
+                  entry->path.c_str()));
+  }
+  size_t bytes = 0;
+  size_t mapped = 0;
+  size_t heap = 0;
+  if (nn::IsQuantizedCheckpointFile(entry->path)) {
+    RPAS_ASSIGN_OR_RETURN(std::shared_ptr<const nn::QuantizedCheckpoint> ckpt,
+                          nn::QuantizedCheckpoint::Map(entry->path));
+    bytes = ckpt->file_bytes();
+    mapped = ckpt->mapped_bytes();
+    heap = ckpt->heap_bytes();
+    RPAS_RETURN_IF_ERROR(model->LoadQuantizedCheckpoint(std::move(ckpt)));
+  } else {
+    RPAS_RETURN_IF_ERROR(model->LoadCheckpoint(entry->path));
+    // Re-stat after the successful parse: the registered size is stale
+    // when the checkpoint was atomically replaced since registration.
+    bytes = FileSizeBytes(entry->path);
+    if (bytes == 0) {
+      bytes = entry->bytes;  // replaced mid-load; keep the registered size
+    }
+    heap = bytes;
+  }
+  entry->bytes = bytes;
+  entry->mapped = mapped;
+  entry->heap = heap;
   std::shared_ptr<const forecast::Forecaster> shared = std::move(model);
-  entry.resident = shared;
-  entry.alive = shared;
-  resident_bytes_ += entry.bytes;
-  EvictToBudgetLocked();
+  entry->resident = shared;
+  entry->alive = shared;
+  resident_bytes_ += bytes;
+  mapped_bytes_ += mapped;
+  heap_bytes_ += heap;
+  *out = std::move(shared);
+  return Status::OK();
+}
+
+void ModelRegistry::PublishBytesLocked() {
   stats_.resident_bytes = resident_bytes_;
+  stats_.mapped_bytes = mapped_bytes_;
+  stats_.heap_bytes = heap_bytes_;
   resident_bytes_gauge_->Set(static_cast<double>(resident_bytes_));
+  mapped_bytes_gauge_->Set(static_cast<double>(mapped_bytes_));
+  heap_bytes_gauge_->Set(static_cast<double>(heap_bytes_));
   CacheStats pinned;
   FillPinnedLocked(&pinned);
   pinned_bytes_gauge_->Set(static_cast<double>(pinned.pinned_bytes));
-  return shared;
 }
 
 void ModelRegistry::EvictToBudgetLocked() {
@@ -147,6 +205,10 @@ void ModelRegistry::EvictToBudgetLocked() {
     }
     victim->second.resident.reset();
     resident_bytes_ -= victim->second.bytes;
+    mapped_bytes_ -= victim->second.mapped;
+    heap_bytes_ -= victim->second.heap;
+    victim->second.mapped = 0;
+    victim->second.heap = 0;
     ++stats_.evictions;
     evictions_->Increment();
   }
@@ -185,6 +247,8 @@ ModelRegistry::CacheStats ModelRegistry::GetCacheStats() const {
   std::lock_guard<std::mutex> lock(mu_);
   CacheStats stats = stats_;
   stats.resident_bytes = resident_bytes_;
+  stats.mapped_bytes = mapped_bytes_;
+  stats.heap_bytes = heap_bytes_;
   stats.resident_models = 0;
   for (const auto& [id, entry] : entries_) {
     if (entry.resident != nullptr) {

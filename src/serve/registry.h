@@ -75,6 +75,13 @@ class ModelRegistry {
     int64_t loads = 0;       ///< checkpoint parses (== misses)
     size_t resident_bytes = 0;
     size_t resident_models = 0;
+    /// Split of resident_bytes by backing store. mapped_bytes counts
+    /// rpasq.v1 checkpoints served straight from their file mapping —
+    /// page-cache-shareable, reclaimable by the kernel; heap_bytes counts
+    /// private allocations (text-checkpoint models, plus the no-mmap
+    /// fallback buffer). mapped_bytes + heap_bytes == resident_bytes.
+    size_t mapped_bytes = 0;
+    size_t heap_bytes = 0;
     /// Models whose weights are still alive because a caller holds a
     /// shared_ptr — warm entries with outstanding references plus evicted
     /// entries whose last holder has not finished. Eviction cannot free
@@ -94,6 +101,15 @@ class ModelRegistry {
   /// and whose configuration matches the checkpoint. Fails with
   /// FailedPrecondition on a duplicate id and InvalidArgument when the
   /// checkpoint file is missing or empty.
+  ///
+  /// Both checkpoint formats are accepted: the text format (loaded onto the
+  /// heap via LoadCheckpoint) and rpasq.v1 (memory-mapped and served in
+  /// place via LoadQuantizedCheckpoint; the factory's model must return
+  /// true from SupportsQuantizedCheckpoint()). The format is sniffed from
+  /// the file magic at load time. Because rpasq files are mapped, the file
+  /// at `path` must only ever be replaced by atomic rename — truncating or
+  /// rewriting it in place while a model serves from the mapping is
+  /// undefined behavior (SIGBUS on a shrunk file).
   Status RegisterVersion(const ModelId& id, const std::string& path,
                          ForecasterFactory factory);
 
@@ -121,7 +137,14 @@ class ModelRegistry {
   struct Entry {
     std::string path;
     ForecasterFactory factory;
-    size_t bytes = 0;  ///< checkpoint file size (cache accounting unit)
+    /// Checkpoint file size (cache accounting unit). Recorded at
+    /// registration, then refreshed from the actually-loaded file when the
+    /// entry goes resident — the two can differ when the checkpoint was
+    /// replaced on disk in between, and eviction must subtract exactly what
+    /// the load added. Mutated only while cold.
+    size_t bytes = 0;
+    size_t mapped = 0;  ///< mmap-backed share of `bytes` while resident
+    size_t heap = 0;    ///< heap-backed share of `bytes` while resident
     std::shared_ptr<const forecast::Forecaster> resident;  ///< null = cold
     /// Observes the model after eviction: while callers still hold the
     /// shared_ptr the weights stay in memory even though `resident` is
@@ -149,10 +172,26 @@ class ModelRegistry {
   /// entry table. Call with mu_ held.
   void FillPinnedLocked(CacheStats* stats) const;
 
+  /// Cache-miss load: builds the fully-loaded model (sniffing the
+  /// checkpoint format) into locals and commits entry state + byte
+  /// accounting only when every step has succeeded — any failure returns a
+  /// typed Status with the entry still cold and the registry bit-for-bit
+  /// unchanged, so a checkpoint deleted or corrupted between registration
+  /// and first Acquire() is an error on that call, not a poisoned cache.
+  /// Call with mu_ held.
+  Status LoadColdLocked(const ModelId& id, Entry* entry,
+                        std::shared_ptr<const forecast::Forecaster>* out);
+
+  /// Publishes resident/mapped/heap/pinned byte totals to stats_ and the
+  /// gauges. Call with mu_ held.
+  void PublishBytesLocked();
+
   Options options_;
   mutable std::mutex mu_;
   std::map<ModelId, Entry> entries_;
   size_t resident_bytes_ = 0;
+  size_t mapped_bytes_ = 0;
+  size_t heap_bytes_ = 0;
   uint64_t tick_ = 0;
   CacheStats stats_;
   obs::Counter* hits_ = nullptr;
@@ -160,6 +199,8 @@ class ModelRegistry {
   obs::Counter* evictions_ = nullptr;
   obs::Counter* loads_ = nullptr;
   obs::Gauge* resident_bytes_gauge_ = nullptr;
+  obs::Gauge* mapped_bytes_gauge_ = nullptr;
+  obs::Gauge* heap_bytes_gauge_ = nullptr;
   obs::Gauge* pinned_bytes_gauge_ = nullptr;
 };
 

@@ -545,6 +545,25 @@ void Gemm(SimdLevel level, size_t m, size_t n, size_t k, const double* a,
   });
 }
 
+void GemmQuant(SimdLevel level, size_t m, size_t n, size_t k, const double* a,
+               size_t lda, DType b_dtype, const uint8_t* b_payload, double* c,
+               size_t ldc) {
+  if (m == 0 || n == 0 || k == 0) {
+    return;
+  }
+  // Decode the stored weights into a thread-local fp64 image once per call
+  // (fp16/fp32 convert, q8 block dequant) and hand that to the ordinary
+  // Gemm driver. Decoding is a pure per-element function of the payload
+  // bytes, so the image — and therefore every downstream guarantee of
+  // Gemm() — is independent of m, the thread count, and the host
+  // endianness. The buffer is distinct from Gemm's pack_buffer, so the
+  // nested call recycles both without aliasing.
+  thread_local std::vector<double> dequant_buffer;
+  dequant_buffer.resize(k * n);
+  DecodePayload(b_dtype, b_payload, k * n, dequant_buffer.data());
+  Gemm(level, m, n, k, a, lda, dequant_buffer.data(), n, c, ldc);
+}
+
 void GemmTN(SimdLevel level, size_t m, size_t n, size_t k, const double* a,
             size_t lda, const double* b, size_t ldb, double* c, size_t ldc) {
   if (m == 0 || n == 0) {

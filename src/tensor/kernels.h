@@ -2,6 +2,9 @@
 #define RPAS_TENSOR_KERNELS_H_
 
 #include <cstddef>
+#include <cstdint>
+
+#include "tensor/quant.h"
 
 namespace rpas::tensor::kernels {
 
@@ -133,6 +136,42 @@ void GemmTN(SimdLevel level, size_t m, size_t n, size_t k, const double* a,
 /// independent dot products, so results match the serial kernel bit-for-bit.
 void GemmNT(SimdLevel level, size_t m, size_t n, size_t k, const double* a,
             size_t lda, const double* b, size_t ldb, double* c, size_t ldc);
+
+// ---------------------------------------------------------------------------
+// Quantized-weight GEMM (the rpasq.v1 serving path).
+// ---------------------------------------------------------------------------
+
+/// C (m x n, ldc) += A (m x k, lda) * decode(Bq), where `b_payload` is the
+/// serialized payload of a k x n row-major tensor in storage dtype
+/// `b_dtype` (see tensor/quant.h for the per-dtype layouts). The payload is
+/// decoded once per call into a thread-local fp64 scratch — fp16/fp32
+/// convert-and-pack, q8 block dequant-on-the-fly — and then routed through
+/// Gemm(), so every Gemm() guarantee carries over unchanged: each output
+/// row depends only on its own A row and the (identical) decoded weights,
+/// making batched and unbatched forwards bit-identical at any thread count
+/// *within* a dtype. Decoded values are exact functions of the stored
+/// bytes, so results are also identical across hosts and SIMD levels
+/// modulo the documented Gemm() level contract.
+void GemmQuant(SimdLevel level, size_t m, size_t n, size_t k, const double* a,
+               size_t lda, DType b_dtype, const uint8_t* b_payload, double* c,
+               size_t ldc);
+
+/// Named dtype entry points (thin wrappers over GemmQuant).
+inline void GemmQ8(SimdLevel level, size_t m, size_t n, size_t k,
+                   const double* a, size_t lda, const uint8_t* b_payload,
+                   double* c, size_t ldc) {
+  GemmQuant(level, m, n, k, a, lda, DType::kQ8, b_payload, c, ldc);
+}
+inline void GemmF16(SimdLevel level, size_t m, size_t n, size_t k,
+                    const double* a, size_t lda, const uint8_t* b_payload,
+                    double* c, size_t ldc) {
+  GemmQuant(level, m, n, k, a, lda, DType::kF16, b_payload, c, ldc);
+}
+inline void GemmF32(SimdLevel level, size_t m, size_t n, size_t k,
+                    const double* a, size_t lda, const uint8_t* b_payload,
+                    double* c, size_t ldc) {
+  GemmQuant(level, m, n, k, a, lda, DType::kF32, b_payload, c, ldc);
+}
 
 // ---------------------------------------------------------------------------
 // Vector primitives.

@@ -1,0 +1,314 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace rpas::tensor {
+namespace {
+
+// --- little-endian lane helpers (host-endianness independent) -------------
+
+void StoreU16Le(uint16_t v, uint8_t* p) {
+  p[0] = static_cast<uint8_t>(v & 0xFFu);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+
+uint16_t LoadU16Le(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+void StoreU32Le(uint32_t v, uint8_t* p) {
+  p[0] = static_cast<uint8_t>(v & 0xFFu);
+  p[1] = static_cast<uint8_t>((v >> 8) & 0xFFu);
+  p[2] = static_cast<uint8_t>((v >> 16) & 0xFFu);
+  p[3] = static_cast<uint8_t>((v >> 24) & 0xFFu);
+}
+
+uint32_t LoadU32Le(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+void StoreU64Le(uint64_t v, uint8_t* p) {
+  StoreU32Le(static_cast<uint32_t>(v & 0xFFFFFFFFu), p);
+  StoreU32Le(static_cast<uint32_t>(v >> 32), p + 4);
+}
+
+uint64_t LoadU64Le(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadU32Le(p)) |
+         (static_cast<uint64_t>(LoadU32Le(p + 4)) << 32);
+}
+
+void StoreF32Le(float v, uint8_t* p) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  StoreU32Le(bits, p);
+}
+
+float LoadF32Le(const uint8_t* p) {
+  const uint32_t bits = LoadU32Le(p);
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void StoreF64Le(double v, uint8_t* p) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  StoreU64Le(bits, p);
+}
+
+double LoadF64Le(const uint8_t* p) {
+  const uint64_t bits = LoadU64Le(p);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Encodes one q8 block: affine [min, min + 255*scale] mapping with one
+/// unsigned byte code per value. `n` <= kQ8BlockValues; the code tail is
+/// zero-padded (decodes to the block minimum, never read back).
+void EncodeQ8Block(const double* src, size_t n, uint8_t* dst) {
+  double lo = src[0];
+  double hi = src[0];
+  for (size_t i = 1; i < n; ++i) {
+    lo = std::min(lo, src[i]);
+    hi = std::max(hi, src[i]);
+  }
+  // Scale/zero are stored as f32: quantize them first and code against the
+  // *stored* values, so decode error is bounded by the code rounding alone.
+  const float zero = static_cast<float>(lo);
+  float scale = static_cast<float>((hi - static_cast<double>(zero)) / 255.0);
+  if (!(scale > 0.0f) || !std::isfinite(scale)) {
+    scale = 0.0f;  // constant (or degenerate) block: every code decodes to zero-point
+  }
+  StoreF32Le(scale, dst);
+  StoreF32Le(zero, dst + sizeof(float));
+  uint8_t* codes = dst + 2 * sizeof(float);
+  for (size_t i = 0; i < kQ8BlockValues; ++i) {
+    if (i >= n || scale == 0.0f) {
+      codes[i] = 0;
+      continue;
+    }
+    const double q = std::nearbyint(
+        (src[i] - static_cast<double>(zero)) / static_cast<double>(scale));
+    codes[i] = static_cast<uint8_t>(q < 0.0 ? 0.0 : (q > 255.0 ? 255.0 : q));
+  }
+}
+
+void DecodeQ8Block(const uint8_t* src, size_t n, double* dst) {
+  const double scale = static_cast<double>(LoadF32Le(src));
+  const double zero = static_cast<double>(LoadF32Le(src + sizeof(float)));
+  const uint8_t* codes = src + 2 * sizeof(float);
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = zero + scale * static_cast<double>(codes[i]);
+  }
+}
+
+}  // namespace
+
+const char* DTypeName(DType dtype) {
+  switch (dtype) {
+    case DType::kF64:
+      return "f64";
+    case DType::kF32:
+      return "f32";
+    case DType::kF16:
+      return "f16";
+    case DType::kQ8:
+      return "q8";
+  }
+  return "unknown";
+}
+
+Result<DType> ParseDType(std::string_view name) {
+  if (name == "f64") {
+    return DType::kF64;
+  }
+  if (name == "f32") {
+    return DType::kF32;
+  }
+  if (name == "f16") {
+    return DType::kF16;
+  }
+  if (name == "q8") {
+    return DType::kQ8;
+  }
+  return Status::InvalidArgument("unknown dtype '" + std::string(name) +
+                                 "' (expected f64|f32|f16|q8)");
+}
+
+bool DTypeValid(uint8_t code) {
+  return code <= static_cast<uint8_t>(DType::kQ8);
+}
+
+size_t PayloadBytes(DType dtype, size_t count) {
+  switch (dtype) {
+    case DType::kF64:
+      return count * 8;
+    case DType::kF32:
+      return count * 4;
+    case DType::kF16:
+      return count * 2;
+    case DType::kQ8:
+      return ((count + kQ8BlockValues - 1) / kQ8BlockValues) * kQ8BlockBytes;
+  }
+  return 0;
+}
+
+uint16_t F32ToF16Bits(float value) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  const uint16_t sign = static_cast<uint16_t>((bits >> 16) & 0x8000u);
+  const uint32_t exp = (bits >> 23) & 0xFFu;
+  uint32_t mant = bits & 0x7FFFFFu;
+  if (exp == 0xFFu) {  // inf / nan: keep the top mantissa bits, force qNaN
+    if (mant == 0) {
+      return static_cast<uint16_t>(sign | 0x7C00u);
+    }
+    return static_cast<uint16_t>(sign | 0x7C00u | 0x200u | (mant >> 13));
+  }
+  const int e = static_cast<int>(exp) - 127 + 15;
+  if (e >= 0x1F) {  // overflow -> infinity
+    return static_cast<uint16_t>(sign | 0x7C00u);
+  }
+  if (e <= 0) {  // subnormal half (or underflow to zero)
+    if (e < -10) {
+      return sign;
+    }
+    mant |= 0x800000u;  // make the implicit leading bit explicit
+    const int shift = 14 - e;  // 14..24 bits dropped
+    uint32_t half = mant >> shift;
+    const uint32_t rem = mant & ((1u << shift) - 1u);
+    const uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half & 1u))) {
+      ++half;  // round to nearest, ties to even
+    }
+    return static_cast<uint16_t>(sign | half);
+  }
+  uint32_t half = static_cast<uint32_t>(e << 10) | (mant >> 13);
+  const uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) {
+    ++half;  // carry may bump the exponent; 0x7C00 (infinity) is then correct
+  }
+  return static_cast<uint16_t>(sign | half);
+}
+
+float F16BitsToF32(uint16_t bits) {
+  const uint32_t sign = static_cast<uint32_t>(bits & 0x8000u) << 16;
+  const uint32_t exp = (bits >> 10) & 0x1Fu;
+  uint32_t mant = bits & 0x3FFu;
+  uint32_t out;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // signed zero
+    } else {
+      int shift = 0;
+      while (!(mant & 0x400u)) {  // normalize the subnormal
+        mant <<= 1;
+        ++shift;
+      }
+      mant &= 0x3FFu;
+      out = sign | (static_cast<uint32_t>(113 - shift) << 23) | (mant << 13);
+    }
+  } else if (exp == 0x1Fu) {
+    out = sign | 0x7F800000u | (mant << 13);  // inf / nan
+  } else {
+    out = sign | ((exp + 112u) << 23) | (mant << 13);
+  }
+  float value;
+  std::memcpy(&value, &out, sizeof(value));
+  return value;
+}
+
+void EncodePayload(DType dtype, const double* src, size_t count,
+                   uint8_t* dst) {
+  switch (dtype) {
+    case DType::kF64:
+      for (size_t i = 0; i < count; ++i) {
+        StoreF64Le(src[i], dst + i * 8);
+      }
+      return;
+    case DType::kF32:
+      for (size_t i = 0; i < count; ++i) {
+        StoreF32Le(static_cast<float>(src[i]), dst + i * 4);
+      }
+      return;
+    case DType::kF16:
+      for (size_t i = 0; i < count; ++i) {
+        StoreU16Le(F32ToF16Bits(static_cast<float>(src[i])), dst + i * 2);
+      }
+      return;
+    case DType::kQ8:
+      for (size_t i = 0; i < count; i += kQ8BlockValues) {
+        const size_t n = std::min(kQ8BlockValues, count - i);
+        EncodeQ8Block(src + i, n, dst + (i / kQ8BlockValues) * kQ8BlockBytes);
+      }
+      return;
+  }
+}
+
+void DecodePayload(DType dtype, const uint8_t* payload, size_t count,
+                   double* dst) {
+  switch (dtype) {
+    case DType::kF64:
+      for (size_t i = 0; i < count; ++i) {
+        dst[i] = LoadF64Le(payload + i * 8);
+      }
+      return;
+    case DType::kF32:
+      for (size_t i = 0; i < count; ++i) {
+        dst[i] = static_cast<double>(LoadF32Le(payload + i * 4));
+      }
+      return;
+    case DType::kF16:
+      for (size_t i = 0; i < count; ++i) {
+        dst[i] = static_cast<double>(F16BitsToF32(LoadU16Le(payload + i * 2)));
+      }
+      return;
+    case DType::kQ8:
+      for (size_t i = 0; i < count; i += kQ8BlockValues) {
+        const size_t n = std::min(kQ8BlockValues, count - i);
+        DecodeQ8Block(payload + (i / kQ8BlockValues) * kQ8BlockBytes, n,
+                      dst + i);
+      }
+      return;
+  }
+}
+
+Status DequantizeToMatrix(const QTensorView& view, Matrix* out) {
+  if (!view.valid()) {
+    return Status::InvalidArgument("DequantizeToMatrix: null tensor view");
+  }
+  if (view.payload_bytes != PayloadBytes(view.dtype, view.size())) {
+    return Status::InvalidArgument(StrFormat(
+        "DequantizeToMatrix: payload is %zu bytes, %zux%zu %s needs %zu",
+        view.payload_bytes, view.rows, view.cols, DTypeName(view.dtype),
+        PayloadBytes(view.dtype, view.size())));
+  }
+  out->ResizeZero(view.rows, view.cols);
+  DecodePayload(view.dtype, view.payload, view.size(), out->data());
+  return Status::OK();
+}
+
+double MaxAbsError(DType dtype, const double* src, size_t count) {
+  if (count == 0) {
+    return 0.0;
+  }
+  std::vector<uint8_t> encoded(PayloadBytes(dtype, count));
+  std::vector<double> decoded(count);
+  EncodePayload(dtype, src, count, encoded.data());
+  DecodePayload(dtype, encoded.data(), count, decoded.data());
+  double max_err = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    max_err = std::max(max_err, std::fabs(decoded[i] - src[i]));
+  }
+  return max_err;
+}
+
+}  // namespace rpas::tensor

@@ -1,0 +1,107 @@
+#ifndef RPAS_TENSOR_QUANT_H_
+#define RPAS_TENSOR_QUANT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/result.h"
+#include "tensor/matrix.h"
+
+namespace rpas::tensor {
+
+/// Storage dtypes understood by the rpasq.v1 checkpoint format and the
+/// quantized serving kernels. Values are the on-disk dtype codes — never
+/// renumber.
+///
+///  * kF64 — 8-byte IEEE double, the native compute type.
+///  * kF32 — 4-byte IEEE float (weights round-tripped once at write time).
+///  * kF16 — 2-byte IEEE binary16, round-to-nearest-even at write time;
+///    decoding back to double is exact (every binary16 is a double).
+///  * kQ8 — block-quantized 8-bit (ggml-style): blocks of kQ8BlockValues
+///    values, each stored as a float32 scale, a float32 zero-point (the
+///    block minimum), and one unsigned byte code per value, with
+///    value ≈ zero + scale * code.
+enum class DType : uint8_t {
+  kF64 = 0,
+  kF32 = 1,
+  kF16 = 2,
+  kQ8 = 3,
+};
+
+/// "f64" | "f32" | "f16" | "q8".
+const char* DTypeName(DType dtype);
+
+/// Inverse of DTypeName; InvalidArgument on anything else.
+Result<DType> ParseDType(std::string_view name);
+
+/// True for the dtype codes the loader accepts.
+bool DTypeValid(uint8_t code);
+
+/// Q8 block geometry: 64 values per block, serialized as
+/// [f32 scale][f32 zero][64 u8 codes] = 72 bytes. The final block of a
+/// tensor is zero-padded in the code tail.
+inline constexpr size_t kQ8BlockValues = 64;
+inline constexpr size_t kQ8BlockBytes = 2 * sizeof(float) + kQ8BlockValues;
+
+/// Serialized payload size for `count` values of `dtype`. Zero only when
+/// count == 0.
+size_t PayloadBytes(DType dtype, size_t count);
+
+// ---------------------------------------------------------------------------
+// Scalar fp16 conversion (bit-level, no hardware dependence).
+// ---------------------------------------------------------------------------
+
+/// IEEE binary32 -> binary16 bits with round-to-nearest-even; overflow goes
+/// to infinity, NaN payload top bits are preserved.
+uint16_t F32ToF16Bits(float value);
+
+/// IEEE binary16 bits -> binary32 (exact).
+float F16BitsToF32(uint16_t bits);
+
+// ---------------------------------------------------------------------------
+// Payload encode/decode. All multi-byte lanes are little-endian on disk and
+// are assembled byte-by-byte, so encode and decode are host-endianness
+// independent. Encoding quantizes (lossy for f32/f16/q8); decoding is the
+// exact inverse of the stored representation.
+// ---------------------------------------------------------------------------
+
+/// Serializes `count` doubles into `dst` (PayloadBytes(dtype, count) bytes).
+void EncodePayload(DType dtype, const double* src, size_t count, uint8_t* dst);
+
+/// Deserializes `count` doubles out of a payload produced by EncodePayload.
+void DecodePayload(DType dtype, const uint8_t* payload, size_t count,
+                   double* dst);
+
+// ---------------------------------------------------------------------------
+// Zero-copy tensor views into a mapped checkpoint.
+// ---------------------------------------------------------------------------
+
+/// One tensor inside a mapped rpasq.v1 checkpoint: shape plus a pointer to
+/// the raw serialized payload. The view does not own the bytes — whoever
+/// hands out views (nn::QuantizedCheckpoint) must outlive them.
+struct QTensorView {
+  DType dtype = DType::kF64;
+  size_t rows = 0;
+  size_t cols = 0;
+  const uint8_t* payload = nullptr;
+  size_t payload_bytes = 0;
+
+  size_t size() const { return rows * cols; }
+  bool valid() const { return payload != nullptr; }
+};
+
+/// Decodes a view into a freshly shaped fp64 matrix (the slow path, used
+/// for biases and small tensors; large weights stay quantized and go
+/// through the kernels::Gemm{F32,F16,Q8} serving paths instead).
+Status DequantizeToMatrix(const QTensorView& view, Matrix* out);
+
+/// Max |encode(decode(x)) - x| over the tensor for a dtype — the bound the
+/// golden-file round-trip tests assert. For kQ8 the bound is
+/// (max-min)/255/2 per block; for kF32/kF16 it is half an ULP at the
+/// largest magnitude; kF64 is exact.
+double MaxAbsError(DType dtype, const double* src, size_t count);
+
+}  // namespace rpas::tensor
+
+#endif  // RPAS_TENSOR_QUANT_H_

@@ -1,20 +1,26 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/strings.h"
 #include "forecast/deepar.h"
 #include "forecast/mlp.h"
+#include "nn/qcheckpoint.h"
 #include "serve/admission.h"
 #include "serve/batching.h"
 #include "serve/fleet.h"
 #include "serve/registry.h"
+#include "ts/metrics.h"
 
 namespace rpas::serve {
 namespace {
@@ -752,6 +758,316 @@ TEST(FleetTest, InvalidOptionsRejected) {
                 .status()
                 .code(),
             StatusCode::kInvalidArgument);
+}
+
+// ----------------------------------------------------- Quantized serving ---
+
+size_t FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.is_open()) {
+    return 0;
+  }
+  const std::streamoff size = in.tellg();
+  return size > 0 ? static_cast<size_t>(size) : 0;
+}
+
+/// rpasq.v1 conversions of the shared trained checkpoints, one pair per
+/// storage dtype. Shared /tmp paths are safe for the same reason the text
+/// checkpoints are: conversion is deterministic and the writer commits via
+/// atomic rename, so concurrent ctest processes always see complete,
+/// identical bytes.
+struct QuantCheckpoints {
+  std::string mlp_q8, deepar_q8;
+  std::string mlp_f16, deepar_f16;
+};
+
+const QuantCheckpoints& QuantCkpts() {
+  static const QuantCheckpoints* paths = [] {
+    auto* p = new QuantCheckpoints;
+    p->mlp_q8 = "/tmp/rpas_serve_test_mlp_q8.rpasq";
+    p->deepar_q8 = "/tmp/rpas_serve_test_deepar_q8.rpasq";
+    p->mlp_f16 = "/tmp/rpas_serve_test_mlp_f16.rpasq";
+    p->deepar_f16 = "/tmp/rpas_serve_test_deepar_f16.rpasq";
+    using tensor::DType;
+    RPAS_CHECK(nn::QuantizeCheckpointFile(Checkpoints().mlp_path, p->mlp_q8,
+                                          DType::kQ8)
+                   .ok());
+    RPAS_CHECK(nn::QuantizeCheckpointFile(Checkpoints().deepar_path,
+                                          p->deepar_q8, DType::kQ8)
+                   .ok());
+    RPAS_CHECK(nn::QuantizeCheckpointFile(Checkpoints().mlp_path, p->mlp_f16,
+                                          DType::kF16)
+                   .ok());
+    RPAS_CHECK(nn::QuantizeCheckpointFile(Checkpoints().deepar_path,
+                                          p->deepar_f16, DType::kF16)
+                   .ok());
+    return p;
+  }();
+  return *paths;
+}
+
+/// Like MakeRegistry() but with explicit checkpoint paths, so a test can
+/// serve the same architectures from any on-disk format.
+TestRegistry MakeRegistryAt(const std::string& mlp_path,
+                            const std::string& deepar_path,
+                            size_t cache_budget_bytes) {
+  TestRegistry r;
+  r.metrics = std::make_unique<obs::MetricsRegistry>(true);
+  ModelRegistry::Options options;
+  options.cache_budget_bytes = cache_budget_bytes;
+  options.metrics = r.metrics.get();
+  r.registry = std::make_unique<ModelRegistry>(options);
+  RPAS_CHECK(
+      r.registry->RegisterVersion({"mlp", 1}, mlp_path, MlpFactory()).ok());
+  RPAS_CHECK(r.registry
+                 ->RegisterVersion({"deepar", 1}, deepar_path, DeepArFactory())
+                 .ok());
+  return r;
+}
+
+/// Scores a model over a fixed, seeded set of evaluation windows. The
+/// window set and the per-window sampling seeds are identical across
+/// calls, so any wQL difference between two models is due to their
+/// weights alone (for quantized models: the storage dtype).
+ts::AccuracyReport EvalWql(const forecast::Forecaster& model) {
+  const ts::TimeSeries series = SineSeries(kContext + kHorizon + 60, 4242);
+  std::vector<ts::QuantileForecast> forecasts;
+  std::vector<std::vector<double>> actuals;
+  for (size_t start = 0; start + kContext + kHorizon <= series.size();
+       start += 3) {
+    ForecastInput input;
+    input.start_index = start + kContext;
+    input.step_minutes = series.step_minutes;
+    input.context.assign(
+        series.values.begin() + static_cast<long>(start),
+        series.values.begin() + static_cast<long>(start + kContext));
+    auto forecast = model.PredictSeeded(input, 1000 + start);
+    RPAS_CHECK(forecast.ok()) << forecast.status().ToString();
+    forecasts.push_back(*forecast);
+    actuals.emplace_back(
+        series.values.begin() + static_cast<long>(start + kContext),
+        series.values.begin() +
+            static_cast<long>(start + kContext + kHorizon));
+  }
+  return ts::EvaluateForecasts(forecasts, actuals, {0.5, 0.9});
+}
+
+double RegistryWql(const std::string& mlp_path,
+                   const std::string& deepar_path) {
+  TestRegistry r = MakeRegistryAt(mlp_path, deepar_path, 1 << 20);
+  double total = 0.0;
+  for (const char* name : {"mlp", "deepar"}) {
+    auto model = r.registry->Acquire({name, 1});
+    RPAS_CHECK(model.ok()) << model.status().ToString();
+    total += EvalWql(**model).mean_wql;
+  }
+  return total / 2.0;
+}
+
+// The ISSUE's serving accuracy contract: quantizing the fleet's weights
+// must not move wQL by more than 0.5% (int8) / 0.05% (fp16) relative to
+// the exact fp64 text checkpoints.
+TEST(QuantizedServingTest, WqlDeltaWithinDtypeBounds) {
+  const double base =
+      RegistryWql(Checkpoints().mlp_path, Checkpoints().deepar_path);
+  ASSERT_GT(base, 0.0);
+  const double q8 = RegistryWql(QuantCkpts().mlp_q8, QuantCkpts().deepar_q8);
+  const double f16 =
+      RegistryWql(QuantCkpts().mlp_f16, QuantCkpts().deepar_f16);
+  EXPECT_LE(std::fabs(q8 - base) / base, 0.005)
+      << "q8 wQL " << q8 << " vs fp64 " << base;
+  EXPECT_LE(std::fabs(f16 - base) / base, 0.0005)
+      << "f16 wQL " << f16 << " vs fp64 " << base;
+}
+
+TEST(QuantizedServingTest, MappedBytesAccountedSeparatelyFromHeap) {
+  TestRegistry text = MakeRegistry(1 << 20);
+  ASSERT_TRUE(text.registry->Acquire({"mlp", 1}).ok());
+  const ModelRegistry::CacheStats text_stats =
+      text.registry->GetCacheStats();
+  EXPECT_EQ(text_stats.mapped_bytes, 0u);  // text models live on the heap
+  EXPECT_EQ(text_stats.heap_bytes, text_stats.resident_bytes);
+
+  TestRegistry quant =
+      MakeRegistryAt(QuantCkpts().mlp_q8, QuantCkpts().deepar_q8, 1 << 20);
+  ASSERT_TRUE(quant.registry->Acquire({"mlp", 1}).ok());
+  ASSERT_TRUE(quant.registry->Acquire({"deepar", 1}).ok());
+  const ModelRegistry::CacheStats stats = quant.registry->GetCacheStats();
+  EXPECT_GT(stats.mapped_bytes, 0u);
+  EXPECT_EQ(stats.mapped_bytes + stats.heap_bytes, stats.resident_bytes);
+  EXPECT_EQ(stats.resident_bytes,
+            FileBytes(QuantCkpts().mlp_q8) + FileBytes(QuantCkpts().deepar_q8));
+  EXPECT_EQ(quant.metrics->GetGauge("serve.registry.mapped_bytes")->value(),
+            static_cast<double>(stats.mapped_bytes));
+  EXPECT_EQ(quant.metrics->GetGauge("serve.registry.heap_bytes")->value(),
+            static_cast<double>(stats.heap_bytes));
+}
+
+// Admission and deadline-shed decisions depend on request flow, not on
+// forecast values, so swapping the fleet's checkpoints for quantized ones
+// must leave every admission outcome unchanged.
+TEST(QuantizedServingTest, AdmissionAndShedInvariantAcrossDtypes) {
+  FleetOptions options = SmallFleetOptions();
+  options.admission.round_budget = 2;  // force sheds every round
+
+  TestRegistry text = MakeRegistry(1 << 20);
+  options.metrics = text.metrics.get();
+  auto base = RunFleet(text.registry.get(), {{"mlp", 1}, {"deepar", 1}},
+                       options);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+
+  TestRegistry quant =
+      MakeRegistryAt(QuantCkpts().mlp_q8, QuantCkpts().deepar_q8, 1 << 20);
+  options.metrics = quant.metrics.get();
+  auto q8 = RunFleet(quant.registry.get(), {{"mlp", 1}, {"deepar", 1}},
+                     options);
+  ASSERT_TRUE(q8.ok()) << q8.status().ToString();
+
+  EXPECT_EQ(base->requests_admitted, q8->requests_admitted);
+  EXPECT_EQ(base->requests_throttled, q8->requests_throttled);
+  EXPECT_EQ(base->requests_shed, q8->requests_shed);
+  ASSERT_EQ(base->tenants.size(), q8->tenants.size());
+  for (size_t i = 0; i < base->tenants.size(); ++i) {
+    EXPECT_EQ(base->tenants[i].shed_rounds, q8->tenants[i].shed_rounds)
+        << "tenant " << i;
+    EXPECT_EQ(base->tenants[i].fallback_rounds,
+              q8->tenants[i].fallback_rounds)
+        << "tenant " << i;
+  }
+}
+
+// Regression for the registered-size-goes-stale eviction bug: the byte
+// count charged to the cache (and later credited back by eviction) must be
+// the size of the file actually loaded, not the size recorded at
+// registration time — the file can be atomically replaced in between.
+TEST(ModelRegistryTest, CacheChargesLoadedBytesNotRegisteredBytes) {
+  const std::string swap = StrFormat("/tmp/rpas_serve_swap_%ld.rpasq",
+                                     static_cast<long>(getpid()));
+  // Measure the f64 size up front (the budget must be fixed at registry
+  // construction), then register while the file holds the smaller q8 form.
+  ASSERT_TRUE(nn::QuantizeCheckpointFile(Checkpoints().mlp_path, swap,
+                                         tensor::DType::kF64)
+                  .ok());
+  const size_t f64_bytes = FileBytes(swap);
+  ASSERT_TRUE(nn::QuantizeCheckpointFile(Checkpoints().mlp_path, swap,
+                                         tensor::DType::kQ8)
+                  .ok());
+  const size_t q8_bytes = FileBytes(swap);
+  ASSERT_GT(f64_bytes, q8_bytes);
+
+  const size_t deepar_bytes = FileBytes(QuantCkpts().deepar_q8);
+  TestRegistry r =
+      MakeRegistryAt(swap, QuantCkpts().deepar_q8,
+                     f64_bytes + deepar_bytes - 1);
+  // Grow the file before the first load: the size recorded at registration
+  // time (q8_bytes) is now stale.
+  ASSERT_TRUE(nn::QuantizeCheckpointFile(Checkpoints().mlp_path, swap,
+                                         tensor::DType::kF64)
+                  .ok());
+  ASSERT_EQ(FileBytes(swap), f64_bytes);
+
+  {
+    auto model = r.registry->Acquire({"mlp", 1});
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+  }
+  EXPECT_EQ(r.registry->GetCacheStats().resident_bytes, f64_bytes);
+
+  // The budget fits the f64 model xor the DeepAR model. Loading DeepAR
+  // must evict the swapped model and credit back its *loaded* size: a
+  // registry that charged q8_bytes would now report a phantom residue
+  // (f64_bytes - q8_bytes) that eventually pins the cache.
+  auto deepar = r.registry->Acquire({"deepar", 1});
+  ASSERT_TRUE(deepar.ok()) << deepar.status().ToString();
+  const ModelRegistry::CacheStats stats = r.registry->GetCacheStats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.resident_bytes, deepar_bytes);
+  EXPECT_EQ(stats.mapped_bytes, deepar_bytes);
+  EXPECT_EQ(stats.heap_bytes, 0u);
+  std::remove(swap.c_str());
+}
+
+// A model whose checkpoint vanishes between registration and first load
+// must fail with a typed IoError and leave the cache untouched; recreating
+// the file heals the version with no re-registration.
+TEST(ModelRegistryTest, DeletedCheckpointFailsTypedThenRecovers) {
+  const std::string path = StrFormat("/tmp/rpas_serve_gone_%ld.rpasq",
+                                     static_cast<long>(getpid()));
+  ASSERT_TRUE(nn::QuantizeCheckpointFile(Checkpoints().mlp_path, path,
+                                         tensor::DType::kQ8)
+                  .ok());
+  TestRegistry r = MakeRegistryAt(path, QuantCkpts().deepar_q8, 1 << 20);
+  ASSERT_EQ(::unlink(path.c_str()), 0);
+
+  auto missing = r.registry->Acquire({"mlp", 1});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
+  const ModelRegistry::CacheStats after_fail = r.registry->GetCacheStats();
+  EXPECT_EQ(after_fail.resident_models, 0u);
+  EXPECT_EQ(after_fail.resident_bytes, 0u);
+  EXPECT_EQ(after_fail.mapped_bytes, 0u);
+
+  ASSERT_TRUE(nn::QuantizeCheckpointFile(Checkpoints().mlp_path, path,
+                                         tensor::DType::kQ8)
+                  .ok());
+  auto healed = r.registry->Acquire({"mlp", 1});
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_TRUE((*healed)->PredictSeeded(MakeInput(0), 1).ok());
+  EXPECT_EQ(r.registry->GetCacheStats().resident_models, 1u);
+  std::remove(path.c_str());
+}
+
+// Race a checkpoint's deletion/atomic replacement against concurrent
+// Acquires (run under TSan in CI). Every Acquire must either succeed and
+// serve a usable model — mmap keeps the replaced inode's pages valid — or
+// fail with a typed IoError while the file is briefly absent.
+TEST(ModelRegistryTest, AcquireRacesCheckpointReplacement) {
+  const std::string path = StrFormat("/tmp/rpas_serve_race_%ld.rpasq",
+                                     static_cast<long>(getpid()));
+  ASSERT_TRUE(nn::QuantizeCheckpointFile(Checkpoints().mlp_path, path,
+                                         tensor::DType::kQ8)
+                  .ok());
+  // Budget 0: nothing stays resident, so every Acquire re-opens the file.
+  TestRegistry r = MakeRegistryAt(path, QuantCkpts().deepar_q8, 0);
+
+  std::atomic<bool> stop{false};
+  std::thread mutator([&] {
+    for (int i = 0; i < 25; ++i) {
+      ::unlink(path.c_str());
+      RPAS_CHECK(nn::QuantizeCheckpointFile(Checkpoints().mlp_path, path,
+                                            tensor::DType::kQ8)
+                     .ok());
+      // Leave the file in place long enough for the readers to land some
+      // successful loads between replacements.
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  std::atomic<int> served{0};
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&, t] {
+      while (!stop.load()) {
+        auto model = r.registry->Acquire({"mlp", 1});
+        if (model.ok()) {
+          auto forecast =
+              (*model)->PredictSeeded(MakeInput(static_cast<uint64_t>(t)), 1);
+          ASSERT_TRUE(forecast.ok()) << forecast.status().ToString();
+          served.fetch_add(1);
+        } else {
+          ASSERT_EQ(model.status().code(), StatusCode::kIoError)
+              << model.status().ToString();
+        }
+      }
+    });
+  }
+  mutator.join();
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+  EXPECT_GT(served.load(), 0);
+  auto final_model = r.registry->Acquire({"mlp", 1});
+  EXPECT_TRUE(final_model.ok()) << final_model.status().ToString();
+  std::remove(path.c_str());
 }
 
 }  // namespace
