@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <optional>
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "core/evaluator.h"
+#include "stream/ring.h"
+#include "ts/metrics.h"
 
 namespace rpas::core {
 
@@ -44,12 +49,48 @@ Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
         "length");
   }
 
+  const bool streaming =
+      options.streaming.refresh_mode == RefreshMode::kIncremental;
+  if (streaming && options.streaming.refresh_target == nullptr) {
+    return Status::InvalidArgument(
+        "incremental refresh mode needs a refresh_target forecaster");
+  }
+
   obs::TraceBuffer* trace = obs::ResolveTrace(options.trace);
   obs::Span run_span(trace, "online.run", static_cast<int64_t>(num_steps));
 
   OnlineLoopResult result;
   result.allocation.reserve(num_steps);
   result.steps.reserve(num_steps);
+
+  // Streaming-ingest state (incremental mode only). Workload points flow
+  // producer-side into the ring as they are realized; each planning round
+  // polls the cursor and folds the new points into the forecaster.
+  std::unique_ptr<stream::IngestRing> ring;
+  std::unique_ptr<stream::StreamCursor> cursor;
+  std::unique_ptr<stream::IncrementalRefresher> refresher;
+  std::vector<double> stall_queue;  // points held back by a producer stall
+  std::vector<double> poll_buf;
+  if (streaming) {
+    ring = std::make_unique<stream::IngestRing>(
+        options.streaming.ring_capacity);
+    cursor = std::make_unique<stream::StreamCursor>(ring.get());
+    refresher = std::make_unique<stream::IncrementalRefresher>(
+        options.streaming.refresh_target, options.streaming.refresher);
+    RPAS_RETURN_IF_ERROR(refresher->Prime(series.Slice(0, eval_start)));
+  }
+  // Drift guard input: the forecast of the newest fresh plan, scored
+  // against however many of its steps have realized by the next round.
+  std::optional<ts::QuantileForecast> live_forecast;
+  size_t live_forecast_start = eval_start;
+
+  // Forecast staleness, tracked in both modes: steps since the newest
+  // fresh (non-stale, non-fallback) plan landed.
+  size_t last_fresh_step = 0;
+  uint64_t staleness_sum = 0;
+  obs::MetricsRegistry* metrics = obs::ResolveRegistry(options.metrics);
+  obs::Histogram* staleness_hist =
+      metrics->GetHistogram("online.staleness_points");
 
   const bool inject = options.faults.Any();
   const simdb::FaultInjector injector(options.faults);
@@ -86,6 +127,44 @@ Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
       obs::Span plan_span(trace, "online.plan", static_cast<int64_t>(i));
       plan_is_fallback = false;
       ++result.plans_made;
+
+      // Streaming refresh: poll the ring for points ingested since the
+      // last round and fold them into the forecaster before planning.
+      // A stalled producer leaves the cursor behind `t`, so the planner
+      // sees (and plans from) a correspondingly shorter history.
+      size_t observed_points = i;  // kBatch: everything realized so far
+      if (streaming) {
+        // Score the expiring plan's forecast against what realized, so the
+        // refresher's drift guard can schedule a full retrain.
+        if (live_forecast.has_value() && t > live_forecast_start) {
+          const size_t elapsed = std::min<size_t>(
+              t - live_forecast_start, live_forecast->Horizon());
+          const std::vector<double> actual(
+              series.values.begin() +
+                  static_cast<long>(live_forecast_start),
+              series.values.begin() +
+                  static_cast<long>(live_forecast_start + elapsed));
+          refresher->ObserveForecastLoss(
+              ts::PrefixMeanWql(*live_forecast, actual));
+        }
+        rpas::Stopwatch refresh_watch;
+        poll_buf.clear();
+        const stream::StreamCursor::Batch batch = cursor->Poll(&poll_buf);
+        observed_points = static_cast<size_t>(cursor->next_seq());
+        const ts::TimeSeries observed =
+            series.Slice(0, eval_start + observed_points);
+        RPAS_ASSIGN_OR_RETURN(
+            const stream::RefreshOutcome outcome,
+            refresher->Refresh(observed, batch.count, batch.missed));
+        (void)outcome;
+        const double refresh_ms = refresh_watch.ElapsedMillis();
+        result.round_refresh_millis.push_back(refresh_ms);
+        result.total_refresh_millis += refresh_ms;
+        metrics->GetHistogram("stream.refresh_ms", {},
+                              /*deterministic=*/false)
+            ->Observe(refresh_ms);
+      }
+      rpas::Stopwatch plan_watch;
       const int failed_attempts =
           faults.forecaster_timeout_attempts + (faults.forecaster_nan ? 1 : 0);
       if (inject && faults.stale_forecast && !last_good_plan.empty()) {
@@ -118,8 +197,13 @@ Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
       } else {
         // Either a clean round, or a faulted one whose
         // (failed_attempts + 1)-th attempt lands within the retry budget —
-        // the successful attempt's output is what PlanNext returns.
-        ts::TimeSeries history = series.Slice(0, t);
+        // the successful attempt's output is what PlanNext returns. In
+        // streaming mode the planner sees only what the stream delivered
+        // (a stalled producer starves it); in batch mode that is always
+        // everything realized so far, making the two modes identical when
+        // no ingest faults fire.
+        ts::TimeSeries history =
+            series.Slice(0, eval_start + observed_points);
         auto plan_or = manager.PlanNext(history, current_nodes);
         if (!plan_or.ok()) {
           if (!inject) {
@@ -163,8 +247,18 @@ Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
             uncertainty_sum += u;
             ++uncertainty_n;
           }
+          // A genuinely fresh forecast landed: reset staleness and arm the
+          // drift guard with the forecast to score next round.
+          last_fresh_step = i;
+          live_forecast = std::move(plan.forecast);
+          live_forecast_start = t;
         }
       }
+      const double plan_ms = plan_watch.ElapsedMillis();
+      result.round_plan_millis.push_back(plan_ms);
+      result.total_plan_millis += plan_ms;
+      metrics->GetHistogram("online.plan_ms", {}, /*deterministic=*/false)
+          ->Observe(plan_ms);
     }
     const int target = current_plan[plan_cursor++];
     const double realized = series.values[t];
@@ -206,6 +300,41 @@ Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
     }
     result.allocation.push_back(target);
     result.steps.push_back(stats);
+
+    // Forecast staleness this step: age of the newest fresh plan.
+    const uint64_t staleness = static_cast<uint64_t>(i - last_fresh_step);
+    staleness_sum += staleness;
+    result.max_staleness_points =
+        std::max(result.max_staleness_points, staleness);
+    staleness_hist->Observe(static_cast<double>(staleness));
+
+    if (streaming) {
+      // Producer side: the realized point enters the stream *after* the
+      // step, so the next planning round can consume it. A stalled
+      // producer queues points and burst-flushes when the stall clears.
+      const double point = series.values[t];
+      if (faults.ingest_stalled) {
+        stall_queue.push_back(point);
+        ++result.ingest_stall_steps;
+        result.fault_events.push_back(
+            {i, simdb::FaultType::kIngestStall, simdb::FaultAction::kNone, 0,
+             static_cast<double>(stall_queue.size())});
+      } else {
+        if (!stall_queue.empty()) {
+          for (double queued : stall_queue) {
+            ring->Push(queued);
+            ++result.points_ingested;
+          }
+          ++result.ingest_bursts;
+          result.fault_events.push_back(
+              {i, simdb::FaultType::kIngestBurst, simdb::FaultAction::kNone,
+               0, static_cast<double>(stall_queue.size())});
+          stall_queue.clear();
+        }
+        ring->Push(point);
+        ++result.points_ingested;
+      }
+    }
   }
 
   // Aggregate outcomes. Under workload-spike faults the realized demand is
@@ -239,11 +368,19 @@ Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
   result.mean_uncertainty =
       uncertainty_n > 0 ? uncertainty_sum / static_cast<double>(uncertainty_n)
                         : 0.0;
+  result.mean_staleness_points =
+      static_cast<double>(staleness_sum) / static_cast<double>(num_steps);
+  if (streaming) {
+    result.points_pending = static_cast<uint64_t>(stall_queue.size());
+    // The cursor's missed count, not ring->dropped(): the tail advances
+    // past already-read slots too, and only unread overwrites are losses.
+    result.points_dropped = cursor->missed_total();
+    result.refresh = refresher->stats();
+  }
 
   // Registry counters are bulk-incremented from the finished result, so
   // they agree *exactly* with the OnlineLoopResult fields by construction
   // (see tests/obs_test.cc) and stay deterministic across thread counts.
-  obs::MetricsRegistry* metrics = obs::ResolveRegistry(options.metrics);
   metrics->GetCounter("online.steps")
       ->Increment(static_cast<int64_t>(num_steps));
   metrics->GetCounter("online.plans_made")
@@ -262,6 +399,28 @@ Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
       ->Increment(static_cast<int64_t>(result.degraded_steps));
   metrics->GetCounter("online.fault_events")
       ->Increment(static_cast<int64_t>(result.fault_events.size()));
+  if (streaming) {
+    metrics->GetCounter("stream.ingested")
+        ->Increment(static_cast<int64_t>(result.points_ingested));
+    metrics->GetCounter("stream.dropped")
+        ->Increment(static_cast<int64_t>(result.points_dropped));
+    metrics->GetCounter("stream.pending")
+        ->Increment(static_cast<int64_t>(result.points_pending));
+    metrics->GetCounter("stream.refresh.recursive_updates")
+        ->Increment(static_cast<int64_t>(result.refresh.recursive_updates));
+    metrics->GetCounter("stream.refresh.fine_tunes")
+        ->Increment(static_cast<int64_t>(result.refresh.fine_tunes));
+    metrics->GetCounter("stream.refresh.gradient_steps")
+        ->Increment(static_cast<int64_t>(result.refresh.gradient_steps));
+    metrics->GetCounter("stream.refresh.resyncs")
+        ->Increment(static_cast<int64_t>(result.refresh.resyncs));
+    metrics->GetCounter("stream.refresh.fallback_retrains")
+        ->Increment(static_cast<int64_t>(result.refresh.full_retrains));
+    metrics->GetCounter("online.ingest_stall_steps")
+        ->Increment(static_cast<int64_t>(result.ingest_stall_steps));
+    metrics->GetCounter("online.ingest_bursts")
+        ->Increment(static_cast<int64_t>(result.ingest_bursts));
+  }
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include "obs/span.h"
 #include "simdb/cluster.h"
 #include "simdb/faults.h"
+#include "stream/refresher.h"
 #include "ts/time_series.h"
 
 namespace rpas::core {
@@ -33,6 +34,30 @@ struct DegradationPolicy {
   double reactive_safety_margin = 1.2;
 };
 
+/// How the loop keeps the forecaster current while workload streams in.
+enum class RefreshMode {
+  /// Re-plan from the full observed history each round, model state frozen
+  /// between rounds — byte-for-byte the pre-streaming loop.
+  kBatch = 0,
+  /// Points flow through a stream::IngestRing; each planning round first
+  /// folds the new points into the forecaster via an IncrementalRefresher
+  /// (O(new points) per round), then plans from the observed history.
+  kIncremental = 1,
+};
+
+/// Streaming-ingestion configuration (inert in kBatch mode).
+struct StreamingOptions {
+  RefreshMode refresh_mode = RefreshMode::kBatch;
+  /// The forecaster to refresh incrementally. Required (non-null) in
+  /// kIncremental mode; it must be the same model the manager plans with
+  /// and must already be fitted. Non-const because refreshing mutates it.
+  forecast::Forecaster* refresh_target = nullptr;
+  /// Ingest ring capacity (points). When the loop outruns consumption the
+  /// ring drops oldest and the refresher resyncs from history.
+  size_t ring_capacity = 4096;
+  stream::RefresherOptions refresher;
+};
+
 /// Configuration of the online auto-scaling loop.
 struct OnlineLoopOptions {
   /// Steps between re-planning events; 0 = the forecaster's full horizon.
@@ -53,6 +78,9 @@ struct OnlineLoopOptions {
   /// Trace sink for the "online.run" / "online.plan" spans; null routes to
   /// obs::TraceBuffer::Global().
   obs::TraceBuffer* trace = nullptr;
+  /// Streaming ingestion / incremental-refresh configuration. The default
+  /// (kBatch) leaves the loop bit-identical to the pre-streaming code path.
+  StreamingOptions streaming;
 };
 
 /// Outcome of an online run.
@@ -90,6 +118,37 @@ struct OnlineLoopResult {
   size_t faulted_steps = 0;
   /// Steps executed under a fallback plan (degraded operation).
   size_t degraded_steps = 0;
+
+  // --- Refresh/plan latency attribution (satellite of ISSUE 8) -----------
+  // Wall-clock values; unlike everything above they are NOT deterministic
+  // across runs. Lengths equal plans_made.
+  /// Per-round planning wall time (PlanNext / stale replay / fallback).
+  std::vector<double> round_plan_millis;
+  /// Per-round streaming-refresh wall time (empty in kBatch mode).
+  std::vector<double> round_refresh_millis;
+  double total_plan_millis = 0.0;
+  double total_refresh_millis = 0.0;
+
+  // --- Streaming ingest accounting (zero in kBatch mode) -----------------
+  /// Points pushed into the ingest ring.
+  uint64_t points_ingested = 0;
+  /// Points still queued at the (stalled) producer when the run ended.
+  uint64_t points_pending = 0;
+  /// Points the ring dropped (overwritten before any consumer read them).
+  uint64_t points_dropped = 0;
+  /// Steps whose ingest was suppressed by an injected producer stall.
+  size_t ingest_stall_steps = 0;
+  /// Burst flushes after a stall cleared.
+  size_t ingest_bursts = 0;
+  /// Refresher dispatch accounting (what each refresh round did).
+  stream::RefreshStats refresh;
+
+  // --- Forecast staleness (tracked in BOTH modes) ------------------------
+  /// Per-step age of the newest fresh forecast, in steps/points: 0 on the
+  /// step a fresh plan lands, growing by 1 per step under stale/fallback
+  /// plans. Mirrored into the "online.staleness_points" histogram.
+  double mean_staleness_points = 0.0;
+  uint64_t max_staleness_points = 0;
 };
 
 /// Conservative plan used while the forecaster is unavailable: hold the

@@ -171,7 +171,47 @@ Status ArimaForecaster::Fit(const ts::TimeSeries& train) {
   }
   sigma2_ = count > 0 ? ss / static_cast<double>(count) : 1.0;
   sigma2_ = std::max(sigma2_, 1e-12);
+
+  // Seed the streaming residual state with the fitted coefficients and the
+  // full training series; its per-point recursion reproduces the batch
+  // residual pass above bit for bit, so IncrementalUpdate can extend it.
+  state_.emplace(
+      ts::ArimaStateConfig{phi_, theta_, intercept_, DifferenceLags()});
+  state_->PushAll(train.values);
+
   fitted_ = true;
+  return Status::OK();
+}
+
+Result<Forecaster::IncrementalUpdateReport> ArimaForecaster::IncrementalUpdate(
+    const ts::TimeSeries& history, size_t new_points) {
+  if (!fitted_ || !state_.has_value()) {
+    return Status::FailedPrecondition("ARIMA: Fit() not called");
+  }
+  if (new_points > history.size()) {
+    return Status::InvalidArgument(
+        "ARIMA: new_points exceeds history length");
+  }
+  for (size_t t = history.size() - new_points; t < history.size(); ++t) {
+    state_->Push(history.values[t]);
+  }
+  if (state_->num_residuals() > 0) {
+    sigma2_ = state_->Sigma2();
+  }
+  IncrementalUpdateReport report;
+  report.points = new_points;
+  return report;
+}
+
+Status ArimaForecaster::ResyncState(const ts::TimeSeries& history) {
+  if (!fitted_ || !state_.has_value()) {
+    return Status::FailedPrecondition("ARIMA: Fit() not called");
+  }
+  state_->Reset();
+  state_->PushAll(history.values);
+  if (state_->num_residuals() > 0) {
+    sigma2_ = state_->Sigma2();
+  }
   return Status::OK();
 }
 

@@ -1,9 +1,11 @@
 #ifndef RPAS_FORECAST_ARIMA_H_
 #define RPAS_FORECAST_ARIMA_H_
 
+#include <optional>
 #include <vector>
 
 #include "forecast/forecaster.h"
+#include "ts/incremental.h"
 
 namespace rpas::forecast {
 
@@ -43,6 +45,17 @@ class ArimaForecaster final : public Forecaster {
   Result<ts::QuantileForecast> Predict(
       const ForecastInput& input) const override;
 
+  /// Pushes the newest `new_points` of `history` through the residual
+  /// recursion (coefficients stay fixed; only sigma2 is refreshed) —
+  /// identical arithmetic to the Fit() residual pass, O(new_points) work.
+  Result<IncrementalUpdateReport> IncrementalUpdate(
+      const ts::TimeSeries& history, size_t new_points) override;
+  /// Replays the residual state over all of `history` (used after the
+  /// ingest ring dropped points). Keeps the previous sigma2 when `history`
+  /// is too short to produce a post-warm-up residual.
+  Status ResyncState(const ts::TimeSeries& history) override;
+  bool SupportsIncrementalUpdate() const override { return true; }
+
   size_t Horizon() const override { return options_.horizon; }
   size_t ContextLength() const override { return options_.context_length; }
   const std::vector<double>& Levels() const override {
@@ -67,6 +80,8 @@ class ArimaForecaster final : public Forecaster {
   std::vector<double> theta_;  // MA coefficients
   double intercept_ = 0.0;
   double sigma2_ = 1.0;  // innovation variance
+  /// Streaming residual recursion seeded by Fit() (empty before Fit).
+  std::optional<ts::ArimaResidualState> state_;
 };
 
 }  // namespace rpas::forecast

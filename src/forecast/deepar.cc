@@ -123,18 +123,13 @@ Status DeepArForecaster::LoadQuantizedCheckpoint(
   return Status::OK();
 }
 
-Status DeepArForecaster::Fit(const ts::TimeSeries& train) {
+nn::TrainSummary DeepArForecaster::RunTraining(
+    const ts::WindowDataset& dataset, double step_minutes,
+    const nn::TrainConfig& config) {
   const size_t t_len = options_.context_length;
   const size_t h = options_.horizon;
-  ts::WindowDataset dataset(train, t_len, h, /*stride=*/1);
-  if (dataset.empty()) {
-    return Status::InvalidArgument("DeepAR: training series too short");
-  }
-
-  BuildModel();
   std::vector<autodiff::Parameter*> params = AllParams();
 
-  const double step_minutes = train.step_minutes;
   auto loss_fn = [&, step_minutes](Tape* tape, Rng* rng) -> Var {
     const std::vector<size_t> indices =
         dataset.SampleIndices(options_.batch_size, rng);
@@ -192,11 +187,70 @@ Status DeepArForecaster::Fit(const ts::TimeSeries& train) {
     return tape->Scale(total_nll, 1.0 / static_cast<double>(terms));
   };
 
+  return nn::TrainLoop(config, params, loss_fn);
+}
+
+Status DeepArForecaster::Fit(const ts::TimeSeries& train) {
+  const size_t t_len = options_.context_length;
+  const size_t h = options_.horizon;
+  ts::WindowDataset dataset(train, t_len, h, /*stride=*/1);
+  if (dataset.empty()) {
+    return Status::InvalidArgument("DeepAR: training series too short");
+  }
+
+  BuildModel();
   nn::TrainConfig config = options_.train;
   config.seed = options_.seed + 1;
-  nn::TrainLoop(config, params, loss_fn);
+  RunTraining(dataset, train.step_minutes, config);
   fitted_ = true;
   return Status::OK();
+}
+
+Result<Forecaster::IncrementalUpdateReport>
+DeepArForecaster::IncrementalUpdate(const ts::TimeSeries& history,
+                                    size_t new_points) {
+  if (!fitted_) {
+    return Status::FailedPrecondition("DeepAR: Fit() not called");
+  }
+  if (qckpt_ != nullptr) {
+    return Status::FailedPrecondition(
+        "DeepAR: model restored from a quantized checkpoint is frozen");
+  }
+  if (new_points > history.size()) {
+    return Status::InvalidArgument(
+        "DeepAR: new_points exceeds history length");
+  }
+  IncrementalUpdateReport report;
+  report.points = new_points;
+  if (new_points == 0) {
+    return report;
+  }
+  // Fine-tune only on windows whose target overlaps a new observation.
+  const size_t t_len = options_.context_length;
+  const size_t h = options_.horizon;
+  const size_t span = t_len + h - 1 + new_points;
+  const size_t start = history.size() > span ? history.size() - span : 0;
+  ts::TimeSeries suffix = history.Slice(start, history.size());
+  // index_offset keeps Window::begin absolute so the teacher-forced
+  // unroll's calendar features stay phase-aligned with full-series
+  // training.
+  ts::WindowDataset dataset(suffix, t_len, h, /*stride=*/1,
+                            /*index_offset=*/start);
+  if (dataset.empty()) {
+    return report;  // not enough history for a single window yet
+  }
+  nn::TrainConfig config = options_.train;
+  config.steps = options_.fine_tune_steps;
+  if (options_.fine_tune_lr > 0.0) {
+    config.lr = options_.fine_tune_lr;
+  }
+  // Distinct, deterministic minibatch stream per update.
+  config.seed = DeriveSeed(options_.seed, 0x57EA + update_count_);
+  ++update_count_;
+  const nn::TrainSummary summary =
+      RunTraining(dataset, history.step_minutes, config);
+  report.gradient_steps = summary.steps_run;
+  return report;
 }
 
 Result<std::vector<std::vector<double>>> DeepArForecaster::SampleTrajectories(

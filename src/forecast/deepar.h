@@ -8,6 +8,7 @@
 #include "forecast/time_features.h"
 #include "nn/layers.h"
 #include "nn/trainer.h"
+#include "ts/window.h"
 
 namespace rpas::forecast {
 
@@ -39,6 +40,10 @@ class DeepArForecaster final : public Forecaster {
     std::vector<double> levels;  ///< defaults to DefaultQuantileLevels()
     uint64_t seed = 11;
     double min_sigma = 1e-3;
+    /// Gradient steps per IncrementalUpdate (warm-start fine-tune budget).
+    int fine_tune_steps = 8;
+    /// Learning rate for fine-tune steps; <= 0 reuses train.lr.
+    double fine_tune_lr = 0.0;
   };
 
   explicit DeepArForecaster(Options options);
@@ -46,6 +51,15 @@ class DeepArForecaster final : public Forecaster {
   Status Fit(const ts::TimeSeries& train) override;
   Result<ts::QuantileForecast> Predict(
       const ForecastInput& input) const override;
+
+  /// Warm-start fine-tune: runs `fine_tune_steps` gradient steps on the
+  /// suffix of `history` whose windows touch the newest `new_points`
+  /// observations — O(new_points) work, weights continue from their current
+  /// values. Models restored from quantized checkpoints are frozen and
+  /// return FailedPrecondition.
+  Result<IncrementalUpdateReport> IncrementalUpdate(
+      const ts::TimeSeries& history, size_t new_points) override;
+  bool SupportsIncrementalUpdate() const override { return true; }
 
   /// Seed-deterministic, thread-safe prediction: ancestral sampling draws
   /// from a generator derived from `seed` alone, so the forecast is a pure
@@ -102,6 +116,13 @@ class DeepArForecaster final : public Forecaster {
   std::vector<autodiff::Parameter*> AllParams() const;
   std::string Signature() const;
 
+  /// Runs the teacher-forced NLL training loop over `dataset` with the
+  /// current weights as the starting point (shared by Fit and
+  /// IncrementalUpdate).
+  nn::TrainSummary RunTraining(const ts::WindowDataset& dataset,
+                               double step_minutes,
+                               const nn::TrainConfig& config);
+
   /// Sampling core shared by every prediction path: draws noise from `rng`
   /// (never from sample_rng_).
   Result<std::vector<std::vector<double>>> SampleWithRng(
@@ -124,6 +145,8 @@ class DeepArForecaster final : public Forecaster {
   mutable Rng sample_rng_;
   /// Keeps the mapped checkpoint alive while layers hold views into it.
   std::shared_ptr<const nn::QuantizedCheckpoint> qckpt_;
+  /// IncrementalUpdate calls so far; salts each fine-tune's sampling seed.
+  uint64_t update_count_ = 0;
 };
 
 }  // namespace rpas::forecast

@@ -46,6 +46,16 @@ Status Forecaster::LoadQuantizedCheckpoint(
                                ": quantized checkpoints not supported");
 }
 
+Result<Forecaster::IncrementalUpdateReport> Forecaster::IncrementalUpdate(
+    const ts::TimeSeries& /*history*/, size_t /*new_points*/) {
+  return Status::Unimplemented(Name() +
+                               ": incremental updates not supported");
+}
+
+Status Forecaster::ResyncState(const ts::TimeSeries& /*history*/) {
+  return Status::OK();
+}
+
 std::vector<double> DefaultQuantileLevels() {
   return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
 }

@@ -92,6 +92,41 @@ class Forecaster {
       std::shared_ptr<const nn::QuantizedCheckpoint> checkpoint);
   virtual bool SupportsQuantizedCheckpoint() const { return false; }
 
+  // --- Streaming interface (src/stream) -----------------------------------
+
+  /// What an IncrementalUpdate actually did, for refresh accounting.
+  struct IncrementalUpdateReport {
+    /// New points consumed.
+    size_t points = 0;
+    /// Gradient steps run (0 for recursive-state models).
+    int gradient_steps = 0;
+  };
+
+  /// Folds the newest `new_points` observations of `history` into the
+  /// fitted state in O(new_points) work instead of refitting on the full
+  /// window: recursive models (seasonal-naive, ARIMA) push each point
+  /// through their residual accumulators; NN models (MLP, DeepAR) run a
+  /// bounded number of warm-start gradient steps on the new-points suffix.
+  /// `history` must be the same stream the model was fitted on, extended —
+  /// the last `new_points` values are the unseen ones. Requires a fitted
+  /// model; models restored from quantized checkpoints (frozen weights)
+  /// return FailedPrecondition. Default: Unimplemented; models override and
+  /// return true from SupportsIncrementalUpdate().
+  virtual Result<IncrementalUpdateReport> IncrementalUpdate(
+      const ts::TimeSeries& history, size_t new_points);
+
+  /// Rebuilds streaming state from scratch off the full `history` (used
+  /// after the ingest ring dropped points, so per-point replay is
+  /// impossible). For recursive models this replays the accumulators; NN
+  /// models keep their weights (the next IncrementalUpdate resumes
+  /// fine-tuning). Must leave the model at the state a fresh
+  /// IncrementalUpdate stream over `history` would have produced. Default:
+  /// no-op success, correct for stateless-between-calls models.
+  virtual Status ResyncState(const ts::TimeSeries& history);
+
+  /// True when IncrementalUpdate() is implemented.
+  virtual bool SupportsIncrementalUpdate() const { return false; }
+
   /// Forecast horizon H (steps).
   virtual size_t Horizon() const = 0;
   /// Expected context length T (steps).

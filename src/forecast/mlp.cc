@@ -151,19 +151,13 @@ Status MlpForecaster::LoadQuantizedCheckpoint(
   return Status::OK();
 }
 
-Status MlpForecaster::Fit(const ts::TimeSeries& train) {
+nn::TrainSummary MlpForecaster::RunTraining(const ts::WindowDataset& dataset,
+                                            double step_minutes,
+                                            const nn::TrainConfig& config) {
   const size_t t_len = options_.context_length;
   const size_t h = options_.horizon;
-  ts::WindowDataset dataset(train, t_len, h, /*stride=*/1);
-  if (dataset.empty()) {
-    return Status::InvalidArgument("MLP: training series too short");
-  }
-  scaler_ = ts::AffineScaler::FitStandard(train.values);
-
-  BuildModel();
   std::vector<autodiff::Parameter*> params = AllParams();
 
-  const double step_minutes = train.step_minutes;
   auto loss_fn = [&, step_minutes](Tape* tape, Rng* rng) -> Var {
     const std::vector<size_t> indices =
         dataset.SampleIndices(options_.batch_size, rng);
@@ -199,11 +193,70 @@ Status MlpForecaster::Fit(const ts::TimeSeries& train) {
     return nn::GaussianNllLoss(tape, mu, sigma, y);
   };
 
+  return nn::TrainLoop(config, params, loss_fn);
+}
+
+Status MlpForecaster::Fit(const ts::TimeSeries& train) {
+  const size_t t_len = options_.context_length;
+  const size_t h = options_.horizon;
+  ts::WindowDataset dataset(train, t_len, h, /*stride=*/1);
+  if (dataset.empty()) {
+    return Status::InvalidArgument("MLP: training series too short");
+  }
+  scaler_ = ts::AffineScaler::FitStandard(train.values);
+
+  BuildModel();
   nn::TrainConfig config = options_.train;
   config.seed = options_.seed + 1;
-  nn::TrainLoop(config, params, loss_fn);
+  RunTraining(dataset, train.step_minutes, config);
   fitted_ = true;
   return Status::OK();
+}
+
+Result<Forecaster::IncrementalUpdateReport> MlpForecaster::IncrementalUpdate(
+    const ts::TimeSeries& history, size_t new_points) {
+  if (!fitted_) {
+    return Status::FailedPrecondition("MLP: Fit() not called");
+  }
+  if (qckpt_ != nullptr) {
+    return Status::FailedPrecondition(
+        "MLP: model restored from a quantized checkpoint is frozen");
+  }
+  if (new_points > history.size()) {
+    return Status::InvalidArgument("MLP: new_points exceeds history length");
+  }
+  IncrementalUpdateReport report;
+  report.points = new_points;
+  if (new_points == 0) {
+    return report;
+  }
+  // Fine-tune only on windows whose target overlaps a new observation:
+  // the first such window starts new_points + horizon - 1 steps before
+  // the first new point's context end.
+  const size_t t_len = options_.context_length;
+  const size_t h = options_.horizon;
+  const size_t span = t_len + h - 1 + new_points;
+  const size_t start = history.size() > span ? history.size() - span : 0;
+  ts::TimeSeries suffix = history.Slice(start, history.size());
+  // index_offset keeps Window::begin absolute so calendar features stay
+  // phase-aligned with full-series training.
+  ts::WindowDataset dataset(suffix, t_len, h, /*stride=*/1,
+                            /*index_offset=*/start);
+  if (dataset.empty()) {
+    return report;  // not enough history for a single window yet
+  }
+  nn::TrainConfig config = options_.train;
+  config.steps = options_.fine_tune_steps;
+  if (options_.fine_tune_lr > 0.0) {
+    config.lr = options_.fine_tune_lr;
+  }
+  // Distinct, deterministic minibatch stream per update.
+  config.seed = DeriveSeed(options_.seed, 0x57EA + update_count_);
+  ++update_count_;
+  const nn::TrainSummary summary =
+      RunTraining(dataset, history.step_minutes, config);
+  report.gradient_steps = summary.steps_run;
+  return report;
 }
 
 Result<MlpForecaster::GaussianParams> MlpForecaster::PredictDistribution(

@@ -8,6 +8,7 @@
 #include "nn/layers.h"
 #include "nn/trainer.h"
 #include "ts/scaler.h"
+#include "ts/window.h"
 
 namespace rpas::forecast {
 
@@ -33,6 +34,10 @@ class MlpForecaster final : public Forecaster {
     /// evaluates; enabling calendar covariates makes the MLP notably
     /// stronger than the paper's baseline.
     bool use_time_features = false;
+    /// Gradient steps per IncrementalUpdate (warm-start fine-tune budget).
+    int fine_tune_steps = 8;
+    /// Learning rate for fine-tune steps; <= 0 reuses train.lr.
+    double fine_tune_lr = 0.0;
   };
 
   explicit MlpForecaster(Options options);
@@ -40,6 +45,15 @@ class MlpForecaster final : public Forecaster {
   Status Fit(const ts::TimeSeries& train) override;
   Result<ts::QuantileForecast> Predict(
       const ForecastInput& input) const override;
+
+  /// Warm-start fine-tune: runs `fine_tune_steps` gradient steps on the
+  /// suffix of `history` whose windows touch the newest `new_points`
+  /// observations — O(new_points) work, weights continue from their current
+  /// values and the fitted scaler stays frozen. Models restored from
+  /// quantized checkpoints are frozen and return FailedPrecondition.
+  Result<IncrementalUpdateReport> IncrementalUpdate(
+      const ts::TimeSeries& history, size_t new_points) override;
+  bool SupportsIncrementalUpdate() const override { return true; }
 
   /// Row-stacked batched inference: the whole batch runs as one forward
   /// pass (one row per request). Each output row depends only on its own
@@ -90,6 +104,12 @@ class MlpForecaster final : public Forecaster {
   std::vector<autodiff::Parameter*> AllParams() const;
   std::string Signature() const;
 
+  /// Runs the Gaussian-NLL training loop over `dataset` with the current
+  /// weights as the starting point (shared by Fit and IncrementalUpdate).
+  nn::TrainSummary RunTraining(const ts::WindowDataset& dataset,
+                               double step_minutes,
+                               const nn::TrainConfig& config);
+
   /// Input width: context length, plus calendar features when enabled.
   size_t InputDim() const;
 
@@ -105,6 +125,8 @@ class MlpForecaster final : public Forecaster {
   std::unique_ptr<nn::Dense> head_;  // emits 2*horizon (mu, raw sigma)
   /// Keeps the mapped checkpoint alive while layers hold views into it.
   std::shared_ptr<const nn::QuantizedCheckpoint> qckpt_;
+  /// IncrementalUpdate calls so far; salts each fine-tune's sampling seed.
+  uint64_t update_count_ = 0;
 };
 
 }  // namespace rpas::forecast

@@ -8,9 +8,9 @@
 namespace rpas::forecast {
 
 SeasonalNaiveForecaster::SeasonalNaiveForecaster(Options options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      state_(options_.season) {  // the accumulator checks season > 0
   RPAS_CHECK(options_.context_length > 0 && options_.horizon > 0);
-  RPAS_CHECK(options_.season > 0);
   if (options_.levels.empty()) {
     options_.levels = DefaultQuantileLevels();
   }
@@ -21,15 +21,48 @@ Status SeasonalNaiveForecaster::Fit(const ts::TimeSeries& train) {
     return Status::InvalidArgument(
         "SeasonalNaive: training series shorter than one season");
   }
-  double ss = 0.0;
-  size_t n = 0;
-  for (size_t t = options_.season; t < train.size(); ++t) {
-    const double diff = train.values[t] - train.values[t - options_.season];
-    ss += diff * diff;
-    ++n;
+  // Stream the series through the seasonal accumulator: the per-point
+  // arithmetic (diff, square, left-to-right sum) matches the former batch
+  // loop term by term, so the result is bit-identical — and the same state
+  // then serves IncrementalUpdate.
+  state_.Reset();
+  for (double v : train.values) {
+    state_.Push(v);
   }
-  residual_stddev_ = std::max(std::sqrt(ss / static_cast<double>(n)), 1e-9);
+  residual_stddev_ = state_.Stddev();
   fitted_ = true;
+  return Status::OK();
+}
+
+Result<Forecaster::IncrementalUpdateReport>
+SeasonalNaiveForecaster::IncrementalUpdate(const ts::TimeSeries& history,
+                                           size_t new_points) {
+  if (!fitted_) {
+    return Status::FailedPrecondition("SeasonalNaive: Fit() not called");
+  }
+  if (new_points > history.size()) {
+    return Status::InvalidArgument(
+        "SeasonalNaive: new_points exceeds history length");
+  }
+  for (size_t t = history.size() - new_points; t < history.size(); ++t) {
+    state_.Push(history.values[t]);
+  }
+  if (state_.num_diffs() > 0) {
+    residual_stddev_ = state_.Stddev();
+  }
+  IncrementalUpdateReport report;
+  report.points = new_points;
+  return report;
+}
+
+Status SeasonalNaiveForecaster::ResyncState(const ts::TimeSeries& history) {
+  state_.Reset();
+  for (double v : history.values) {
+    state_.Push(v);
+  }
+  if (state_.num_diffs() > 0) {
+    residual_stddev_ = state_.Stddev();
+  }
   return Status::OK();
 }
 

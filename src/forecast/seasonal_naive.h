@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "forecast/forecaster.h"
+#include "ts/incremental.h"
 
 namespace rpas::forecast {
 
@@ -27,6 +28,17 @@ class SeasonalNaiveForecaster final : public Forecaster {
   Result<ts::QuantileForecast> Predict(
       const ForecastInput& input) const override;
 
+  /// Pushes the newest `new_points` of `history` through the seasonal
+  /// residual accumulator — identical arithmetic to Fit() on the full
+  /// series, O(new_points) work.
+  Result<IncrementalUpdateReport> IncrementalUpdate(
+      const ts::TimeSeries& history, size_t new_points) override;
+  /// Replays the accumulator over all of `history` (used after the ingest
+  /// ring dropped points). Keeps the previous stddev when `history` is too
+  /// short to produce a seasonal diff.
+  Status ResyncState(const ts::TimeSeries& history) override;
+  bool SupportsIncrementalUpdate() const override { return true; }
+
   size_t Horizon() const override { return options_.horizon; }
   size_t ContextLength() const override { return options_.context_length; }
   const std::vector<double>& Levels() const override {
@@ -34,10 +46,13 @@ class SeasonalNaiveForecaster final : public Forecaster {
   }
   std::string Name() const override { return "SeasonalNaive"; }
 
+  double residual_stddev() const { return residual_stddev_; }
+
  private:
   Options options_;
   bool fitted_ = false;
   double residual_stddev_ = 1.0;
+  ts::SeasonalAccumulator state_;
 };
 
 }  // namespace rpas::forecast

@@ -13,6 +13,7 @@
 #include "core/scaling_config.h"
 #include "core/strategies.h"
 #include "simdb/cluster.h"
+#include "stream/ring.h"
 
 namespace rpas::serve {
 namespace {
@@ -35,6 +36,15 @@ struct TenantState {
   std::vector<int> last_good_plan;
   std::vector<double> recent;  ///< trailing realized workloads
   int current_nodes = 1;
+  // Streaming ingest: realized workload flows through the tenant's ring
+  // each step and is drained by the cursor once per planning round.
+  std::unique_ptr<stream::IngestRing> ring;
+  std::unique_ptr<stream::StreamCursor> cursor;
+  uint64_t stream_points = 0;
+  // Forecast staleness, in steps since the round a fresh plan landed.
+  size_t last_fresh_step = 0;
+  uint64_t staleness_sum = 0;
+  uint64_t staleness_max = 0;
   // Per-step records for final provisioning evaluation.
   std::vector<double> realized;
   std::vector<int> allocation;
@@ -71,6 +81,9 @@ void AccumulateCacheStats(const ModelRegistry::CacheStats& from,
   into->loads += from.loads;
   into->resident_bytes += from.resident_bytes;
   into->resident_models += from.resident_models;
+  into->mapped_bytes += from.mapped_bytes;
+  into->heap_bytes += from.heap_bytes;
+  into->charged_bytes += from.charged_bytes;
   into->pinned_models += from.pinned_models;
   into->pinned_bytes += from.pinned_bytes;
 }
@@ -209,6 +222,12 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
         tenant.injector = std::make_unique<simdb::FaultInjector>(plan);
       }
 
+      const size_t ring_capacity =
+          options.stream_ring_capacity > 0 ? options.stream_ring_capacity
+                                           : 2 * options.replan_every;
+      tenant.ring = std::make_unique<stream::IngestRing>(ring_capacity);
+      tenant.cursor = std::make_unique<stream::StreamCursor>(tenant.ring.get());
+
       for (size_t back = std::min(window, options.history_steps); back > 0;
            --back) {
         tenant.recent.push_back(
@@ -218,6 +237,10 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
   });
 
   const core::RobustQuantileAllocator allocator(options.tau);
+
+  obs::MetricsRegistry* metrics = obs::ResolveRegistry(options.metrics);
+  obs::Histogram* staleness_hist =
+      metrics->GetHistogram("serve.stream.staleness_steps");
 
   FleetResult result;
   result.tenants.resize(options.num_tenants);
@@ -405,6 +428,7 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
           }
           tenant.plan = std::move(*plan);
           tenant.last_good_plan = tenant.plan;
+          tenant.last_fresh_step = step;
           ++tenant.summary.fresh_rounds;
         }
         for (size_t t : shard_tenants[s]) {
@@ -430,6 +454,7 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
         }
 
         // Phase 4: drive the shard's clusters to the next planning round.
+        std::vector<double> drained;  // shard-local cursor scratch
         for (size_t t : shard_tenants[s]) {
           TenantState& tenant = tenants[t];
           for (size_t st = step; st < round_end; ++st) {
@@ -454,6 +479,12 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
               ++tenant.slo_violations;
             }
             PushRecent(&tenant, stats.workload, window);
+            tenant.ring->Push(stats.workload);
+            const uint64_t staleness =
+                static_cast<uint64_t>(st - tenant.last_fresh_step);
+            tenant.staleness_sum += staleness;
+            tenant.staleness_max = std::max(tenant.staleness_max, staleness);
+            staleness_hist->Observe(static_cast<double>(staleness));
             tenant.current_nodes = tenant.cluster->NumNodes();
             if (options.collect_decisions) {
               obs::ScalingDecision decision;
@@ -469,6 +500,14 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
               round_decisions[t].back().faulted = faults.Any();
             }
           }
+          // Drain the round's ingested observations through the cursor —
+          // the same "new since last seq" contract the streaming online
+          // loop consumes; capacity >= 2 * replan_every makes this
+          // drop-free.
+          drained.clear();
+          const stream::StreamCursor::Batch batch =
+              tenant.cursor->Poll(&drained);
+          tenant.stream_points += batch.count;
         }
       }
     });
@@ -498,17 +537,32 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
     tenant.summary.slo_violation_rate =
         static_cast<double>(tenant.slo_violations) /
         static_cast<double>(options.num_steps);
+    tenant.summary.stream_points = tenant.stream_points;
+    // Missed, not ring->dropped(): the ring advances its tail as soon as a
+    // slot is overwritten, whether or not the cursor had already read it —
+    // only the cursor knows which points were truly lost.
+    tenant.summary.stream_dropped = tenant.cursor->missed_total();
+    tenant.summary.mean_staleness_steps =
+        static_cast<double>(tenant.staleness_sum) /
+        static_cast<double>(options.num_steps);
+    tenant.summary.max_staleness_steps = tenant.staleness_max;
     result.tenants[t] = tenant.summary;
     result.mean_under_provision_rate += tenant.summary.under_provision_rate;
     result.mean_over_provision_rate += tenant.summary.over_provision_rate;
     result.mean_utilization += tenant.summary.mean_utilization;
     result.mean_slo_violation_rate += tenant.summary.slo_violation_rate;
+    result.stream_points += tenant.summary.stream_points;
+    result.stream_dropped += tenant.summary.stream_dropped;
+    result.mean_staleness_steps += tenant.summary.mean_staleness_steps;
+    result.max_staleness_steps =
+        std::max(result.max_staleness_steps, tenant.summary.max_staleness_steps);
   }
   const double n = static_cast<double>(options.num_tenants);
   result.mean_under_provision_rate /= n;
   result.mean_over_provision_rate /= n;
   result.mean_utilization /= n;
   result.mean_slo_violation_rate /= n;
+  result.mean_staleness_steps /= n;
   result.cache = registry->GetCacheStats();
   for (const Shard& shard : shards) {
     if (shard.owned_registry != nullptr) {

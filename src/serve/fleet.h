@@ -38,6 +38,19 @@ struct TenantSummary {
   size_t fault_rounds = 0;     ///< forecaster fault outlasted retries
   size_t error_rounds = 0;     ///< engine/allocator returned an error
   size_t faulted_steps = 0;    ///< simulated steps with an active fault
+  /// Streaming-ingest accounting: every realized workload observation is
+  /// pushed through a per-tenant stream::IngestRing and drained by a
+  /// cursor once per planning round, mirroring the per-tenant ingestion
+  /// path of the streaming online loop (DESIGN.md §12).
+  uint64_t stream_points = 0;   ///< points drained through the cursor
+  /// Points overwritten before the cursor could read them (the cursor's
+  /// missed count — stream_points + stream_dropped == points pushed).
+  uint64_t stream_dropped = 0;
+  /// Forecast staleness: per-step age (in steps) of the tenant's newest
+  /// fresh forecast — 0 on steps covered by the round a fresh plan landed
+  /// in, growing under stale/fallback rounds.
+  double mean_staleness_steps = 0.0;
+  uint64_t max_staleness_steps = 0;
 };
 
 /// Aggregate outcome of a fleet run.
@@ -53,6 +66,13 @@ struct FleetResult {
   double mean_over_provision_rate = 0.0;
   double mean_utilization = 0.0;
   double mean_slo_violation_rate = 0.0;
+  /// Fleet-wide streaming-ingest totals (sums over tenants) and forecast
+  /// staleness (mean of tenant means / max of tenant maxima); mirrored
+  /// into the "serve.stream.staleness_steps" histogram.
+  uint64_t stream_points = 0;
+  uint64_t stream_dropped = 0;
+  double mean_staleness_steps = 0.0;
+  uint64_t max_staleness_steps = 0;
   /// Registry cache effectiveness over the whole run (includes the warm-up
   /// Acquire() per distinct model at fleet setup). With per-shard
   /// registries this sums every registry the run touched, so loads/misses
@@ -106,6 +126,12 @@ struct FleetOptions {
   /// merged per-shard candidate lists and token buckets are per-tenant, so
   /// sharding changes scheduling, never verdicts (see DESIGN.md).
   size_t num_shards = 1;
+  /// Capacity (points) of each tenant's streaming ingest ring. Realized
+  /// workload observations are pushed per step and drained once per
+  /// planning round; 0 sizes the ring at 2 * replan_every, which is always
+  /// drop-free when every round drains. Smaller capacities exercise the
+  /// drop-oldest path and show up in TenantSummary::stream_dropped.
+  size_t stream_ring_capacity = 0;
   /// Builds one model registry per shard with every referenced version
   /// registered against the same checkpoints as the registry passed to
   /// RunFleet. When null, all shards share that registry — correct, but

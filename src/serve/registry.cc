@@ -1,5 +1,7 @@
 #include "serve/registry.h"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <utility>
 
@@ -19,6 +21,13 @@ size_t FileSizeBytes(const std::string& path) {
   return size > 0 ? static_cast<size_t>(size) : 0;
 }
 
+/// Budget charge of a resident entry: every heap byte at full price plus
+/// the weighted share of its mapped bytes.
+size_t ChargedBytes(size_t heap, size_t mapped, double weight) {
+  return heap + static_cast<size_t>(std::llround(
+                    static_cast<double>(mapped) * weight));
+}
+
 }  // namespace
 
 std::string ModelId::ToString() const {
@@ -27,6 +36,8 @@ std::string ModelId::ToString() const {
 }
 
 ModelRegistry::ModelRegistry(Options options) : options_(options) {
+  options_.mapped_byte_weight =
+      std::clamp(options_.mapped_byte_weight, 0.0, 1.0);
   obs::MetricsRegistry* metrics = obs::ResolveRegistry(options_.metrics);
   hits_ = metrics->GetCounter("serve.registry.hits");
   misses_ = metrics->GetCounter("serve.registry.misses");
@@ -35,6 +46,7 @@ ModelRegistry::ModelRegistry(Options options) : options_(options) {
   resident_bytes_gauge_ = metrics->GetGauge("serve.registry.resident_bytes");
   mapped_bytes_gauge_ = metrics->GetGauge("serve.registry.mapped_bytes");
   heap_bytes_gauge_ = metrics->GetGauge("serve.registry.heap_bytes");
+  charged_bytes_gauge_ = metrics->GetGauge("serve.registry.charged_bytes");
   pinned_bytes_gauge_ = metrics->GetGauge("serve.registry.pinned_bytes");
 }
 
@@ -148,12 +160,14 @@ Status ModelRegistry::LoadColdLocked(
   entry->bytes = bytes;
   entry->mapped = mapped;
   entry->heap = heap;
+  entry->charged = ChargedBytes(heap, mapped, options_.mapped_byte_weight);
   std::shared_ptr<const forecast::Forecaster> shared = std::move(model);
   entry->resident = shared;
   entry->alive = shared;
   resident_bytes_ += bytes;
   mapped_bytes_ += mapped;
   heap_bytes_ += heap;
+  charged_bytes_ += entry->charged;
   *out = std::move(shared);
   return Status::OK();
 }
@@ -162,9 +176,11 @@ void ModelRegistry::PublishBytesLocked() {
   stats_.resident_bytes = resident_bytes_;
   stats_.mapped_bytes = mapped_bytes_;
   stats_.heap_bytes = heap_bytes_;
+  stats_.charged_bytes = charged_bytes_;
   resident_bytes_gauge_->Set(static_cast<double>(resident_bytes_));
   mapped_bytes_gauge_->Set(static_cast<double>(mapped_bytes_));
   heap_bytes_gauge_->Set(static_cast<double>(heap_bytes_));
+  charged_bytes_gauge_->Set(static_cast<double>(charged_bytes_));
   CacheStats pinned;
   FillPinnedLocked(&pinned);
   pinned_bytes_gauge_->Set(static_cast<double>(pinned.pinned_bytes));
@@ -173,12 +189,15 @@ void ModelRegistry::PublishBytesLocked() {
 void ModelRegistry::EvictToBudgetLocked() {
   // LRU scan over the (small) version map; the just-loaded entry carries
   // the newest tick, so it is evicted only when it alone exceeds the
-  // budget — the bound holds unconditionally. Two-tier victim choice:
+  // budget — the bound holds unconditionally. The bound is on the
+  // *charged* bytes (heap at full price, mapped bytes discounted by
+  // mapped_byte_weight), so a fleet of mmap-served rpasq models packs
+  // denser than its raw file sizes suggest. Two-tier victim choice:
   // evicting a pinned model drops only the registry's reference while
   // in-flight holders keep the weights alive, so the bytes are not really
   // freed — prefer the LRU *unpinned* victim and fall back to a pinned one
   // only when every resident model is pinned.
-  while (resident_bytes_ > options_.cache_budget_bytes) {
+  while (charged_bytes_ > options_.cache_budget_bytes) {
     auto victim = entries_.end();
     auto pinned_victim = entries_.end();
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
@@ -207,8 +226,10 @@ void ModelRegistry::EvictToBudgetLocked() {
     resident_bytes_ -= victim->second.bytes;
     mapped_bytes_ -= victim->second.mapped;
     heap_bytes_ -= victim->second.heap;
+    charged_bytes_ -= victim->second.charged;
     victim->second.mapped = 0;
     victim->second.heap = 0;
+    victim->second.charged = 0;
     ++stats_.evictions;
     evictions_->Increment();
   }
@@ -249,6 +270,7 @@ ModelRegistry::CacheStats ModelRegistry::GetCacheStats() const {
   stats.resident_bytes = resident_bytes_;
   stats.mapped_bytes = mapped_bytes_;
   stats.heap_bytes = heap_bytes_;
+  stats.charged_bytes = charged_bytes_;
   stats.resident_models = 0;
   for (const auto& [id, entry] : entries_) {
     if (entry.resident != nullptr) {

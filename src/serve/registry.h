@@ -61,6 +61,16 @@ class ModelRegistry {
     /// models. The bound always holds after Acquire() returns — a version
     /// larger than the whole budget is served but never kept resident.
     size_t cache_budget_bytes = 1 << 20;
+    /// Relative budget charge of memory-mapped checkpoint bytes. Mapped
+    /// rpasq.v1 weights live in the page cache — shareable across
+    /// processes and reclaimable by the kernel under pressure — so a
+    /// mapped byte costs the serving host less than a private heap byte.
+    /// An entry's budget charge is heap + round(mapped * weight), clamped
+    /// to [0, 1]; 1.0 restores the old bytes-are-bytes accounting and 0.0
+    /// makes mapped models free. Eviction satisfies
+    /// charged_bytes <= cache_budget_bytes (resident_bytes may exceed the
+    /// budget when mapped models are discounted — by design).
+    double mapped_byte_weight = 0.25;
     /// Metrics sink for the serve.registry.* instruments; null routes to
     /// obs::MetricsRegistry::Global(). Must outlive the registry.
     obs::MetricsRegistry* metrics = nullptr;
@@ -82,6 +92,10 @@ class ModelRegistry {
     /// fallback buffer). mapped_bytes + heap_bytes == resident_bytes.
     size_t mapped_bytes = 0;
     size_t heap_bytes = 0;
+    /// Budget-weighted residency: heap_bytes plus the mapped_byte_weight
+    /// share of mapped_bytes. This — not resident_bytes — is what
+    /// eviction bounds by cache_budget_bytes.
+    size_t charged_bytes = 0;
     /// Models whose weights are still alive because a caller holds a
     /// shared_ptr — warm entries with outstanding references plus evicted
     /// entries whose last holder has not finished. Eviction cannot free
@@ -143,8 +157,9 @@ class ModelRegistry {
     /// replaced on disk in between, and eviction must subtract exactly what
     /// the load added. Mutated only while cold.
     size_t bytes = 0;
-    size_t mapped = 0;  ///< mmap-backed share of `bytes` while resident
-    size_t heap = 0;    ///< heap-backed share of `bytes` while resident
+    size_t mapped = 0;   ///< mmap-backed share of `bytes` while resident
+    size_t heap = 0;     ///< heap-backed share of `bytes` while resident
+    size_t charged = 0;  ///< heap + weighted mapped; the entry's budget cost
     std::shared_ptr<const forecast::Forecaster> resident;  ///< null = cold
     /// Observes the model after eviction: while callers still hold the
     /// shared_ptr the weights stay in memory even though `resident` is
@@ -192,6 +207,7 @@ class ModelRegistry {
   size_t resident_bytes_ = 0;
   size_t mapped_bytes_ = 0;
   size_t heap_bytes_ = 0;
+  size_t charged_bytes_ = 0;
   uint64_t tick_ = 0;
   CacheStats stats_;
   obs::Counter* hits_ = nullptr;
@@ -201,6 +217,7 @@ class ModelRegistry {
   obs::Gauge* resident_bytes_gauge_ = nullptr;
   obs::Gauge* mapped_bytes_gauge_ = nullptr;
   obs::Gauge* heap_bytes_gauge_ = nullptr;
+  obs::Gauge* charged_bytes_gauge_ = nullptr;
   obs::Gauge* pinned_bytes_gauge_ = nullptr;
 };
 

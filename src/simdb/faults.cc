@@ -16,6 +16,7 @@ constexpr uint64_t kSpikeSalt = 0xD4;
 constexpr uint64_t kTimeoutSalt = 0xD5;
 constexpr uint64_t kNanSalt = 0xD6;
 constexpr uint64_t kStaleSalt = 0xD7;
+constexpr uint64_t kIngestStallSalt = 0xD8;
 
 }  // namespace
 
@@ -37,6 +38,10 @@ std::string_view FaultTypeToString(FaultType type) {
       return "StaleForecast";
     case FaultType::kPlannerError:
       return "PlannerError";
+    case FaultType::kIngestStall:
+      return "IngestStall";
+    case FaultType::kIngestBurst:
+      return "IngestBurst";
   }
   return "Unknown";
 }
@@ -59,7 +64,7 @@ bool FaultPlan::Any() const {
   return actuation_delay_rate > 0.0 || partial_scaleout_rate > 0.0 ||
          crash_rate > 0.0 || spike_rate > 0.0 ||
          forecaster_timeout_rate > 0.0 || forecaster_nan_rate > 0.0 ||
-         stale_forecast_rate > 0.0;
+         stale_forecast_rate > 0.0 || ingest_stall_rate > 0.0;
 }
 
 FaultPlan FaultPlan::Uniform(double rate, uint64_t seed) {
@@ -78,7 +83,7 @@ FaultPlan FaultPlan::Uniform(double rate, uint64_t seed) {
 bool StepFaults::Any() const {
   return actuation_delayed || partial_fraction < 1.0 || crash_nodes > 0 ||
          workload_multiplier != 1.0 || forecaster_timeout_attempts > 0 ||
-         forecaster_nan || stale_forecast;
+         forecaster_nan || stale_forecast || ingest_stalled;
 }
 
 FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan) {
@@ -87,10 +92,12 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan) {
   RPAS_CHECK(plan_.crash_nodes >= 0);
   RPAS_CHECK(plan_.spike_multiplier > 0.0);
   RPAS_CHECK(plan_.forecaster_timeout_attempts >= 1);
+  RPAS_CHECK(plan_.ingest_stall_steps >= 1);
   for (double rate :
        {plan_.actuation_delay_rate, plan_.partial_scaleout_rate,
         plan_.crash_rate, plan_.spike_rate, plan_.forecaster_timeout_rate,
-        plan_.forecaster_nan_rate, plan_.stale_forecast_rate}) {
+        plan_.forecaster_nan_rate, plan_.stale_forecast_rate,
+        plan_.ingest_stall_rate}) {
     RPAS_CHECK(rate >= 0.0 && rate <= 1.0) << "fault rate outside [0,1]";
   }
 }
@@ -137,6 +144,18 @@ StepFaults FaultInjector::FaultsForStep(size_t step) const {
   }
   if (Fires(kStaleSalt, step, plan_.stale_forecast_rate)) {
     faults.stale_forecast = true;
+  }
+  // Like actuation delay, a stall firing at step s covers a window of
+  // steps; the step is stalled if any of the previous k steps fired.
+  for (int back = 0; back < plan_.ingest_stall_steps; ++back) {
+    if (step < static_cast<size_t>(back)) {
+      break;
+    }
+    if (Fires(kIngestStallSalt, step - static_cast<size_t>(back),
+              plan_.ingest_stall_rate)) {
+      faults.ingest_stalled = true;
+      break;
+    }
   }
   return faults;
 }

@@ -20,6 +20,8 @@ enum class FaultType : int {
   kForecasterNan = 5,     ///< forecaster output contained non-finite values
   kStaleForecast = 6,     ///< forecaster served a cached, outdated forecast
   kPlannerError = 7,      ///< planner returned a genuine error status
+  kIngestStall = 8,       ///< stream producer stalled; no points ingested
+  kIngestBurst = 9,       ///< stalled points flushed in one burst append
 };
 std::string_view FaultTypeToString(FaultType type);
 
@@ -82,6 +84,15 @@ struct FaultPlan {
   /// one; the round silently reuses the last known-good plan.
   double stale_forecast_rate = 0.0;
 
+  /// Stream-ingest producer stall: a firing at step s stalls ingestion for
+  /// steps s .. s + ingest_stall_steps - 1 (points queue at the producer);
+  /// the first clear step flushes the queue as a burst append. Only
+  /// consulted by streaming consumers (core::RunOnlineLoop in incremental
+  /// refresh mode); not part of Uniform() so existing composite-fault
+  /// schedules keep their exact event counts.
+  double ingest_stall_rate = 0.0;
+  int ingest_stall_steps = 2;
+
   uint64_t seed = 1234;
 
   /// True if any fault can ever fire.
@@ -101,6 +112,7 @@ struct StepFaults {
   int forecaster_timeout_attempts = 0;
   bool forecaster_nan = false;
   bool stale_forecast = false;
+  bool ingest_stalled = false;
 
   /// True if any field deviates from the no-fault default.
   bool Any() const;

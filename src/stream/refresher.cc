@@ -1,0 +1,134 @@
+#include "stream/refresher.h"
+
+#include "common/logging.h"
+
+namespace rpas::stream {
+
+const char* RefreshKindToString(RefreshKind kind) {
+  switch (kind) {
+    case RefreshKind::kNone:
+      return "none";
+    case RefreshKind::kRecursive:
+      return "recursive";
+    case RefreshKind::kFineTune:
+      return "fine_tune";
+    case RefreshKind::kResync:
+      return "resync";
+    case RefreshKind::kFullRetrain:
+      return "full_retrain";
+  }
+  return "unknown";
+}
+
+IncrementalRefresher::IncrementalRefresher(forecast::Forecaster* target,
+                                           RefresherOptions options)
+    : target_(target), options_(options) {
+  RPAS_CHECK(target != nullptr) << "refresher needs a target forecaster";
+  RPAS_CHECK(options_.drift_threshold > 0.0);
+}
+
+Status IncrementalRefresher::Prime(const ts::TimeSeries& history) {
+  RPAS_RETURN_IF_ERROR(target_->ResyncState(history));
+  baseline_loss_sum_ = 0.0;
+  baseline_count_ = 0;
+  recent_losses_.clear();
+  recent_loss_sum_ = 0.0;
+  drift_pending_ = false;
+  return Status::OK();
+}
+
+void IncrementalRefresher::ObserveForecastLoss(double wql) {
+  if (options_.drift_window == 0) {
+    return;
+  }
+  if (baseline_count_ < options_.drift_window) {
+    // Still collecting the baseline; the guard cannot trip yet.
+    baseline_loss_sum_ += wql;
+    ++baseline_count_;
+    return;
+  }
+  recent_losses_.push_back(wql);
+  recent_loss_sum_ += wql;
+  while (recent_losses_.size() > options_.drift_window) {
+    recent_loss_sum_ -= recent_losses_.front();
+    recent_losses_.pop_front();
+  }
+  if (recent_losses_.size() < options_.drift_window) {
+    return;
+  }
+  const double baseline =
+      baseline_loss_sum_ / static_cast<double>(baseline_count_);
+  const double rolling =
+      recent_loss_sum_ / static_cast<double>(recent_losses_.size());
+  if (rolling > options_.drift_threshold * baseline) {
+    drift_pending_ = true;
+  }
+}
+
+Result<RefreshOutcome> IncrementalRefresher::FullRetrain(
+    const ts::TimeSeries& history) {
+  const size_t window = options_.retrain_window;
+  const size_t begin =
+      (window > 0 && history.size() > window) ? history.size() - window : 0;
+  const ts::TimeSeries train = history.Slice(begin, history.size());
+  RPAS_RETURN_IF_ERROR(target_->Fit(train));
+  // A fresh fit establishes a new quality regime; restart the guard.
+  baseline_loss_sum_ = 0.0;
+  baseline_count_ = 0;
+  recent_losses_.clear();
+  recent_loss_sum_ = 0.0;
+  drift_pending_ = false;
+
+  RefreshOutcome outcome;
+  outcome.kind = RefreshKind::kFullRetrain;
+  ++stats_.refreshes;
+  ++stats_.full_retrains;
+  return outcome;
+}
+
+Result<RefreshOutcome> IncrementalRefresher::Refresh(
+    const ts::TimeSeries& history, size_t new_points, uint64_t dropped) {
+  if (dropped > 0) {
+    // The ring lost points we never saw: per-point replay is impossible, so
+    // rebuild state from the full history (which already contains the new
+    // points) and do NOT also run an incremental update this round — the
+    // resync has folded them in; updating again would double-push.
+    RPAS_RETURN_IF_ERROR(target_->ResyncState(history));
+    RefreshOutcome outcome;
+    outcome.kind = RefreshKind::kResync;
+    ++stats_.refreshes;
+    ++stats_.resyncs;
+    stats_.points_consumed += new_points;
+    return outcome;
+  }
+  if (drift_pending_) {
+    return FullRetrain(history);
+  }
+  if (new_points == 0) {
+    return RefreshOutcome{};
+  }
+  if (!target_->SupportsIncrementalUpdate()) {
+    // No incremental path (Holt-Winters, TFT, ...): every refresh is a
+    // fallback retrain on the trailing window.
+    return FullRetrain(history);
+  }
+  RPAS_ASSIGN_OR_RETURN(
+      const forecast::Forecaster::IncrementalUpdateReport report,
+      target_->IncrementalUpdate(history, new_points));
+  RefreshOutcome outcome;
+  outcome.points = report.points;
+  outcome.gradient_steps = report.gradient_steps;
+  outcome.kind = report.gradient_steps > 0 ? RefreshKind::kFineTune
+                                           : RefreshKind::kRecursive;
+  ++stats_.refreshes;
+  stats_.points_consumed += report.points;
+  if (report.gradient_steps > 0) {
+    ++stats_.fine_tunes;
+    stats_.gradient_steps += static_cast<uint64_t>(report.gradient_steps);
+  } else {
+    ++stats_.recursive_updates;
+  }
+  return outcome;
+}
+
+}  // namespace rpas::stream

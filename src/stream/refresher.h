@@ -1,0 +1,111 @@
+#ifndef RPAS_STREAM_REFRESHER_H_
+#define RPAS_STREAM_REFRESHER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "common/result.h"
+#include "forecast/forecaster.h"
+#include "ts/time_series.h"
+
+namespace rpas::stream {
+
+/// What a Refresh() call did to the target model.
+enum class RefreshKind {
+  kNone = 0,         ///< no new points, nothing to do
+  kRecursive,        ///< recursive per-point state update (seasonal, ARIMA)
+  kFineTune,         ///< bounded warm-start gradient steps (MLP, DeepAR)
+  kResync,           ///< state rebuilt from history after dropped points
+  kFullRetrain,      ///< wQL drift guard tripped -> Fit on trailing window
+};
+
+const char* RefreshKindToString(RefreshKind kind);
+
+struct RefreshOutcome {
+  RefreshKind kind = RefreshKind::kNone;
+  /// New points consumed by the update (0 for resync / retrain rounds).
+  size_t points = 0;
+  /// Gradient steps run (fine-tune and retrain rounds).
+  int gradient_steps = 0;
+};
+
+/// Cumulative per-refresher accounting, mirrored into the online loop's
+/// metrics at end of run.
+struct RefreshStats {
+  uint64_t refreshes = 0;          ///< Refresh() calls that did work
+  uint64_t points_consumed = 0;    ///< new points folded into the model
+  uint64_t recursive_updates = 0;  ///< RefreshKind::kRecursive rounds
+  uint64_t fine_tunes = 0;         ///< RefreshKind::kFineTune rounds
+  uint64_t gradient_steps = 0;     ///< total fine-tune gradient steps
+  uint64_t resyncs = 0;            ///< post-drop state rebuilds
+  uint64_t full_retrains = 0;      ///< drift-guard (or unsupported-model)
+                                   ///< fallbacks to Fit
+};
+
+struct RefresherOptions {
+  /// Rolling window (in observed-loss samples) for the drift guard. The
+  /// first `drift_window` observations form the baseline; afterwards a
+  /// rolling mean above `drift_threshold * baseline` schedules a full
+  /// retrain at the next Refresh(). 0 disables the guard.
+  size_t drift_window = 4;
+  double drift_threshold = 2.0;
+  /// Trailing points refit on a full retrain; 0 uses the whole history.
+  size_t retrain_window = 0;
+};
+
+/// Per-forecaster incremental-refresh dispatcher: the streaming consumer
+/// hands it the up-to-date history plus how many trailing points are new
+/// (and how many the ingest ring dropped), and it keeps the target model's
+/// state current at O(new points) cost — falling back to state resync after
+/// a drop and to a full Fit when observed forecast quality drifts or the
+/// model has no incremental path.
+///
+/// Dropped-point rule: when the ring dropped points since the last poll,
+/// the per-point replay the recursive accumulators rely on is impossible,
+/// so the round only rebuilds state from `history` (ResyncState) and defers
+/// consuming the new points to the next clean batch — folding them twice is
+/// worse than folding them late.
+class IncrementalRefresher {
+ public:
+  /// `target` must outlive the refresher and already be fitted.
+  IncrementalRefresher(forecast::Forecaster* target,
+                       RefresherOptions options);
+
+  /// Aligns streaming state with `history` before the first Refresh (e.g.
+  /// the training prefix of the series). Not counted in stats().
+  Status Prime(const ts::TimeSeries& history);
+
+  /// Brings the model up to date with `history`, whose last `new_points`
+  /// values are unseen. `dropped` is the number of points lost since the
+  /// last call (StreamCursor::Batch::missed).
+  Result<RefreshOutcome> Refresh(const ts::TimeSeries& history,
+                                 size_t new_points, uint64_t dropped);
+
+  /// Feeds the drift guard one realized forecast-quality sample (e.g. the
+  /// prefix wQL of the plan that just expired).
+  void ObserveForecastLoss(double wql);
+
+  /// True when the guard has scheduled a full retrain for the next
+  /// Refresh().
+  bool drift_pending() const { return drift_pending_; }
+
+  const RefreshStats& stats() const { return stats_; }
+
+ private:
+  Result<RefreshOutcome> FullRetrain(const ts::TimeSeries& history);
+
+  forecast::Forecaster* target_;  // not owned
+  RefresherOptions options_;
+  RefreshStats stats_;
+  /// Drift guard: baseline mean of the first window, then a rolling window.
+  double baseline_loss_sum_ = 0.0;
+  size_t baseline_count_ = 0;
+  std::deque<double> recent_losses_;
+  double recent_loss_sum_ = 0.0;
+  bool drift_pending_ = false;
+};
+
+}  // namespace rpas::stream
+
+#endif  // RPAS_STREAM_REFRESHER_H_

@@ -1,0 +1,98 @@
+#include "stream/ring.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rpas::stream {
+
+IngestRing::IngestRing(size_t capacity)
+    : capacity_(capacity), slots_(capacity) {
+  RPAS_CHECK(capacity > 0) << "ingest ring needs capacity >= 1";
+}
+
+uint64_t IngestRing::Push(double value) {
+  const uint64_t seq = head_.load(std::memory_order_relaxed);
+  if (seq >= capacity_) {
+    // Retire the slot we are about to overwrite *before* writing it, so a
+    // reader that copies the new value is guaranteed to observe the
+    // advanced tail when it re-validates (the slot's release store orders
+    // this tail store before it).
+    const uint64_t min_tail = seq + 1 - capacity_;
+    if (tail_.load(std::memory_order_relaxed) < min_tail) {
+      tail_.store(min_tail, std::memory_order_release);
+    }
+  }
+  slots_[seq % capacity_].store(value, std::memory_order_release);
+  head_.store(seq + 1, std::memory_order_release);
+  return seq;
+}
+
+size_t IngestRing::size() const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t tail = tail_.load(std::memory_order_acquire);
+  if (head <= tail) {
+    return 0;  // tail was loaded after the producer lapped the head we saw
+  }
+  return static_cast<size_t>(std::min<uint64_t>(head - tail, capacity_));
+}
+
+IngestRing::ReadResult IngestRing::ReadSince(uint64_t since,
+                                             std::vector<double>* out) const {
+  ReadResult result;
+  for (;;) {
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t start = std::max(since, tail);
+    if (start >= head) {
+      result.first_seq = start;
+      result.count = 0;
+      result.missed = start - since;
+      return result;
+    }
+    if (out == nullptr) {
+      // No copy, no torn data to validate: report [start, head) delivered.
+      result.first_seq = start;
+      result.count = static_cast<size_t>(head - start);
+      result.missed = start - since;
+      return result;
+    }
+    const size_t base = out->size();
+    out->reserve(base + static_cast<size_t>(head - start));
+    for (uint64_t s = start; s < head; ++s) {
+      out->push_back(slots_[s % capacity_].load(std::memory_order_acquire));
+    }
+    // Re-validate: the producer retires a slot (advances tail) before
+    // overwriting it, and the acquire loads above order that tail store
+    // before this check — so if every copied slot still held its original
+    // point, the tail cannot have passed `start` here.
+    if (tail_.load(std::memory_order_acquire) <= start) {
+      result.first_seq = start;
+      result.count = static_cast<size_t>(head - start);
+      result.missed = start - since;
+      return result;
+    }
+    // The producer lapped us mid-copy; some copied values may belong to
+    // newer sequences. Discard and retry — `start` strictly advances (the
+    // new tail is larger), so the loop terminates.
+    out->resize(base);
+  }
+}
+
+StreamCursor::StreamCursor(const IngestRing* ring)
+    : ring_(ring), next_seq_(0) {
+  RPAS_CHECK(ring != nullptr);
+  next_seq_ = ring_->tail_seq();
+}
+
+StreamCursor::Batch StreamCursor::Poll(std::vector<double>* out) {
+  const IngestRing::ReadResult read = ring_->ReadSince(next_seq_, out);
+  Batch batch;
+  batch.count = read.count;
+  batch.missed = read.missed;
+  next_seq_ = read.first_seq + read.count;
+  missed_total_ += read.missed;
+  return batch;
+}
+
+}  // namespace rpas::stream

@@ -1,0 +1,105 @@
+#ifndef RPAS_STREAM_RING_H_
+#define RPAS_STREAM_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rpas::stream {
+
+/// Fixed-capacity single-producer / multi-consumer broadcast ring for one
+/// tenant's workload stream. Every pushed point gets a monotonically
+/// increasing sequence number; when the ring is full the oldest points are
+/// overwritten (drop-oldest) and `dropped()` counts how many are gone.
+/// Consumers never remove points — each reads independently via ReadSince
+/// (or the StreamCursor convenience wrapper) and may observe a gap if the
+/// producer laps it.
+///
+/// Concurrency contract: exactly one producer thread calls Push; any number
+/// of reader threads call ReadSince / the accessors. Slots are atomics with
+/// release stores, so a torn read is impossible; overwrites are detected by
+/// re-validating `tail_seq` after the copy (the producer advances the tail
+/// *before* overwriting a slot, and the acquire loads of the slots order
+/// that tail store before the re-check). A reader racing the producer
+/// retries from the advanced tail; each retry strictly raises the start
+/// sequence, so the loop is bounded.
+class IngestRing {
+ public:
+  explicit IngestRing(size_t capacity);
+
+  IngestRing(const IngestRing&) = delete;
+  IngestRing& operator=(const IngestRing&) = delete;
+
+  /// Appends one point (producer only). Returns its sequence number
+  /// (0-based, dense). Overwrites the oldest retained point when full.
+  uint64_t Push(double value);
+
+  /// One past the newest sequence (== total points ever pushed).
+  uint64_t head_seq() const { return head_.load(std::memory_order_acquire); }
+  /// Oldest sequence still retained (== points overwritten so far).
+  uint64_t tail_seq() const { return tail_.load(std::memory_order_acquire); }
+  /// Points lost to drop-oldest since construction (== tail_seq()).
+  uint64_t dropped() const { return tail_seq(); }
+  size_t capacity() const { return capacity_; }
+  /// Points currently retained (head - tail); racy but never > capacity.
+  size_t size() const;
+
+  struct ReadResult {
+    /// Sequence of the first value delivered (== the effective read start
+    /// when nothing new was available).
+    uint64_t first_seq = 0;
+    /// Values delivered: sequences [first_seq, first_seq + count).
+    size_t count = 0;
+    /// Points in [since, first_seq) that were overwritten before this read.
+    uint64_t missed = 0;
+  };
+
+  /// Copies every retained point with sequence >= `since` into `out`
+  /// (appended in sequence order) and reports where the copy actually
+  /// started. `out == nullptr` skips the copy and just computes the result
+  /// (used by cursors that only need to advance). Safe to call from any
+  /// thread concurrently with the producer.
+  ReadResult ReadSince(uint64_t since, std::vector<double>* out) const;
+
+ private:
+  const size_t capacity_;
+  std::vector<std::atomic<double>> slots_;
+  std::atomic<uint64_t> head_{0};  ///< next sequence to be written
+  std::atomic<uint64_t> tail_{0};  ///< oldest retained sequence
+};
+
+/// Per-consumer read position over an IngestRing. Poll() hands back the
+/// contiguous "new since my last read" slice (wraparound already flattened
+/// by the ring copy) plus the count of points this consumer missed because
+/// the producer lapped it.
+class StreamCursor {
+ public:
+  /// The ring must outlive the cursor. A fresh cursor starts at the ring's
+  /// current tail, so points already dropped before attach don't count as
+  /// missed.
+  explicit StreamCursor(const IngestRing* ring);
+
+  struct Batch {
+    size_t count = 0;     ///< new points delivered (appended to `out`)
+    uint64_t missed = 0;  ///< points skipped over because they were dropped
+  };
+
+  /// Appends all points with seq >= next_seq() to `out` (nullptr to advance
+  /// without copying) and moves the cursor past them.
+  Batch Poll(std::vector<double>* out);
+
+  /// The next sequence this cursor has not yet seen.
+  uint64_t next_seq() const { return next_seq_; }
+  /// Total points this cursor missed across all polls.
+  uint64_t missed_total() const { return missed_total_; }
+
+ private:
+  const IngestRing* ring_;
+  uint64_t next_seq_;
+  uint64_t missed_total_ = 0;
+};
+
+}  // namespace rpas::stream
+
+#endif  // RPAS_STREAM_RING_H_

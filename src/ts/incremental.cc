@@ -1,0 +1,145 @@
+#include "ts/incremental.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rpas::ts {
+
+void RunningMoments::Push(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void RunningMoments::Reset() {
+  count_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+}
+
+double RunningMoments::variance() const {
+  return count_ >= 2 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double RunningMoments::sample_variance() const {
+  return count_ >= 2 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+SeasonalAccumulator::SeasonalAccumulator(size_t season)
+    : season_(season), last_(season, 0.0) {
+  RPAS_CHECK(season > 0) << "seasonal accumulator needs season >= 1";
+}
+
+void SeasonalAccumulator::Push(double value) {
+  const size_t slot = count_ % season_;
+  if (count_ >= season_) {
+    // last_[slot] holds the observation from exactly one season ago; the
+    // diff and the left-to-right ss accumulation mirror the batch fit's
+    // `for t in [season, size)` loop term by term.
+    const double diff = value - last_[slot];
+    ss_ += diff * diff;
+    ++num_diffs_;
+  }
+  last_[slot] = value;
+  ++count_;
+}
+
+void SeasonalAccumulator::Reset() {
+  std::fill(last_.begin(), last_.end(), 0.0);
+  count_ = 0;
+  num_diffs_ = 0;
+  ss_ = 0.0;
+}
+
+double SeasonalAccumulator::Stddev() const {
+  RPAS_CHECK(num_diffs_ > 0) << "Stddev() before the first seasonal diff";
+  return std::max(std::sqrt(ss_ / static_cast<double>(num_diffs_)), 1e-9);
+}
+
+ArimaResidualState::ArimaResidualState(ArimaStateConfig config)
+    : config_(std::move(config)) {
+  stages_.reserve(config_.diff_lags.size());
+  for (size_t lag : config_.diff_lags) {
+    RPAS_CHECK(lag > 0) << "differencing lag must be >= 1";
+    DiffStage stage;
+    stage.lag = lag;
+    stage.ring.assign(lag, 0.0);
+    stages_.push_back(std::move(stage));
+  }
+  x_ring_.assign(std::max<size_t>(config_.phi.size(), 1), 0.0);
+  e_ring_.assign(std::max<size_t>(config_.theta.size(), 1), 0.0);
+}
+
+void ArimaResidualState::Push(double value) {
+  ++raw_count_;
+  // Differencing pipeline: each stage emits in - ring[lag ago] once it has
+  // seen `lag` inputs — the streaming form of DifferenceAtLag(), which
+  // drops the first `lag` outputs of every stage.
+  double v = value;
+  for (DiffStage& stage : stages_) {
+    const size_t slot = stage.count % stage.lag;
+    const bool ready = stage.count >= stage.lag;
+    const double out = v - stage.ring[slot];
+    stage.ring[slot] = v;
+    ++stage.count;
+    if (!ready) {
+      return;  // this observation is absorbed by the differencing warm-up
+    }
+    v = out;
+  }
+  PushDifferenced(v);
+}
+
+void ArimaResidualState::PushAll(const std::vector<double>& values) {
+  for (double v : values) {
+    Push(v);
+  }
+}
+
+void ArimaResidualState::PushDifferenced(double x) {
+  const size_t p = config_.phi.size();
+  const size_t q = config_.theta.size();
+  const size_t warmup = std::max(p, q);
+  double e = 0.0;
+  if (t_ >= warmup) {
+    // Identical accumulation order to ArmaResiduals(): intercept, then the
+    // AR terms ascending in lag, then the MA terms ascending in lag.
+    double pred = config_.intercept;
+    for (size_t i = 0; i < p; ++i) {
+      pred += config_.phi[i] * x_ring_[(t_ - 1 - i) % x_ring_.size()];
+    }
+    for (size_t j = 0; j < q; ++j) {
+      pred += config_.theta[j] * e_ring_[(t_ - 1 - j) % e_ring_.size()];
+    }
+    e = x - pred;
+    ss_ += e * e;
+    ++num_residuals_;
+  }
+  x_ring_[t_ % x_ring_.size()] = x;
+  e_ring_[t_ % e_ring_.size()] = e;
+  ++t_;
+}
+
+void ArimaResidualState::Reset() {
+  for (DiffStage& stage : stages_) {
+    std::fill(stage.ring.begin(), stage.ring.end(), 0.0);
+    stage.count = 0;
+  }
+  std::fill(x_ring_.begin(), x_ring_.end(), 0.0);
+  std::fill(e_ring_.begin(), e_ring_.end(), 0.0);
+  t_ = 0;
+  raw_count_ = 0;
+  num_residuals_ = 0;
+  ss_ = 0.0;
+}
+
+double ArimaResidualState::Sigma2() const {
+  const double sigma2 =
+      num_residuals_ > 0 ? ss_ / static_cast<double>(num_residuals_) : 1.0;
+  return std::max(sigma2, 1e-12);
+}
+
+}  // namespace rpas::ts

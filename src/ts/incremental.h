@@ -1,0 +1,123 @@
+#ifndef RPAS_TS_INCREMENTAL_H_
+#define RPAS_TS_INCREMENTAL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace rpas::ts {
+
+/// Recursive per-point state trackers backing the streaming refresh path
+/// (src/stream): each class consumes one observation at a time and exposes
+/// the same statistic a batch pass over the full series would produce.
+///
+/// Equivalence contract: feeding a series point-by-point performs the exact
+/// arithmetic, in the exact order, of the corresponding batch formula, so
+/// the incremental value is bit-identical to a batch recompute — not merely
+/// close (property_test asserts <= 1e-9; the implementation delivers ==).
+
+/// Welford-style running mean/variance over a stream of observations.
+class RunningMoments {
+ public:
+  void Push(double value);
+  void Reset();
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance (n denominator); 0 until two observations.
+  double variance() const;
+  /// Sample variance (n-1 denominator); 0 until two observations.
+  double sample_variance() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Streaming counterpart of SeasonalNaiveForecaster::Fit's residual
+/// estimate: keeps a ring of the last `season` observations and
+/// accumulates the sum of squared seasonal differences
+/// (w_t - w_{t-season})^2 in arrival order. Stddev() applies the same
+/// sqrt(ss/n) with 1e-9 floor the batch fit does.
+class SeasonalAccumulator {
+ public:
+  explicit SeasonalAccumulator(size_t season);
+
+  void Push(double value);
+  void Reset();
+
+  size_t season() const { return season_; }
+  /// Observations consumed so far.
+  size_t count() const { return count_; }
+  /// Seasonal differences accumulated (count - season once count > season).
+  size_t num_diffs() const { return num_diffs_; }
+  double sum_squares() const { return ss_; }
+  /// max(sqrt(ss / num_diffs), 1e-9). Valid once num_diffs() > 0.
+  double Stddev() const;
+
+ private:
+  size_t season_;
+  std::vector<double> last_;  ///< ring of the last `season` observations
+  size_t count_ = 0;
+  size_t num_diffs_ = 0;
+  double ss_ = 0.0;
+};
+
+/// Fixed ARIMA coefficients driving an ArimaResidualState (taken from a
+/// fitted ArimaForecaster; the state tracks residuals, never re-estimates).
+struct ArimaStateConfig {
+  std::vector<double> phi;    ///< AR coefficients, phi[0] = phi_1
+  std::vector<double> theta;  ///< MA coefficients
+  double intercept = 0.0;
+  /// Differencing lags in application order (seasonal first, then regular),
+  /// exactly as ArimaForecaster::DifferenceLags() reports them.
+  std::vector<size_t> diff_lags;
+};
+
+/// Streaming counterpart of ArimaForecaster::Fit's innovation-variance
+/// estimate: pushes raw observations through the differencing pipeline,
+/// runs the ARMA residual recursion e_t = x_t - (c + sum phi_i x_{t-1-i} +
+/// sum theta_j e_{t-1-j}) with e = 0 during the max(p, q) warm-up, and
+/// accumulates sum(e^2) from the warm-up on — the exact arithmetic of
+/// ArmaResiduals() + the Fit() summation loop, one point at a time with
+/// O(p + q + sum(lags)) retained state.
+class ArimaResidualState {
+ public:
+  explicit ArimaResidualState(ArimaStateConfig config);
+
+  void Push(double value);
+  void PushAll(const std::vector<double>& values);
+  void Reset();
+
+  /// Raw observations consumed.
+  size_t count() const { return raw_count_; }
+  /// Residuals accumulated into the sum of squares (post warm-up).
+  size_t num_residuals() const { return num_residuals_; }
+  double sum_squares() const { return ss_; }
+  /// max(ss/n, 1e-12) matching Fit's sigma2; 1.0 until the first residual.
+  double Sigma2() const;
+
+  const ArimaStateConfig& config() const { return config_; }
+
+ private:
+  struct DiffStage {
+    size_t lag = 0;
+    std::vector<double> ring;  ///< last `lag` inputs to this stage
+    size_t count = 0;
+  };
+
+  void PushDifferenced(double x);
+
+  ArimaStateConfig config_;
+  std::vector<DiffStage> stages_;
+  std::vector<double> x_ring_;  ///< last max(p, 1) differenced values
+  std::vector<double> e_ring_;  ///< last max(q, 1) residuals
+  size_t t_ = 0;                ///< differenced-series index
+  size_t raw_count_ = 0;
+  size_t num_residuals_ = 0;
+  double ss_ = 0.0;
+};
+
+}  // namespace rpas::ts
+
+#endif  // RPAS_TS_INCREMENTAL_H_

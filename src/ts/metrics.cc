@@ -77,6 +77,32 @@ AccuracyReport EvaluateForecasts(
   return report;
 }
 
+double PrefixMeanWql(const QuantileForecast& forecast,
+                     const std::vector<double>& actual) {
+  RPAS_CHECK(actual.size() <= forecast.Horizon())
+      << "more actuals than forecast horizon";
+  if (actual.empty()) {
+    return 0.0;
+  }
+  double actual_sum = 0.0;
+  for (double y : actual) {
+    actual_sum += y;
+  }
+  const double denom = actual_sum != 0.0 ? actual_sum : 1.0;
+  const std::vector<double>& levels = forecast.Levels();
+  RPAS_CHECK(!levels.empty());
+  double wql_total = 0.0;
+  for (size_t q = 0; q < levels.size(); ++q) {
+    double pinball_sum = 0.0;
+    for (size_t h = 0; h < actual.size(); ++h) {
+      pinball_sum +=
+          PinballLoss(levels[q], actual[h], forecast.ValueAtIndex(h, q));
+    }
+    wql_total += 2.0 * pinball_sum / denom;
+  }
+  return wql_total / static_cast<double>(levels.size());
+}
+
 std::vector<double> PerStepQuantileLoss(const QuantileForecast& forecast,
                                         const std::vector<double>& actual) {
   RPAS_CHECK(actual.size() == forecast.Horizon());

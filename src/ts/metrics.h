@@ -38,6 +38,14 @@ AccuracyReport EvaluateForecasts(
     const std::vector<std::vector<double>>& actuals,
     const std::vector<double>& levels);
 
+/// Mean-over-levels weighted quantile loss of a single forecast against the
+/// first `actual.size()` realized steps (actual.size() <= Horizon()). The
+/// single-forecast prefix counterpart of EvaluateForecasts().mean_wql, used
+/// by the streaming refresher's drift guard to score the plan in force with
+/// however many steps have elapsed. Returns 0 when `actual` is empty.
+double PrefixMeanWql(const QuantileForecast& forecast,
+                     const std::vector<double>& actual);
+
 /// Per-step quantile loss of a single forecast, summed over the level grid
 /// (used for the paper's Figure 6 uncertainty/accuracy correlation).
 std::vector<double> PerStepQuantileLoss(const QuantileForecast& forecast,

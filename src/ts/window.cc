@@ -8,7 +8,8 @@
 namespace rpas::ts {
 
 WindowDataset::WindowDataset(const TimeSeries& series, size_t context_length,
-                             size_t horizon, size_t stride)
+                             size_t horizon, size_t stride,
+                             size_t index_offset)
     : context_length_(context_length), horizon_(horizon) {
   RPAS_CHECK(context_length > 0 && horizon > 0 && stride > 0);
   if (series.size() < context_length + horizon) {
@@ -17,7 +18,7 @@ WindowDataset::WindowDataset(const TimeSeries& series, size_t context_length,
   const size_t last_begin = series.size() - context_length - horizon;
   for (size_t begin = 0; begin <= last_begin; begin += stride) {
     Window w;
-    w.begin = begin;
+    w.begin = index_offset + begin;
     w.context.assign(
         series.values.begin() + static_cast<long>(begin),
         series.values.begin() + static_cast<long>(begin + context_length));

@@ -12,7 +12,7 @@ namespace rpas::ts {
 /// One (context, target) training window: context has `context_length`
 /// points ending at split-1, target the following `horizon` points.
 struct Window {
-  size_t begin = 0;  ///< index of the first context point in the series
+  size_t begin = 0;  ///< absolute index of the first context point
   std::vector<double> context;
   std::vector<double> target;
 };
@@ -23,8 +23,11 @@ class WindowDataset {
  public:
   /// Enumerates all windows with the given stride. Requires
   /// context_length + horizon <= series.size() for a non-empty dataset.
+  /// `index_offset` is the absolute position of series element 0 and is
+  /// added to every Window::begin — pass it when `series` is a suffix slice
+  /// so that calendar-phase features computed from `begin` stay aligned.
   WindowDataset(const TimeSeries& series, size_t context_length,
-                size_t horizon, size_t stride = 1);
+                size_t horizon, size_t stride = 1, size_t index_offset = 0);
 
   size_t size() const { return windows_.size(); }
   bool empty() const { return windows_.empty(); }

@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "core/manager.h"
+#include "forecast/seasonal_naive.h"
 #include "dist/empirical.h"
 #include "dist/student_t.h"
 #include "core/strategies.h"
@@ -14,6 +15,7 @@
 #include "simdb/warmup.h"
 #include "solver/autoscaling.h"
 #include "solver/simplex.h"
+#include "ts/incremental.h"
 #include "ts/metrics.h"
 #include "ts/quantile_forecast.h"
 #include "ts/scaler.h"
@@ -307,6 +309,183 @@ TEST_P(SeededProperty, StudentTQuantileCdfRoundTrip) {
   for (double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
     EXPECT_NEAR(t.Cdf(t.Quantile(p)), p, 1e-6) << "p=" << p;
   }
+}
+
+// ---------------------------------------------- streaming state trackers ---
+
+/// Batch recompute of SeasonalAccumulator's statistic: the seasonal-naive
+/// residual stddev over the whole series in one pass.
+double BatchSeasonalStddev(const std::vector<double>& x, size_t season) {
+  double ss = 0.0;
+  size_t n = 0;
+  for (size_t t = season; t < x.size(); ++t) {
+    const double d = x[t] - x[t - season];
+    ss += d * d;
+    ++n;
+  }
+  return std::max(std::sqrt(ss / static_cast<double>(n)), 1e-9);
+}
+
+/// Batch recompute of ArimaResidualState's statistic: difference the whole
+/// series, run the ARMA residual recursion over it, average the squares.
+double BatchArimaSigma2(const std::vector<double>& raw,
+                        const ts::ArimaStateConfig& config) {
+  std::vector<double> z = raw;
+  for (size_t lag : config.diff_lags) {
+    std::vector<double> out;
+    for (size_t t = lag; t < z.size(); ++t) {
+      out.push_back(z[t] - z[t - lag]);
+    }
+    z = std::move(out);
+  }
+  const size_t p = config.phi.size();
+  const size_t q = config.theta.size();
+  const size_t warmup = std::max(p, q);
+  std::vector<double> e(z.size(), 0.0);
+  double ss = 0.0;
+  size_t n = 0;
+  for (size_t t = warmup; t < z.size(); ++t) {
+    double pred = config.intercept;
+    for (size_t i = 0; i < p; ++i) {
+      pred += config.phi[i] * z[t - 1 - i];
+    }
+    for (size_t j = 0; j < q; ++j) {
+      pred += config.theta[j] * e[t - 1 - j];
+    }
+    e[t] = z[t] - pred;
+    ss += e[t] * e[t];
+    ++n;
+  }
+  return n > 0 ? std::max(ss / static_cast<double>(n), 1e-12) : 1.0;
+}
+
+/// Splits [0, total) into random-sized chunks (at least one point each).
+std::vector<size_t> RandomChunks(Rng* rng, size_t total) {
+  std::vector<size_t> chunks;
+  size_t at = 0;
+  while (at < total) {
+    const size_t n = std::min<size_t>(
+        total - at, 1 + static_cast<size_t>(rng->Uniform(0.0, 30.0)));
+    chunks.push_back(n);
+    at += n;
+  }
+  return chunks;
+}
+
+TEST_P(SeededProperty, SeasonalAccumulatorChunkedAppendsMatchBatch) {
+  Rng rng(GetParam() ^ 0x5EA);
+  const size_t season = 2 + static_cast<size_t>(rng.Uniform(0.0, 22.0));
+  const size_t total = 3 * season + static_cast<size_t>(rng.Uniform(0.0, 200.0));
+  std::vector<double> values;
+  double walk = rng.Uniform(5.0, 15.0);
+  for (size_t i = 0; i < total; ++i) {
+    walk += rng.Normal();
+    values.push_back(walk);
+  }
+
+  ts::SeasonalAccumulator chunked(season);
+  ts::SeasonalAccumulator one_shot(season);
+  size_t at = 0;
+  for (size_t n : RandomChunks(&rng, total)) {
+    for (size_t i = 0; i < n; ++i) {
+      chunked.Push(values[at + i]);
+    }
+    at += n;
+  }
+  for (double v : values) {
+    one_shot.Push(v);
+  }
+
+  // Chunking is invisible: the streaming state is a pure fold over the
+  // sequence, so any append pattern lands on identical bits.
+  EXPECT_EQ(chunked.count(), total);
+  EXPECT_EQ(chunked.num_diffs(), total - season);
+  EXPECT_EQ(chunked.sum_squares(), one_shot.sum_squares());
+  EXPECT_EQ(chunked.Stddev(), one_shot.Stddev());
+  EXPECT_NEAR(chunked.Stddev(), BatchSeasonalStddev(values, season), 1e-9);
+}
+
+TEST_P(SeededProperty, ArimaStateChunkedAppendsMatchBatch) {
+  Rng rng(GetParam() ^ 0xA21);
+  ts::ArimaStateConfig config;
+  const size_t p = static_cast<size_t>(rng.Uniform(0.0, 3.99));
+  const size_t q = static_cast<size_t>(rng.Uniform(0.0, 3.99));
+  for (size_t i = 0; i < p; ++i) {
+    config.phi.push_back(rng.Uniform(-0.3, 0.3));
+  }
+  for (size_t j = 0; j < q; ++j) {
+    config.theta.push_back(rng.Uniform(-0.3, 0.3));
+  }
+  config.intercept = rng.Uniform(-0.1, 0.1);
+  if (rng.Uniform() < 0.5) {
+    config.diff_lags.push_back(7);  // "seasonal" stage first
+  }
+  config.diff_lags.push_back(1);
+
+  const size_t total = 64 + static_cast<size_t>(rng.Uniform(0.0, 400.0));
+  std::vector<double> values;
+  for (size_t i = 0; i < total; ++i) {
+    values.push_back(rng.Normal() + 0.05 * static_cast<double>(i % 7));
+  }
+
+  ts::ArimaResidualState chunked(config);
+  ts::ArimaResidualState one_shot(config);
+  one_shot.PushAll(values);
+  size_t at = 0;
+  for (size_t n : RandomChunks(&rng, total)) {
+    for (size_t i = 0; i < n; ++i) {
+      chunked.Push(values[at + i]);
+    }
+    at += n;
+  }
+
+  EXPECT_EQ(chunked.count(), total);
+  EXPECT_EQ(chunked.num_residuals(), one_shot.num_residuals());
+  EXPECT_EQ(chunked.sum_squares(), one_shot.sum_squares());
+  EXPECT_EQ(chunked.Sigma2(), one_shot.Sigma2());
+  EXPECT_NEAR(chunked.Sigma2(), BatchArimaSigma2(values, config), 1e-9);
+}
+
+TEST_P(SeededProperty, IncrementalChunksEqualOneResyncAfterDrop) {
+  // Path independence of the forecaster streaming state: a model updated
+  // through a random chunk pattern and a model that slept through the whole
+  // stream and resynced once from history (the post-drop recovery path)
+  // hold identical state.
+  Rng rng(GetParam() ^ 0xD120);
+  const size_t season = 24;
+  const size_t prefix = 4 * season;
+  const size_t total = prefix + season +
+                       static_cast<size_t>(rng.Uniform(0.0, 120.0));
+  ts::TimeSeries series;
+  series.step_minutes = 10.0;
+  for (size_t i = 0; i < total; ++i) {
+    const double phase = 2.0 * M_PI * static_cast<double>(i % season) /
+                         static_cast<double>(season);
+    series.values.push_back(10.0 + 3.0 * std::sin(phase) + rng.Normal());
+  }
+
+  forecast::SeasonalNaiveForecaster::Options options;
+  options.context_length = season;
+  options.horizon = 6;
+  options.season = season;
+
+  forecast::SeasonalNaiveForecaster incremental(options);
+  forecast::SeasonalNaiveForecaster resynced(options);
+  ASSERT_TRUE(incremental.Fit(series.Slice(0, prefix)).ok());
+  ASSERT_TRUE(resynced.Fit(series.Slice(0, prefix)).ok());
+
+  size_t at = prefix;
+  for (size_t n : RandomChunks(&rng, total - prefix)) {
+    at += n;
+    ASSERT_TRUE(incremental.IncrementalUpdate(series.Slice(0, at), n).ok());
+  }
+  ASSERT_TRUE(resynced.ResyncState(series).ok());
+  EXPECT_EQ(incremental.residual_stddev(), resynced.residual_stddev());
+
+  // And both equal a from-scratch fit over everything.
+  forecast::SeasonalNaiveForecaster fresh(options);
+  ASSERT_TRUE(fresh.Fit(series).ok());
+  EXPECT_EQ(incremental.residual_stddev(), fresh.residual_stddev());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,

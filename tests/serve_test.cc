@@ -585,6 +585,10 @@ void ExpectSameFleetResult(const FleetResult& a, const FleetResult& b) {
   EXPECT_EQ(a.mean_over_provision_rate, b.mean_over_provision_rate);
   EXPECT_EQ(a.mean_utilization, b.mean_utilization);
   EXPECT_EQ(a.mean_slo_violation_rate, b.mean_slo_violation_rate);
+  EXPECT_EQ(a.stream_points, b.stream_points);
+  EXPECT_EQ(a.stream_dropped, b.stream_dropped);
+  EXPECT_EQ(a.mean_staleness_steps, b.mean_staleness_steps);
+  EXPECT_EQ(a.max_staleness_steps, b.max_staleness_steps);
   ASSERT_EQ(a.tenants.size(), b.tenants.size());
   for (size_t t = 0; t < a.tenants.size(); ++t) {
     SCOPED_TRACE(::testing::Message() << "tenant " << t);
@@ -605,6 +609,12 @@ void ExpectSameFleetResult(const FleetResult& a, const FleetResult& b) {
     EXPECT_EQ(a.tenants[t].fault_rounds, b.tenants[t].fault_rounds);
     EXPECT_EQ(a.tenants[t].error_rounds, b.tenants[t].error_rounds);
     EXPECT_EQ(a.tenants[t].faulted_steps, b.tenants[t].faulted_steps);
+    EXPECT_EQ(a.tenants[t].stream_points, b.tenants[t].stream_points);
+    EXPECT_EQ(a.tenants[t].stream_dropped, b.tenants[t].stream_dropped);
+    EXPECT_EQ(a.tenants[t].mean_staleness_steps,
+              b.tenants[t].mean_staleness_steps);
+    EXPECT_EQ(a.tenants[t].max_staleness_steps,
+              b.tenants[t].max_staleness_steps);
   }
   ASSERT_EQ(a.decisions.size(), b.decisions.size());
   for (size_t i = 0; i < a.decisions.size(); ++i) {
@@ -716,6 +726,60 @@ TEST(FleetTest, InjectedFaultsDegradeGracefully) {
   EXPECT_GT(fault_rounds + faulted_steps, 0u);
 }
 
+TEST(FleetTest, StreamIngestAndStalenessAccounted) {
+  // Every realized workload observation flows through the tenant's ingest
+  // ring and is drained once per round: with the default drop-free ring
+  // (2 * replan_every) every tenant streams exactly num_steps points.
+  TestRegistry r = MakeRegistry(1 << 20);
+  FleetOptions options = SmallFleetOptions();
+  options.metrics = r.metrics.get();
+  auto result = RunFleet(r.registry.get(),
+                         {{"mlp", 1}, {"deepar", 1}}, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const TenantSummary& tenant : result->tenants) {
+    EXPECT_EQ(tenant.stream_points, options.num_steps);
+    EXPECT_EQ(tenant.stream_dropped, 0u);
+    // Every round got a fresh plan, so staleness resets each round and is
+    // bounded by the round length.
+    EXPECT_EQ(tenant.rounds, tenant.fresh_rounds);
+    EXPECT_LT(tenant.max_staleness_steps, options.replan_every);
+  }
+  EXPECT_EQ(result->stream_points,
+            static_cast<uint64_t>(options.num_tenants * options.num_steps));
+  EXPECT_EQ(result->stream_dropped, 0u);
+  // Drop-free rounds of length L have per-step staleness 0..L-1.
+  EXPECT_EQ(result->mean_staleness_steps,
+            static_cast<double>(options.replan_every - 1) / 2.0);
+  // The staleness histogram saw one observation per tenant-step.
+  EXPECT_EQ(r.metrics->GetHistogram("serve.stream.staleness_steps")->count(),
+            static_cast<uint64_t>(options.num_tenants * options.num_steps));
+
+  // A one-slot ring cannot hold a round's worth of points: the drop-oldest
+  // path must engage, and drops are reported per tenant and fleet-wide.
+  TestRegistry tiny = MakeRegistry(1 << 20);
+  options.metrics = tiny.metrics.get();
+  options.stream_ring_capacity = 1;
+  auto dropped = RunFleet(tiny.registry.get(),
+                          {{"mlp", 1}, {"deepar", 1}}, options);
+  ASSERT_TRUE(dropped.ok()) << dropped.status().ToString();
+  uint64_t total = 0;
+  for (const TenantSummary& tenant : dropped->tenants) {
+    // A one-slot ring retains only the newest point: each round's poll
+    // reads exactly one and misses the rest — every pushed point is
+    // accounted as read or missed.
+    EXPECT_EQ(tenant.stream_points, dropped->rounds);
+    EXPECT_EQ(tenant.stream_points + tenant.stream_dropped,
+              options.num_steps);
+    total += tenant.stream_dropped;
+  }
+  EXPECT_EQ(dropped->stream_dropped, total);
+  // Provisioning results are untouched by the ring capacity — streaming
+  // accounting observes the run, it never alters plans.
+  EXPECT_EQ(result->mean_utilization, dropped->mean_utilization);
+  EXPECT_EQ(result->mean_under_provision_rate,
+            dropped->mean_under_provision_rate);
+}
+
 TEST(FleetTest, CacheThrashUnderTightBudgetStillServes) {
   TestRegistry sized = MakeRegistry(1 << 20);
   ASSERT_TRUE(sized.registry->Acquire({"mlp", 1}).ok());
@@ -807,14 +871,19 @@ const QuantCheckpoints& QuantCkpts() {
 }
 
 /// Like MakeRegistry() but with explicit checkpoint paths, so a test can
-/// serve the same architectures from any on-disk format.
+/// serve the same architectures from any on-disk format. The default
+/// mapped_byte_weight of 1.0 keeps byte-accounting assertions in terms of
+/// raw file sizes; pass the weight explicitly to exercise the discounted
+/// eviction budget.
 TestRegistry MakeRegistryAt(const std::string& mlp_path,
                             const std::string& deepar_path,
-                            size_t cache_budget_bytes) {
+                            size_t cache_budget_bytes,
+                            double mapped_byte_weight = 1.0) {
   TestRegistry r;
   r.metrics = std::make_unique<obs::MetricsRegistry>(true);
   ModelRegistry::Options options;
   options.cache_budget_bytes = cache_budget_bytes;
+  options.mapped_byte_weight = mapped_byte_weight;
   options.metrics = r.metrics.get();
   r.registry = std::make_unique<ModelRegistry>(options);
   RPAS_CHECK(
@@ -984,6 +1053,62 @@ TEST(ModelRegistryTest, CacheChargesLoadedBytesNotRegisteredBytes) {
   EXPECT_EQ(stats.mapped_bytes, deepar_bytes);
   EXPECT_EQ(stats.heap_bytes, 0u);
   std::remove(swap.c_str());
+}
+
+// The eviction budget is charged in weighted bytes: mapped (page-cache
+// backed, kernel-reclaimable) checkpoint bytes cost mapped_byte_weight of
+// a heap byte. Under a budget that evicts when every byte costs full
+// price, discounted mapped models must both stay resident — and the
+// charged_bytes accounting must agree between CacheStats and the gauge.
+TEST(ModelRegistryTest, MappedBytesChargedAtDiscountAgainstBudget) {
+  const size_t mlp_bytes = FileBytes(QuantCkpts().mlp_q8);
+  const size_t deepar_bytes = FileBytes(QuantCkpts().deepar_q8);
+  const size_t budget = mlp_bytes + deepar_bytes - 1;
+  const double weight = 0.25;
+
+  // Full price: the second load must evict the first.
+  TestRegistry full = MakeRegistryAt(QuantCkpts().mlp_q8,
+                                     QuantCkpts().deepar_q8, budget,
+                                     /*mapped_byte_weight=*/1.0);
+  ASSERT_TRUE(full.registry->Acquire({"mlp", 1}).ok());
+  ASSERT_TRUE(full.registry->Acquire({"deepar", 1}).ok());
+  const ModelRegistry::CacheStats full_stats =
+      full.registry->GetCacheStats();
+  EXPECT_EQ(full_stats.evictions, 1);
+  EXPECT_EQ(full_stats.resident_models, 1u);
+  EXPECT_EQ(full_stats.charged_bytes, full_stats.resident_bytes);
+
+  // Discounted: both models fit — the budget bounds charged, not raw,
+  // bytes, so resident_bytes may exceed the budget by design.
+  TestRegistry disc = MakeRegistryAt(QuantCkpts().mlp_q8,
+                                     QuantCkpts().deepar_q8, budget, weight);
+  ASSERT_TRUE(disc.registry->Acquire({"mlp", 1}).ok());
+  ASSERT_TRUE(disc.registry->Acquire({"deepar", 1}).ok());
+  const ModelRegistry::CacheStats stats = disc.registry->GetCacheStats();
+  EXPECT_EQ(stats.evictions, 0);
+  EXPECT_EQ(stats.resident_models, 2u);
+  EXPECT_EQ(stats.resident_bytes, mlp_bytes + deepar_bytes);
+  const size_t expect_charged =
+      static_cast<size_t>(std::llround(mlp_bytes * weight)) +
+      static_cast<size_t>(std::llround(deepar_bytes * weight));
+  EXPECT_EQ(stats.charged_bytes, expect_charged);
+  EXPECT_LE(stats.charged_bytes, budget);
+  EXPECT_EQ(disc.metrics->GetGauge("serve.registry.charged_bytes")->value(),
+            static_cast<double>(stats.charged_bytes));
+
+  // Eviction credits the weighted charge back: acquiring a third version
+  // under a one-model budget leaves charged == the survivor's charge.
+  TestRegistry tight = MakeRegistryAt(
+      QuantCkpts().mlp_q8, QuantCkpts().deepar_q8,
+      static_cast<size_t>(std::llround(deepar_bytes * weight)), weight);
+  ASSERT_TRUE(tight.registry->Acquire({"mlp", 1}).ok());
+  ASSERT_TRUE(tight.registry->Acquire({"deepar", 1}).ok());
+  const ModelRegistry::CacheStats tight_stats =
+      tight.registry->GetCacheStats();
+  EXPECT_GE(tight_stats.evictions, 1);
+  EXPECT_EQ(tight_stats.resident_models, 1u);
+  EXPECT_EQ(tight_stats.charged_bytes,
+            static_cast<size_t>(std::llround(deepar_bytes * weight)));
 }
 
 // A model whose checkpoint vanishes between registration and first load
