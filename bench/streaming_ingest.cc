@@ -119,6 +119,24 @@ std::vector<ModelSpec> MakeModelSpecs(const BenchOptions& options) {
          o.fine_tune_steps = 8;
          return std::make_unique<forecast::MlpForecaster>(o);
        }});
+  // DeepAR fine-tune rows: warm-start gradient steps against per-round
+  // from-scratch refits, the autoregressive counterpart of the MLP rows.
+  // Sized small enough (hidden 16, short training) to run under --quick at
+  // rate >= 8, so the CI smoke always sees a deepar row with a wQL column.
+  specs.push_back(
+      {"deepar", /*recursive=*/false, /*min_rate=*/8, /*quick_ok=*/true,
+       /*context=*/72, [quick] {
+         forecast::DeepArForecaster::Options o;
+         o.context_length = 72;
+         o.horizon = kStreamHorizon;
+         o.hidden_dim = 16;
+         o.batch_size = 4;
+         o.num_samples = 24;
+         o.train.steps = quick ? 15 : 40;
+         o.train.lr = 1e-3;
+         o.fine_tune_steps = 6;
+         return std::make_unique<forecast::DeepArForecaster>(o);
+       }});
   return specs;
 }
 

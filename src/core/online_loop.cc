@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "core/evaluator.h"
+#include "forecast/rolling_wql.h"
 #include "stream/ring.h"
 #include "ts/metrics.h"
 
@@ -56,6 +57,32 @@ Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
         "incremental refresh mode needs a refresh_target forecaster");
   }
 
+  const bool selecting =
+      options.selection.mode == SelectionMode::kAdaptive;
+  if (selecting) {
+    if (streaming) {
+      return Status::InvalidArgument(
+          "adaptive selection cannot be combined with incremental refresh: "
+          "the refresher tracks one model, the ladder switches models");
+    }
+    if (options.selection.ladder.empty()) {
+      return Status::InvalidArgument(
+          "adaptive selection needs a non-empty candidate ladder");
+    }
+    for (const RobustAutoScalingManager* candidate :
+         options.selection.ladder) {
+      if (candidate == nullptr) {
+        return Status::InvalidArgument(
+            "adaptive selection ladder contains a null manager");
+      }
+      if (eval_start < candidate->ContextLength()) {
+        return Status::InvalidArgument(
+            "eval_start leaves less history than a ladder candidate's "
+            "context length");
+      }
+    }
+  }
+
   obs::TraceBuffer* trace = obs::ResolveTrace(options.trace);
   obs::Span run_span(trace, "online.run", static_cast<int64_t>(num_steps));
 
@@ -83,6 +110,35 @@ Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
   // against however many of its steps have realized by the next round.
   std::optional<ts::QuantileForecast> live_forecast;
   size_t live_forecast_start = eval_start;
+
+  // Adaptive-selection state (kAdaptive only). The `active` pointer is the
+  // single planning indirection: in kOff mode it stays `&manager` for the
+  // whole run, so the off path is bit-identical to the pre-selection loop.
+  const RobustAutoScalingManager* active = &manager;
+  std::unique_ptr<select::WorkloadClassifier> classifier;
+  std::unique_ptr<select::AdaptiveSelector> selector;
+  std::unique_ptr<select::PreScaler> prescaler;
+  std::unique_ptr<forecast::RollingWql> rolling;
+  if (selecting) {
+    classifier = std::make_unique<select::WorkloadClassifier>(
+        options.selection.classifier);
+    // Seed the pattern — and the starting tier — from observed history.
+    std::vector<double> history_window(
+        series.values.begin(), series.values.begin() +
+            static_cast<long>(eval_start));
+    classifier->PushAll(history_window);
+    select::SelectorOptions selector_options = options.selection.selector;
+    selector_options.ladder_size = options.selection.ladder.size();
+    selector = std::make_unique<select::AdaptiveSelector>(selector_options);
+    selector->SeedFromPattern(classifier->Classify());
+    active = options.selection.ladder[selector->tier()];
+    if (options.selection.prescale) {
+      prescaler = std::make_unique<select::PreScaler>(
+          options.selection.prescaler, manager.config().min_nodes);
+    }
+    rolling = std::make_unique<forecast::RollingWql>(
+        selector_options.wql_window);
+  }
 
   // Forecast staleness, tracked in both modes: steps since the newest
   // fresh (non-stale, non-fallback) plan landed.
@@ -127,6 +183,37 @@ Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
       obs::Span plan_span(trace, "online.plan", static_cast<int64_t>(i));
       plan_is_fallback = false;
       ++result.plans_made;
+
+      // Adaptive selection: score the expiring plan's forecast, feed the
+      // selector one observed round (wQL + whether this round's degradation
+      // path is about to fire), and route planning to the resulting tier.
+      // Decisions are a pure function of the observed sequence — no RNG —
+      // so enabling selection cannot perturb any seeded schedule.
+      if (selecting) {
+        double wql = 0.0;
+        bool wql_valid = false;
+        if (live_forecast.has_value() && t > live_forecast_start) {
+          const size_t elapsed = std::min<size_t>(
+              t - live_forecast_start, live_forecast->Horizon());
+          const std::vector<double> actual(
+              series.values.begin() +
+                  static_cast<long>(live_forecast_start),
+              series.values.begin() +
+                  static_cast<long>(live_forecast_start + elapsed));
+          wql = ts::PrefixMeanWql(*live_forecast, actual);
+          wql_valid = true;
+          rolling->Observe(wql);
+        }
+        const int about_to_fail = faults.forecaster_timeout_attempts +
+                                  (faults.forecaster_nan ? 1 : 0);
+        const bool round_faulted =
+            inject &&
+            ((faults.stale_forecast && !last_good_plan.empty()) ||
+             about_to_fail > policy.max_retries);
+        selector->ObserveRound(wql, wql_valid, round_faulted);
+        active = options.selection.ladder[selector->tier()];
+        result.selection.tier_by_round.push_back(selector->tier());
+      }
 
       // Streaming refresh: poll the ring for points ingested since the
       // last round and fold them into the forecaster before planning.
@@ -204,7 +291,7 @@ Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
         // no ingest faults fire.
         ts::TimeSeries history =
             series.Slice(0, eval_start + observed_points);
-        auto plan_or = manager.PlanNext(history, current_nodes);
+        auto plan_or = active->PlanNext(history, current_nodes);
         if (!plan_or.ok()) {
           if (!inject) {
             return plan_or.status();
@@ -252,6 +339,11 @@ Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
           last_fresh_step = i;
           live_forecast = std::move(plan.forecast);
           live_forecast_start = t;
+          if (prescaler) {
+            // The fresh quantile plan is the spike predictor: schedule a
+            // floor raise `lead_steps` before any predicted spike.
+            prescaler->ObservePlan(current_plan, i);
+          }
         }
       }
       const double plan_ms = plan_watch.ElapsedMillis();
@@ -260,7 +352,12 @@ Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
       metrics->GetHistogram("online.plan_ms", {}, /*deterministic=*/false)
           ->Observe(plan_ms);
     }
-    const int target = current_plan[plan_cursor++];
+    int target = current_plan[plan_cursor++];
+    if (prescaler) {
+      // Monotone merge: the pre-scale floor can only raise the decision,
+      // never fight the reactive plan downward.
+      target = prescaler->Merge(target, i);
+    }
     const double realized = series.values[t];
     simdb::StepStats stats = cluster.Step(target, realized, faults);
     current_nodes = cluster.NumNodes();
@@ -297,6 +394,9 @@ Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
     recent.push_back(stats.workload);
     if (recent.size() > window) {
       recent.erase(recent.begin());
+    }
+    if (classifier) {
+      classifier->Push(stats.workload);
     }
     result.allocation.push_back(target);
     result.steps.push_back(stats);
@@ -377,6 +477,19 @@ Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
     result.points_dropped = cursor->missed_total();
     result.refresh = refresher->stats();
   }
+  if (selecting) {
+    if (prescaler) {
+      // Force rollback of any in-flight floor raise so activations always
+      // balance rollbacks at the end of a run.
+      prescaler->Finish();
+      result.selection.prescaler = prescaler->stats();
+    }
+    result.selection.enabled = true;
+    result.selection.final_tier = selector->tier();
+    result.selection.pattern = classifier->Classify();
+    result.selection.rolling_wql = rolling->Mean();
+    result.selection.selector = selector->stats();
+  }
 
   // Registry counters are bulk-incremented from the finished result, so
   // they agree *exactly* with the OnlineLoopResult fields by construction
@@ -420,6 +533,32 @@ Result<OnlineLoopResult> RunOnlineLoop(const RobustAutoScalingManager& manager,
         ->Increment(static_cast<int64_t>(result.ingest_stall_steps));
     metrics->GetCounter("online.ingest_bursts")
         ->Increment(static_cast<int64_t>(result.ingest_bursts));
+  }
+  if (selecting) {
+    const select::SelectorStats& sel = result.selection.selector;
+    metrics->GetCounter("select.rounds")
+        ->Increment(static_cast<int64_t>(sel.rounds));
+    metrics->GetCounter("select.switches")
+        ->Increment(static_cast<int64_t>(sel.switches));
+    metrics->GetCounter("select.promotions")
+        ->Increment(static_cast<int64_t>(sel.promotions));
+    metrics->GetCounter("select.probe_demotions")
+        ->Increment(static_cast<int64_t>(sel.probe_demotions));
+    metrics->GetCounter("select.fault_demotions")
+        ->Increment(static_cast<int64_t>(sel.fault_demotions));
+    metrics->GetCounter("select.drift_demotions")
+        ->Increment(static_cast<int64_t>(sel.drift_demotions));
+    const select::PreScalerStats& pre = result.selection.prescaler;
+    metrics->GetCounter("select.prescale.spikes_detected")
+        ->Increment(static_cast<int64_t>(pre.spikes_detected));
+    metrics->GetCounter("select.prescale.activations")
+        ->Increment(static_cast<int64_t>(pre.activations));
+    metrics->GetCounter("select.prescale.rollbacks")
+        ->Increment(static_cast<int64_t>(pre.rollbacks));
+    metrics->GetCounter("select.prescale.timeout_rollbacks")
+        ->Increment(static_cast<int64_t>(pre.timeout_rollbacks));
+    metrics->GetCounter("select.prescale.floor_raised_steps")
+        ->Increment(static_cast<int64_t>(pre.floor_raised_steps));
   }
   return result;
 }

@@ -9,6 +9,9 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "select/classifier.h"
+#include "select/prescaler.h"
+#include "select/selector.h"
 #include "simdb/cluster.h"
 #include "simdb/faults.h"
 #include "stream/refresher.h"
@@ -58,6 +61,34 @@ struct StreamingOptions {
   stream::RefresherOptions refresher;
 };
 
+/// Whether the loop routes planning through the adaptive selection layer.
+enum class SelectionMode {
+  /// Plan with the `manager` argument every round — byte-for-byte the
+  /// pre-selection loop.
+  kOff = 0,
+  /// Classify the workload, seed a tier on the candidate ladder, then
+  /// promote/demote per round on rolling wQL + fault counters, and merge
+  /// the PreScaler floor into every step's decision.
+  kAdaptive = 1,
+};
+
+/// Adaptive model-selection configuration (inert in kOff mode).
+struct SelectionOptions {
+  SelectionMode mode = SelectionMode::kOff;
+  /// Candidate managers, cheapest first (e.g. seasonal-naive -> ARIMA ->
+  /// MLP -> DeepAR). Required non-empty in kAdaptive mode; entries must
+  /// outlive the run. All entries should share one ScalingConfig — the
+  /// degradation fallback still derives from the `manager` argument.
+  std::vector<const RobustAutoScalingManager*> ladder;
+  select::ClassifierOptions classifier;
+  /// `selector.ladder_size` is overwritten with `ladder.size()`.
+  select::SelectorOptions selector;
+  /// TRUE pre-scaling: raise the capacity floor ahead of predicted spikes
+  /// with auto-rollback. Off leaves decisions untouched.
+  bool prescale = true;
+  select::PreScalerOptions prescaler;
+};
+
 /// Configuration of the online auto-scaling loop.
 struct OnlineLoopOptions {
   /// Steps between re-planning events; 0 = the forecaster's full horizon.
@@ -81,6 +112,11 @@ struct OnlineLoopOptions {
   /// Streaming ingestion / incremental-refresh configuration. The default
   /// (kBatch) leaves the loop bit-identical to the pre-streaming code path.
   StreamingOptions streaming;
+  /// Adaptive model selection + pre-scaling. The default (kOff) leaves the
+  /// loop bit-identical to the pre-selection code path. kAdaptive cannot be
+  /// combined with RefreshMode::kIncremental (the refresher holds state for
+  /// exactly one model; the ladder switches models between rounds).
+  SelectionOptions selection;
 };
 
 /// Outcome of an online run.
@@ -142,6 +178,22 @@ struct OnlineLoopResult {
   size_t ingest_bursts = 0;
   /// Refresher dispatch accounting (what each refresh round did).
   stream::RefreshStats refresh;
+
+  // --- Adaptive selection outcome (inert fields in kOff mode) ------------
+  struct SelectionOutcome {
+    bool enabled = false;
+    /// Ladder tier the run ended on (0 = cheapest).
+    size_t final_tier = 0;
+    /// Workload pattern of the classifier's window at the end of the run.
+    select::WorkloadPattern pattern = select::WorkloadPattern::kInsufficient;
+    /// Tier active on each planning round; length == plans_made.
+    std::vector<size_t> tier_by_round;
+    /// Rolling mean wQL of the active model at the end of the run.
+    double rolling_wql = 0.0;
+    select::SelectorStats selector;
+    select::PreScalerStats prescaler;
+  };
+  SelectionOutcome selection;
 
   // --- Forecast staleness (tracked in BOTH modes) ------------------------
   /// Per-step age of the newest fresh forecast, in steps/points: 0 on the

@@ -1,0 +1,165 @@
+#include "select/classifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace rpas::select {
+namespace {
+
+constexpr double kMadToSigma = 1.4826;
+constexpr double kEps = 1e-9;
+
+double MedianOfSorted(const std::vector<double>& sorted) {
+  const size_t n = sorted.size();
+  if (n == 0) return 0.0;
+  if (n % 2 == 1) return sorted[n / 2];
+  return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+}  // namespace
+
+std::string_view WorkloadPatternToString(WorkloadPattern pattern) {
+  switch (pattern) {
+    case WorkloadPattern::kInsufficient:
+      return "insufficient";
+    case WorkloadPattern::kSteady:
+      return "steady";
+    case WorkloadPattern::kTrending:
+      return "trending";
+    case WorkloadPattern::kSeasonal:
+      return "seasonal";
+    case WorkloadPattern::kBursty:
+      return "bursty";
+  }
+  return "unknown";
+}
+
+WorkloadClassifier::WorkloadClassifier(ClassifierOptions options)
+    : options_(options) {
+  if (options_.window == 0) options_.window = 1;
+  if (options_.season == 0) options_.season = 1;
+}
+
+void WorkloadClassifier::Push(double value) {
+  window_.push_back(value);
+  while (window_.size() > options_.window) window_.pop_front();
+}
+
+void WorkloadClassifier::PushAll(const std::vector<double>& values) {
+  for (double v : values) Push(v);
+}
+
+void WorkloadClassifier::Reset() { window_.clear(); }
+
+WorkloadFeatures WorkloadClassifier::Features() const {
+  std::vector<double> values(window_.begin(), window_.end());
+  return FeaturesOf(values);
+}
+
+WorkloadFeatures WorkloadClassifier::FeaturesOf(
+    const std::vector<double>& values) const {
+  WorkloadFeatures f;
+  const size_t start =
+      values.size() > options_.window ? values.size() - options_.window : 0;
+  const std::vector<double> window(values.begin() + static_cast<long>(start),
+                                   values.end());
+  const size_t n = window.size();
+  f.points = n;
+  if (n < 2) return f;
+
+  // Robust location/scale: median and MAD of the raw window.
+  std::vector<double> sorted = window;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = MedianOfSorted(sorted);
+  std::vector<double> abs_dev(n);
+  for (size_t i = 0; i < n; ++i) abs_dev[i] = std::abs(window[i] - median);
+  std::sort(abs_dev.begin(), abs_dev.end());
+  const double mad = MedianOfSorted(abs_dev);
+  const double robust_scale = kMadToSigma * mad + kEps;
+
+  // Spike features: fraction and max of robust z-scores.
+  size_t spikes = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double score = std::abs(window[i] - median) / robust_scale;
+    if (score > f.max_spike_score) f.max_spike_score = score;
+    if (score > options_.spike_z) ++spikes;
+  }
+  f.burst_fraction = static_cast<double>(spikes) / static_cast<double>(n);
+
+  // OLS slope over t = 0..n-1, expressed as total drift across the window
+  // in robust-scale units.
+  const double tn = static_cast<double>(n);
+  const double t_mean = 0.5 * (tn - 1.0);
+  double x_mean = 0.0;
+  for (size_t i = 0; i < n; ++i) x_mean += window[i];
+  x_mean /= tn;
+  double cov = 0.0;
+  double var_t = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dt = static_cast<double>(i) - t_mean;
+    cov += dt * (window[i] - x_mean);
+    var_t += dt * dt;
+  }
+  const double slope = var_t > 0.0 ? cov / var_t : 0.0;
+  f.trend_strength = std::abs(slope) * (tn - 1.0) / robust_scale;
+
+  // Variance-ratio seasonality on the detrended window: how much of the
+  // detrended variance is explained by per-phase means. Needs at least two
+  // full seasons so every phase has two samples.
+  const size_t season = options_.season;
+  if (n >= 2 * season && season >= 2) {
+    std::vector<double> detrended(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double fit = x_mean + slope * (static_cast<double>(i) - t_mean);
+      detrended[i] = window[i] - fit;
+    }
+    std::vector<double> phase_sum(season, 0.0);
+    std::vector<size_t> phase_count(season, 0);
+    // Align phases to the window end so that sliding the window by a full
+    // season leaves the phase assignment of surviving points unchanged.
+    for (size_t i = 0; i < n; ++i) {
+      const size_t phase = (i + season - (n % season)) % season;
+      phase_sum[phase] += detrended[i];
+      ++phase_count[phase];
+    }
+    double var_total = 0.0;
+    double var_resid = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t phase = (i + season - (n % season)) % season;
+      const double mean =
+          phase_sum[phase] / static_cast<double>(phase_count[phase]);
+      var_total += detrended[i] * detrended[i];
+      const double r = detrended[i] - mean;
+      var_resid += r * r;
+    }
+    if (var_total > kEps) {
+      f.seasonal_strength =
+          std::clamp(1.0 - var_resid / var_total, 0.0, 1.0);
+    }
+  }
+  return f;
+}
+
+WorkloadPattern WorkloadClassifier::Classify() const {
+  return ClassifyFeatures(Features());
+}
+
+WorkloadPattern WorkloadClassifier::ClassifyFeatures(
+    const WorkloadFeatures& features) const {
+  if (features.points < options_.min_points) {
+    return WorkloadPattern::kInsufficient;
+  }
+  if (features.burst_fraction >= options_.burst_fraction_threshold) {
+    return WorkloadPattern::kBursty;
+  }
+  if (features.seasonal_strength >= options_.seasonal_strength_threshold) {
+    return WorkloadPattern::kSeasonal;
+  }
+  if (features.trend_strength >= options_.trend_strength_threshold) {
+    return WorkloadPattern::kTrending;
+  }
+  return WorkloadPattern::kSteady;
+}
+
+}  // namespace rpas::select

@@ -1,0 +1,101 @@
+#ifndef RPAS_SELECT_CLASSIFIER_H_
+#define RPAS_SELECT_CLASSIFIER_H_
+
+#include <cstddef>
+#include <deque>
+#include <string_view>
+#include <vector>
+
+namespace rpas::select {
+
+/// Workload pattern labels the per-tenant forecaster router keys on
+/// (cf. the trend + seasonal + residual decomposition of the Alibaba AHPA
+/// paper and the workload-pattern detection in SNIPPETS.md snippet 2).
+/// Ordering matters for tier seeding: later labels are "harder" workloads.
+enum class WorkloadPattern : int {
+  kInsufficient = 0,  ///< too few points to classify
+  kSteady = 1,        ///< flat, low-noise demand
+  kTrending = 2,      ///< dominant linear drift
+  kSeasonal = 3,      ///< dominant periodic cycle
+  kBursty = 4,        ///< heavy-tailed spikes on top of anything else
+};
+std::string_view WorkloadPatternToString(WorkloadPattern pattern);
+
+/// Deterministic features of one rolling workload window. Every field is a
+/// pure function of the window contents — no RNG, no thread-dependent
+/// reduction order — so features are bit-identical at any thread count and
+/// for any chunking of the pushes that produced the window.
+struct WorkloadFeatures {
+  size_t points = 0;
+  /// |OLS slope| * (n-1) in robust-scale units: how many MAD-scales the
+  /// fitted line moves across the whole window.
+  double trend_strength = 0.0;
+  /// Variance-ratio seasonality of the detrended window:
+  /// 1 - Var(detrended - phase_mean) / Var(detrended), clamped to [0, 1].
+  /// 0 when the window spans fewer than two full seasons.
+  double seasonal_strength = 0.0;
+  /// Fraction of points whose robust spike score |x - median| / (1.4826 *
+  /// MAD) exceeds the configured z threshold.
+  double burst_fraction = 0.0;
+  /// Largest robust spike score in the window.
+  double max_spike_score = 0.0;
+};
+
+struct ClassifierOptions {
+  /// Rolling window capacity in points; older points fall off the back.
+  size_t window = 288;
+  /// Steps per seasonal cycle (one day at 10-minute sampling).
+  size_t season = 144;
+  /// Below this many points the pattern is kInsufficient.
+  size_t min_points = 32;
+  /// Robust z threshold above which a point counts as a spike.
+  double spike_z = 3.5;
+  /// Spike fraction at or above which the window is kBursty.
+  double burst_fraction_threshold = 0.03;
+  /// Seasonal strength at or above which the window is kSeasonal.
+  double seasonal_strength_threshold = 0.4;
+  /// Trend strength at or above which the window is kTrending.
+  double trend_strength_threshold = 1.0;
+};
+
+/// Deterministic workload-pattern classifier over a bounded rolling window.
+///
+/// The streaming interface (Push / Features / Classify) and the one-shot
+/// interface (FeaturesOf) run the same arithmetic: pushing a series point by
+/// point, in chunks of any size, or calling FeaturesOf on the trailing
+/// `window` points all yield bit-identical features. The classifier never
+/// draws randomness and never parallelizes, so its output is also invariant
+/// to RPAS_NUM_THREADS — the property tests pin both invariants.
+class WorkloadClassifier {
+ public:
+  explicit WorkloadClassifier(ClassifierOptions options);
+
+  /// Appends one observation, evicting the oldest beyond the window.
+  void Push(double value);
+  void PushAll(const std::vector<double>& values);
+  void Reset();
+  size_t size() const { return window_.size(); }
+
+  /// Features of the current window contents.
+  WorkloadFeatures Features() const;
+  /// Pattern label for the current window contents.
+  WorkloadPattern Classify() const;
+
+  /// One-shot: features of the trailing `options().window` points of
+  /// `values` (all of them when shorter).
+  WorkloadFeatures FeaturesOf(const std::vector<double>& values) const;
+
+  /// Pure feature→label mapping. Bursty dominates (spikes break every
+  /// model class equally), then seasonal, then trending, then steady.
+  WorkloadPattern ClassifyFeatures(const WorkloadFeatures& features) const;
+
+  const ClassifierOptions& options() const { return options_; }
+
+ private:
+  ClassifierOptions options_;
+  std::deque<double> window_;
+};
+
+}  // namespace rpas::select
+
+#endif  // RPAS_SELECT_CLASSIFIER_H_

@@ -1,0 +1,87 @@
+#include "select/prescaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rpas::select {
+
+PreScaler::PreScaler(PreScalerOptions options, int base_floor)
+    : options_(options),
+      base_floor_(base_floor),
+      original_floor_(base_floor),
+      raised_floor_(base_floor) {
+  if (base_floor_ < 0) base_floor_ = 0;
+  original_floor_ = base_floor_;
+  raised_floor_ = base_floor_;
+}
+
+void PreScaler::ObservePlan(const std::vector<int>& plan, size_t start_step) {
+  ++stats_.plans_observed;
+  if (plan.empty()) return;
+  const int ref = plan[0];
+  const int spike_level = std::max(
+      static_cast<int>(std::ceil(static_cast<double>(ref) *
+                                 options_.spike_ratio)),
+      ref + options_.min_spike_nodes);
+  size_t spike_offset = plan.size();
+  for (size_t k = 1; k < plan.size(); ++k) {
+    if (plan[k] >= spike_level) {
+      spike_offset = k;
+      break;
+    }
+  }
+  if (spike_offset == plan.size()) return;  // no predicted spike
+  ++stats_.spikes_detected;
+  // An active raise keeps running (its rollback logic owns the floor); only
+  // a pending, not-yet-applied episode is replaced by the fresher forecast.
+  if (active_) return;
+  const size_t spike_step = start_step + spike_offset;
+  const size_t lead = std::min(options_.lead_steps, spike_step);
+  pending_ = true;
+  raise_step_ = spike_step - lead;
+  spike_step_ = spike_step;
+  raised_floor_ = plan[spike_offset];
+}
+
+int PreScaler::FloorAt(size_t step) {
+  if (pending_ && !active_ && step >= raise_step_) {
+    pending_ = false;
+    active_ = true;
+    active_steps_ = 0;
+    original_floor_ = base_floor_;
+    ++stats_.activations;
+  }
+  if (active_) {
+    ++active_steps_;
+    if (step > spike_step_ + options_.peak_hold) {
+      Rollback(/*timeout=*/false);
+    } else if (active_steps_ > options_.hold_timeout) {
+      Rollback(/*timeout=*/true);
+    }
+  }
+  return active_ ? std::max(raised_floor_, base_floor_) : base_floor_;
+}
+
+int PreScaler::Merge(int decision, size_t step) {
+  const int floor = FloorAt(step);
+  if (floor > decision) {
+    ++stats_.floor_raised_steps;
+    return floor;
+  }
+  return decision;
+}
+
+void PreScaler::Rollback(bool timeout) {
+  active_ = false;
+  active_steps_ = 0;
+  raised_floor_ = original_floor_;
+  ++stats_.rollbacks;
+  if (timeout) ++stats_.timeout_rollbacks;
+}
+
+void PreScaler::Finish() {
+  if (active_) Rollback(/*timeout=*/false);
+  pending_ = false;
+}
+
+}  // namespace rpas::select

@@ -1,0 +1,97 @@
+#ifndef RPAS_SELECT_PRESCALER_H_
+#define RPAS_SELECT_PRESCALER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rpas::select {
+
+struct PreScalerOptions {
+  /// How many steps ahead of the predicted spike the floor raise lands, so
+  /// nodes finish warming up before traffic arrives.
+  size_t lead_steps = 3;
+  /// A step counts as a spike when the planned nodes reach
+  /// `max(ref * spike_ratio, ref + min_spike_nodes)` where ref = plan[0].
+  double spike_ratio = 1.5;
+  int min_spike_nodes = 2;
+  /// Steps past the predicted spike before the floor rolls back
+  /// ("peak passed").
+  size_t peak_hold = 2;
+  /// Safety valve: a raised floor never outlives this many active steps
+  /// even if the peak never materializes.
+  size_t hold_timeout = 24;
+};
+
+struct PreScalerStats {
+  uint64_t plans_observed = 0;
+  uint64_t spikes_detected = 0;
+  uint64_t activations = 0;
+  uint64_t rollbacks = 0;
+  uint64_t timeout_rollbacks = 0;
+  /// Steps on which the merged decision was raised above the reactive one.
+  uint64_t floor_raised_steps = 0;
+};
+
+/// TRUE pre-scaling with auto-rollback (SNIPPETS.md snippet 2 semantics):
+/// scan each fresh quantile plan for a predicted spike, raise the capacity
+/// floor `lead_steps` before it, remember the original floor, and roll back
+/// automatically once the peak has passed or a timeout expires.
+///
+/// Safety argument, enforced by construction: the only interaction with the
+/// reactive controller is `Merge(decision, step) = max(decision, FloorAt(step))`,
+/// and `FloorAt` never returns less than the base floor. A monotone max can
+/// raise capacity ahead of a spike but can never scale down below what the
+/// controller asked for — the pre-scaler cannot fight reactive scale-out,
+/// only pre-empt it. Rollback merely stops raising; it never lowers.
+///
+/// Fully deterministic (no RNG) and driven by a monotone step clock.
+class PreScaler {
+ public:
+  PreScaler(PreScalerOptions options, int base_floor);
+
+  /// Inspects a freshly installed plan whose first step executes at
+  /// absolute step `start_step`. Detects the earliest spike and schedules a
+  /// floor raise. A pending (not yet active) episode is replaced by the
+  /// fresher plan's view; an active episode keeps running until rollback.
+  void ObservePlan(const std::vector<int>& plan, size_t start_step);
+
+  /// The floor in force at `step`. Advances the internal episode state
+  /// machine: activates scheduled raises, rolls back after peak-passed or
+  /// timeout. `step` must be monotone non-decreasing across calls.
+  int FloorAt(size_t step);
+
+  /// Merges the reactive controller's decision with the pre-scale floor.
+  /// Never returns less than `decision`.
+  int Merge(int decision, size_t step);
+
+  /// Forces rollback of any in-flight episode (end of run), so that
+  /// `stats().activations == stats().rollbacks` always holds after Finish.
+  void Finish();
+
+  bool active() const { return active_; }
+  bool pending() const { return pending_; }
+  int base_floor() const { return base_floor_; }
+  /// The floor that rollback restores; equals base_floor() by invariant.
+  int original_floor() const { return original_floor_; }
+  const PreScalerStats& stats() const { return stats_; }
+  const PreScalerOptions& options() const { return options_; }
+
+ private:
+  void Rollback(bool timeout);
+
+  PreScalerOptions options_;
+  int base_floor_ = 1;
+  int original_floor_ = 1;
+  int raised_floor_ = 1;
+  bool pending_ = false;
+  bool active_ = false;
+  size_t raise_step_ = 0;    ///< absolute step at which the raise activates
+  size_t spike_step_ = 0;    ///< absolute step of the predicted spike
+  size_t active_steps_ = 0;  ///< steps since activation (timeout clock)
+  PreScalerStats stats_;
+};
+
+}  // namespace rpas::select
+
+#endif  // RPAS_SELECT_PRESCALER_H_

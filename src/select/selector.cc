@@ -1,0 +1,112 @@
+#include "select/selector.h"
+
+#include <algorithm>
+
+namespace rpas::select {
+
+AdaptiveSelector::AdaptiveSelector(SelectorOptions options)
+    : options_(options) {
+  if (options_.ladder_size == 0) options_.ladder_size = 1;
+  if (options_.wql_window == 0) options_.wql_window = 1;
+}
+
+void AdaptiveSelector::SeedFromPattern(WorkloadPattern pattern) {
+  if (seeded_ || stats_.rounds > 0) return;
+  seeded_ = true;
+  const size_t top = options_.ladder_size - 1;
+  switch (pattern) {
+    case WorkloadPattern::kInsufficient:
+    case WorkloadPattern::kSteady:
+    case WorkloadPattern::kSeasonal:
+      tier_ = 0;
+      break;
+    case WorkloadPattern::kTrending:
+      tier_ = std::min<size_t>(1, top);
+      break;
+    case WorkloadPattern::kBursty:
+      tier_ = top;
+      break;
+  }
+}
+
+SelectorEvent AdaptiveSelector::SwitchTo(size_t tier, SelectorEvent event) {
+  tier_ = tier;
+  dwell_ = 0;
+  consecutive_faults_ = 0;
+  window_.clear();
+  ++stats_.switches;
+  switch (event) {
+    case SelectorEvent::kPromote:
+      ++stats_.promotions;
+      cooldown_ = options_.probe_cooldown;
+      break;
+    case SelectorEvent::kProbeDemote:
+      ++stats_.probe_demotions;
+      break;
+    case SelectorEvent::kFaultDemote:
+      ++stats_.fault_demotions;
+      break;
+    case SelectorEvent::kDriftDemote:
+      ++stats_.drift_demotions;
+      break;
+    case SelectorEvent::kHold:
+      break;
+  }
+  return event;
+}
+
+SelectorEvent AdaptiveSelector::NoteDrift() {
+  if (tier_ == 0) {
+    // Already on the cheapest model; nothing below to fall to. Reset the
+    // evidence window so the drifted samples do not linger.
+    window_.clear();
+    return SelectorEvent::kHold;
+  }
+  return SwitchTo(tier_ - 1, SelectorEvent::kDriftDemote);
+}
+
+SelectorEvent AdaptiveSelector::ObserveRound(double wql, bool wql_valid,
+                                             bool faulted) {
+  ++stats_.rounds;
+  ++dwell_;
+  if (cooldown_ > 0) --cooldown_;
+
+  if (faulted) {
+    ++consecutive_faults_;
+    if (consecutive_faults_ >= options_.fault_trip && tier_ > 0) {
+      return SwitchTo(tier_ - 1, SelectorEvent::kFaultDemote);
+    }
+    return SelectorEvent::kHold;
+  }
+  consecutive_faults_ = 0;
+
+  if (wql_valid) {
+    window_.push_back(wql);
+    while (window_.size() > options_.wql_window) window_.pop_front();
+  }
+  if (window_.size() < options_.wql_window) return SelectorEvent::kHold;
+  if (dwell_ < options_.min_dwell) return SelectorEvent::kHold;
+
+  const double mean = RollingWql();
+  const size_t top = options_.ladder_size - 1;
+  if (mean > options_.wql_bound * (1.0 + options_.promote_hysteresis)) {
+    if (tier_ < top) return SwitchTo(tier_ + 1, SelectorEvent::kPromote);
+    return SelectorEvent::kHold;
+  }
+  if (mean < options_.wql_bound * options_.probe_fraction) {
+    if (tier_ > 0 && cooldown_ == 0) {
+      return SwitchTo(tier_ - 1, SelectorEvent::kProbeDemote);
+    }
+    return SelectorEvent::kHold;
+  }
+  return SelectorEvent::kHold;
+}
+
+double AdaptiveSelector::RollingWql() const {
+  if (window_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : window_) sum += v;
+  return sum / static_cast<double>(window_.size());
+}
+
+}  // namespace rpas::select

@@ -1,0 +1,111 @@
+#ifndef RPAS_SELECT_SELECTOR_H_
+#define RPAS_SELECT_SELECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "select/classifier.h"
+
+namespace rpas::select {
+
+/// Why the selector changed (or kept) its tier on a given round.
+enum class SelectorEvent : int {
+  kHold = 0,        ///< no change
+  kPromote = 1,     ///< rolling wQL breached the bound: climb one tier
+  kProbeDemote = 2, ///< rolling wQL well inside the bound: try one tier down
+  kFaultDemote = 3, ///< consecutive fault counter tripped: drop immediately
+  kDriftDemote = 4, ///< active model's drift guard tripped: drop immediately
+};
+
+struct SelectorOptions {
+  /// Number of candidate tiers (cheapest = 0, most expensive = size-1).
+  size_t ladder_size = 4;
+  /// Rolling-wQL window: how many scored rounds feed the decision.
+  size_t wql_window = 6;
+  /// Target rolling mean wQL. Promote when the mean exceeds
+  /// `bound * (1 + promote_hysteresis)`; probe a cheaper tier when it is
+  /// below `bound * probe_fraction`. Values in between never switch —
+  /// that dead band is the no-flap guarantee.
+  double wql_bound = 0.15;
+  double promote_hysteresis = 0.10;
+  double probe_fraction = 0.40;
+  /// Minimum rounds on a tier before any wQL-driven switch (fault/drift
+  /// demotions bypass the dwell: a broken model must not be dwelt on).
+  size_t min_dwell = 4;
+  /// Rounds to wait after a promotion before probing back down, so the
+  /// selector does not immediately undo an escalation it just paid for.
+  size_t probe_cooldown = 8;
+  /// Consecutive faulted rounds on the active tier that force a demotion.
+  size_t fault_trip = 2;
+};
+
+struct SelectorStats {
+  uint64_t rounds = 0;
+  uint64_t switches = 0;
+  uint64_t promotions = 0;
+  uint64_t probe_demotions = 0;
+  uint64_t fault_demotions = 0;
+  uint64_t drift_demotions = 0;
+};
+
+/// Per-tenant adaptive forecaster selection over a cost-ordered candidate
+/// ladder (seasonal-naive -> ARIMA -> MLP -> DeepAR). The selector itself is
+/// model-agnostic: callers map `tier()` to whatever forecaster ladder they
+/// hold. Decisions are a pure function of the observed wQL/fault/drift
+/// sequence — no RNG — so selection can never perturb seeded schedules.
+///
+/// State machine per observed round:
+///   1. fault round        -> consecutive-fault counter; at `fault_trip`,
+///                            demote immediately (ignores dwell), reset.
+///   2. drift notification -> demote immediately (ignores dwell).
+///   3. rolling wQL full + dwell satisfied:
+///        mean > bound*(1+hyst)          -> promote (if not at top)
+///        mean < bound*probe_fraction    -> probe demote (if not at bottom
+///                                          and past the probe cooldown)
+///        otherwise                      -> hold (hysteresis dead band).
+/// Every switch resets the rolling window and the dwell clock: evidence
+/// gathered against one model never judges another.
+class AdaptiveSelector {
+ public:
+  explicit AdaptiveSelector(SelectorOptions options);
+
+  /// Seeds the starting tier from a workload pattern: steady/seasonal
+  /// workloads start on the cheapest model, trending on tier 1, bursty on
+  /// the top tier. No-op after the first observed round.
+  void SeedFromPattern(WorkloadPattern pattern);
+
+  /// Feeds one planning round. `wql` is the realized prefix-wQL of the plan
+  /// that just expired; `wql_valid` is false when no forecast was scored
+  /// this round (e.g. fallback plan served). `faulted` marks a round on
+  /// which the active model's degradation path fired.
+  SelectorEvent ObserveRound(double wql, bool wql_valid, bool faulted);
+
+  /// External drift signal (e.g. the streaming refresher's wQL drift
+  /// guard). Demotes immediately, bypassing the dwell.
+  SelectorEvent NoteDrift();
+
+  size_t tier() const { return tier_; }
+  /// Rounds spent on the current tier since the last switch.
+  size_t dwell() const { return dwell_; }
+  double RollingWql() const;
+  size_t RollingCount() const { return window_.size(); }
+  const SelectorStats& stats() const { return stats_; }
+  const SelectorOptions& options() const { return options_; }
+
+ private:
+  SelectorEvent SwitchTo(size_t tier, SelectorEvent event);
+
+  SelectorOptions options_;
+  size_t tier_ = 0;
+  size_t dwell_ = 0;
+  size_t consecutive_faults_ = 0;
+  size_t cooldown_ = 0;
+  bool seeded_ = false;
+  std::deque<double> window_;
+  SelectorStats stats_;
+};
+
+}  // namespace rpas::select
+
+#endif  // RPAS_SELECT_SELECTOR_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -14,6 +15,7 @@
 #include "core/strategies.h"
 #include "simdb/cluster.h"
 #include "stream/ring.h"
+#include "ts/metrics.h"
 
 namespace rpas::serve {
 namespace {
@@ -45,6 +47,19 @@ struct TenantState {
   size_t last_fresh_step = 0;
   uint64_t staleness_sum = 0;
   uint64_t staleness_max = 0;
+  // Adaptive selection (selection.enabled only): classifier + selector +
+  // pre-scaler, and the newest fresh forecast kept for rolling-wQL scoring.
+  std::unique_ptr<select::WorkloadClassifier> classifier;
+  std::unique_ptr<select::AdaptiveSelector> selector;
+  std::unique_ptr<select::PreScaler> prescaler;
+  std::optional<ts::QuantileForecast> live_forecast;
+  size_t live_forecast_step = 0;  ///< absolute step of its first prediction
+  // Incremental refresh (kIncremental only): the tenant's private fitted
+  // forecaster and its refresher. Model staleness is tracked per round.
+  std::unique_ptr<forecast::Forecaster> refresh_model;
+  std::unique_ptr<stream::IncrementalRefresher> refresher;
+  uint64_t model_staleness_sum = 0;
+  uint64_t model_staleness_max = 0;
   // Per-step records for final provisioning evaluation.
   std::vector<double> realized;
   std::vector<int> allocation;
@@ -122,6 +137,22 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
   if (options.theta_divisor <= 0.0) {
     return Status::InvalidArgument("theta_divisor must be positive");
   }
+  const bool selecting = options.selection.enabled;
+  const bool incremental =
+      options.refresh_mode == core::RefreshMode::kIncremental;
+  if (selecting && options.selection.ladder.empty()) {
+    return Status::InvalidArgument(
+        "fleet selection needs a non-empty model ladder");
+  }
+  if (selecting && incremental) {
+    return Status::InvalidArgument(
+        "fleet selection cannot be combined with incremental refresh: "
+        "the refresher tracks one model, the ladder switches models");
+  }
+  if (incremental && options.refresh_model_factory == nullptr) {
+    return Status::InvalidArgument(
+        "incremental refresh mode needs a refresh_model_factory");
+  }
 
   const core::DegradationPolicy& policy = options.degradation;
   const size_t window = std::max<size_t>(policy.reactive_window, 1);
@@ -138,6 +169,19 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
       return Status::InvalidArgument(StrFormat(
           "%s: context length %zu exceeds history_steps %zu",
           models[m].ToString().c_str(), model_context[m],
+          options.history_steps));
+    }
+  }
+  const std::vector<ModelId>& ladder = options.selection.ladder;
+  std::vector<size_t> ladder_context(ladder.size(), 0);
+  for (size_t m = 0; m < ladder.size(); ++m) {
+    RPAS_ASSIGN_OR_RETURN(std::shared_ptr<const forecast::Forecaster> fc,
+                          registry->Acquire(ladder[m]));
+    ladder_context[m] = fc->ContextLength();
+    if (ladder_context[m] > options.history_steps) {
+      return Status::InvalidArgument(StrFormat(
+          "%s: context length %zu exceeds history_steps %zu",
+          ladder[m].ToString().c_str(), ladder_context[m],
           options.history_steps));
     }
   }
@@ -185,6 +229,7 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
   // embarrassingly parallel across tenants.
   std::vector<TenantState> tenants(options.num_tenants);
   const bool inject = options.faults.Any();
+  std::vector<Status> setup_status(options.num_tenants);
   ParallelFor(0, options.num_tenants, 1, [&](size_t t0, size_t t1) {
     for (size_t t = t0; t < t1; ++t) {
       TenantState& tenant = tenants[t];
@@ -233,8 +278,58 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
         tenant.recent.push_back(
             tenant.series.values[options.history_steps - back]);
       }
+
+      if (selecting) {
+        // Classify the tenant's observed history, seed the starting tier,
+        // and point the tenant at that ladder entry. All of this is a pure
+        // function of (series, options) — no RNG streams are consumed.
+        tenant.classifier = std::make_unique<select::WorkloadClassifier>(
+            options.selection.classifier);
+        tenant.classifier->PushAll(std::vector<double>(
+            tenant.series.values.begin(),
+            tenant.series.values.begin() +
+                static_cast<long>(options.history_steps)));
+        select::SelectorOptions selector_options = options.selection.selector;
+        selector_options.ladder_size = ladder.size();
+        tenant.selector =
+            std::make_unique<select::AdaptiveSelector>(selector_options);
+        tenant.selector->SeedFromPattern(tenant.classifier->Classify());
+        tenant.model = ladder[tenant.selector->tier()];
+        tenant.summary.model = tenant.model;
+        tenant.context_length = ladder_context[tenant.selector->tier()];
+        if (options.selection.prescale) {
+          tenant.prescaler = std::make_unique<select::PreScaler>(
+              options.selection.prescaler, tenant.config.min_nodes);
+        }
+      }
+
+      if (incremental) {
+        // Private per-tenant forecaster, fitted on the tenant's own
+        // history — the state the refresher keeps current round by round.
+        tenant.refresh_model = options.refresh_model_factory(tenant.model);
+        if (tenant.refresh_model == nullptr) {
+          setup_status[t] =
+              Status::InvalidArgument("refresh_model_factory returned null");
+          continue;
+        }
+        const ts::TimeSeries history =
+            tenant.series.Slice(0, options.history_steps);
+        Status fitted = tenant.refresh_model->Fit(history);
+        if (!fitted.ok()) {
+          setup_status[t] = std::move(fitted);
+          continue;
+        }
+        tenant.refresher = std::make_unique<stream::IncrementalRefresher>(
+            tenant.refresh_model.get(), options.refresher);
+        setup_status[t] = tenant.refresher->Prime(history);
+      }
     }
   });
+  for (Status& status : setup_status) {
+    if (!status.ok()) {
+      return std::move(status);
+    }
+  }
 
   const core::RobustQuantileAllocator allocator(options.tau);
 
@@ -271,6 +366,7 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
         for (size_t t : shard_tenants[s]) {
           TenantState& tenant = tenants[t];
           ++tenant.summary.rounds;
+          bool fault_round = false;
           if (tenant.injector != nullptr) {
             const simdb::StepFaults faults =
                 tenant.injector->FaultsForStep(step);
@@ -278,15 +374,40 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
                                  (faults.forecaster_nan ? 1 : 0);
             if (faults.stale_forecast && !tenant.last_good_plan.empty()) {
               disposition[t] = RoundPlan::kStale;
-              continue;
-            }
-            if (attempts > policy.max_retries) {
+              fault_round = true;
+            } else if (attempts > policy.max_retries) {
               disposition[t] = RoundPlan::kFallback;
               ++tenant.summary.fault_rounds;
-              continue;
+              fault_round = true;
             }
           }
-          wants_fresh[t] = 1;
+          if (tenant.selector != nullptr) {
+            // Score the expiring plan's forecast against what realized and
+            // feed the selector one round; the round's model — and with it
+            // the request's context length — comes from the updated tier.
+            double wql = 0.0;
+            bool wql_valid = false;
+            if (tenant.live_forecast.has_value() &&
+                step > tenant.live_forecast_step) {
+              const size_t elapsed = std::min<size_t>(
+                  step - tenant.live_forecast_step,
+                  tenant.live_forecast->Horizon());
+              const size_t begin =
+                  options.history_steps + tenant.live_forecast_step;
+              const std::vector<double> actual(
+                  tenant.series.values.begin() + static_cast<long>(begin),
+                  tenant.series.values.begin() +
+                      static_cast<long>(begin + elapsed));
+              wql = ts::PrefixMeanWql(*tenant.live_forecast, actual);
+              wql_valid = true;
+            }
+            tenant.selector->ObserveRound(wql, wql_valid, fault_round);
+            tenant.model = ladder[tenant.selector->tier()];
+            tenant.context_length = ladder_context[tenant.selector->tier()];
+          }
+          if (!fault_round) {
+            wants_fresh[t] = 1;
+          }
         }
       }
     });
@@ -385,15 +506,66 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
         std::min(step + options.replan_every, options.num_steps);
     ParallelFor(0, num_shards, 1, [&](size_t s0, size_t s1) {
       for (size_t s = s0; s < s1; ++s) {
-        // Phase 3: serve the admitted requests through the shard's engine
-        // and map forecasts to plans. Any per-request error degrades that
-        // tenant to the fallback — never the whole round.
+        // Incremental refresh: drain the round's ingested points from each
+        // tenant's ring and fold them into the tenant's private forecaster
+        // *before* serving, so admitted requests run against a model that
+        // has seen everything realized so far (model staleness 0). A
+        // refresh error degrades the tenant to the reactive fallback for
+        // the round — never the whole fleet.
+        std::vector<double> refresh_scratch;
+        for (size_t t : shard_tenants[s]) {
+          TenantState& tenant = tenants[t];
+          uint64_t model_staleness = static_cast<uint64_t>(step);
+          if (tenant.refresher != nullptr) {
+            if (tenant.live_forecast.has_value() &&
+                step > tenant.live_forecast_step) {
+              const size_t elapsed = std::min<size_t>(
+                  step - tenant.live_forecast_step,
+                  tenant.live_forecast->Horizon());
+              const size_t begin =
+                  options.history_steps + tenant.live_forecast_step;
+              const std::vector<double> actual(
+                  tenant.series.values.begin() + static_cast<long>(begin),
+                  tenant.series.values.begin() +
+                      static_cast<long>(begin + elapsed));
+              tenant.refresher->ObserveForecastLoss(
+                  ts::PrefixMeanWql(*tenant.live_forecast, actual));
+            }
+            refresh_scratch.clear();
+            const stream::StreamCursor::Batch batch =
+                tenant.cursor->Poll(&refresh_scratch);
+            tenant.stream_points += batch.count;
+            const ts::TimeSeries observed =
+                tenant.series.Slice(0, options.history_steps + step);
+            auto outcome = tenant.refresher->Refresh(observed, batch.count,
+                                                     batch.missed);
+            if (outcome.ok()) {
+              model_staleness = 0;
+            } else if (disposition[t] == RoundPlan::kFresh) {
+              ++tenant.summary.error_rounds;
+              disposition[t] = RoundPlan::kFallback;
+            }
+          }
+          tenant.model_staleness_sum += model_staleness;
+          tenant.model_staleness_max =
+              std::max(tenant.model_staleness_max, model_staleness);
+        }
+
+        // Phase 3: serve the admitted requests — through the shard's
+        // engine in kBatch mode, or directly from each tenant's refreshed
+        // private forecaster in kIncremental mode (per-tenant state cannot
+        // be cross-tenant batched; the request seed derivation is byte-for
+        // -byte the same). Any per-request error degrades that tenant to
+        // the fallback — never the whole round.
         std::vector<ForecastRequest> requests;
         std::vector<size_t> request_tenant;
         requests.reserve(shard_admitted[s].size());
         request_tenant.reserve(shard_admitted[s].size());
         for (size_t t : shard_admitted[s]) {
           TenantState& tenant = tenants[t];
+          if (disposition[t] != RoundPlan::kFresh) {
+            continue;  // refresh error already degraded this round
+          }
           ForecastRequest request;
           request.tenant_id = t;
           request.model = tenant.model;
@@ -409,8 +581,22 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
           requests.push_back(std::move(request));
           request_tenant.push_back(t);
         }
-        const std::vector<ForecastResponse> responses =
-            shards[s].engine->Execute(requests);
+        std::vector<ForecastResponse> responses;
+        if (incremental) {
+          responses.resize(requests.size());
+          for (size_t k = 0; k < requests.size(); ++k) {
+            TenantState& tenant = tenants[request_tenant[k]];
+            auto forecast_or = tenant.refresh_model->PredictSeeded(
+                requests[k].input, requests[k].seed);
+            if (forecast_or.ok()) {
+              responses[k].forecast = std::move(*forecast_or);
+            } else {
+              responses[k].status = forecast_or.status();
+            }
+          }
+        } else {
+          responses = shards[s].engine->Execute(requests);
+        }
         for (size_t k = 0; k < responses.size(); ++k) {
           const size_t t = request_tenant[k];
           TenantState& tenant = tenants[t];
@@ -430,6 +616,17 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
           tenant.last_good_plan = tenant.plan;
           tenant.last_fresh_step = step;
           ++tenant.summary.fresh_rounds;
+          if (tenant.selector != nullptr || tenant.refresher != nullptr) {
+            // Keep the fresh forecast for next round's rolling-wQL score
+            // (selector promotion/demotion, refresher drift guard).
+            tenant.live_forecast = responses[k].forecast;
+            tenant.live_forecast_step = step;
+          }
+          if (tenant.prescaler != nullptr) {
+            // The fresh quantile plan is the spike predictor: schedule a
+            // floor raise lead_steps ahead of any predicted spike.
+            tenant.prescaler->ObservePlan(tenant.plan, step);
+          }
         }
         for (size_t t : shard_tenants[s]) {
           TenantState& tenant = tenants[t];
@@ -466,8 +663,13 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
               }
             }
             const size_t cursor = st - step;
-            const int target =
+            int target =
                 tenant.plan[std::min(cursor, tenant.plan.size() - 1)];
+            if (tenant.prescaler != nullptr) {
+              // Monotone merge: the pre-scale floor can only raise the
+              // decision, never fight the reactive plan downward.
+              target = tenant.prescaler->Merge(target, st);
+            }
             const double workload =
                 tenant.series.values[options.history_steps + st];
             const simdb::StepStats stats =
@@ -479,6 +681,9 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
               ++tenant.slo_violations;
             }
             PushRecent(&tenant, stats.workload, window);
+            if (tenant.classifier != nullptr) {
+              tenant.classifier->Push(stats.workload);
+            }
             tenant.ring->Push(stats.workload);
             const uint64_t staleness =
                 static_cast<uint64_t>(st - tenant.last_fresh_step);
@@ -503,11 +708,14 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
           // Drain the round's ingested observations through the cursor —
           // the same "new since last seq" contract the streaming online
           // loop consumes; capacity >= 2 * replan_every makes this
-          // drop-free.
-          drained.clear();
-          const stream::StreamCursor::Batch batch =
-              tenant.cursor->Poll(&drained);
-          tenant.stream_points += batch.count;
+          // drop-free. In incremental mode the refresher drains instead,
+          // at the top of the next round, so the points feed the model.
+          if (!incremental) {
+            drained.clear();
+            const stream::StreamCursor::Batch batch =
+                tenant.cursor->Poll(&drained);
+            tenant.stream_points += batch.count;
+          }
         }
       }
     });
@@ -546,6 +754,46 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
         static_cast<double>(tenant.staleness_sum) /
         static_cast<double>(options.num_steps);
     tenant.summary.max_staleness_steps = tenant.staleness_max;
+    tenant.summary.mean_model_staleness_steps =
+        static_cast<double>(tenant.model_staleness_sum) /
+        static_cast<double>(result.rounds);
+    tenant.summary.max_model_staleness_steps = tenant.model_staleness_max;
+    if (tenant.selector != nullptr) {
+      if (tenant.prescaler != nullptr) {
+        // Force rollback of any in-flight floor raise so activations
+        // balance rollbacks at the end of every run.
+        tenant.prescaler->Finish();
+        tenant.summary.prescale = tenant.prescaler->stats();
+      }
+      tenant.summary.final_tier = tenant.selector->tier();
+      tenant.summary.pattern = tenant.classifier->Classify();
+      tenant.summary.selector = tenant.selector->stats();
+      tenant.summary.model = ladder[tenant.selector->tier()];
+      result.tier_switches += tenant.summary.selector.switches;
+      result.tier_promotions += tenant.summary.selector.promotions;
+      result.tier_demotions += tenant.summary.selector.probe_demotions +
+                               tenant.summary.selector.fault_demotions +
+                               tenant.summary.selector.drift_demotions;
+      result.prescale_activations += tenant.summary.prescale.activations;
+      result.prescale_rollbacks += tenant.summary.prescale.rollbacks;
+      result.prescale_floor_raised_steps +=
+          tenant.summary.prescale.floor_raised_steps;
+    }
+    if (tenant.refresher != nullptr) {
+      const stream::RefreshStats& rs = tenant.refresher->stats();
+      result.refresh.refreshes += rs.refreshes;
+      result.refresh.points_consumed += rs.points_consumed;
+      result.refresh.recursive_updates += rs.recursive_updates;
+      result.refresh.fine_tunes += rs.fine_tunes;
+      result.refresh.gradient_steps += rs.gradient_steps;
+      result.refresh.resyncs += rs.resyncs;
+      result.refresh.full_retrains += rs.full_retrains;
+    }
+    result.mean_model_staleness_steps +=
+        tenant.summary.mean_model_staleness_steps;
+    result.max_model_staleness_steps =
+        std::max(result.max_model_staleness_steps,
+                 tenant.summary.max_model_staleness_steps);
     result.tenants[t] = tenant.summary;
     result.mean_under_provision_rate += tenant.summary.under_provision_rate;
     result.mean_over_provision_rate += tenant.summary.over_provision_rate;
@@ -563,6 +811,33 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
   result.mean_utilization /= n;
   result.mean_slo_violation_rate /= n;
   result.mean_staleness_steps /= n;
+  result.mean_model_staleness_steps /= n;
+  if (selecting) {
+    // serve.select.* counters are bulk-incremented from the finished
+    // result, so registry values agree exactly with the result fields.
+    metrics->GetCounter("serve.select.switches")
+        ->Increment(static_cast<int64_t>(result.tier_switches));
+    metrics->GetCounter("serve.select.promotions")
+        ->Increment(static_cast<int64_t>(result.tier_promotions));
+    metrics->GetCounter("serve.select.demotions")
+        ->Increment(static_cast<int64_t>(result.tier_demotions));
+    metrics->GetCounter("serve.select.prescale.activations")
+        ->Increment(static_cast<int64_t>(result.prescale_activations));
+    metrics->GetCounter("serve.select.prescale.rollbacks")
+        ->Increment(static_cast<int64_t>(result.prescale_rollbacks));
+    metrics->GetCounter("serve.select.prescale.floor_raised_steps")
+        ->Increment(static_cast<int64_t>(result.prescale_floor_raised_steps));
+  }
+  if (incremental) {
+    metrics->GetCounter("serve.refresh.rounds")
+        ->Increment(static_cast<int64_t>(result.refresh.refreshes));
+    metrics->GetCounter("serve.refresh.points_consumed")
+        ->Increment(static_cast<int64_t>(result.refresh.points_consumed));
+    metrics->GetCounter("serve.refresh.resyncs")
+        ->Increment(static_cast<int64_t>(result.refresh.resyncs));
+    metrics->GetCounter("serve.refresh.full_retrains")
+        ->Increment(static_cast<int64_t>(result.refresh.full_retrains));
+  }
   result.cache = registry->GetCacheStats();
   for (const Shard& shard : shards) {
     if (shard.owned_registry != nullptr) {

@@ -51,6 +51,18 @@ struct TenantSummary {
   /// in, growing under stale/fallback rounds.
   double mean_staleness_steps = 0.0;
   uint64_t max_staleness_steps = 0;
+  /// Model staleness: per-round age (in steps) of the serving model's
+  /// fitted state. In kBatch mode the registry model never folds realized
+  /// points, so staleness grows by replan_every per round; in kIncremental
+  /// mode the tenant's private forecaster is refreshed at the top of every
+  /// round, pinning this to 0.
+  double mean_model_staleness_steps = 0.0;
+  uint64_t max_model_staleness_steps = 0;
+  /// Adaptive selection outcome (zeros when selection is disabled).
+  size_t final_tier = 0;
+  select::WorkloadPattern pattern = select::WorkloadPattern::kInsufficient;
+  select::SelectorStats selector;
+  select::PreScalerStats prescale;
 };
 
 /// Aggregate outcome of a fleet run.
@@ -73,6 +85,19 @@ struct FleetResult {
   uint64_t stream_dropped = 0;
   double mean_staleness_steps = 0.0;
   uint64_t max_staleness_steps = 0;
+  /// Model staleness (mean of tenant means / max of tenant maxima) and
+  /// per-tenant refresher totals; zeros in kBatch mode.
+  double mean_model_staleness_steps = 0.0;
+  uint64_t max_model_staleness_steps = 0;
+  stream::RefreshStats refresh;
+  /// Fleet-wide adaptive-selection totals (sums over tenants; zeros when
+  /// selection is disabled), mirrored into the serve.select.* counters.
+  uint64_t tier_switches = 0;
+  uint64_t tier_promotions = 0;
+  uint64_t tier_demotions = 0;
+  uint64_t prescale_activations = 0;
+  uint64_t prescale_rollbacks = 0;
+  uint64_t prescale_floor_raised_steps = 0;
   /// Registry cache effectiveness over the whole run (includes the warm-up
   /// Acquire() per distinct model at fleet setup). With per-shard
   /// registries this sums every registry the run touched, so loads/misses
@@ -132,6 +157,42 @@ struct FleetOptions {
   /// drop-free when every round drains. Smaller capacities exercise the
   /// drop-oldest path and show up in TenantSummary::stream_dropped.
   size_t stream_ring_capacity = 0;
+  /// Per-tenant adaptive model selection over a cost-ordered ladder of
+  /// registered versions. Disabled leaves RunFleet bit-identical to the
+  /// pre-selection fleet; enabled replaces the round-robin
+  /// `models[t % models]` assignment with the tenant's current ladder tier.
+  /// The selector consumes only the tenant's observed wQL/fault sequence —
+  /// no RNG — so enabling it perturbs no seeded schedule: request seeds,
+  /// admission verdicts, and fault draws are unchanged.
+  struct SelectionOptions {
+    bool enabled = false;
+    /// Ladder of registered versions, cheapest first (e.g. seasonal-naive
+    /// -> ARIMA -> MLP -> DeepAR). Required non-empty when enabled; every
+    /// entry's context length must fit history_steps.
+    std::vector<ModelId> ladder;
+    select::ClassifierOptions classifier;
+    /// `selector.ladder_size` is overwritten with `ladder.size()`.
+    select::SelectorOptions selector;
+    /// TRUE pre-scaling: raise each tenant's capacity floor ahead of a
+    /// predicted spike, auto-rollback after peak or timeout.
+    bool prescale = true;
+    select::PreScalerOptions prescaler;
+  };
+  SelectionOptions selection;
+  /// How tenants' serving models track realized workload. kBatch serves
+  /// every round from the (frozen) registry version — bit-identical to the
+  /// pre-streaming fleet. kIncremental gives each tenant a private
+  /// forecaster built by `refresh_model_factory`, fitted on the tenant's
+  /// own history, refreshed from its ingest ring at the top of every round
+  /// via a stream::IncrementalRefresher, and served directly (bypassing the
+  /// BatchEngine — per-tenant state cannot be cross-tenant batched).
+  /// Cannot be combined with selection (the refresher tracks one model).
+  core::RefreshMode refresh_mode = core::RefreshMode::kBatch;
+  /// Builds an unfitted forecaster configured like the registered version.
+  /// Required (non-null) in kIncremental mode.
+  std::function<std::unique_ptr<forecast::Forecaster>(const ModelId&)>
+      refresh_model_factory;
+  stream::RefresherOptions refresher;
   /// Builds one model registry per shard with every referenced version
   /// registered against the same checkpoints as the registry passed to
   /// RunFleet. When null, all shards share that registry — correct, but

@@ -4,9 +4,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "core/manager.h"
+#include "select/classifier.h"
+#include "select/prescaler.h"
+#include "simdb/faults.h"
 #include "forecast/seasonal_naive.h"
 #include "dist/empirical.h"
 #include "dist/student_t.h"
@@ -486,6 +494,201 @@ TEST_P(SeededProperty, IncrementalChunksEqualOneResyncAfterDrop) {
   forecast::SeasonalNaiveForecaster fresh(options);
   ASSERT_TRUE(fresh.Fit(series).ok());
   EXPECT_EQ(incremental.residual_stddev(), fresh.residual_stddev());
+}
+
+TEST_P(SeededProperty, ClassifierFeaturesInvariantToChunking) {
+  // The workload classifier's features are a pure function of the trailing
+  // window — any push pattern (point-by-point, random chunks, one PushAll)
+  // lands on identical bits, and matches the one-shot FeaturesOf.
+  Rng rng(GetParam() ^ 0xC1A5);
+  const size_t total = 96 + static_cast<size_t>(rng.Uniform(0.0, 400.0));
+  std::vector<double> values;
+  double walk = rng.Uniform(5.0, 15.0);
+  for (size_t i = 0; i < total; ++i) {
+    walk += rng.Normal();
+    values.push_back(
+        walk + 4.0 * std::sin(2.0 * M_PI * static_cast<double>(i) / 24.0) +
+        (rng.Uniform() < 0.02 ? 40.0 : 0.0));
+  }
+
+  select::ClassifierOptions options;
+  options.window = 96;
+  options.season = 24;
+  options.min_points = 16;
+
+  select::WorkloadClassifier chunked(options);
+  size_t at = 0;
+  for (size_t n : RandomChunks(&rng, total)) {
+    chunked.PushAll(
+        std::vector<double>(values.begin() + static_cast<long>(at),
+                            values.begin() + static_cast<long>(at + n)));
+    at += n;
+  }
+  select::WorkloadClassifier pointwise(options);
+  for (double v : values) {
+    pointwise.Push(v);
+  }
+  select::WorkloadClassifier oneshot(options);
+
+  const auto a = chunked.Features();
+  const auto b = pointwise.Features();
+  const auto c = oneshot.FeaturesOf(values);
+  EXPECT_EQ(a.points, b.points);
+  EXPECT_EQ(a.trend_strength, b.trend_strength);
+  EXPECT_EQ(a.seasonal_strength, b.seasonal_strength);
+  EXPECT_EQ(a.burst_fraction, b.burst_fraction);
+  EXPECT_EQ(a.max_spike_score, b.max_spike_score);
+  EXPECT_EQ(a.trend_strength, c.trend_strength);
+  EXPECT_EQ(a.seasonal_strength, c.seasonal_strength);
+  EXPECT_EQ(a.burst_fraction, c.burst_fraction);
+  EXPECT_EQ(a.max_spike_score, c.max_spike_score);
+  EXPECT_EQ(chunked.Classify(), pointwise.Classify());
+  EXPECT_EQ(chunked.Classify(), oneshot.ClassifyFeatures(c));
+}
+
+TEST_P(SeededProperty, ClassifierFeaturesInvariantToThreadCount) {
+  // Classifying a batch of series fanned across the pool produces the same
+  // bits at every thread count (the classifier holds no shared state and
+  // each cell writes only its own slot).
+  Rng rng(GetParam() ^ 0x7D3A);
+  constexpr size_t kSeries = 24;
+  std::vector<std::vector<double>> series(kSeries);
+  for (auto& s : series) {
+    const size_t n = 64 + static_cast<size_t>(rng.Uniform(0.0, 200.0));
+    double walk = rng.Uniform(5.0, 15.0);
+    for (size_t i = 0; i < n; ++i) {
+      walk += rng.Normal();
+      s.push_back(walk +
+                  (rng.Uniform() < 0.03 ? rng.Uniform(20.0, 60.0) : 0.0));
+    }
+  }
+  select::ClassifierOptions options;
+  options.window = 128;
+  options.season = 24;
+  options.min_points = 16;
+
+  auto classify_all = [&](int threads) {
+    SetRpasThreads(threads);
+    std::vector<select::WorkloadFeatures> features(kSeries);
+    std::vector<select::WorkloadPattern> patterns(kSeries);
+    ParallelFor(0, kSeries, 1, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        select::WorkloadClassifier classifier(options);
+        classifier.PushAll(series[i]);
+        features[i] = classifier.Features();
+        patterns[i] = classifier.Classify();
+      }
+    });
+    SetRpasThreads(0);
+    return std::make_pair(std::move(features), std::move(patterns));
+  };
+
+  const auto serial = classify_all(1);
+  for (int threads : {2, 4, 7}) {
+    const auto parallel = classify_all(threads);
+    for (size_t i = 0; i < kSeries; ++i) {
+      EXPECT_EQ(parallel.first[i].trend_strength,
+                serial.first[i].trend_strength);
+      EXPECT_EQ(parallel.first[i].seasonal_strength,
+                serial.first[i].seasonal_strength);
+      EXPECT_EQ(parallel.first[i].burst_fraction,
+                serial.first[i].burst_fraction);
+      EXPECT_EQ(parallel.first[i].max_spike_score,
+                serial.first[i].max_spike_score);
+      EXPECT_EQ(parallel.second[i], serial.second[i]);
+    }
+  }
+}
+
+/// Single-fault plans covering every FaultType in simdb/faults.h.
+/// kIngestBurst (9) is the clear-step flush of kIngestStall's plan, and
+/// kPlannerError (7) has no standalone rate — the composite Uniform plan
+/// at the end stands in for both alongside every other type at once.
+std::vector<std::pair<std::string, simdb::FaultPlan>> AllFaultTypePlans(
+    uint64_t seed) {
+  std::vector<std::pair<std::string, simdb::FaultPlan>> plans;
+  auto add = [&](simdb::FaultType type,
+                 const std::function<void(simdb::FaultPlan&)>& set) {
+    simdb::FaultPlan plan;
+    plan.seed = seed;
+    set(plan);
+    plans.emplace_back(std::string(simdb::FaultTypeToString(type)), plan);
+  };
+  add(simdb::FaultType::kActuationDelay,
+      [](simdb::FaultPlan& p) { p.actuation_delay_rate = 0.4; });
+  add(simdb::FaultType::kPartialScaleOut,
+      [](simdb::FaultPlan& p) { p.partial_scaleout_rate = 0.4; });
+  add(simdb::FaultType::kNodeCrash,
+      [](simdb::FaultPlan& p) { p.crash_rate = 0.3; });
+  add(simdb::FaultType::kWorkloadSpike, [](simdb::FaultPlan& p) {
+    p.spike_rate = 0.3;
+    p.spike_multiplier = 3.0;
+  });
+  add(simdb::FaultType::kForecasterTimeout,
+      [](simdb::FaultPlan& p) { p.forecaster_timeout_rate = 0.4; });
+  add(simdb::FaultType::kForecasterNan,
+      [](simdb::FaultPlan& p) { p.forecaster_nan_rate = 0.4; });
+  add(simdb::FaultType::kStaleForecast,
+      [](simdb::FaultPlan& p) { p.stale_forecast_rate = 0.4; });
+  add(simdb::FaultType::kIngestStall,
+      [](simdb::FaultPlan& p) { p.ingest_stall_rate = 0.4; });
+  plans.emplace_back("composite_all", simdb::FaultPlan::Uniform(0.3, seed));
+  return plans;
+}
+
+TEST_P(SeededProperty, PreScalerRoundTripsFloorUnderEveryFaultType) {
+  // Whatever fault-perturbed plan/decision sequence reaches the pre-scaler
+  // — dropped rounds under forecaster faults, spiky plans under workload
+  // faults, shrunken decisions under crash/partial faults — every raise
+  // rolls back to the original base floor and the merged decision is never
+  // below what the reactive controller asked for.
+  Rng rng(GetParam() ^ 0xF1E5);
+  const int base_floor = 1 + static_cast<int>(rng.Uniform(0.0, 3.0));
+  constexpr size_t kSteps = 240;
+  constexpr size_t kReplan = 6;
+
+  for (const auto& [name, plan] : AllFaultTypePlans(GetParam() * 31 + 7)) {
+    simdb::FaultInjector injector(plan);
+    select::PreScalerOptions options;
+    options.lead_steps = 2;
+    options.spike_ratio = 1.3;
+    options.min_spike_nodes = 1;
+    options.peak_hold = 2;
+    options.hold_timeout = 3 * kReplan;
+    select::PreScaler prescaler(options, base_floor);
+
+    for (size_t step = 0; step < kSteps; ++step) {
+      const simdb::StepFaults faults = injector.FaultsForStep(step);
+      if (step % kReplan == 0 && faults.forecaster_timeout_attempts == 0 &&
+          !faults.forecaster_nan && !faults.stale_forecast) {
+        // Fresh plan: a daily-peak shape scaled by any workload fault.
+        std::vector<int> fresh;
+        for (size_t h = 0; h < 2 * kReplan; ++h) {
+          const size_t phase = (step + h) % 48;
+          double nodes = (phase >= 20 && phase < 28) ? 9.0 : 2.0;
+          nodes *= faults.workload_multiplier;
+          fresh.push_back(static_cast<int>(nodes));
+        }
+        prescaler.ObservePlan(fresh, step);
+      }
+      int decision =
+          2 + static_cast<int>(3.0 * rng.Uniform()) - faults.crash_nodes;
+      if (faults.partial_fraction < 1.0) {
+        decision = static_cast<int>(decision * faults.partial_fraction);
+      }
+      decision = std::max(decision, 1);
+      const int merged = prescaler.Merge(decision, step);
+      EXPECT_GE(merged, decision) << name;
+      EXPECT_GE(merged, 0) << name;
+    }
+    prescaler.Finish();
+    EXPECT_EQ(prescaler.stats().activations, prescaler.stats().rollbacks)
+        << name;
+    EXPECT_FALSE(prescaler.active()) << name;
+    EXPECT_EQ(prescaler.original_floor(), base_floor) << name;
+    // Post-rollback the floor sits exactly at the original base again.
+    EXPECT_EQ(prescaler.FloorAt(kSteps), base_floor) << name;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,

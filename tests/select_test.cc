@@ -1,0 +1,712 @@
+// Adaptive selection layer: workload classifier, selector state machine,
+// TRUE pre-scaler with auto-rollback, the rolling-wQL accessor, and the
+// online loop's selection_mode wiring (off = bit-identical to the
+// pre-selection loop).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/online_loop.h"
+#include "core/strategies.h"
+#include "forecast/arima.h"
+#include "forecast/rolling_wql.h"
+#include "forecast/seasonal_naive.h"
+#include "obs/metrics.h"
+#include "select/classifier.h"
+#include "select/prescaler.h"
+#include "select/selector.h"
+#include "trace/generator.h"
+
+namespace rpas {
+namespace {
+
+using select::AdaptiveSelector;
+using select::ClassifierOptions;
+using select::PreScaler;
+using select::PreScalerOptions;
+using select::SelectorEvent;
+using select::SelectorOptions;
+using select::WorkloadClassifier;
+using select::WorkloadPattern;
+
+// ------------------------------------------------------------ Classifier ---
+
+ClassifierOptions SmallClassifier() {
+  ClassifierOptions options;
+  options.window = 96;
+  options.season = 24;
+  options.min_points = 16;
+  return options;
+}
+
+TEST(ClassifierTest, InsufficientBelowMinPoints) {
+  WorkloadClassifier classifier(SmallClassifier());
+  for (int i = 0; i < 10; ++i) {
+    classifier.Push(5.0);
+  }
+  EXPECT_EQ(classifier.Classify(), WorkloadPattern::kInsufficient);
+}
+
+TEST(ClassifierTest, SteadyFlatSeriesWithNoise) {
+  WorkloadClassifier classifier(SmallClassifier());
+  for (int i = 0; i < 96; ++i) {
+    classifier.Push(10.0 + 0.1 * std::sin(0.7 * i) +
+                    0.05 * ((i * 37) % 11));
+  }
+  EXPECT_EQ(classifier.Classify(), WorkloadPattern::kSteady);
+}
+
+TEST(ClassifierTest, DetectsLinearTrend) {
+  WorkloadClassifier classifier(SmallClassifier());
+  for (int i = 0; i < 96; ++i) {
+    classifier.Push(10.0 + 0.5 * i + 0.3 * std::sin(0.9 * i));
+  }
+  const auto features = classifier.Features();
+  EXPECT_GT(features.trend_strength,
+            classifier.options().trend_strength_threshold);
+  EXPECT_EQ(classifier.Classify(), WorkloadPattern::kTrending);
+}
+
+TEST(ClassifierTest, DetectsSeasonalCycle) {
+  WorkloadClassifier classifier(SmallClassifier());
+  for (int i = 0; i < 96; ++i) {  // four full 24-step seasons
+    classifier.Push(10.0 + 5.0 * std::sin(2.0 * M_PI * i / 24.0));
+  }
+  const auto features = classifier.Features();
+  EXPECT_GT(features.seasonal_strength, 0.9);
+  EXPECT_EQ(classifier.Classify(), WorkloadPattern::kSeasonal);
+}
+
+TEST(ClassifierTest, DetectsBursts) {
+  WorkloadClassifier classifier(SmallClassifier());
+  for (int i = 0; i < 96; ++i) {
+    // Mild noise with hard spikes every 16 steps.
+    const double base = 10.0 + 0.2 * std::sin(0.5 * i);
+    classifier.Push(i % 16 == 7 ? base * 8.0 : base);
+  }
+  const auto features = classifier.Features();
+  EXPECT_GE(features.burst_fraction,
+            classifier.options().burst_fraction_threshold);
+  EXPECT_EQ(classifier.Classify(), WorkloadPattern::kBursty);
+}
+
+TEST(ClassifierTest, BurstyDominatesSeasonal) {
+  WorkloadClassifier classifier(SmallClassifier());
+  for (int i = 0; i < 96; ++i) {
+    const double seasonal = 10.0 + 5.0 * std::sin(2.0 * M_PI * i / 24.0);
+    classifier.Push(i % 16 == 3 ? seasonal + 200.0 : seasonal);
+  }
+  EXPECT_EQ(classifier.Classify(), WorkloadPattern::kBursty);
+}
+
+TEST(ClassifierTest, WindowEvictsOldest) {
+  WorkloadClassifier classifier(SmallClassifier());
+  // A huge prefix spike must age out of the 96-point window entirely.
+  classifier.Push(1e6);
+  for (int i = 0; i < 96; ++i) {
+    classifier.Push(10.0);
+  }
+  EXPECT_EQ(classifier.size(), 96u);
+  EXPECT_EQ(classifier.Features().max_spike_score, 0.0);
+}
+
+TEST(ClassifierTest, StreamingMatchesOneShotBitwise) {
+  const ClassifierOptions options = SmallClassifier();
+  std::vector<double> series;
+  for (int i = 0; i < 300; ++i) {
+    series.push_back(10.0 + 4.0 * std::sin(2.0 * M_PI * i / 24.0) +
+                     0.3 * ((i * 13) % 7));
+  }
+  WorkloadClassifier streamed(options);
+  streamed.PushAll(series);
+  WorkloadClassifier oneshot(options);
+  const auto a = streamed.Features();
+  const auto b = oneshot.FeaturesOf(series);
+  EXPECT_EQ(a.points, b.points);
+  EXPECT_EQ(a.trend_strength, b.trend_strength);
+  EXPECT_EQ(a.seasonal_strength, b.seasonal_strength);
+  EXPECT_EQ(a.burst_fraction, b.burst_fraction);
+  EXPECT_EQ(a.max_spike_score, b.max_spike_score);
+}
+
+TEST(ClassifierTest, SeasonalStrengthZeroUnderTwoSeasons) {
+  ClassifierOptions options = SmallClassifier();
+  options.min_points = 8;
+  WorkloadClassifier classifier(options);
+  for (int i = 0; i < 40; ++i) {  // < 2 * 24
+    classifier.Push(10.0 + 5.0 * std::sin(2.0 * M_PI * i / 24.0));
+  }
+  EXPECT_EQ(classifier.Features().seasonal_strength, 0.0);
+}
+
+TEST(ClassifierTest, PatternNamesAreStable) {
+  EXPECT_EQ(WorkloadPatternToString(WorkloadPattern::kInsufficient),
+            "insufficient");
+  EXPECT_EQ(WorkloadPatternToString(WorkloadPattern::kSteady), "steady");
+  EXPECT_EQ(WorkloadPatternToString(WorkloadPattern::kTrending), "trending");
+  EXPECT_EQ(WorkloadPatternToString(WorkloadPattern::kSeasonal), "seasonal");
+  EXPECT_EQ(WorkloadPatternToString(WorkloadPattern::kBursty), "bursty");
+}
+
+// -------------------------------------------------------------- Selector ---
+
+SelectorOptions SmallSelector() {
+  SelectorOptions options;
+  options.ladder_size = 4;
+  options.wql_window = 3;
+  options.wql_bound = 0.10;
+  options.promote_hysteresis = 0.10;
+  options.probe_fraction = 0.40;
+  options.min_dwell = 3;
+  options.probe_cooldown = 5;
+  options.fault_trip = 2;
+  return options;
+}
+
+TEST(SelectorTest, SeedsTierFromPattern) {
+  {
+    AdaptiveSelector s(SmallSelector());
+    s.SeedFromPattern(WorkloadPattern::kSteady);
+    EXPECT_EQ(s.tier(), 0u);
+  }
+  {
+    AdaptiveSelector s(SmallSelector());
+    s.SeedFromPattern(WorkloadPattern::kSeasonal);
+    EXPECT_EQ(s.tier(), 0u);
+  }
+  {
+    AdaptiveSelector s(SmallSelector());
+    s.SeedFromPattern(WorkloadPattern::kTrending);
+    EXPECT_EQ(s.tier(), 1u);
+  }
+  {
+    AdaptiveSelector s(SmallSelector());
+    s.SeedFromPattern(WorkloadPattern::kBursty);
+    EXPECT_EQ(s.tier(), 3u);
+  }
+}
+
+TEST(SelectorTest, SeedIgnoredAfterFirstObservedRound) {
+  AdaptiveSelector selector(SmallSelector());
+  selector.ObserveRound(0.05, true, false);
+  selector.SeedFromPattern(WorkloadPattern::kBursty);
+  EXPECT_EQ(selector.tier(), 0u);
+}
+
+TEST(SelectorTest, PromotesOnSustainedHighWql) {
+  AdaptiveSelector selector(SmallSelector());
+  SelectorEvent last = SelectorEvent::kHold;
+  for (int i = 0; i < 3; ++i) {
+    last = selector.ObserveRound(0.5, true, false);
+  }
+  EXPECT_EQ(last, SelectorEvent::kPromote);
+  EXPECT_EQ(selector.tier(), 1u);
+  EXPECT_EQ(selector.stats().promotions, 1u);
+}
+
+TEST(SelectorTest, NoFlapInsideHysteresisDeadBand) {
+  // wQL samples inside (probe_fraction * bound, (1 + hyst) * bound) must
+  // never cause a switch, no matter how many rounds pass.
+  AdaptiveSelector selector(SmallSelector());
+  for (int i = 0; i < 200; ++i) {
+    const double wql = 0.05 + 0.05 * (i % 2);  // oscillates 0.05 / 0.10
+    selector.ObserveRound(wql, true, false);
+  }
+  EXPECT_EQ(selector.stats().switches, 0u);
+  EXPECT_EQ(selector.tier(), 0u);
+}
+
+TEST(SelectorTest, MinDwellDelaysPromotion) {
+  SelectorOptions options = SmallSelector();
+  options.min_dwell = 6;  // longer than the window
+  AdaptiveSelector selector(options);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(selector.ObserveRound(0.5, true, false), SelectorEvent::kHold);
+  }
+  // Sixth round satisfies the dwell; window has been full since round 3.
+  EXPECT_EQ(selector.ObserveRound(0.5, true, false), SelectorEvent::kPromote);
+  EXPECT_EQ(selector.dwell(), 0u);
+}
+
+TEST(SelectorTest, ProbeDemotesOnLowWql) {
+  AdaptiveSelector selector(SmallSelector());
+  selector.SeedFromPattern(WorkloadPattern::kBursty);  // start at top
+  SelectorEvent last = SelectorEvent::kHold;
+  for (int i = 0; i < 3; ++i) {
+    last = selector.ObserveRound(0.01, true, false);
+  }
+  EXPECT_EQ(last, SelectorEvent::kProbeDemote);
+  EXPECT_EQ(selector.tier(), 2u);
+  EXPECT_EQ(selector.stats().probe_demotions, 1u);
+}
+
+TEST(SelectorTest, ProbeCooldownAfterPromotion) {
+  SelectorOptions options = SmallSelector();
+  options.min_dwell = 1;
+  options.probe_cooldown = 10;
+  AdaptiveSelector selector(options);
+  for (int i = 0; i < 3; ++i) {
+    selector.ObserveRound(0.5, true, false);  // promote to tier 1
+  }
+  ASSERT_EQ(selector.tier(), 1u);
+  // Excellent wQL right after the promotion: the cooldown must hold the
+  // tier so the selector does not immediately undo the escalation.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(selector.ObserveRound(0.01, true, false),
+              SelectorEvent::kHold);
+  }
+  EXPECT_EQ(selector.tier(), 1u);
+  // Once the cooldown expires the probe happens.
+  for (int i = 0; i < 6; ++i) {
+    selector.ObserveRound(0.01, true, false);
+  }
+  EXPECT_EQ(selector.tier(), 0u);
+}
+
+TEST(SelectorTest, FaultTripDemotesImmediatelyBypassingDwell) {
+  SelectorOptions options = SmallSelector();
+  options.min_dwell = 100;  // dwell would forbid any wQL-driven switch
+  AdaptiveSelector selector(options);
+  selector.SeedFromPattern(WorkloadPattern::kBursty);
+  EXPECT_EQ(selector.ObserveRound(0.0, false, true), SelectorEvent::kHold);
+  EXPECT_EQ(selector.ObserveRound(0.0, false, true),
+            SelectorEvent::kFaultDemote);
+  EXPECT_EQ(selector.tier(), 2u);
+  EXPECT_EQ(selector.stats().fault_demotions, 1u);
+}
+
+TEST(SelectorTest, FaultCounterResetsOnCleanRound) {
+  AdaptiveSelector selector(SmallSelector());
+  selector.SeedFromPattern(WorkloadPattern::kBursty);
+  selector.ObserveRound(0.0, false, true);
+  selector.ObserveRound(0.05, true, false);  // clean round resets counter
+  selector.ObserveRound(0.0, false, true);
+  EXPECT_EQ(selector.stats().fault_demotions, 0u);
+  EXPECT_EQ(selector.tier(), 3u);
+}
+
+TEST(SelectorTest, DriftDemotesImmediately) {
+  SelectorOptions options = SmallSelector();
+  options.min_dwell = 100;
+  AdaptiveSelector selector(options);
+  selector.SeedFromPattern(WorkloadPattern::kBursty);
+  EXPECT_EQ(selector.NoteDrift(), SelectorEvent::kDriftDemote);
+  EXPECT_EQ(selector.tier(), 2u);
+  EXPECT_EQ(selector.stats().drift_demotions, 1u);
+}
+
+TEST(SelectorTest, DriftAtBottomTierHoldsAndClearsWindow) {
+  AdaptiveSelector selector(SmallSelector());
+  selector.ObserveRound(0.05, true, false);
+  ASSERT_EQ(selector.RollingCount(), 1u);
+  EXPECT_EQ(selector.NoteDrift(), SelectorEvent::kHold);
+  EXPECT_EQ(selector.tier(), 0u);
+  EXPECT_EQ(selector.RollingCount(), 0u);
+}
+
+TEST(SelectorTest, TopTierHoldsOnHighWql) {
+  AdaptiveSelector selector(SmallSelector());
+  selector.SeedFromPattern(WorkloadPattern::kBursty);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(selector.ObserveRound(5.0, true, false), SelectorEvent::kHold);
+  }
+  EXPECT_EQ(selector.tier(), 3u);
+  EXPECT_EQ(selector.stats().switches, 0u);
+}
+
+TEST(SelectorTest, BottomTierHoldsOnLowWql) {
+  AdaptiveSelector selector(SmallSelector());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(selector.ObserveRound(0.001, true, false),
+              SelectorEvent::kHold);
+  }
+  EXPECT_EQ(selector.tier(), 0u);
+}
+
+TEST(SelectorTest, SwitchResetsEvidenceWindow) {
+  AdaptiveSelector selector(SmallSelector());
+  for (int i = 0; i < 3; ++i) {
+    selector.ObserveRound(0.5, true, false);
+  }
+  ASSERT_EQ(selector.tier(), 1u);
+  // Evidence gathered against tier 0 must not judge tier 1.
+  EXPECT_EQ(selector.RollingCount(), 0u);
+  EXPECT_EQ(selector.dwell(), 0u);
+}
+
+TEST(SelectorTest, InvalidWqlRoundsDoNotFillWindow) {
+  AdaptiveSelector selector(SmallSelector());
+  for (int i = 0; i < 50; ++i) {
+    selector.ObserveRound(9.9, false, false);  // wql_valid = false
+  }
+  EXPECT_EQ(selector.RollingCount(), 0u);
+  EXPECT_EQ(selector.stats().switches, 0u);
+}
+
+TEST(SelectorTest, StatsSwitchesBalanceByKind) {
+  AdaptiveSelector selector(SmallSelector());
+  selector.SeedFromPattern(WorkloadPattern::kBursty);
+  for (int i = 0; i < 3; ++i) selector.ObserveRound(0.01, true, false);
+  for (int i = 0; i < 2; ++i) selector.ObserveRound(0.0, false, true);
+  selector.NoteDrift();
+  for (int i = 0; i < 3; ++i) selector.ObserveRound(0.5, true, false);
+  const auto& stats = selector.stats();
+  EXPECT_EQ(stats.switches, stats.promotions + stats.probe_demotions +
+                                stats.fault_demotions +
+                                stats.drift_demotions);
+  EXPECT_GT(stats.switches, 0u);
+}
+
+// ------------------------------------------------------------- PreScaler ---
+
+PreScalerOptions SmallPreScaler() {
+  PreScalerOptions options;
+  options.lead_steps = 2;
+  options.spike_ratio = 1.5;
+  options.min_spike_nodes = 2;
+  options.peak_hold = 1;
+  options.hold_timeout = 10;
+  return options;
+}
+
+TEST(PreScalerTest, RaisesFloorAheadOfPredictedSpike) {
+  PreScaler prescaler(SmallPreScaler(), /*base_floor=*/1);
+  // Spike to 8 nodes at offset 5 of a plan starting at step 0.
+  prescaler.ObservePlan({2, 2, 2, 2, 2, 8, 8, 2}, /*start_step=*/0);
+  EXPECT_EQ(prescaler.stats().spikes_detected, 1u);
+  EXPECT_EQ(prescaler.FloorAt(0), 1);
+  EXPECT_EQ(prescaler.FloorAt(2), 1);
+  EXPECT_EQ(prescaler.FloorAt(3), 8);  // spike_step 5 - lead 2 -> raise at 3
+  EXPECT_TRUE(prescaler.active());
+}
+
+TEST(PreScalerTest, NoSpikeNoEpisode) {
+  PreScaler prescaler(SmallPreScaler(), 1);
+  prescaler.ObservePlan({3, 3, 4, 3, 4, 3}, 0);
+  EXPECT_EQ(prescaler.stats().spikes_detected, 0u);
+  for (size_t s = 0; s < 6; ++s) {
+    EXPECT_EQ(prescaler.FloorAt(s), 1);
+  }
+}
+
+TEST(PreScalerTest, MergeNeverLowersDecision) {
+  PreScaler prescaler(SmallPreScaler(), 2);
+  prescaler.ObservePlan({2, 2, 2, 2, 9, 2}, 0);
+  for (size_t s = 0; s < 12; ++s) {
+    const int decision = static_cast<int>(3 + (s * 7) % 11);
+    EXPECT_GE(prescaler.Merge(decision, s), decision);
+  }
+}
+
+TEST(PreScalerTest, RollsBackAfterPeakPassed) {
+  PreScaler prescaler(SmallPreScaler(), 1);
+  prescaler.ObservePlan({2, 2, 2, 2, 2, 8, 8, 2}, 0);  // spike at step 5
+  for (size_t s = 0; s <= 6; ++s) {
+    prescaler.FloorAt(s);
+  }
+  EXPECT_TRUE(prescaler.active());
+  // peak_hold = 1: the raise survives through step 6, rolls back at 7.
+  EXPECT_EQ(prescaler.FloorAt(7), 1);
+  EXPECT_FALSE(prescaler.active());
+  EXPECT_EQ(prescaler.stats().rollbacks, 1u);
+  EXPECT_EQ(prescaler.stats().timeout_rollbacks, 0u);
+}
+
+TEST(PreScalerTest, TimeoutRollsBackWhenPeakNeverPasses) {
+  PreScalerOptions options = SmallPreScaler();
+  options.hold_timeout = 4;
+  options.peak_hold = 100;  // peak-passed will not fire in this test
+  PreScaler prescaler(options, 1);
+  prescaler.ObservePlan({2, 2, 2, 9}, 0);  // spike at step 3, raise at 1
+  int rolled_back_at = -1;
+  for (size_t s = 0; s < 12; ++s) {
+    if (prescaler.FloorAt(s) == 1 && s >= 1 && rolled_back_at < 0 &&
+        !prescaler.active()) {
+      rolled_back_at = static_cast<int>(s);
+    }
+  }
+  EXPECT_GE(rolled_back_at, 0);
+  EXPECT_EQ(prescaler.stats().timeout_rollbacks, 1u);
+  EXPECT_EQ(prescaler.stats().rollbacks, 1u);
+}
+
+TEST(PreScalerTest, FinishForcesRollbackBalance) {
+  PreScaler prescaler(SmallPreScaler(), 1);
+  prescaler.ObservePlan({2, 2, 2, 2, 2, 8}, 0);
+  prescaler.FloorAt(3);  // activates
+  ASSERT_TRUE(prescaler.active());
+  prescaler.Finish();
+  EXPECT_FALSE(prescaler.active());
+  EXPECT_EQ(prescaler.stats().activations, prescaler.stats().rollbacks);
+}
+
+TEST(PreScalerTest, ActiveEpisodeNotReplacedByNewPlan) {
+  PreScaler prescaler(SmallPreScaler(), 1);
+  prescaler.ObservePlan({2, 2, 2, 2, 2, 8}, 0);
+  prescaler.FloorAt(3);  // active, floor 8
+  prescaler.ObservePlan({2, 2, 20}, 4);
+  EXPECT_EQ(prescaler.stats().spikes_detected, 2u);
+  EXPECT_EQ(prescaler.FloorAt(4), 8);  // still the first episode's floor
+}
+
+TEST(PreScalerTest, PendingEpisodeReplacedByFresherPlan) {
+  PreScaler prescaler(SmallPreScaler(), 1);
+  prescaler.ObservePlan({2, 2, 2, 2, 2, 8}, 0);   // pending raise at 3
+  prescaler.ObservePlan({2, 2, 2, 2, 2, 12}, 0);  // fresher view of spike
+  EXPECT_EQ(prescaler.FloorAt(3), 12);
+}
+
+TEST(PreScalerTest, LeadClampedAtStepZero) {
+  PreScalerOptions options = SmallPreScaler();
+  options.lead_steps = 10;
+  PreScaler prescaler(options, 1);
+  prescaler.ObservePlan({2, 9, 2}, 0);  // spike at absolute step 1, lead 10
+  EXPECT_EQ(prescaler.FloorAt(0), 9);   // clamped to step 0, not underflow
+}
+
+TEST(PreScalerTest, OriginalFloorRestoredAfterRollback) {
+  PreScaler prescaler(SmallPreScaler(), 3);
+  prescaler.ObservePlan({3, 3, 3, 3, 12}, 0);
+  for (size_t s = 0; s < 12; ++s) {
+    prescaler.FloorAt(s);
+  }
+  EXPECT_FALSE(prescaler.active());
+  EXPECT_EQ(prescaler.original_floor(), 3);
+  EXPECT_EQ(prescaler.FloorAt(12), 3);
+}
+
+// ------------------------------------------------------------ RollingWql ---
+
+TEST(RollingWqlTest, WindowMeanAndReset) {
+  forecast::RollingWql rolling(3);
+  EXPECT_EQ(rolling.Mean(), 0.0);
+  rolling.Observe(1.0);
+  rolling.Observe(2.0);
+  EXPECT_FALSE(rolling.Full());
+  rolling.Observe(3.0);
+  EXPECT_TRUE(rolling.Full());
+  EXPECT_DOUBLE_EQ(rolling.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(rolling.Latest(), 3.0);
+  rolling.Reset();
+  EXPECT_EQ(rolling.Count(), 0u);
+  EXPECT_EQ(rolling.TotalObserved(), 3u);
+}
+
+TEST(RollingWqlTest, EvictsOldestBeyondCapacity) {
+  forecast::RollingWql rolling(2);
+  rolling.Observe(10.0);
+  rolling.Observe(2.0);
+  rolling.Observe(4.0);
+  EXPECT_EQ(rolling.Count(), 2u);
+  EXPECT_DOUBLE_EQ(rolling.Mean(), 3.0);
+  EXPECT_EQ(rolling.TotalObserved(), 3u);
+}
+
+// ------------------------------------------- Online loop selection wiring ---
+
+constexpr size_t kDay = 144;
+
+class SelectionLoopFixture : public ::testing::Test {
+ protected:
+  static constexpr size_t kContext = 48;
+  static constexpr size_t kHorizon = 24;
+
+  void SetUp() override {
+    trace::SyntheticTraceGenerator gen(trace::AlibabaProfile(), 7);
+    series_ = gen.GenerateCpu(6 * kDay);
+    eval_start_ = 4 * kDay;
+
+    forecast::SeasonalNaiveForecaster::Options naive_options;
+    naive_options.context_length = kContext;
+    naive_options.horizon = kHorizon;
+    naive_ = std::make_unique<forecast::SeasonalNaiveForecaster>(
+        naive_options);
+    ASSERT_TRUE(naive_->Fit(series_.Slice(0, eval_start_)).ok());
+
+    forecast::ArimaForecaster::Options arima_options;
+    arima_options.context_length = kContext;
+    arima_options.horizon = kHorizon;
+    arima_options.p = 2;
+    arima_options.q = 1;
+    arima_ = std::make_unique<forecast::ArimaForecaster>(arima_options);
+    ASSERT_TRUE(arima_->Fit(series_.Slice(0, eval_start_)).ok());
+
+    config_.theta = series_.Mean() / 4.0;
+    cheap_ = MakeManager(naive_.get());
+    strong_ = MakeManager(arima_.get());
+  }
+
+  std::unique_ptr<core::RobustAutoScalingManager> MakeManager(
+      const forecast::Forecaster* model) const {
+    return std::make_unique<core::RobustAutoScalingManager>(
+        model, std::make_unique<core::RobustQuantileAllocator>(0.95),
+        config_);
+  }
+
+  core::OnlineLoopOptions AdaptiveOptions() const {
+    core::OnlineLoopOptions options;
+    options.replan_every = 6;
+    options.cluster.node_capacity = config_.theta;
+    options.selection.mode = core::SelectionMode::kAdaptive;
+    options.selection.ladder = {cheap_.get(), strong_.get()};
+    options.selection.classifier.season = kDay;
+    return options;
+  }
+
+  ts::TimeSeries series_;
+  size_t eval_start_ = 0;
+  core::ScalingConfig config_;
+  std::unique_ptr<forecast::SeasonalNaiveForecaster> naive_;
+  std::unique_ptr<forecast::ArimaForecaster> arima_;
+  std::unique_ptr<core::RobustAutoScalingManager> cheap_;
+  std::unique_ptr<core::RobustAutoScalingManager> strong_;
+};
+
+TEST_F(SelectionLoopFixture, SelectionOffIsBitIdenticalToDefaultOptions) {
+  core::OnlineLoopOptions baseline;
+  baseline.replan_every = 6;
+  baseline.cluster.node_capacity = config_.theta;
+
+  // Off-mode options carry a fully populated (but inert) selection config.
+  core::OnlineLoopOptions off = baseline;
+  off.selection.mode = core::SelectionMode::kOff;
+  off.selection.ladder = {strong_.get(), cheap_.get()};
+  off.selection.prescale = true;
+  off.selection.prescaler.lead_steps = 1;
+
+  auto a = core::RunOnlineLoop(*cheap_, series_, eval_start_, kDay, baseline);
+  auto b = core::RunOnlineLoop(*cheap_, series_, eval_start_, kDay, off);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->allocation, b->allocation);
+  EXPECT_EQ(a->slo_violation_rate, b->slo_violation_rate);
+  EXPECT_EQ(a->mean_utilization, b->mean_utilization);
+  EXPECT_FALSE(b->selection.enabled);
+  EXPECT_TRUE(b->selection.tier_by_round.empty());
+}
+
+TEST_F(SelectionLoopFixture, AdaptiveRunReportsSelectionOutcome) {
+  auto result =
+      core::RunOnlineLoop(*cheap_, series_, eval_start_, kDay,
+                          AdaptiveOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->selection.enabled);
+  EXPECT_EQ(result->selection.tier_by_round.size(), result->plans_made);
+  EXPECT_EQ(result->selection.selector.rounds, result->plans_made);
+  for (size_t tier : result->selection.tier_by_round) {
+    EXPECT_LT(tier, 2u);
+  }
+  // Alibaba profile is strongly seasonal: the classifier should not label
+  // it insufficient, and the run must finish on a valid tier.
+  EXPECT_NE(result->selection.pattern, WorkloadPattern::kInsufficient);
+  EXPECT_LT(result->selection.final_tier, 2u);
+}
+
+TEST_F(SelectionLoopFixture, PrescalerActivationsBalanceRollbacks) {
+  core::OnlineLoopOptions options = AdaptiveOptions();
+  options.selection.prescaler.lead_steps = 2;
+  options.selection.prescaler.min_spike_nodes = 1;
+  options.selection.prescaler.spike_ratio = 1.2;
+  auto result =
+      core::RunOnlineLoop(*cheap_, series_, eval_start_, 2 * kDay, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->selection.prescaler.activations,
+            result->selection.prescaler.rollbacks);
+}
+
+TEST_F(SelectionLoopFixture, SelectionRejectsEmptyLadder) {
+  core::OnlineLoopOptions options;
+  options.selection.mode = core::SelectionMode::kAdaptive;
+  auto result =
+      core::RunOnlineLoop(*cheap_, series_, eval_start_, kDay, options);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(SelectionLoopFixture, SelectionRejectsNullLadderEntry) {
+  core::OnlineLoopOptions options = AdaptiveOptions();
+  options.selection.ladder.push_back(nullptr);
+  auto result =
+      core::RunOnlineLoop(*cheap_, series_, eval_start_, kDay, options);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(SelectionLoopFixture, SelectionRejectsIncrementalRefreshCombo) {
+  core::OnlineLoopOptions options = AdaptiveOptions();
+  options.streaming.refresh_mode = core::RefreshMode::kIncremental;
+  options.streaming.refresh_target = naive_.get();
+  auto result =
+      core::RunOnlineLoop(*cheap_, series_, eval_start_, kDay, options);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(SelectionLoopFixture, SelectionMetricsAgreeWithResult) {
+  obs::MetricsRegistry metrics;
+  core::OnlineLoopOptions options = AdaptiveOptions();
+  options.metrics = &metrics;
+  auto result =
+      core::RunOnlineLoop(*cheap_, series_, eval_start_, kDay, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(metrics.GetCounter("select.rounds")->value(),
+            static_cast<int64_t>(result->selection.selector.rounds));
+  EXPECT_EQ(metrics.GetCounter("select.switches")->value(),
+            static_cast<int64_t>(result->selection.selector.switches));
+  EXPECT_EQ(
+      metrics.GetCounter("select.prescale.rollbacks")->value(),
+      static_cast<int64_t>(result->selection.prescaler.rollbacks));
+}
+
+TEST(SelectionLoopFaultTest, FaultyRoundsDemoteFromUpperTier) {
+  // A trending workload seeds the selector at tier 1; a fault plan whose
+  // forecaster-timeout fires every round then forces consecutive fault
+  // rounds, so the selector must fall to tier 0 (and the loop must keep
+  // serving — degradation contract).
+  ts::TimeSeries series;
+  series.step_minutes = 10.0;
+  for (size_t i = 0; i < 6 * kDay; ++i) {
+    series.values.push_back(40.0 + 0.02 * static_cast<double>(i) +
+                            2.0 * std::sin(0.3 * static_cast<double>(i)));
+  }
+  const size_t eval_start = 4 * kDay;
+
+  forecast::SeasonalNaiveForecaster::Options naive_options;
+  naive_options.context_length = 48;
+  naive_options.horizon = 24;
+  forecast::SeasonalNaiveForecaster cheap_model(naive_options);
+  forecast::SeasonalNaiveForecaster strong_model(naive_options);
+  ASSERT_TRUE(cheap_model.Fit(series.Slice(0, eval_start)).ok());
+  ASSERT_TRUE(strong_model.Fit(series.Slice(0, eval_start)).ok());
+
+  core::ScalingConfig config;
+  config.theta = series.Mean() / 4.0;
+  core::RobustAutoScalingManager cheap(
+      &cheap_model, std::make_unique<core::RobustQuantileAllocator>(0.95),
+      config);
+  core::RobustAutoScalingManager strong(
+      &strong_model, std::make_unique<core::RobustQuantileAllocator>(0.95),
+      config);
+
+  core::OnlineLoopOptions options;
+  options.replan_every = 6;
+  options.cluster.node_capacity = config.theta;
+  options.selection.mode = core::SelectionMode::kAdaptive;
+  options.selection.ladder = {&cheap, &strong};
+  // Many seasons must fit the classifier window, or two-sample phase means
+  // soak up the trend variance and the seed lands on the seasonal tier.
+  options.selection.classifier.season = 24;
+  options.faults.forecaster_timeout_rate = 1.0;
+  options.faults.forecaster_timeout_attempts = 5;  // > max_retries
+  options.faults.seed = 99;
+  auto result =
+      core::RunOnlineLoop(strong, series, eval_start, kDay, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->selection.tier_by_round.empty());
+  EXPECT_EQ(result->selection.tier_by_round.front(), 1u);  // trending seed
+  EXPECT_EQ(result->allocation.size(), kDay);
+  EXPECT_GT(result->selection.selector.fault_demotions, 0u);
+  EXPECT_EQ(result->selection.final_tier, 0u);
+}
+
+}  // namespace
+}  // namespace rpas

@@ -824,6 +824,219 @@ TEST(FleetTest, InvalidOptionsRejected) {
             StatusCode::kInvalidArgument);
 }
 
+// -------------------------------------------------- Adaptive selection ---
+
+TEST(FleetSelectionTest, DisabledSelectionIsBitIdenticalAcrossShardsAndThreads) {
+  // A fully populated but disabled selection config must leave the fleet
+  // byte-for-byte on the pre-selection path at every (shards, threads)
+  // combination — the regression gate for the selection_mode=off contract.
+  auto run = [](bool populate_selection, size_t shards, int threads) {
+    SetRpasThreads(threads);
+    TestRegistry r = MakeRegistry(1 << 20);
+    FleetOptions options = SmallFleetOptions();
+    options.num_tenants = 6;
+    options.admission.round_budget = 4;  // force sheds: full merge path
+    options.metrics = r.metrics.get();
+    options.num_shards = shards;
+    if (populate_selection) {
+      options.selection.enabled = false;  // populated but OFF
+      options.selection.ladder = {{"mlp", 1}, {"deepar", 1}};
+      options.selection.selector.wql_bound = 0.01;
+      options.selection.prescaler.lead_steps = 1;
+    }
+    auto result = RunFleet(r.registry.get(),
+                           {{"mlp", 1}, {"deepar", 1}}, options);
+    SetRpasThreads(0);
+    RPAS_CHECK(result.ok());
+    return std::move(*result);
+  };
+  const FleetResult baseline = run(false, 1, 1);
+  EXPECT_GT(baseline.requests_shed, 0u);
+  struct Case {
+    size_t shards;
+    int threads;
+  };
+  for (const Case c : {Case{1, 1}, Case{2, 8}, Case{3, 4}}) {
+    SCOPED_TRACE(::testing::Message()
+                 << "shards=" << c.shards << " threads=" << c.threads);
+    ExpectSameFleetResult(baseline, run(true, c.shards, c.threads));
+  }
+}
+
+TEST(FleetSelectionTest, SelectionDoesNotPerturbAdmission) {
+  // The selector is RNG-free and request seeds derive only from
+  // (options.seed, tenant, round), so enabling selection may change which
+  // model serves a tenant but never which requests are admitted, throttled,
+  // or deadline-shed — the shed rotation must be unperturbed.
+  auto run = [](bool enabled) {
+    TestRegistry r = MakeRegistry(1 << 20);
+    FleetOptions options = SmallFleetOptions();
+    options.num_tenants = 6;
+    options.num_steps = 48;
+    options.admission.round_budget = 4;
+    options.metrics = r.metrics.get();
+    options.selection.enabled = enabled;
+    options.selection.ladder = {{"mlp", 1}, {"deepar", 1}};
+    auto result = RunFleet(r.registry.get(),
+                           {{"mlp", 1}, {"deepar", 1}}, options);
+    RPAS_CHECK(result.ok());
+    return std::move(*result);
+  };
+  const FleetResult off = run(false);
+  const FleetResult on = run(true);
+  EXPECT_GT(off.requests_shed, 0u);
+  EXPECT_EQ(on.requests_submitted, off.requests_submitted);
+  EXPECT_EQ(on.requests_admitted, off.requests_admitted);
+  EXPECT_EQ(on.requests_throttled, off.requests_throttled);
+  EXPECT_EQ(on.requests_shed, off.requests_shed);
+  ASSERT_EQ(on.tenants.size(), off.tenants.size());
+  for (size_t t = 0; t < on.tenants.size(); ++t) {
+    SCOPED_TRACE(::testing::Message() << "tenant " << t);
+    EXPECT_EQ(on.tenants[t].shed_rounds, off.tenants[t].shed_rounds);
+    EXPECT_EQ(on.tenants[t].throttled_rounds,
+              off.tenants[t].throttled_rounds);
+  }
+}
+
+TEST(FleetSelectionTest, SelectionOutcomeAccountedPerTenantAndFleetWide) {
+  TestRegistry r = MakeRegistry(1 << 20);
+  FleetOptions options = SmallFleetOptions();
+  options.num_steps = 48;
+  options.metrics = r.metrics.get();
+  options.selection.enabled = true;
+  options.selection.ladder = {{"mlp", 1}, {"deepar", 1}};
+  auto result = RunFleet(r.registry.get(),
+                         {{"mlp", 1}, {"deepar", 1}}, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  uint64_t switches = 0;
+  uint64_t activations = 0;
+  uint64_t rollbacks = 0;
+  for (const TenantSummary& tenant : result->tenants) {
+    EXPECT_EQ(tenant.selector.rounds, tenant.rounds);
+    EXPECT_LT(tenant.final_tier, 2u);
+    // Every pre-scale raise rolled back by the end of the run.
+    EXPECT_EQ(tenant.prescale.activations, tenant.prescale.rollbacks);
+    switches += tenant.selector.switches;
+    activations += tenant.prescale.activations;
+    rollbacks += tenant.prescale.rollbacks;
+  }
+  EXPECT_EQ(result->tier_switches, switches);
+  EXPECT_EQ(result->prescale_activations, activations);
+  EXPECT_EQ(result->prescale_rollbacks, rollbacks);
+  EXPECT_EQ(
+      r.metrics->GetCounter("serve.select.switches")->value(),
+      static_cast<int64_t>(switches));
+}
+
+TEST(FleetSelectionTest, SelectionOptionsValidated) {
+  TestRegistry r = MakeRegistry(1 << 20);
+  // Enabled selection with an empty ladder is a configuration error.
+  FleetOptions empty_ladder = SmallFleetOptions();
+  empty_ladder.selection.enabled = true;
+  EXPECT_EQ(RunFleet(r.registry.get(), {{"mlp", 1}}, empty_ladder)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Selection and incremental refresh are mutually exclusive.
+  FleetOptions combo = SmallFleetOptions();
+  combo.selection.enabled = true;
+  combo.selection.ladder = {{"mlp", 1}};
+  combo.refresh_mode = core::RefreshMode::kIncremental;
+  combo.refresh_model_factory = [](const ModelId&) {
+    return std::unique_ptr<forecast::Forecaster>(
+        new MlpForecaster(SmallMlpOptions()));
+  };
+  EXPECT_EQ(RunFleet(r.registry.get(), {{"mlp", 1}}, combo).status().code(),
+            StatusCode::kInvalidArgument);
+  // Incremental refresh without a model factory cannot build per-tenant
+  // forecasters.
+  FleetOptions no_factory = SmallFleetOptions();
+  no_factory.refresh_mode = core::RefreshMode::kIncremental;
+  EXPECT_EQ(
+      RunFleet(r.registry.get(), {{"mlp", 1}}, no_factory).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------- Incremental refresh ---
+
+TEST(FleetRefreshTest, IncrementalModeServesRefreshedModelsNotStaleRegistry) {
+  // The PR 8 wiring-gap regression: with refresh_mode=incremental, rounds
+  // must be served from each tenant's refreshed private forecaster, so
+  // model staleness pins to zero while the batch fleet's registry model
+  // ages by replan_every per round.
+  auto run = [](core::RefreshMode mode) {
+    TestRegistry r = MakeRegistry(1 << 20);
+    FleetOptions options = SmallFleetOptions();
+    options.metrics = r.metrics.get();
+    options.refresh_mode = mode;
+    if (mode == core::RefreshMode::kIncremental) {
+      options.refresh_model_factory = [](const ModelId& id) {
+        RPAS_CHECK(id.name == "mlp");
+        return std::unique_ptr<forecast::Forecaster>(
+            new MlpForecaster(SmallMlpOptions()));
+      };
+    }
+    auto result = RunFleet(r.registry.get(), {{"mlp", 1}}, options);
+    RPAS_CHECK(result.ok()) << result.status().ToString();
+    return std::move(*result);
+  };
+  const FleetResult batch = run(core::RefreshMode::kBatch);
+  const FleetResult incremental = run(core::RefreshMode::kIncremental);
+
+  // Batch rounds replan at steps 0, 6, 12, 18 from a frozen registry
+  // model: staleness grows linearly. Incremental folds the ring into the
+  // tenant's own forecaster at the top of every round: staleness is 0.
+  EXPECT_EQ(batch.max_model_staleness_steps, 18u);
+  EXPECT_EQ(batch.mean_model_staleness_steps, 9.0);
+  EXPECT_EQ(incremental.max_model_staleness_steps, 0u);
+  EXPECT_EQ(incremental.mean_model_staleness_steps, 0.0);
+
+  // The refresher actually ran and consumed the streamed points.
+  EXPECT_EQ(batch.refresh.refreshes, 0u);
+  EXPECT_GT(incremental.refresh.refreshes, 0u);
+  EXPECT_GT(incremental.refresh.points_consumed, 0u);
+
+  // Serving really switched source: the per-tenant forecasters (fitted on
+  // each tenant's own short history) cannot reproduce the registry model's
+  // allocations for every tenant.
+  bool any_differs = false;
+  ASSERT_EQ(batch.tenants.size(), incremental.tenants.size());
+  for (size_t t = 0; t < batch.tenants.size(); ++t) {
+    any_differs = any_differs ||
+                  batch.tenants[t].mean_utilization !=
+                      incremental.tenants[t].mean_utilization;
+    // Every round still served, whatever the serving source.
+    EXPECT_EQ(incremental.tenants[t].rounds,
+              incremental.tenants[t].fresh_rounds +
+                  incremental.tenants[t].stale_rounds +
+                  incremental.tenants[t].fallback_rounds);
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(FleetRefreshTest, IncrementalModeIsDeterministicAcrossThreads) {
+  auto run = [](int threads) {
+    SetRpasThreads(threads);
+    TestRegistry r = MakeRegistry(1 << 20);
+    FleetOptions options = SmallFleetOptions();
+    options.metrics = r.metrics.get();
+    options.refresh_mode = core::RefreshMode::kIncremental;
+    options.refresh_model_factory = [](const ModelId&) {
+      return std::unique_ptr<forecast::Forecaster>(
+          new MlpForecaster(SmallMlpOptions()));
+    };
+    auto result = RunFleet(r.registry.get(), {{"mlp", 1}}, options);
+    SetRpasThreads(0);
+    RPAS_CHECK(result.ok()) << result.status().ToString();
+    return std::move(*result);
+  };
+  const FleetResult serial = run(1);
+  const FleetResult parallel = run(8);
+  ExpectSameFleetResult(serial, parallel);
+  EXPECT_EQ(serial.refresh.refreshes, parallel.refresh.refreshes);
+  EXPECT_EQ(serial.refresh.points_consumed, parallel.refresh.points_consumed);
+}
+
 // ----------------------------------------------------- Quantized serving ---
 
 size_t FileBytes(const std::string& path) {
