@@ -11,8 +11,14 @@
 // row (cache fits every version) separates the cache-amortization win
 // from the stacked-forward win. Answers are bit-identical in both modes
 // (BatchEngine's determinism contract); the bench asserts this.
+//
+// A contended all-warm section times hit-only serving with one registry
+// shared across shards (the snapshot registry's lock-free Acquire path)
+// and reports the registry lock-probe delta alongside throughput.
+// --json=PATH writes a machine-readable summary for the CI smoke step.
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -142,6 +148,58 @@ struct CellResult {
   serve::FleetResult fleet;
 };
 
+/// Machine-readable rows for --json (the CI perf-smoke artifact). Each row
+/// carries its section so downstream tooling can filter the grid, the
+/// all-warm controls, and the shard-scaling sweep out of one file.
+struct JsonRow {
+  std::string section;
+  size_t tenants = 0;
+  size_t shards = 1;
+  int threads = 1;
+  std::string mode;
+  double millis = 0.0;
+  double req_per_s = 0.0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t loads = 0;
+  double speedup = 0.0;
+  uint64_t mutex_locks = 0;
+};
+
+void WriteJson(const std::string& path, const std::vector<JsonRow>& rows,
+               bool identical) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "fleet_serving: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\"bench\":\"fleet_serving\",\"rows\":[";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const JsonRow& r = rows[i];
+    out << (i > 0 ? "," : "")
+        << StrFormat(
+               "{\"section\":\"%s\",\"tenants\":%zu,\"shards\":%zu,"
+               "\"threads\":%d,\"mode\":\"%s\",\"ms\":%.4f,"
+               "\"req_per_s\":%.2f,\"cache_hits\":%llu,"
+               "\"cache_misses\":%llu,\"ckpt_loads\":%llu,"
+               "\"speedup\":%.4f,\"mutex_locks\":%llu}",
+               r.section.c_str(), r.tenants, r.shards, r.threads,
+               r.mode.c_str(), r.millis, r.req_per_s,
+               static_cast<unsigned long long>(r.hits),
+               static_cast<unsigned long long>(r.misses),
+               static_cast<unsigned long long>(r.loads), r.speedup,
+               static_cast<unsigned long long>(r.mutex_locks));
+  }
+  out << StrFormat("],\"identical\":%s}\n", identical ? "true" : "false");
+}
+
+double ReqPerSec(const CellResult& cell) {
+  const double seconds = cell.millis / 1000.0;
+  return seconds > 0.0
+             ? static_cast<double>(cell.fleet.requests_admitted) / seconds
+             : 0.0;
+}
+
 CellResult RunCell(const VersionSet& set, size_t tenants, int threads,
                    bool batched, size_t budget_bytes, size_t rounds,
                    size_t shards = 1, bool per_shard_registries = false) {
@@ -184,9 +242,50 @@ CellResult RunCell(const VersionSet& set, size_t tenants, int threads,
   return cell;
 }
 
+/// All-warm, hit-only contended cell: ONE registry shared by every shard,
+/// warmed by acquiring each version once before timing, so the timed runs
+/// never miss — every shard's Acquire() is a concurrent warm hit on the
+/// same snapshot. `lock_delta` returns the registry lock-probe delta
+/// across the timed runs: warm hits take no mutex, so the residue is the
+/// per-run CacheStats snapshot, not the serving path.
+CellResult RunWarmCell(const VersionSet& set, size_t tenants, int threads,
+                       size_t shards, bool batched, size_t rounds,
+                       uint64_t* lock_delta) {
+  constexpr int kTimingReps = 3;
+  SetRpasThreads(threads);
+  serve::FleetOptions fleet_options;
+  fleet_options.num_tenants = tenants;
+  fleet_options.num_steps = rounds * kReplanEvery;
+  fleet_options.history_steps = kServeContext;
+  fleet_options.replan_every = kReplanEvery;
+  fleet_options.seed = set.bench.seed;
+  fleet_options.batched = batched;
+  fleet_options.num_shards = shards;
+  std::unique_ptr<serve::ModelRegistry> registry =
+      MakeRegistry(set, set.total_bytes);
+  for (const serve::ModelId& id : set.models) {
+    auto model = registry->Acquire(id);
+    RPAS_CHECK(model.ok()) << model.status().ToString();
+  }
+  CellResult cell;
+  const uint64_t locks_before = registry->MutexAcquisitions();
+  for (int rep = 0; rep < kTimingReps; ++rep) {
+    const double millis = TimedMillis("fleet.serve_warm", 1, [&] {
+      auto result = serve::RunFleet(registry.get(), set.models, fleet_options);
+      RPAS_CHECK(result.ok()) << result.status().ToString();
+      cell.fleet = std::move(*result);
+    });
+    cell.millis = rep == 0 ? millis : std::min(cell.millis, millis);
+  }
+  *lock_delta = registry->MutexAcquisitions() - locks_before;
+  SetRpasThreads(0);
+  return cell;
+}
+
 void RunFleetServing(const BenchOptions& options, size_t only_tenants,
                      int only_threads, size_t rounds_flag,
-                     size_t num_versions, size_t only_shards) {
+                     size_t num_versions, size_t only_shards,
+                     const std::string& json_path) {
   const size_t rounds = rounds_flag > 0 ? rounds_flag
                         : options.quick ? 3
                                         : 6;
@@ -211,6 +310,26 @@ void RunFleetServing(const BenchOptions& options, size_t only_tenants,
                       "cache_hits", "cache_misses", "ckpt_loads",
                       "speedup"});
   bool all_identical = true;
+  std::vector<JsonRow> json_rows;
+  auto record_json = [&](const std::string& section, size_t tenants,
+                         size_t shards, int threads, const std::string& mode,
+                         const CellResult& cell, double speedup,
+                         uint64_t mutex_locks) {
+    JsonRow row;
+    row.section = section;
+    row.tenants = tenants;
+    row.shards = shards;
+    row.threads = threads;
+    row.mode = mode;
+    row.millis = cell.millis;
+    row.req_per_s = ReqPerSec(cell);
+    row.hits = static_cast<uint64_t>(cell.fleet.cache.hits);
+    row.misses = static_cast<uint64_t>(cell.fleet.cache.misses);
+    row.loads = static_cast<uint64_t>(cell.fleet.cache.loads);
+    row.speedup = speedup;
+    row.mutex_locks = mutex_locks;
+    json_rows.push_back(std::move(row));
+  };
   for (size_t tenants : tenant_counts) {
     for (int threads : thread_counts) {
       const CellResult unbatched =
@@ -237,6 +356,7 @@ void RunFleetServing(const BenchOptions& options, size_t only_tenants,
                       StrFormat("%lld", static_cast<long long>(cell.fleet.cache.misses)),
                       StrFormat("%lld", static_cast<long long>(cell.fleet.cache.loads)),
                       speedup > 0.0 ? Num(speedup) : std::string("-")});
+        record_json("grid", tenants, 1, threads, mode, cell, speedup, 0);
       };
       add_row("unbatched", unbatched, 0.0);
       add_row("batched", batched,
@@ -264,6 +384,8 @@ void RunFleetServing(const BenchOptions& options, size_t only_tenants,
                     StrFormat("%lld", static_cast<long long>(cell.fleet.cache.misses)),
                     StrFormat("%lld", static_cast<long long>(cell.fleet.cache.loads)),
                     speedup > 0.0 ? Num(speedup) : std::string("-")});
+      record_json("all_warm", tenants, 1, 1, StrFormat("%s/all-warm", mode),
+                  cell, speedup, 0);
     };
     add_row("unbatched", unbatched, 0.0);
     add_row("batched", batched,
@@ -276,6 +398,58 @@ void RunFleetServing(const BenchOptions& options, size_t only_tenants,
       set.total_bytes >> 10));
   if (options.csv) {
     table.PrintCsv();
+  }
+
+  // Contended hit path: one registry shared by every shard, every version
+  // warm before timing, so the serving loop is 100% warm hits racing on
+  // the same snapshot — the configuration the lock-free Acquire() exists
+  // for (pre-snapshot, these cells serialized on the registry mutex). The
+  // mutex_locks column is the registry lock-probe delta across the timed
+  // runs: it stays flat in the shard count because warm hits take no lock
+  // (the residue is the per-run CacheStats snapshot).
+  {
+    const size_t tenants = tenant_counts.back();
+    std::vector<size_t> contended_shards{1, 2, 4};
+    if (only_shards > 0) {
+      contended_shards = {only_shards};
+    }
+    TablePrinter contended({"tenants", "shards", "threads", "mode", "ms/run",
+                            "req/s", "cache_hits", "cache_misses",
+                            "mutex_locks", "speedup_vs_serial"});
+    CellResult serial;
+    for (size_t shards : contended_shards) {
+      const int threads = static_cast<int>(shards);
+      uint64_t lock_delta = 0;
+      const CellResult cell = RunWarmCell(set, tenants, threads, shards,
+                                          /*batched=*/true, rounds,
+                                          &lock_delta);
+      if (shards == contended_shards.front()) {
+        serial = cell;
+      }
+      all_identical =
+          all_identical &&
+          cell.fleet.mean_under_provision_rate ==
+              serial.fleet.mean_under_provision_rate &&
+          cell.fleet.mean_utilization == serial.fleet.mean_utilization;
+      const double speedup =
+          cell.millis > 0.0 ? serial.millis / cell.millis : 0.0;
+      contended.AddRow(
+          {StrFormat("%zu", tenants), StrFormat("%zu", shards),
+           StrFormat("%d", threads), "batched/all-warm", Num(cell.millis),
+           Num(ReqPerSec(cell)),
+           StrFormat("%lld", static_cast<long long>(cell.fleet.cache.hits)),
+           StrFormat("%lld", static_cast<long long>(cell.fleet.cache.misses)),
+           StrFormat("%llu", static_cast<unsigned long long>(lock_delta)),
+           Num(speedup)});
+      record_json("all_warm_contended", tenants, shards, threads,
+                  "batched/all-warm", cell, speedup, lock_delta);
+    }
+    contended.Print(StrFormat(
+        "Contended all-warm hit path (shared registry, %zu rounds)",
+        rounds));
+    if (options.csv) {
+      contended.PrintCsv();
+    }
   }
 
   // Shard scaling: batched serving at the largest tenant count with one
@@ -320,6 +494,10 @@ void RunFleetServing(const BenchOptions& options, size_t only_tenants,
              StrFormat("%d", threads), Num(cell.millis), Num(rate),
              cell.millis > 0.0 ? Num(serial.millis / cell.millis)
                                : std::string("-")});
+        record_json("shard_scaling", tenants, shards, threads, "batched",
+                    cell,
+                    cell.millis > 0.0 ? serial.millis / cell.millis : 0.0,
+                    0);
       }
     }
     scaling.Print(StrFormat(
@@ -331,6 +509,9 @@ void RunFleetServing(const BenchOptions& options, size_t only_tenants,
   }
   std::printf("sharded == batched == unbatched results: %s\n",
               all_identical ? "identical" : "MISMATCH");
+  if (!json_path.empty()) {
+    WriteJson(json_path, json_rows, all_identical);
+  }
 
   // Export one instrumented run for the artifact pipeline (metrics are
   // global; the timed grid above ran with the same registry sinks).
@@ -362,6 +543,7 @@ int main(int argc, char** argv) {
   size_t rounds = 0;
   size_t versions = 12;
   size_t only_shards = 0;
+  std::string json_path;
   const std::vector<rpas::bench::BenchFlagSpec> extra{
       {"--tenants=", "run only this tenant count (default grid 8,16,64)",
        [&](const std::string& v) {
@@ -388,6 +570,8 @@ int main(int argc, char** argv) {
          only_shards = static_cast<size_t>(std::strtoull(v.c_str(), nullptr,
                                                          10));
        }},
+      {"--json=", "write a machine-readable summary to this path",
+       [&](const std::string& v) { json_path = v; }},
   };
   const rpas::bench::BenchOptions options = rpas::bench::ParseArgs(
       argc, argv,
@@ -395,6 +579,6 @@ int main(int argc, char** argv) {
       extra);
   rpas::bench::EnableMetricsIfRequested(options);
   rpas::bench::RunFleetServing(options, only_tenants, only_threads, rounds,
-                               versions, only_shards);
+                               versions, only_shards, json_path);
   return 0;
 }

@@ -11,6 +11,36 @@
 
 namespace rpas::obs {
 
+namespace internal {
+
+/// Number of per-thread stripes for striped instruments (power of two).
+/// Threads hash onto stripes by a stable per-thread slot id, so with up to
+/// kMetricStripes concurrent threads every writer owns a private cache
+/// line; beyond that, slots are shared but remain correct (atomics).
+inline constexpr size_t kMetricStripes = 16;
+
+/// Stable per-thread stripe slot in [0, kMetricStripes). Assigned on first
+/// use from a process-wide round-robin counter, so the first
+/// kMetricStripes threads never collide.
+size_t ThisThreadStripe();
+
+/// One cache line per stripe so concurrent writers on different stripes
+/// never share a line.
+struct alignas(64) CounterStripe {
+  std::atomic<int64_t> value{0};
+};
+
+/// Per-stripe scalar state for striped histograms (bucket counts are laid
+/// out separately, cache-line padded per stripe).
+struct alignas(64) HistogramStripe {
+  std::atomic<uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+  std::atomic<double> min;
+  std::atomic<double> max;
+};
+
+}  // namespace internal
+
 /// Metric instruments handed out by MetricsRegistry. Every mutation first
 /// checks the owning registry's enabled flag (one relaxed atomic load), so
 /// instrumented hot paths cost a load + branch when metrics are off and a
@@ -26,21 +56,44 @@ namespace rpas::obs {
 /// it (see export.h).
 class Counter {
  public:
-  /// Adds `n` (no-op while the registry is disabled).
+  /// Adds `n` (no-op while the registry is disabled). Striped counters
+  /// add to the calling thread's stripe instead of the shared word, so
+  /// concurrent increments from different threads touch disjoint cache
+  /// lines; `value()` merges stripes on read (exact — integer addition
+  /// commutes).
   void Increment(int64_t n = 1) {
-    if (enabled_->load(std::memory_order_relaxed)) {
+    if (!enabled_->load(std::memory_order_relaxed)) {
+      return;
+    }
+    if (stripes_ != nullptr) {
+      stripes_[internal::ThisThreadStripe()].value.fetch_add(
+          n, std::memory_order_relaxed);
+    } else {
       value_.fetch_add(n, std::memory_order_relaxed);
     }
   }
-  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t value() const {
+    int64_t total = value_.load(std::memory_order_relaxed);
+    if (stripes_ != nullptr) {
+      for (size_t i = 0; i < internal::kMetricStripes; ++i) {
+        total += stripes_[i].value.load(std::memory_order_relaxed);
+      }
+    }
+    return total;
+  }
+  bool striped() const { return stripes_ != nullptr; }
   bool deterministic() const { return deterministic_; }
 
  private:
   friend class MetricsRegistry;
-  Counter(const std::atomic<bool>* enabled, bool deterministic)
-      : enabled_(enabled), deterministic_(deterministic) {}
+  Counter(const std::atomic<bool>* enabled, bool deterministic, bool striped)
+      : stripes_(striped ? new internal::CounterStripe[internal::kMetricStripes]
+                         : nullptr),
+        enabled_(enabled),
+        deterministic_(deterministic) {}
 
   std::atomic<int64_t> value_{0};
+  const std::unique_ptr<internal::CounterStripe[]> stripes_;
   const std::atomic<bool>* enabled_;
   const bool deterministic_;
 };
@@ -76,12 +129,18 @@ class Gauge {
 /// and max are order-independent; the floating-point `sum` is not (parallel
 /// observation order changes rounding), so deterministic exports include
 /// everything except `sum`.
+/// Striped histograms (GetStripedHistogram) keep per-thread-slot bucket
+/// counts and scalar state and merge on read: bucket counts, total count,
+/// min and max merge exactly (integer sums and order-independent folds), so
+/// a striped histogram's deterministic export is byte-identical to the
+/// unstriped one at any thread count; `sum` remains order-dependent float
+/// accumulation and stays excluded from deterministic exports.
 class Histogram {
  public:
   void Observe(double value);
 
-  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t count() const;
+  double sum() const;
   double min() const;  ///< +inf when empty
   double max() const;  ///< -inf when empty
 
@@ -93,17 +152,17 @@ class Histogram {
 
   const std::vector<double>& bounds() const { return bounds_; }
   /// Count in bucket `i` (bucket i covers (bounds[i-1], bounds[i]];
-  /// bucket bounds.size() is the overflow bucket).
-  uint64_t BucketCount(size_t i) const {
-    return counts_[i].load(std::memory_order_relaxed);
-  }
+  /// bucket bounds.size() is the overflow bucket). Merges stripes when
+  /// striped.
+  uint64_t BucketCount(size_t i) const;
   size_t NumBuckets() const { return bounds_.size() + 1; }
+  bool striped() const { return stripe_scalars_ != nullptr; }
   bool deterministic() const { return deterministic_; }
 
  private:
   friend class MetricsRegistry;
   Histogram(const std::atomic<bool>* enabled, std::vector<double> bounds,
-            bool deterministic);
+            bool deterministic, bool striped);
 
   const std::vector<double> bounds_;  // sorted upper bounds
   std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1
@@ -111,6 +170,12 @@ class Histogram {
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_;
   std::atomic<double> max_;
+  // Striped state (null when unstriped). Bucket counts are one flat array
+  // of kMetricStripes blocks, each padded to a multiple of 8 atomics so
+  // every stripe starts on its own cache line.
+  size_t stripe_stride_ = 0;
+  std::unique_ptr<std::atomic<uint64_t>[]> stripe_counts_;
+  std::unique_ptr<internal::HistogramStripe[]> stripe_scalars_;
   const std::atomic<bool>* enabled_;
   const bool deterministic_;
 };
@@ -146,6 +211,17 @@ class MetricsRegistry {
                           std::vector<double> bounds = {},
                           bool deterministic = true);
 
+  /// Striped variants for instruments mutated inside parallel hot paths:
+  /// writes land on per-thread-slot cache lines and reads merge stripes.
+  /// Same namespace as the unstriped getters — the first registration
+  /// fixes stripedness (a later plain Get* returns the striped instrument
+  /// unchanged, and vice versa). Exported values are identical either way.
+  Counter* GetStripedCounter(const std::string& name,
+                             bool deterministic = true);
+  Histogram* GetStripedHistogram(const std::string& name,
+                                 std::vector<double> bounds = {},
+                                 bool deterministic = true);
+
   /// Name-sorted views for exporters (names are copied; instrument
   /// pointers stay valid and live).
   std::vector<std::pair<std::string, const Counter*>> Counters() const;
@@ -159,6 +235,12 @@ class MetricsRegistry {
   static MetricsRegistry& Global();
 
  private:
+  Counter* GetCounterImpl(const std::string& name, bool deterministic,
+                          bool striped);
+  Histogram* GetHistogramImpl(const std::string& name,
+                              std::vector<double> bounds, bool deterministic,
+                              bool striped);
+
   std::atomic<bool> enabled_;
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;

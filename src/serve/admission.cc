@@ -25,10 +25,14 @@ AdmissionController::AdmissionController(Options options, size_t num_tenants)
   RPAS_CHECK(options_.cost_per_request > 0.0);
   // Buckets start full so the first round is never throttled.
   tokens_.assign(num_tenants, options_.bucket_capacity);
+  // Handles resolve once here (never on the admit path); striped because
+  // every shard's controller fires the same named instruments during the
+  // fleet's parallel phases.
   obs::MetricsRegistry* metrics = obs::ResolveRegistry(options_.metrics);
-  admitted_counter_ = metrics->GetCounter("serve.admission.admitted");
-  throttled_counter_ = metrics->GetCounter("serve.admission.throttled");
-  shed_counter_ = metrics->GetCounter("serve.admission.shed");
+  admitted_counter_ = metrics->GetStripedCounter("serve.admission.admitted");
+  throttled_counter_ =
+      metrics->GetStripedCounter("serve.admission.throttled");
+  shed_counter_ = metrics->GetStripedCounter("serve.admission.shed");
 }
 
 void AdmissionController::BeginRound() {

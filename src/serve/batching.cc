@@ -10,11 +10,16 @@ namespace rpas::serve {
 
 BatchEngine::BatchEngine(ModelRegistry* registry, Options options)
     : registry_(registry), options_(options) {
+  // Handles resolve once here; Execute() never does a name lookup. The
+  // instruments fire concurrently from every shard's engine in the fleet's
+  // parallel phase, so they are striped (merged exactly on read).
   obs::MetricsRegistry* metrics = obs::ResolveRegistry(options_.metrics);
-  requests_counter_ = metrics->GetCounter("serve.engine.requests");
-  batches_counter_ = metrics->GetCounter("serve.engine.batches");
-  errors_counter_ = metrics->GetCounter("serve.engine.request_errors");
-  batch_size_hist_ = metrics->GetHistogram("serve.engine.batch_size");
+  requests_counter_ = metrics->GetStripedCounter("serve.engine.requests");
+  batches_counter_ = metrics->GetStripedCounter("serve.engine.batches");
+  errors_counter_ =
+      metrics->GetStripedCounter("serve.engine.request_errors");
+  batch_size_hist_ =
+      metrics->GetStripedHistogram("serve.engine.batch_size");
 }
 
 std::vector<ForecastResponse> BatchEngine::Execute(

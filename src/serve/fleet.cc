@@ -230,6 +230,13 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
   std::vector<TenantState> tenants(options.num_tenants);
   const bool inject = options.faults.Any();
   std::vector<Status> setup_status(options.num_tenants);
+  obs::MetricsRegistry* metrics = obs::ResolveRegistry(options.metrics);
+  // Resolve the simdb.* instrument bundle once for the whole fleet: the
+  // parallel setup below constructs one cluster per tenant, and without a
+  // shared bundle every construction would take the metrics registry's
+  // name-lookup mutex seven times — a cross-tenant serialization point.
+  const simdb::Cluster::MetricHandles cluster_handles =
+      simdb::Cluster::MetricHandles::Resolve(metrics);
   ParallelFor(0, options.num_tenants, 1, [&](size_t t0, size_t t1) {
     for (size_t t = t0; t < t1; ++t) {
       TenantState& tenant = tenants[t];
@@ -256,6 +263,7 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
       cluster_options.node_capacity = tenant.config.theta;
       cluster_options.seed = DeriveSeed(options.seed, kClusterStream + t);
       cluster_options.metrics = options.metrics;
+      cluster_options.handles = &cluster_handles;
       cluster_options.initial_nodes = core::RequiredNodes(
           tenant.series.values[options.history_steps - 1], tenant.config);
       tenant.cluster = std::make_unique<simdb::Cluster>(cluster_options);
@@ -333,9 +341,12 @@ Result<FleetResult> RunFleet(ModelRegistry* registry,
 
   const core::RobustQuantileAllocator allocator(options.tau);
 
-  obs::MetricsRegistry* metrics = obs::ResolveRegistry(options.metrics);
+  // Observed once per tenant per round inside the parallel shard phase —
+  // striped, so concurrent shards write per-thread-slot cache lines
+  // instead of CAS-contending on one histogram (deterministic export is
+  // unchanged: integer bucket counts merge exactly).
   obs::Histogram* staleness_hist =
-      metrics->GetHistogram("serve.stream.staleness_steps");
+      metrics->GetStripedHistogram("serve.stream.staleness_steps");
 
   FleetResult result;
   result.tenants.resize(options.num_tenants);

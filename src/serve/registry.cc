@@ -38,11 +38,15 @@ std::string ModelId::ToString() const {
 ModelRegistry::ModelRegistry(Options options) : options_(options) {
   options_.mapped_byte_weight =
       std::clamp(options_.mapped_byte_weight, 0.0, 1.0);
+  snapshot_.store(std::make_shared<const Snapshot>(),
+                  std::memory_order_release);
   obs::MetricsRegistry* metrics = obs::ResolveRegistry(options_.metrics);
-  hits_ = metrics->GetCounter("serve.registry.hits");
-  misses_ = metrics->GetCounter("serve.registry.misses");
+  // The hit/miss/load counters fire inside the parallel shard phase, so
+  // they are striped: per-thread-slot cache lines, merged exactly on read.
+  hits_ = metrics->GetStripedCounter("serve.registry.hits");
+  misses_ = metrics->GetStripedCounter("serve.registry.misses");
   evictions_ = metrics->GetCounter("serve.registry.evictions");
-  loads_ = metrics->GetCounter("serve.registry.loads");
+  loads_ = metrics->GetStripedCounter("serve.registry.loads");
   resident_bytes_gauge_ = metrics->GetGauge("serve.registry.resident_bytes");
   mapped_bytes_gauge_ = metrics->GetGauge("serve.registry.mapped_bytes");
   heap_bytes_gauge_ = metrics->GetGauge("serve.registry.heap_bytes");
@@ -65,16 +69,19 @@ Status ModelRegistry::RegisterVersion(const ModelId& id,
         StrFormat("%s: checkpoint missing or empty: %s",
                   id.ToString().c_str(), path.c_str()));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = LockRegistry();
   if (entries_.count(id) > 0) {
     return Status::FailedPrecondition(id.ToString() +
                                       ": version already registered");
   }
+  auto info = std::make_shared<VersionInfo>();
+  info->path = path;
+  info->factory = std::move(factory);
+  info->registered_bytes.store(bytes, std::memory_order_relaxed);
   Entry entry;
-  entry.path = path;
-  entry.factory = std::move(factory);
-  entry.bytes = bytes;
+  entry.info = std::move(info);
   entries_.emplace(id, std::move(entry));
+  RebuildSnapshotLocked();
   return Status::OK();
 }
 
@@ -92,39 +99,132 @@ Status ModelRegistry::RegisterTrained(const ModelId& id,
 
 Result<std::shared_ptr<const forecast::Forecaster>> ModelRegistry::Acquire(
     const ModelId& id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(id);
-  if (it == entries_.end()) {
-    return Status::NotFound(id.ToString() + ": version not registered");
+  // Hot path: resolve wholly against the published snapshot. A warm hit
+  // is a snapshot load, a map lookup, a relaxed LRU-tick store and a
+  // striped counter increment — no mutex, no CAS loop.
+  std::shared_ptr<VersionInfo> info;
+  {
+    std::shared_ptr<const Snapshot> snap =
+        snapshot_.load(std::memory_order_acquire);
+    auto it = snap->entries.find(id);
+    if (it == snap->entries.end()) {
+      return Status::NotFound(id.ToString() + ": version not registered");
+    }
+    const SnapshotEntry& se = it->second;
+    se.info->last_used.store(
+        tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    if (se.resident != nullptr) {
+      stat_hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_->Increment();
+      return se.resident;
+    }
+    info = se.info;
+    // `snap` dies here: the cold path must not keep the pre-load snapshot
+    // generation alive, or its strong references would make this call's
+    // eviction victims look pinned while the new generation is published.
   }
-  Entry& entry = it->second;
-  entry.last_used = ++tick_;
-  if (entry.resident != nullptr) {
-    ++stats_.hits;
-    hits_->Increment();
-    return entry.resident;
+  return AcquireCold(id, std::move(info));
+}
+
+Result<std::shared_ptr<const forecast::Forecaster>> ModelRegistry::AcquireCold(
+    const ModelId& id, std::shared_ptr<VersionInfo> info) {
+  {
+    // Per-version latch: wait out any in-flight load of THIS version.
+    // Loads of other versions hold their own latches — a cold tenant
+    // never blocks a different tenant's hit or load.
+    auto latch = LockLatch(info.get());
+    while (info->loading) {
+      info->load_cv.wait(latch);
+    }
+    // Re-check the snapshot: the load we waited on may have landed (then
+    // this call is a hit, exactly as it would have been when the old
+    // global mutex serialized it behind the loader), or it may have
+    // failed (then this caller claims the latch and retries the load —
+    // each failing Acquire counts its own miss+load, as before).
+    std::shared_ptr<const Snapshot> snap =
+        snapshot_.load(std::memory_order_acquire);
+    auto it = snap->entries.find(id);
+    if (it != snap->entries.end() && it->second.resident != nullptr) {
+      stat_hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_->Increment();
+      return it->second.resident;
+    }
+    info->loading = true;
   }
 
-  ++stats_.misses;
-  ++stats_.loads;
+  stat_misses_.fetch_add(1, std::memory_order_relaxed);
+  stat_loads_.fetch_add(1, std::memory_order_relaxed);
   misses_->Increment();
   loads_->Increment();
+
+  // The expensive step — factory + checkpoint parse/map — runs outside
+  // every lock; only same-version callers (blocked on the latch) wait.
   std::shared_ptr<const forecast::Forecaster> shared;
-  RPAS_RETURN_IF_ERROR(LoadColdLocked(id, &entry, &shared));
-  EvictToBudgetLocked();
-  PublishBytesLocked();
+  size_t bytes = 0;
+  size_t mapped = 0;
+  size_t heap = 0;
+  Status status = LoadVersion(id, info.get(), &shared, &bytes, &mapped, &heap);
+
+  if (status.ok()) {
+    // Commit on the mutator path: byte accounting, eviction and the new
+    // snapshot generation, all under the registry mutex the hot path
+    // never touches.
+    auto lock = LockRegistry();
+    auto mit = entries_.find(id);
+    if (mit == entries_.end()) {
+      status = Status::Internal(id.ToString() +
+                                ": entry vanished during load");
+    } else {
+      Entry& entry = mit->second;
+      if (entry.resident != nullptr) {
+        // Defensive: the latch serializes loaders, so this cannot happen;
+        // serve the committed model rather than double-count bytes.
+        shared = entry.resident;
+      } else {
+        entry.bytes = bytes;
+        entry.mapped = mapped;
+        entry.heap = heap;
+        entry.charged =
+            ChargedBytes(heap, mapped, options_.mapped_byte_weight);
+        entry.resident = shared;
+        entry.alive = shared;
+        entry.in_snapshot = false;
+        info->registered_bytes.store(bytes, std::memory_order_relaxed);
+        resident_bytes_ += bytes;
+        mapped_bytes_ += mapped;
+        heap_bytes_ += heap;
+        charged_bytes_ += entry.charged;
+        EvictToBudgetLocked();
+        RebuildSnapshotLocked();
+        PublishBytesLocked();
+      }
+    }
+  }
+
+  {
+    auto latch = LockLatch(info.get());
+    info->loading = false;
+  }
+  info->load_cv.notify_all();
+
+  if (!status.ok()) {
+    return status;
+  }
   return shared;
 }
 
-Status ModelRegistry::LoadColdLocked(
-    const ModelId& id, Entry* entry,
-    std::shared_ptr<const forecast::Forecaster>* out) {
-  std::unique_ptr<forecast::Forecaster> model = entry->factory();
+Status ModelRegistry::LoadVersion(
+    const ModelId& id, VersionInfo* info,
+    std::shared_ptr<const forecast::Forecaster>* out, size_t* bytes_out,
+    size_t* mapped_out, size_t* heap_out) const {
+  std::unique_ptr<forecast::Forecaster> model = info->factory();
   if (model == nullptr) {
     return Status::Internal(id.ToString() + ": factory returned null");
   }
-  // Everything below builds into locals; entry/accounting mutate only at
-  // the commit block, so any failure leaves the registry unchanged.
+  // Everything below builds into locals; the caller commits entry state
+  // and byte accounting only when every step has succeeded — any failure
+  // leaves the registry unchanged.
   //
   // Probe before sniffing the format: IsQuantizedCheckpointFile() returns
   // false for a file it cannot open, and routing a *missing* file to the
@@ -132,51 +232,53 @@ Status ModelRegistry::LoadColdLocked(
   // IoError — it happens while a checkpoint is being atomically replaced)
   // into a misleading parse error once the file reappears in the other
   // format.
-  if (!std::ifstream(entry->path, std::ios::binary).is_open()) {
+  if (!std::ifstream(info->path, std::ios::binary).is_open()) {
     return Status::IoError(
         StrFormat("%s: cannot open checkpoint '%s'", id.ToString().c_str(),
-                  entry->path.c_str()));
+                  info->path.c_str()));
   }
   size_t bytes = 0;
   size_t mapped = 0;
   size_t heap = 0;
-  if (nn::IsQuantizedCheckpointFile(entry->path)) {
+  if (nn::IsQuantizedCheckpointFile(info->path)) {
     RPAS_ASSIGN_OR_RETURN(std::shared_ptr<const nn::QuantizedCheckpoint> ckpt,
-                          nn::QuantizedCheckpoint::Map(entry->path));
+                          nn::QuantizedCheckpoint::Map(info->path));
     bytes = ckpt->file_bytes();
     mapped = ckpt->mapped_bytes();
     heap = ckpt->heap_bytes();
     RPAS_RETURN_IF_ERROR(model->LoadQuantizedCheckpoint(std::move(ckpt)));
   } else {
-    RPAS_RETURN_IF_ERROR(model->LoadCheckpoint(entry->path));
+    RPAS_RETURN_IF_ERROR(model->LoadCheckpoint(info->path));
     // Re-stat after the successful parse: the registered size is stale
     // when the checkpoint was atomically replaced since registration.
-    bytes = FileSizeBytes(entry->path);
+    bytes = FileSizeBytes(info->path);
     if (bytes == 0) {
-      bytes = entry->bytes;  // replaced mid-load; keep the registered size
+      // Replaced mid-load; keep the registered size.
+      bytes = info->registered_bytes.load(std::memory_order_relaxed);
     }
     heap = bytes;
   }
-  entry->bytes = bytes;
-  entry->mapped = mapped;
-  entry->heap = heap;
-  entry->charged = ChargedBytes(heap, mapped, options_.mapped_byte_weight);
-  std::shared_ptr<const forecast::Forecaster> shared = std::move(model);
-  entry->resident = shared;
-  entry->alive = shared;
-  resident_bytes_ += bytes;
-  mapped_bytes_ += mapped;
-  heap_bytes_ += heap;
-  charged_bytes_ += entry->charged;
-  *out = std::move(shared);
+  *out = std::shared_ptr<const forecast::Forecaster>(std::move(model));
+  *bytes_out = bytes;
+  *mapped_out = mapped;
+  *heap_out = heap;
   return Status::OK();
 }
 
+void ModelRegistry::RebuildSnapshotLocked() {
+  auto snap = std::make_shared<Snapshot>();
+  for (auto& [id, entry] : entries_) {
+    SnapshotEntry se;
+    se.info = entry.info;
+    se.resident = entry.resident;
+    entry.in_snapshot = entry.resident != nullptr;
+    snap->entries.emplace(id, std::move(se));
+  }
+  snapshot_.store(std::shared_ptr<const Snapshot>(std::move(snap)),
+                  std::memory_order_release);
+}
+
 void ModelRegistry::PublishBytesLocked() {
-  stats_.resident_bytes = resident_bytes_;
-  stats_.mapped_bytes = mapped_bytes_;
-  stats_.heap_bytes = heap_bytes_;
-  stats_.charged_bytes = charged_bytes_;
   resident_bytes_gauge_->Set(static_cast<double>(resident_bytes_));
   mapped_bytes_gauge_->Set(static_cast<double>(mapped_bytes_));
   heap_bytes_gauge_->Set(static_cast<double>(heap_bytes_));
@@ -204,15 +306,19 @@ void ModelRegistry::EvictToBudgetLocked() {
       if (it->second.resident == nullptr) {
         continue;
       }
+      const uint64_t used =
+          it->second.info->last_used.load(std::memory_order_relaxed);
       if (it->second.PinnedLocked()) {
         if (pinned_victim == entries_.end() ||
-            it->second.last_used < pinned_victim->second.last_used) {
+            used < pinned_victim->second.info->last_used.load(
+                       std::memory_order_relaxed)) {
           pinned_victim = it;
         }
         continue;
       }
       if (victim == entries_.end() ||
-          it->second.last_used < victim->second.last_used) {
+          used < victim->second.info->last_used.load(
+                     std::memory_order_relaxed)) {
         victim = it;
       }
     }
@@ -223,6 +329,7 @@ void ModelRegistry::EvictToBudgetLocked() {
       break;  // nothing resident; budget of 0 with no cache
     }
     victim->second.resident.reset();
+    victim->second.in_snapshot = false;
     resident_bytes_ -= victim->second.bytes;
     mapped_bytes_ -= victim->second.mapped;
     heap_bytes_ -= victim->second.heap;
@@ -230,7 +337,7 @@ void ModelRegistry::EvictToBudgetLocked() {
     victim->second.mapped = 0;
     victim->second.heap = 0;
     victim->second.charged = 0;
-    ++stats_.evictions;
+    stat_evictions_.fetch_add(1, std::memory_order_relaxed);
     evictions_->Increment();
   }
 }
@@ -247,11 +354,12 @@ void ModelRegistry::FillPinnedLocked(CacheStats* stats) const {
 }
 
 Result<ModelId> ModelRegistry::Latest(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const Snapshot> snap =
+      snapshot_.load(std::memory_order_acquire);
   // Map order is (name asc, version asc): the last entry with a matching
   // name is the highest version.
   Result<ModelId> latest = Status::NotFound(name + ": no versions registered");
-  for (const auto& [id, entry] : entries_) {
+  for (const auto& [id, entry] : snap->entries) {
     if (id.name == name) {
       latest = id;
     }
@@ -260,13 +368,18 @@ Result<ModelId> ModelRegistry::Latest(const std::string& name) const {
 }
 
 size_t ModelRegistry::NumRegistered() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size();
+  std::shared_ptr<const Snapshot> snap =
+      snapshot_.load(std::memory_order_acquire);
+  return snap->entries.size();
 }
 
 ModelRegistry::CacheStats ModelRegistry::GetCacheStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  CacheStats stats = stats_;
+  auto lock = LockRegistry();
+  CacheStats stats;
+  stats.hits = stat_hits_.load(std::memory_order_relaxed);
+  stats.misses = stat_misses_.load(std::memory_order_relaxed);
+  stats.evictions = stat_evictions_.load(std::memory_order_relaxed);
+  stats.loads = stat_loads_.load(std::memory_order_relaxed);
   stats.resident_bytes = resident_bytes_;
   stats.mapped_bytes = mapped_bytes_;
   stats.heap_bytes = heap_bytes_;

@@ -17,18 +17,33 @@ Cluster::Cluster(Options options)
   RPAS_CHECK(options_.min_nodes >= 1);
   nodes_.assign(static_cast<size_t>(options_.initial_nodes), Node{});
 
-  // One registry lookup per cluster; Step() touches only the cached
-  // handles. The simulation is seeded and single-threaded, so every
-  // counter value is a pure function of the inputs (deterministic).
-  obs::MetricsRegistry* metrics = obs::ResolveRegistry(options_.metrics);
-  steps_counter_ = metrics->GetCounter("simdb.steps");
-  nodes_added_counter_ = metrics->GetCounter("simdb.nodes_added");
-  nodes_removed_counter_ = metrics->GetCounter("simdb.nodes_removed");
-  nodes_failed_counter_ = metrics->GetCounter("simdb.nodes_failed");
-  slo_violations_counter_ = metrics->GetCounter("simdb.slo_violations");
-  under_provisioned_counter_ =
-      metrics->GetCounter("simdb.under_provisioned");
-  nodes_gauge_ = metrics->GetGauge("simdb.nodes");
+  // Handles are cached once; Step() touches only the cached pointers. A
+  // caller constructing many clusters (the fleet's parallel per-tenant
+  // setup) passes a pre-resolved bundle so the registry's lookup mutex is
+  // taken once per fleet, not seven times per tenant. Counter values are
+  // pure functions of the inputs either way (striped counters merge
+  // exactly on read).
+  if (options_.handles != nullptr) {
+    handles_ = *options_.handles;
+  } else {
+    handles_ =
+        MetricHandles::Resolve(obs::ResolveRegistry(options_.metrics));
+  }
+}
+
+Cluster::MetricHandles Cluster::MetricHandles::Resolve(
+    obs::MetricsRegistry* metrics) {
+  MetricHandles handles;
+  handles.steps = metrics->GetStripedCounter("simdb.steps");
+  handles.nodes_added = metrics->GetStripedCounter("simdb.nodes_added");
+  handles.nodes_removed = metrics->GetStripedCounter("simdb.nodes_removed");
+  handles.nodes_failed = metrics->GetStripedCounter("simdb.nodes_failed");
+  handles.slo_violations =
+      metrics->GetStripedCounter("simdb.slo_violations");
+  handles.under_provisioned =
+      metrics->GetStripedCounter("simdb.under_provisioned");
+  handles.nodes = metrics->GetGauge("simdb.nodes");
+  return handles;
 }
 
 void Cluster::InjectNodeFailures(int count) {
@@ -147,17 +162,17 @@ StepStats Cluster::Step(int target_nodes, double workload,
   total_node_steps_ += static_cast<int64_t>(nodes_.size());
   ++step_;
 
-  steps_counter_->Increment();
-  nodes_added_counter_->Increment(stats.nodes_added);
-  nodes_removed_counter_->Increment(stats.nodes_removed);
-  nodes_failed_counter_->Increment(stats.nodes_failed);
+  handles_.steps->Increment();
+  handles_.nodes_added->Increment(stats.nodes_added);
+  handles_.nodes_removed->Increment(stats.nodes_removed);
+  handles_.nodes_failed->Increment(stats.nodes_failed);
   if (stats.slo_violated) {
-    slo_violations_counter_->Increment();
+    handles_.slo_violations->Increment();
   }
   if (stats.under_provisioned) {
-    under_provisioned_counter_->Increment();
+    handles_.under_provisioned->Increment();
   }
-  nodes_gauge_->Set(static_cast<double>(nodes_.size()));
+  handles_.nodes->Set(static_cast<double>(nodes_.size()));
   return stats;
 }
 

@@ -39,6 +39,26 @@ struct StepStats {
 /// migration in disaggregated architectures).
 class Cluster {
  public:
+  /// Pre-resolved simdb.* instrument handles. Resolving goes through the
+  /// MetricsRegistry name-lookup mutex; a fleet constructing thousands of
+  /// per-tenant clusters inside a parallel setup phase resolves ONCE and
+  /// shares the bundle via Options::handles instead of paying (and
+  /// contending on) seven lookups per cluster. The per-step counters fire
+  /// inside the fleet's parallel shard phase, so they resolve striped
+  /// (per-thread-slot, merged exactly on read — exported values are
+  /// identical to unstriped counters).
+  struct MetricHandles {
+    obs::Counter* steps = nullptr;
+    obs::Counter* nodes_added = nullptr;
+    obs::Counter* nodes_removed = nullptr;
+    obs::Counter* nodes_failed = nullptr;
+    obs::Counter* slo_violations = nullptr;
+    obs::Counter* under_provisioned = nullptr;
+    obs::Gauge* nodes = nullptr;
+
+    static MetricHandles Resolve(obs::MetricsRegistry* metrics);
+  };
+
   struct Options {
     double step_seconds = 600.0;       ///< decision interval (10 minutes)
     double node_capacity = 1.0;        ///< workload units a node absorbs at
@@ -62,6 +82,10 @@ class Cluster {
     /// the cluster. Handles are cached at construction, so Step() pays only
     /// a few relaxed atomics (a load + branch while metrics are disabled).
     obs::MetricsRegistry* metrics = nullptr;
+    /// Optional pre-resolved handle bundle (see MetricHandles). When set it
+    /// must have been resolved against the registry `metrics` routes to;
+    /// the constructor then performs zero registry lookups.
+    const MetricHandles* handles = nullptr;
   };
 
   explicit Cluster(Options options);
@@ -104,13 +128,7 @@ class Cluster {
   Options options_;
   std::vector<Node> nodes_;
   // Cached metric handles (owned by the registry behind Options::metrics).
-  obs::Counter* steps_counter_ = nullptr;
-  obs::Counter* nodes_added_counter_ = nullptr;
-  obs::Counter* nodes_removed_counter_ = nullptr;
-  obs::Counter* nodes_failed_counter_ = nullptr;
-  obs::Counter* slo_violations_counter_ = nullptr;
-  obs::Counter* under_provisioned_counter_ = nullptr;
-  obs::Gauge* nodes_gauge_ = nullptr;
+  MetricHandles handles_;
   size_t step_ = 0;
   Rng rng_;
   int64_t total_node_steps_ = 0;

@@ -106,6 +106,73 @@ TEST(MetricsRegistryTest, ConcurrentMutationIsExact) {
   EXPECT_DOUBLE_EQ(hist->max(), 9.0);
 }
 
+TEST(StripedMetricsTest, StripedCounterMergesExactlyUnderConcurrency) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetStripedCounter("striped.c");
+  EXPECT_TRUE(counter->striped());
+  // Same namespace as plain counters: a later plain lookup returns the
+  // striped instrument unchanged.
+  EXPECT_EQ(registry.GetCounter("striped.c"), counter);
+
+  constexpr size_t kItems = 20000;
+  SetRpasThreads(4);
+  ParallelFor(0, kItems, 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      counter->Increment();
+    }
+  });
+  SetRpasThreads(0);
+  EXPECT_EQ(counter->value(), static_cast<int64_t>(kItems));
+}
+
+TEST(StripedMetricsTest, StripedHistogramMatchesUnstripedReadout) {
+  MetricsRegistry registry;
+  Histogram* striped = registry.GetStripedHistogram("striped.h");
+  Histogram* plain = registry.GetHistogram("plain.h");
+  EXPECT_TRUE(striped->striped());
+  EXPECT_FALSE(plain->striped());
+
+  constexpr size_t kItems = 10000;
+  SetRpasThreads(4);
+  ParallelFor(0, kItems, 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      striped->Observe(static_cast<double>(i % 17));
+    }
+  });
+  SetRpasThreads(0);
+  for (size_t i = 0; i < kItems; ++i) {
+    plain->Observe(static_cast<double>(i % 17));
+  }
+
+  // Everything a deterministic export reads — bucket counts, total count,
+  // min, max, quantiles — merges exactly, independent of how observations
+  // landed on stripes.
+  EXPECT_EQ(striped->count(), plain->count());
+  EXPECT_DOUBLE_EQ(striped->min(), plain->min());
+  EXPECT_DOUBLE_EQ(striped->max(), plain->max());
+  ASSERT_EQ(striped->NumBuckets(), plain->NumBuckets());
+  for (size_t i = 0; i < plain->NumBuckets(); ++i) {
+    EXPECT_EQ(striped->BucketCount(i), plain->BucketCount(i)) << i;
+  }
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(striped->Quantile(q), plain->Quantile(q)) << q;
+  }
+  // The float sum is order-dependent in general but exact here (small
+  // integers), and single-threaded striping is a plain reordering of
+  // exact sums.
+  EXPECT_DOUBLE_EQ(striped->sum(), plain->sum());
+}
+
+TEST(StripedMetricsTest, DisabledRegistrySkipsStripedWrites) {
+  MetricsRegistry registry(/*enabled=*/false);
+  Counter* counter = registry.GetStripedCounter("off.c");
+  Histogram* hist = registry.GetStripedHistogram("off.h");
+  counter->Increment(5);
+  hist->Observe(1.0);
+  EXPECT_EQ(counter->value(), 0);
+  EXPECT_EQ(hist->count(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Histogram quantiles
 // ---------------------------------------------------------------------------
